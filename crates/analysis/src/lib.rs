@@ -1,0 +1,24 @@
+//! # lb-analysis
+//!
+//! Statistics, Markdown table rendering and machine-readable experiment
+//! records for the load-balancing experiment harness.
+//!
+//! ```
+//! use lb_analysis::{Summary, Table, format_value};
+//!
+//! let s = Summary::of(&[1.0, 2.0, 3.0]);
+//! let mut table = Table::new(vec!["metric".into(), "value".into()]);
+//! table.add_row(vec!["mean".into(), format_value(s.mean)]);
+//! assert!(table.render().contains("mean"));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod record;
+mod stats;
+mod table;
+
+pub use record::{ExperimentRecord, Measurement};
+pub use stats::{correlation, linear_fit, Summary};
+pub use table::{format_value, Table};

@@ -1,0 +1,155 @@
+//! Machine-readable experiment records.
+//!
+//! Every experiment binary writes one [`ExperimentRecord`] as JSON under
+//! `target/experiments/`, so EXPERIMENTS.md can be regenerated and results
+//! can be diffed across runs.
+
+use crate::stats::Summary;
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One measured cell of a result table: an algorithm on a graph class with a
+/// concrete parameterisation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Measurement {
+    /// Algorithm name (e.g. `"alg1(fos)"`).
+    pub algorithm: String,
+    /// Graph family label (e.g. `"hypercube(10)"`).
+    pub graph: String,
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Maximum degree of the graph.
+    pub max_degree: usize,
+    /// Number of rounds the discrete process ran for.
+    pub rounds: usize,
+    /// Final max-min makespan discrepancy (summary over repeats/seeds).
+    pub max_min: Summary,
+    /// Final max-avg makespan discrepancy (summary over repeats/seeds).
+    pub max_avg: Summary,
+    /// Free-form extra key/value annotations (e.g. `w_max`, `lambda`).
+    #[serde(default)]
+    pub notes: Vec<(String, String)>,
+}
+
+/// A complete experiment: which paper artefact it reproduces plus all of its
+/// measurements.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentRecord {
+    /// Experiment id from DESIGN.md (e.g. `"E1"`).
+    pub id: String,
+    /// The paper artefact being reproduced (e.g. `"Table 1"`).
+    pub paper_artifact: String,
+    /// Human-readable description of the setup.
+    pub description: String,
+    /// All measurements taken.
+    pub measurements: Vec<Measurement>,
+}
+
+impl ExperimentRecord {
+    /// Creates an empty record.
+    pub fn new(
+        id: impl Into<String>,
+        paper_artifact: impl Into<String>,
+        description: impl Into<String>,
+    ) -> Self {
+        ExperimentRecord {
+            id: id.into(),
+            paper_artifact: paper_artifact.into(),
+            description: description.into(),
+            measurements: Vec::new(),
+        }
+    }
+
+    /// Adds a measurement.
+    pub fn push(&mut self, measurement: Measurement) -> &mut Self {
+        self.measurements.push(measurement);
+        self
+    }
+
+    /// Serialises the record as pretty JSON.
+    ///
+    /// # Panics
+    ///
+    /// Panics if serialisation fails, which cannot happen for this type.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("record serialisation cannot fail")
+    }
+
+    /// Writes the record to `dir/<id>.json`, creating the directory if
+    /// needed, and returns the path written.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from creating the directory or writing the file.
+    pub fn write_to_dir(&self, dir: impl AsRef<Path>) -> io::Result<PathBuf> {
+        let dir = dir.as_ref();
+        fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.json", self.id));
+        fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+
+    /// Reads a record back from a JSON file.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error if the file cannot be read or an
+    /// `InvalidData` error if it does not parse as a record.
+    pub fn read_from(path: impl AsRef<Path>) -> io::Result<Self> {
+        let text = fs::read_to_string(path)?;
+        serde_json::from_str(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_record() -> ExperimentRecord {
+        let mut rec = ExperimentRecord::new("E-test", "Table 1", "unit-test record");
+        rec.push(Measurement {
+            algorithm: "alg1(fos)".into(),
+            graph: "hypercube(4)".into(),
+            nodes: 16,
+            max_degree: 4,
+            rounds: 100,
+            max_min: Summary::of(&[3.0, 4.0]),
+            max_avg: Summary::of(&[2.0, 2.0]),
+            notes: vec![("w_max".into(), "1".into())],
+        });
+        rec
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let rec = sample_record();
+        let json = rec.to_json();
+        let parsed: ExperimentRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed, rec);
+        assert!(json.contains("alg1(fos)"));
+    }
+
+    #[test]
+    fn write_and_read_back() {
+        let rec = sample_record();
+        let dir = std::env::temp_dir().join("lb_analysis_record_test");
+        let path = rec.write_to_dir(&dir).unwrap();
+        assert!(path.ends_with("E-test.json"));
+        let read = ExperimentRecord::read_from(&path).unwrap();
+        assert_eq!(read, rec);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn read_invalid_data_fails() {
+        let dir = std::env::temp_dir().join("lb_analysis_record_test_bad");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.json");
+        std::fs::write(&path, "not json").unwrap();
+        let err = ExperimentRecord::read_from(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let _ = std::fs::remove_file(path);
+    }
+}

@@ -1,0 +1,163 @@
+//! Small summary-statistics helpers used by the experiment harness.
+
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a sample of measurements (e.g. final discrepancies
+/// over repeated seeded runs).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (0.0 for fewer than two observations).
+    pub std_dev: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Median (average of the two middle values for even counts).
+    pub median: f64,
+}
+
+impl Summary {
+    /// Computes summary statistics of `values`.
+    ///
+    /// Returns an all-zero summary for an empty slice.
+    pub fn of(values: &[f64]) -> Self {
+        if values.is_empty() {
+            return Summary {
+                count: 0,
+                mean: 0.0,
+                std_dev: 0.0,
+                min: 0.0,
+                max: 0.0,
+                median: 0.0,
+            };
+        }
+        let count = values.len();
+        let mean = values.iter().sum::<f64>() / count as f64;
+        let variance = if count > 1 {
+            values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (count as f64 - 1.0)
+        } else {
+            0.0
+        };
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("measurements must not be NaN"));
+        let median = if count % 2 == 1 {
+            sorted[count / 2]
+        } else {
+            (sorted[count / 2 - 1] + sorted[count / 2]) / 2.0
+        };
+        Summary {
+            count,
+            mean,
+            std_dev: variance.sqrt(),
+            min: sorted[0],
+            max: sorted[count - 1],
+            median,
+        }
+    }
+}
+
+/// Simple ordinary-least-squares fit `y ≈ slope·x + intercept`, used to check
+/// scaling shapes (e.g. "discrepancy grows linearly in d").
+///
+/// Returns `(slope, intercept)`; both are 0.0 when fewer than two points are
+/// given or all `x` values coincide.
+pub fn linear_fit(points: &[(f64, f64)]) -> (f64, f64) {
+    if points.len() < 2 {
+        return (0.0, 0.0);
+    }
+    let n = points.len() as f64;
+    let sum_x: f64 = points.iter().map(|(x, _)| x).sum();
+    let sum_y: f64 = points.iter().map(|(_, y)| y).sum();
+    let sum_xx: f64 = points.iter().map(|(x, _)| x * x).sum();
+    let sum_xy: f64 = points.iter().map(|(x, y)| x * y).sum();
+    let denom = n * sum_xx - sum_x * sum_x;
+    if denom.abs() < 1e-300 {
+        return (0.0, 0.0);
+    }
+    let slope = (n * sum_xy - sum_x * sum_y) / denom;
+    let intercept = (sum_y - slope * sum_x) / n;
+    (slope, intercept)
+}
+
+/// Pearson correlation coefficient of a set of points; 0.0 when undefined.
+pub fn correlation(points: &[(f64, f64)]) -> f64 {
+    if points.len() < 2 {
+        return 0.0;
+    }
+    let n = points.len() as f64;
+    let mean_x: f64 = points.iter().map(|(x, _)| x).sum::<f64>() / n;
+    let mean_y: f64 = points.iter().map(|(_, y)| y).sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut var_x = 0.0;
+    let mut var_y = 0.0;
+    for &(x, y) in points {
+        cov += (x - mean_x) * (y - mean_y);
+        var_x += (x - mean_x) * (x - mean_x);
+        var_y += (y - mean_y) * (y - mean_y);
+    }
+    if var_x <= 0.0 || var_y <= 0.0 {
+        return 0.0;
+    }
+    cov / (var_x.sqrt() * var_y.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.count, 8);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!((s.median - 4.5).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        // Sample std dev of this classic example is ~2.138.
+        assert!((s.std_dev - 2.138).abs() < 0.01);
+    }
+
+    #[test]
+    fn summary_edge_cases() {
+        let empty = Summary::of(&[]);
+        assert_eq!(empty.count, 0);
+        assert_eq!(empty.mean, 0.0);
+
+        let single = Summary::of(&[3.5]);
+        assert_eq!(single.count, 1);
+        assert_eq!(single.std_dev, 0.0);
+        assert_eq!(single.median, 3.5);
+
+        let odd = Summary::of(&[3.0, 1.0, 2.0]);
+        assert_eq!(odd.median, 2.0);
+    }
+
+    #[test]
+    fn linear_fit_recovers_exact_line() {
+        let points: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 3.0 * i as f64 + 1.0)).collect();
+        let (slope, intercept) = linear_fit(&points);
+        assert!((slope - 3.0).abs() < 1e-9);
+        assert!((intercept - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn linear_fit_degenerate_inputs() {
+        assert_eq!(linear_fit(&[]), (0.0, 0.0));
+        assert_eq!(linear_fit(&[(1.0, 2.0)]), (0.0, 0.0));
+        assert_eq!(linear_fit(&[(2.0, 1.0), (2.0, 3.0)]), (0.0, 0.0));
+    }
+
+    #[test]
+    fn correlation_signs() {
+        let up: Vec<(f64, f64)> = (0..20).map(|i| (i as f64, 2.0 * i as f64)).collect();
+        assert!((correlation(&up) - 1.0).abs() < 1e-9);
+        let down: Vec<(f64, f64)> = (0..20).map(|i| (i as f64, -(i as f64))).collect();
+        assert!((correlation(&down) + 1.0).abs() < 1e-9);
+        assert_eq!(correlation(&[(1.0, 1.0)]), 0.0);
+        assert_eq!(correlation(&[(1.0, 1.0), (1.0, 2.0)]), 0.0);
+    }
+}

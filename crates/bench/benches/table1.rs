@@ -1,0 +1,49 @@
+//! Criterion bench for experiment E1 (Table 1): prints the quick-mode table
+//! once, then benchmarks one representative cell per algorithm (Algorithm 1,
+//! Algorithm 2 and the round-down baseline on a torus) so regressions in the
+//! discretizers' per-round cost are caught.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lb_bench::harness::{
+    measure_balancing_time, run_once, standard_initial_load, ContinuousModel, Discretizer,
+    GraphClass, RunConfig,
+};
+use lb_core::Speeds;
+
+fn bench_table1(c: &mut Criterion) {
+    // Regenerate the table (quick mode) so `cargo bench` output contains the
+    // reproduced rows.
+    let report = lb_bench::experiments::table1::run(true);
+    println!("{}", report.markdown);
+
+    let graph = GraphClass::Torus.build(64, 1).expect("torus builds");
+    let n = graph.node_count();
+    let speeds = Speeds::uniform(n);
+    let initial = standard_initial_load(n, 32, graph.max_degree() as u64);
+    let rounds = measure_balancing_time(&graph, &speeds, &initial, ContinuousModel::Fos, 20_000)
+        .expect("FOS constructs")
+        .rounds();
+
+    let mut group = c.benchmark_group("table1_cell_torus64");
+    group.sample_size(10);
+    for discretizer in [Discretizer::Alg1, Discretizer::Alg2, Discretizer::RoundDown] {
+        group.bench_function(discretizer.label(), |b| {
+            b.iter(|| {
+                run_once(&RunConfig {
+                    graph: graph.clone(),
+                    speeds: speeds.clone(),
+                    initial: initial.clone(),
+                    model: ContinuousModel::Fos,
+                    discretizer,
+                    rounds,
+                    seed: 1,
+                })
+                .expect("supported combination")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion bench for experiment E2 (Table 2): prints the quick-mode table
+//! once, then benchmarks one representative matching-model cell per
+//! algorithm.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lb_bench::harness::{
+    measure_balancing_time, run_once, standard_initial_load, ContinuousModel, Discretizer,
+    GraphClass, RunConfig,
+};
+use lb_core::Speeds;
+
+fn bench_table2(c: &mut Criterion) {
+    let report = lb_bench::experiments::table2::run(true);
+    println!("{}", report.markdown);
+
+    let graph = GraphClass::Hypercube.build(64, 1).expect("hypercube builds");
+    let n = graph.node_count();
+    let speeds = Speeds::uniform(n);
+    let initial = standard_initial_load(n, 32, graph.max_degree() as u64);
+    let model = ContinuousModel::PeriodicMatching;
+    let rounds = measure_balancing_time(&graph, &speeds, &initial, model, 50_000)
+        .expect("matching model constructs")
+        .rounds();
+
+    let mut group = c.benchmark_group("table2_cell_hypercube64_periodic");
+    group.sample_size(10);
+    for discretizer in Discretizer::TABLE2 {
+        group.bench_function(discretizer.label(), |b| {
+            b.iter(|| {
+                run_once(&RunConfig {
+                    graph: graph.clone(),
+                    speeds: speeds.clone(),
+                    initial: initial.clone(),
+                    model,
+                    discretizer,
+                    rounds,
+                    seed: 1,
+                })
+                .expect("supported combination")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion bench for experiment E4 (Theorem 8): prints the quick-mode
+//! scaling check, then benchmarks Algorithm 2 across degrees to expose the
+//! cost of the per-edge randomized rounding as the graph densifies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lb_bench::harness::{run_once, ContinuousModel, Discretizer, RunConfig};
+use lb_core::{InitialLoad, Speeds};
+use lb_graph::generators;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_theorem8(c: &mut Criterion) {
+    let report = lb_bench::experiments::theorem8::run(true);
+    println!("{}", report.markdown);
+
+    let mut group = c.benchmark_group("theorem8_alg2_by_degree");
+    group.sample_size(10);
+    for d in [4usize, 8, 16] {
+        let mut rng = StdRng::seed_from_u64(d as u64);
+        let graph = generators::random_regular(128, d, &mut rng).expect("regular graph builds");
+        let n = graph.node_count();
+        let speeds = Speeds::uniform(n);
+        let mut counts = vec![8u64 + d as u64; n];
+        counts[0] += 32 * n as u64;
+        let initial = InitialLoad::from_token_counts(counts);
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, _| {
+            b.iter(|| {
+                run_once(&RunConfig {
+                    graph: graph.clone(),
+                    speeds: speeds.clone(),
+                    initial: initial.clone(),
+                    model: ContinuousModel::Fos,
+                    discretizer: Discretizer::Alg2,
+                    rounds: 100,
+                    seed: 2,
+                })
+                .expect("supported combination")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_theorem8);
+criterion_main!(benches);

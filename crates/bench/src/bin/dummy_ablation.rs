@@ -1,0 +1,6 @@
+//! Experiment binary: regenerates the `dummy_ablation` artefact (see DESIGN.md).
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    lb_bench::experiments::dummy_ablation::run(quick).emit();
+}

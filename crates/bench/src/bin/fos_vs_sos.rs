@@ -1,0 +1,6 @@
+//! Experiment binary: regenerates the `fos_vs_sos` artefact (see DESIGN.md).
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    lb_bench::experiments::fos_vs_sos::run(quick).emit();
+}

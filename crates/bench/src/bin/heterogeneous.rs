@@ -1,0 +1,6 @@
+//! Experiment binary: regenerates the `heterogeneous` artefact (see DESIGN.md).
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    lb_bench::experiments::heterogeneous::run(quick).emit();
+}

@@ -1,0 +1,6 @@
+//! Experiment binary: regenerates the `table1` artefact (see DESIGN.md).
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    lb_bench::experiments::table1::run(quick).emit();
+}

@@ -1,0 +1,6 @@
+//! Experiment binary: regenerates the `table2` artefact (see DESIGN.md).
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    lb_bench::experiments::table2::run(quick).emit();
+}

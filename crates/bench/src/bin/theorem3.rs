@@ -1,0 +1,6 @@
+//! Experiment binary: regenerates the `theorem3` artefact (see DESIGN.md).
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    lb_bench::experiments::theorem3::run(quick).emit();
+}

@@ -1,0 +1,6 @@
+//! Experiment binary: regenerates the `theorem8` artefact (see DESIGN.md).
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    lb_bench::experiments::theorem8::run(quick).emit();
+}

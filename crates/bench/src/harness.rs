@@ -1,0 +1,556 @@
+//! Shared experiment machinery: graph classes, continuous models,
+//! discretizers, and a single entry point that builds and runs any
+//! combination of them.
+
+use lb_core::continuous::{DimensionExchange, Fos, RandomMatching, Sos};
+use lb_core::convergence::{continuous_balancing_time, BalancingTime};
+use lb_core::discrete::baselines::{
+    ExcessTokenDiffusion, MatchingSchedule, QuasirandomDiffusion, RandomizedRoundingDiffusion,
+    RandomizedRoundingMatching, RoundDownDiffusion, RoundDownMatching,
+};
+use lb_core::discrete::{DiscreteBalancer, FlowImitation, RandomizedImitation, TaskPicker};
+use lb_core::{CoreError, InitialLoad, Speeds};
+use lb_graph::{generators, AlphaScheme, Graph};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The graph classes of the paper's comparison tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum GraphClass {
+    /// "Arbitrary graphs": a connected Erdős–Rényi sample (non-regular, no
+    /// structure assumed).
+    Arbitrary,
+    /// Constant-degree expanders: random 4-regular graphs.
+    Expander,
+    /// Binary hypercubes (degree `log2 n`).
+    Hypercube,
+    /// 2-dimensional tori (degree 4).
+    Torus,
+    /// Low-expansion control family: a ring of cliques.
+    RingOfCliques,
+    /// Long cycles (the extreme low-expansion case).
+    Cycle,
+}
+
+impl GraphClass {
+    /// All classes appearing in Tables 1 and 2.
+    pub const TABLE_CLASSES: [GraphClass; 4] = [
+        GraphClass::Arbitrary,
+        GraphClass::Expander,
+        GraphClass::Hypercube,
+        GraphClass::Torus,
+    ];
+
+    /// A short label used as a table column header.
+    pub fn label(&self) -> &'static str {
+        match self {
+            GraphClass::Arbitrary => "arbitrary",
+            GraphClass::Expander => "expander(d=4)",
+            GraphClass::Hypercube => "hypercube",
+            GraphClass::Torus => "torus(2d)",
+            GraphClass::RingOfCliques => "ring_of_cliques",
+            GraphClass::Cycle => "cycle",
+        }
+    }
+
+    /// Builds a member of the class with roughly `target_n` nodes (rounded to
+    /// whatever the family supports: powers of two for hypercubes, perfect
+    /// squares for tori).
+    ///
+    /// # Errors
+    ///
+    /// Propagates generator errors (e.g. a target size too small for the
+    /// family).
+    pub fn build(&self, target_n: usize, seed: u64) -> Result<Graph, lb_graph::GraphError> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        match self {
+            GraphClass::Arbitrary => {
+                // Keep the expected degree moderate and independent of n so
+                // the d-dependent bounds stay comparable across sizes.
+                let p = (8.0 / target_n as f64).min(1.0);
+                generators::erdos_renyi_connected(target_n, p, &mut rng)
+            }
+            GraphClass::Expander => generators::random_regular(target_n, 4, &mut rng),
+            GraphClass::Hypercube => {
+                let dim = (target_n.max(2) as f64).log2().round().max(1.0) as u32;
+                generators::hypercube(dim)
+            }
+            GraphClass::Torus => {
+                let side = (target_n as f64).sqrt().round().max(2.0) as usize;
+                generators::torus(side, side)
+            }
+            GraphClass::RingOfCliques => {
+                let clique = 8usize;
+                let cliques = (target_n / clique).max(3);
+                generators::ring_of_cliques(cliques, clique)
+            }
+            GraphClass::Cycle => generators::cycle(target_n.max(3)),
+        }
+    }
+}
+
+/// The continuous process a discretizer imitates (or, for the self-contained
+/// baselines, the communication model it follows).
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum ContinuousModel {
+    /// First-order diffusion.
+    Fos,
+    /// Second-order diffusion with the optimal `β`.
+    Sos,
+    /// Dimension exchange over periodic matchings from a greedy edge
+    /// colouring.
+    PeriodicMatching,
+    /// The random-matching model with the given seed.
+    RandomMatching {
+        /// Seed for the per-round matchings.
+        seed: u64,
+    },
+}
+
+impl ContinuousModel {
+    /// A short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ContinuousModel::Fos => "fos",
+            ContinuousModel::Sos => "sos",
+            ContinuousModel::PeriodicMatching => "periodic_matching",
+            ContinuousModel::RandomMatching { .. } => "random_matching",
+        }
+    }
+
+    /// Returns `true` for the matching-based models.
+    pub fn is_matching_model(&self) -> bool {
+        matches!(
+            self,
+            ContinuousModel::PeriodicMatching | ContinuousModel::RandomMatching { .. }
+        )
+    }
+}
+
+/// Which discrete algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Discretizer {
+    /// Algorithm 1 — deterministic flow imitation (this paper).
+    Alg1,
+    /// Algorithm 2 — randomized flow imitation (this paper).
+    Alg2,
+    /// Round-down (Rabani et al. [37] / Muthukrishnan et al. [34]).
+    RoundDown,
+    /// Per-edge randomized rounding (Friedrich et al. [26] / [24]).
+    RandomizedRounding,
+    /// Deterministic accumulated-error rounding (Friedrich et al. [26]).
+    Quasirandom,
+    /// Excess-token randomized diffusion (Berenbrink et al. [9]).
+    ExcessToken,
+}
+
+impl Discretizer {
+    /// The algorithms compared in Table 1 (diffusion model).
+    pub const TABLE1: [Discretizer; 6] = [
+        Discretizer::RoundDown,
+        Discretizer::RandomizedRounding,
+        Discretizer::Quasirandom,
+        Discretizer::ExcessToken,
+        Discretizer::Alg1,
+        Discretizer::Alg2,
+    ];
+
+    /// The algorithms compared in Table 2 (matching models).
+    pub const TABLE2: [Discretizer; 4] = [
+        Discretizer::RoundDown,
+        Discretizer::RandomizedRounding,
+        Discretizer::Alg1,
+        Discretizer::Alg2,
+    ];
+
+    /// A short label used as a table row header.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Discretizer::Alg1 => "alg1 (this paper)",
+            Discretizer::Alg2 => "alg2 (this paper)",
+            Discretizer::RoundDown => "round-down [37]",
+            Discretizer::RandomizedRounding => "randomized rounding [26]/[24]",
+            Discretizer::Quasirandom => "quasirandom [26]",
+            Discretizer::ExcessToken => "excess token [9]",
+        }
+    }
+}
+
+/// One fully-specified experiment cell.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// The network.
+    pub graph: Graph,
+    /// Node speeds.
+    pub speeds: Speeds,
+    /// Initial task placement.
+    pub initial: InitialLoad,
+    /// Continuous model to imitate / communication pattern to follow.
+    pub model: ContinuousModel,
+    /// Discrete algorithm to run.
+    pub discretizer: Discretizer,
+    /// Number of rounds; use [`measure_balancing_time`] to pick the paper's
+    /// `T`.
+    pub rounds: usize,
+    /// Seed for any randomized component of the discretizer.
+    pub seed: u64,
+}
+
+/// The outcome of one run.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Name reported by the balancer.
+    pub name: String,
+    /// Final max-min makespan discrepancy.
+    pub max_min: f64,
+    /// Final max-avg makespan discrepancy.
+    pub max_avg: f64,
+    /// Dummy load created from the infinite source (flow-imitation
+    /// algorithms only).
+    pub dummy_created: u64,
+    /// Number of rounds executed.
+    pub rounds: usize,
+}
+
+fn build_fos(graph: &Graph, speeds: &Speeds) -> Result<Fos, CoreError> {
+    Fos::new(graph.clone(), speeds, AlphaScheme::MaxDegreePlusOne)
+}
+
+/// Builds the balancer described by `config`.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidParameter`] for unsupported combinations
+/// (e.g. the quasirandom or excess-token baselines in a matching model) and
+/// propagates construction errors from the processes themselves.
+pub fn build_balancer(config: &RunConfig) -> Result<Box<dyn DiscreteBalancer>, CoreError> {
+    let RunConfig {
+        graph,
+        speeds,
+        initial,
+        model,
+        discretizer,
+        seed,
+        ..
+    } = config;
+    let graph = graph.clone();
+    match (discretizer, model) {
+        // ---- The paper's transformations work with every model. ----
+        (Discretizer::Alg1, ContinuousModel::Fos) => Ok(Box::new(FlowImitation::new(
+            build_fos(&graph, speeds)?,
+            initial,
+            speeds.clone(),
+            TaskPicker::Fifo,
+        )?)),
+        (Discretizer::Alg1, ContinuousModel::Sos) => Ok(Box::new(FlowImitation::new(
+            Sos::with_optimal_beta(graph, speeds, AlphaScheme::MaxDegreePlusOne)?,
+            initial,
+            speeds.clone(),
+            TaskPicker::Fifo,
+        )?)),
+        (Discretizer::Alg1, ContinuousModel::PeriodicMatching) => Ok(Box::new(FlowImitation::new(
+            DimensionExchange::with_greedy_coloring(graph, speeds)?,
+            initial,
+            speeds.clone(),
+            TaskPicker::Fifo,
+        )?)),
+        (Discretizer::Alg1, ContinuousModel::RandomMatching { seed: mseed }) => {
+            Ok(Box::new(FlowImitation::new(
+                RandomMatching::new(graph, speeds, *mseed)?,
+                initial,
+                speeds.clone(),
+                TaskPicker::Fifo,
+            )?))
+        }
+        (Discretizer::Alg2, ContinuousModel::Fos) => Ok(Box::new(RandomizedImitation::new(
+            build_fos(&graph, speeds)?,
+            initial,
+            speeds.clone(),
+            *seed,
+        )?)),
+        (Discretizer::Alg2, ContinuousModel::Sos) => Ok(Box::new(RandomizedImitation::new(
+            Sos::with_optimal_beta(graph, speeds, AlphaScheme::MaxDegreePlusOne)?,
+            initial,
+            speeds.clone(),
+            *seed,
+        )?)),
+        (Discretizer::Alg2, ContinuousModel::PeriodicMatching) => {
+            Ok(Box::new(RandomizedImitation::new(
+                DimensionExchange::with_greedy_coloring(graph, speeds)?,
+                initial,
+                speeds.clone(),
+                *seed,
+            )?))
+        }
+        (Discretizer::Alg2, ContinuousModel::RandomMatching { seed: mseed }) => {
+            Ok(Box::new(RandomizedImitation::new(
+                RandomMatching::new(graph, speeds, *mseed)?,
+                initial,
+                speeds.clone(),
+                *seed,
+            )?))
+        }
+
+        // ---- Diffusion baselines. ----
+        (Discretizer::RoundDown, ContinuousModel::Fos | ContinuousModel::Sos) => Ok(Box::new(
+            RoundDownDiffusion::new(graph, speeds.clone(), initial)?,
+        )),
+        (Discretizer::RandomizedRounding, ContinuousModel::Fos | ContinuousModel::Sos) => Ok(
+            Box::new(RandomizedRoundingDiffusion::new(graph, speeds.clone(), initial, *seed)?),
+        ),
+        (Discretizer::Quasirandom, ContinuousModel::Fos | ContinuousModel::Sos) => Ok(Box::new(
+            QuasirandomDiffusion::new(graph, speeds.clone(), initial)?,
+        )),
+        (Discretizer::ExcessToken, ContinuousModel::Fos | ContinuousModel::Sos) => Ok(Box::new(
+            ExcessTokenDiffusion::new(graph, speeds.clone(), initial, *seed)?,
+        )),
+
+        // ---- Matching-model baselines. ----
+        (Discretizer::RoundDown, ContinuousModel::PeriodicMatching) => {
+            let schedule = MatchingSchedule::periodic_greedy(&graph);
+            Ok(Box::new(RoundDownMatching::new(
+                graph,
+                speeds.clone(),
+                initial,
+                schedule,
+            )?))
+        }
+        (Discretizer::RoundDown, ContinuousModel::RandomMatching { seed: mseed }) => {
+            Ok(Box::new(RoundDownMatching::new(
+                graph,
+                speeds.clone(),
+                initial,
+                MatchingSchedule::Random { seed: *mseed },
+            )?))
+        }
+        (Discretizer::RandomizedRounding, ContinuousModel::PeriodicMatching) => {
+            let schedule = MatchingSchedule::periodic_greedy(&graph);
+            Ok(Box::new(RandomizedRoundingMatching::new(
+                graph,
+                speeds.clone(),
+                initial,
+                schedule,
+                *seed,
+            )?))
+        }
+        (Discretizer::RandomizedRounding, ContinuousModel::RandomMatching { seed: mseed }) => {
+            Ok(Box::new(RandomizedRoundingMatching::new(
+                graph,
+                speeds.clone(),
+                initial,
+                MatchingSchedule::Random { seed: *mseed },
+                *seed,
+            )?))
+        }
+        (Discretizer::Quasirandom | Discretizer::ExcessToken, m) if m.is_matching_model() => {
+            Err(CoreError::invalid_parameter(format!(
+                "{:?} is only defined for the diffusion model",
+                discretizer
+            )))
+        }
+        _ => Err(CoreError::invalid_parameter(format!(
+            "unsupported combination: {discretizer:?} with {model:?}"
+        ))),
+    }
+}
+
+/// Measures the continuous balancing time `T` for `model` on the given graph
+/// and initial load (tolerance 1, as in the paper), capping at `max_rounds`.
+///
+/// # Errors
+///
+/// Propagates construction errors from the continuous process.
+pub fn measure_balancing_time(
+    graph: &Graph,
+    speeds: &Speeds,
+    initial: &InitialLoad,
+    model: ContinuousModel,
+    max_rounds: usize,
+) -> Result<BalancingTime, CoreError> {
+    let x0 = initial.load_vector_f64();
+    Ok(match model {
+        ContinuousModel::Fos => {
+            continuous_balancing_time(build_fos(graph, speeds)?, x0, 1.0, max_rounds)
+        }
+        ContinuousModel::Sos => continuous_balancing_time(
+            Sos::with_optimal_beta(graph.clone(), speeds, AlphaScheme::MaxDegreePlusOne)?,
+            x0,
+            1.0,
+            max_rounds,
+        ),
+        ContinuousModel::PeriodicMatching => continuous_balancing_time(
+            DimensionExchange::with_greedy_coloring(graph.clone(), speeds)?,
+            x0,
+            1.0,
+            max_rounds,
+        ),
+        ContinuousModel::RandomMatching { seed } => continuous_balancing_time(
+            RandomMatching::new(graph.clone(), speeds, seed)?,
+            x0,
+            1.0,
+            max_rounds,
+        ),
+    })
+}
+
+/// Builds the balancer for `config`, runs it for `config.rounds` rounds, and
+/// reports the final discrepancies.
+///
+/// # Errors
+///
+/// Propagates errors from [`build_balancer`].
+pub fn run_once(config: &RunConfig) -> Result<RunOutcome, CoreError> {
+    let mut balancer = build_balancer(config)?;
+    balancer.run(config.rounds);
+    let metrics = balancer.metrics();
+    Ok(RunOutcome {
+        name: balancer.name().to_string(),
+        max_min: metrics.max_min,
+        max_avg: metrics.max_avg,
+        dummy_created: balancer.dummy_load(),
+        rounds: config.rounds,
+    })
+}
+
+/// Builds the standard experiment workload: `load_per_node` tokens per node
+/// on average, all placed on node 0, plus `pad` tokens on every node (the
+/// sufficient-initial-load padding; use `d·w_max` to engage the max-min
+/// guarantee of Theorem 3(2)).
+pub fn standard_initial_load(n: usize, load_per_node: u64, pad: u64) -> InitialLoad {
+    let mut counts = vec![pad; n];
+    counts[0] += load_per_node * n as u64;
+    InitialLoad::from_token_counts(counts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config(model: ContinuousModel, discretizer: Discretizer) -> RunConfig {
+        let graph = GraphClass::Torus.build(16, 1).unwrap();
+        let n = graph.node_count();
+        let speeds = Speeds::uniform(n);
+        let initial = standard_initial_load(n, 10, 8);
+        RunConfig {
+            graph,
+            speeds,
+            initial,
+            model,
+            discretizer,
+            rounds: 200,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn graph_classes_build_connected_graphs() {
+        for class in GraphClass::TABLE_CLASSES {
+            let g = class.build(64, 3).unwrap();
+            assert!(g.is_connected(), "{} must be connected", class.label());
+            assert!(g.node_count() >= 32, "{}", class.label());
+        }
+        assert!(GraphClass::RingOfCliques.build(64, 3).unwrap().is_connected());
+        assert!(GraphClass::Cycle.build(64, 3).unwrap().is_connected());
+    }
+
+    #[test]
+    fn hypercube_class_rounds_to_power_of_two() {
+        let g = GraphClass::Hypercube.build(1000, 0).unwrap();
+        assert_eq!(g.node_count(), 1024);
+    }
+
+    #[test]
+    fn all_table1_combinations_run() {
+        for discretizer in Discretizer::TABLE1 {
+            let outcome = run_once(&quick_config(ContinuousModel::Fos, discretizer)).unwrap();
+            assert!(outcome.max_min >= 0.0, "{}", outcome.name);
+            assert!(
+                outcome.max_min < 64.0,
+                "{} ended with implausible discrepancy {}",
+                outcome.name,
+                outcome.max_min
+            );
+        }
+    }
+
+    #[test]
+    fn all_table2_combinations_run() {
+        for model in [
+            ContinuousModel::PeriodicMatching,
+            ContinuousModel::RandomMatching { seed: 5 },
+        ] {
+            for discretizer in Discretizer::TABLE2 {
+                let outcome = run_once(&quick_config(model, discretizer)).unwrap();
+                assert!(outcome.max_min >= 0.0, "{}", outcome.name);
+            }
+        }
+    }
+
+    #[test]
+    fn unsupported_combinations_are_rejected() {
+        let config = quick_config(ContinuousModel::PeriodicMatching, Discretizer::Quasirandom);
+        assert!(build_balancer(&config).is_err());
+        let config = quick_config(
+            ContinuousModel::RandomMatching { seed: 1 },
+            Discretizer::ExcessToken,
+        );
+        assert!(build_balancer(&config).is_err());
+    }
+
+    #[test]
+    fn balancing_time_is_finite_for_all_models() {
+        let graph = GraphClass::Hypercube.build(16, 0).unwrap();
+        let n = graph.node_count();
+        let speeds = Speeds::uniform(n);
+        let initial = standard_initial_load(n, 10, 0);
+        for model in [
+            ContinuousModel::Fos,
+            ContinuousModel::Sos,
+            ContinuousModel::PeriodicMatching,
+            ContinuousModel::RandomMatching { seed: 2 },
+        ] {
+            let t = measure_balancing_time(&graph, &speeds, &initial, model, 50_000).unwrap();
+            assert!(t.reached(), "{} did not balance", model.label());
+            assert!(t.rounds() > 0);
+        }
+    }
+
+    #[test]
+    fn alg1_certified_bound_on_large_cycle() {
+        // On low-expansion graphs Algorithm 1's bound 2·d + 2 is certified at
+        // the continuous balancing time, regardless of the graph size. (The
+        // round-down baseline has no comparable guarantee — its worst-case
+        // bound grows with d·diam — although on benign single-source inputs
+        // it can also end with a small residual; the Table 1 experiment
+        // reports both.)
+        let graph = GraphClass::Cycle.build(64, 0).unwrap();
+        let n = graph.node_count();
+        let speeds = Speeds::uniform(n);
+        let initial = standard_initial_load(n, 20, 2);
+        let t = measure_balancing_time(&graph, &speeds, &initial, ContinuousModel::Fos, 200_000)
+            .unwrap()
+            .rounds();
+        let mk = |discretizer| RunConfig {
+            graph: graph.clone(),
+            speeds: speeds.clone(),
+            initial: initial.clone(),
+            model: ContinuousModel::Fos,
+            discretizer,
+            rounds: t,
+            seed: 7,
+        };
+        let alg1 = run_once(&mk(Discretizer::Alg1)).unwrap();
+        let round_down = run_once(&mk(Discretizer::RoundDown)).unwrap();
+        assert!(
+            alg1.max_min <= 2.0 * 2.0 + 2.0 + 1e-9,
+            "alg1 discrepancy {}",
+            alg1.max_min
+        );
+        assert_eq!(alg1.dummy_created, 0);
+        // Round-down stalls with some nonzero residual discrepancy.
+        assert!(round_down.max_min >= 1.0);
+    }
+}

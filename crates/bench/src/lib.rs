@@ -1,0 +1,22 @@
+//! # lb-bench
+//!
+//! Experiment harness reproducing the evaluation artefacts of *"A Simple
+//! Approach for Adapting Continuous Load Balancing Processes to Discrete
+//! Settings"* (PODC 2012): the comparison Tables 1 and 2, the quantitative
+//! bounds of Theorems 3 and 8, and several supporting ablations.
+//!
+//! * [`harness`] — graph classes, continuous models, discretizers and a
+//!   uniform way to build and run any combination of them.
+//! * [`experiments`] — one module per reproduced artefact (see the
+//!   per-experiment index in DESIGN.md); each has a `run(quick)` entry point.
+//!
+//! Experiment binaries (`cargo run -p lb-bench --release --bin <name>`):
+//! `table1`, `table2`, `theorem3`, `theorem8`, `trajectory`, `heterogeneous`,
+//! `dummy_ablation`, `fos_vs_sos`. Criterion benches with the same names
+//! exercise reduced configurations under `cargo bench`.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod experiments;
+pub mod harness;

@@ -1,0 +1,273 @@
+//! Continuous (idealised, divisible-load) balancing processes.
+//!
+//! A continuous process `A` prescribes, for every round `t` and every edge,
+//! how much (divisible) load flows in each direction given the current load
+//! vector. The discrete transformations of the paper (`Algorithm 1` and
+//! `Algorithm 2`, in [`crate::discrete`]) simulate `A` as a *twin* alongside
+//! the discrete execution and imitate its cumulative per-edge flow.
+//!
+//! Implemented processes (all additive and terminating, Lemma 1):
+//!
+//! * [`Fos`] — first-order diffusion,
+//! * [`Sos`] — second-order diffusion,
+//! * [`DimensionExchange`] — periodic-matching dimension exchange,
+//! * [`RandomMatching`] — random-matching model.
+
+mod fos;
+mod matching_process;
+mod sos;
+
+pub use fos::Fos;
+pub use matching_process::{DimensionExchange, RandomMatching};
+pub use sos::Sos;
+
+use lb_graph::Graph;
+use serde::{Deserialize, Serialize};
+
+/// Gross flows over one undirected edge `(u, v)` (canonical orientation,
+/// `u < v`) in a single round.
+///
+/// `forward` is the load sent from `u` to `v`; `backward` the load sent from
+/// `v` to `u`. The net transfer along the canonical orientation is
+/// [`EdgeFlow::net`].
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct EdgeFlow {
+    /// Load sent from the smaller-indexed endpoint to the larger one.
+    pub forward: f64,
+    /// Load sent from the larger-indexed endpoint to the smaller one.
+    pub backward: f64,
+}
+
+impl EdgeFlow {
+    /// Creates an edge flow from its two directed components.
+    pub fn new(forward: f64, backward: f64) -> Self {
+        EdgeFlow { forward, backward }
+    }
+
+    /// Net flow along the canonical orientation (`forward − backward`).
+    pub fn net(&self) -> f64 {
+        self.forward - self.backward
+    }
+}
+
+/// A continuous neighbourhood load-balancing process.
+///
+/// Implementations are driven by [`ContinuousRunner`], which owns the load
+/// vector, applies the flows returned by [`compute_flows`] and keeps the
+/// cumulative per-edge flow `f^A_e(t)` that the discretizers imitate.
+///
+/// [`compute_flows`]: ContinuousProcess::compute_flows
+pub trait ContinuousProcess {
+    /// Short human-readable name, e.g. `"fos"` or `"sos(beta=1.8)"`.
+    fn name(&self) -> &str;
+
+    /// The graph the process operates on.
+    fn graph(&self) -> &Graph;
+
+    /// Node speeds as `f64` (length = node count).
+    fn speeds(&self) -> &[f64];
+
+    /// Computes the gross flows of round `t` for the load vector `x` (the
+    /// load at the *beginning* of round `t`). The returned vector is indexed
+    /// by canonical [`EdgeId`](lb_graph::EdgeId).
+    fn compute_flows(&mut self, t: usize, x: &[f64]) -> Vec<EdgeFlow>;
+}
+
+/// Drives a [`ContinuousProcess`], maintaining its load vector and the
+/// cumulative net per-edge flows `f^A_e(t)`.
+///
+/// # Examples
+///
+/// ```
+/// use lb_core::continuous::{ContinuousRunner, Fos};
+/// use lb_core::Speeds;
+/// use lb_graph::{generators, AlphaScheme};
+///
+/// let g = generators::cycle(4)?;
+/// let speeds = Speeds::uniform(4);
+/// let fos = Fos::new(g, &speeds, AlphaScheme::MaxDegreePlusOne)?;
+/// let mut runner = ContinuousRunner::new(fos, vec![8.0, 0.0, 0.0, 0.0]);
+/// runner.run(100);
+/// // After enough rounds the load is nearly balanced.
+/// for &x in runner.loads() {
+///     assert!((x - 2.0).abs() < 0.01);
+/// }
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ContinuousRunner<A: ContinuousProcess> {
+    process: A,
+    loads: Vec<f64>,
+    cumulative_flow: Vec<f64>,
+    round: usize,
+    min_load_seen: f64,
+}
+
+impl<A: ContinuousProcess> ContinuousRunner<A> {
+    /// Creates a runner for `process` starting from the load vector
+    /// `initial`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial.len()` differs from the process's node count.
+    pub fn new(process: A, initial: Vec<f64>) -> Self {
+        assert_eq!(
+            initial.len(),
+            process.graph().node_count(),
+            "initial load vector length must equal node count"
+        );
+        let m = process.graph().edge_count();
+        let min_load_seen = initial.iter().copied().fold(f64::INFINITY, f64::min);
+        ContinuousRunner {
+            process,
+            loads: initial,
+            cumulative_flow: vec![0.0; m],
+            round: 0,
+            min_load_seen,
+        }
+    }
+
+    /// The underlying process.
+    pub fn process(&self) -> &A {
+        &self.process
+    }
+
+    /// The current round index (number of completed rounds).
+    pub fn round(&self) -> usize {
+        self.round
+    }
+
+    /// The current load vector `x^A(t)`.
+    pub fn loads(&self) -> &[f64] {
+        &self.loads
+    }
+
+    /// Cumulative net flow `f^A_e(t)` along each canonical edge orientation,
+    /// at the end of the last completed round.
+    pub fn cumulative_flows(&self) -> &[f64] {
+        &self.cumulative_flow
+    }
+
+    /// The smallest node load observed at any round boundary so far;
+    /// negative values indicate the process induced negative load
+    /// (Definition 1 violated), which only SOS can do.
+    pub fn min_load_seen(&self) -> f64 {
+        self.min_load_seen
+    }
+
+    /// Returns `true` if no node load has dipped below `-tolerance` so far.
+    pub fn no_negative_load(&self, tolerance: f64) -> bool {
+        self.min_load_seen >= -tolerance
+    }
+
+    /// Executes one round: computes the flows for the current round, applies
+    /// them to the load vector, and accumulates the per-edge totals. Returns
+    /// the flows of the executed round.
+    pub fn step(&mut self) -> Vec<EdgeFlow> {
+        let flows = self.process.compute_flows(self.round, &self.loads);
+        let graph = self.process.graph();
+        debug_assert_eq!(flows.len(), graph.edge_count());
+        for (e, &(u, v)) in graph.edges().iter().enumerate() {
+            let net = flows[e].net();
+            self.loads[u] -= net;
+            self.loads[v] += net;
+            self.cumulative_flow[e] += net;
+        }
+        self.round += 1;
+        let round_min = self.loads.iter().copied().fold(f64::INFINITY, f64::min);
+        self.min_load_seen = self.min_load_seen.min(round_min);
+        flows
+    }
+
+    /// Executes `rounds` rounds.
+    pub fn run(&mut self, rounds: usize) {
+        for _ in 0..rounds {
+            self.step();
+        }
+    }
+
+    /// Runs until every node load is within `tolerance` of its balanced
+    /// value `W·s_i/S` (the paper's balancing-time condition with
+    /// `tolerance = 1`), or until `max_rounds` have elapsed. Returns the
+    /// number of rounds executed by this call.
+    pub fn run_until_balanced(&mut self, tolerance: f64, max_rounds: usize) -> usize {
+        let speeds = self.process.speeds().to_vec();
+        let total_speed: f64 = speeds.iter().sum();
+        let total_load: f64 = self.loads.iter().sum();
+        let executed_start = self.round;
+        for _ in 0..max_rounds {
+            let balanced = self.loads.iter().zip(&speeds).all(|(&x, &s)| {
+                (x - total_load * s / total_speed).abs() <= tolerance
+            });
+            if balanced {
+                break;
+            }
+            self.step();
+        }
+        self.round - executed_start
+    }
+
+    /// Returns `true` if every node load is within `tolerance` of its
+    /// balanced value.
+    pub fn is_balanced(&self, tolerance: f64) -> bool {
+        let speeds = self.process.speeds();
+        let total_speed: f64 = speeds.iter().sum();
+        let total_load: f64 = self.loads.iter().sum();
+        self.loads
+            .iter()
+            .zip(speeds)
+            .all(|(&x, &s)| (x - total_load * s / total_speed).abs() <= tolerance)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::Speeds;
+    use lb_graph::{generators, AlphaScheme};
+
+    #[test]
+    fn runner_conserves_load_and_tracks_flow() {
+        let g = generators::cycle(4).unwrap();
+        let speeds = Speeds::uniform(4);
+        let fos = Fos::new(g, &speeds, AlphaScheme::MaxDegreePlusOne).unwrap();
+        let mut runner = ContinuousRunner::new(fos, vec![4.0, 0.0, 0.0, 0.0]);
+        let total: f64 = runner.loads().iter().sum();
+        runner.run(25);
+        assert!((runner.loads().iter().sum::<f64>() - total).abs() < 1e-9);
+        assert_eq!(runner.round(), 25);
+        // Node 0 must have exported load, so the flows on its two incident
+        // edges are non-zero.
+        let g = runner.process().graph();
+        let e01 = g.edge_between(0, 1).unwrap();
+        assert!(runner.cumulative_flows()[e01].abs() > 0.0);
+        assert!(runner.no_negative_load(1e-9));
+    }
+
+    #[test]
+    fn run_until_balanced_stops_early_on_balanced_input() {
+        let g = generators::cycle(4).unwrap();
+        let speeds = Speeds::uniform(4);
+        let fos = Fos::new(g, &speeds, AlphaScheme::MaxDegreePlusOne).unwrap();
+        let mut runner = ContinuousRunner::new(fos, vec![3.0; 4]);
+        let executed = runner.run_until_balanced(1.0, 100);
+        assert_eq!(executed, 0);
+        assert!(runner.is_balanced(1e-12));
+    }
+
+    #[test]
+    fn edge_flow_net() {
+        let f = EdgeFlow::new(2.5, 1.0);
+        assert!((f.net() - 1.5).abs() < 1e-12);
+        assert_eq!(EdgeFlow::default().net(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "node count")]
+    fn mismatched_initial_vector_panics() {
+        let g = generators::cycle(4).unwrap();
+        let speeds = Speeds::uniform(4);
+        let fos = Fos::new(g, &speeds, AlphaScheme::MaxDegreePlusOne).unwrap();
+        let _ = ContinuousRunner::new(fos, vec![1.0; 3]);
+    }
+}

@@ -1,0 +1,135 @@
+//! Balancing-time helpers.
+//!
+//! The paper's guarantees hold at the *continuous balancing time*
+//! `T^A = min{t : ∀i, |x_i(t) − W·s_i/S| ≤ 1}`. Experiments need `T` both to
+//! know how long to run the discrete processes and to report it alongside
+//! discrepancies.
+
+use crate::continuous::{ContinuousProcess, ContinuousRunner};
+
+/// Result of measuring the balancing time of a continuous process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BalancingTime {
+    /// The process reached the balanced state after this many rounds.
+    Reached(usize),
+    /// The process had not balanced after the given round budget.
+    NotReached {
+        /// The number of rounds that were executed.
+        budget: usize,
+    },
+}
+
+impl BalancingTime {
+    /// The number of rounds to run a discrete experiment for: the balancing
+    /// time if it was reached, otherwise the exhausted budget.
+    pub fn rounds(&self) -> usize {
+        match *self {
+            BalancingTime::Reached(t) => t,
+            BalancingTime::NotReached { budget } => budget,
+        }
+    }
+
+    /// Returns `true` if the balanced state was reached within the budget.
+    pub fn reached(&self) -> bool {
+        matches!(self, BalancingTime::Reached(_))
+    }
+}
+
+/// Measures the balancing time `T^A` of `process` started from `initial`,
+/// i.e. the first round at which every node load is within `tolerance`
+/// (paper: 1.0) of its balanced value, giving up after `max_rounds`.
+///
+/// # Examples
+///
+/// ```
+/// use lb_core::continuous::Fos;
+/// use lb_core::convergence::{continuous_balancing_time, BalancingTime};
+/// use lb_core::Speeds;
+/// use lb_graph::{generators, AlphaScheme};
+///
+/// let g = generators::hypercube(4)?;
+/// let speeds = Speeds::uniform(16);
+/// let fos = Fos::new(g, &speeds, AlphaScheme::MaxDegreePlusOne)?;
+/// let mut initial = vec![0.0; 16];
+/// initial[0] = 160.0;
+/// let t = continuous_balancing_time(fos, initial, 1.0, 10_000);
+/// assert!(t.reached());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn continuous_balancing_time<A: ContinuousProcess>(
+    process: A,
+    initial: Vec<f64>,
+    tolerance: f64,
+    max_rounds: usize,
+) -> BalancingTime {
+    let mut runner = ContinuousRunner::new(process, initial);
+    for t in 0..=max_rounds {
+        if runner.is_balanced(tolerance) {
+            return BalancingTime::Reached(t);
+        }
+        if t < max_rounds {
+            runner.step();
+        }
+    }
+    BalancingTime::NotReached { budget: max_rounds }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::continuous::Fos;
+    use crate::task::Speeds;
+    use lb_graph::{generators, AlphaScheme};
+
+    #[test]
+    fn balanced_input_has_zero_balancing_time() {
+        let g = generators::cycle(4).unwrap();
+        let speeds = Speeds::uniform(4);
+        let fos = Fos::new(g, &speeds, AlphaScheme::MaxDegreePlusOne).unwrap();
+        let t = continuous_balancing_time(fos, vec![5.0; 4], 1.0, 100);
+        assert_eq!(t, BalancingTime::Reached(0));
+        assert_eq!(t.rounds(), 0);
+    }
+
+    #[test]
+    fn budget_exhaustion_is_reported() {
+        // The cycle balances slowly; 3 rounds is nowhere near enough.
+        let n = 32;
+        let g = generators::cycle(n).unwrap();
+        let speeds = Speeds::uniform(n);
+        let fos = Fos::new(g, &speeds, AlphaScheme::MaxDegreePlusOne).unwrap();
+        let mut initial = vec![0.0; n];
+        initial[0] = (n * n) as f64;
+        let t = continuous_balancing_time(fos, initial, 1.0, 3);
+        assert!(!t.reached());
+        assert_eq!(t.rounds(), 3);
+    }
+
+    #[test]
+    fn hypercube_balances_within_reasonable_time() {
+        let g = generators::hypercube(5).unwrap();
+        let n = g.node_count();
+        let speeds = Speeds::uniform(n);
+        let fos = Fos::new(g, &speeds, AlphaScheme::MaxDegreePlusOne).unwrap();
+        let mut initial = vec![0.0; n];
+        initial[0] = (n * 10) as f64;
+        let t = continuous_balancing_time(fos, initial, 1.0, 10_000);
+        assert!(t.reached());
+        assert!(t.rounds() > 0 && t.rounds() < 1_000);
+    }
+
+    #[test]
+    fn tighter_tolerance_takes_longer() {
+        let g = generators::torus(4, 4).unwrap();
+        let n = g.node_count();
+        let speeds = Speeds::uniform(n);
+        let mk = || Fos::new(generators::torus(4, 4).unwrap(), &speeds, AlphaScheme::MaxDegreePlusOne).unwrap();
+        let mut initial = vec![0.0; n];
+        initial[0] = 1_000.0;
+        let loose = continuous_balancing_time(mk(), initial.clone(), 2.0, 100_000);
+        let tight = continuous_balancing_time(mk(), initial, 0.1, 100_000);
+        assert!(loose.reached() && tight.reached());
+        assert!(tight.rounds() >= loose.rounds());
+        let _ = g;
+    }
+}

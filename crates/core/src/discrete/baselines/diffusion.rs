@@ -1,0 +1,496 @@
+//! Diffusion-model baselines operating directly on integer token counts.
+//!
+//! Unlike the flow-imitation transformations, these processes compute the
+//! continuous FOS amount from their *own current discrete load* each round
+//! and round it per edge; they do not track a continuous twin. Randomized and
+//! quasirandom rounding may transiently drive a node's load negative (the
+//! original papers accept this); loads are therefore signed integers.
+
+use crate::discrete::DiscreteBalancer;
+use crate::error::CoreError;
+use crate::load::InitialLoad;
+use crate::task::Speeds;
+use lb_graph::{AlphaScheme, DiffusionMatrix, Graph};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Shared state of all diffusion baselines.
+#[derive(Debug, Clone)]
+struct DiffusionState {
+    graph: Graph,
+    speeds: Speeds,
+    speeds_f64: Vec<f64>,
+    matrix: DiffusionMatrix,
+    loads: Vec<i64>,
+    round: usize,
+    min_load_seen: i64,
+}
+
+impl DiffusionState {
+    fn new(graph: Graph, speeds: Speeds, initial: &InitialLoad) -> Result<Self, CoreError> {
+        if !initial.is_unit_weight() {
+            return Err(CoreError::invalid_parameter(
+                "diffusion baselines are defined for unit-weight tokens",
+            ));
+        }
+        if initial.node_count() != graph.node_count() || speeds.len() != graph.node_count() {
+            return Err(CoreError::invalid_parameter(
+                "initial load, speeds and graph must have the same number of nodes",
+            ));
+        }
+        let speeds_f64 = speeds.to_f64();
+        let matrix = DiffusionMatrix::new(&graph, &speeds_f64, AlphaScheme::MaxDegreePlusOne)?;
+        let loads: Vec<i64> = initial.load_vector().iter().map(|&x| x as i64).collect();
+        let min_load_seen = loads.iter().copied().min().unwrap_or(0);
+        Ok(DiffusionState {
+            graph,
+            speeds,
+            speeds_f64,
+            matrix,
+            loads,
+            round: 0,
+            min_load_seen,
+        })
+    }
+
+    /// The continuous FOS amount node `i` would send to its neighbour over
+    /// edge `e` this round (0 when the node's load is non-positive).
+    fn continuous_send(&self, i: usize, e: usize) -> f64 {
+        let x = self.loads[i] as f64;
+        if x <= 0.0 {
+            return 0.0;
+        }
+        self.matrix.alpha(e) * x / self.speeds_f64[i]
+    }
+
+    fn apply_transfers(&mut self, transfers: &[(usize, usize, i64)]) {
+        for &(from, to, amount) in transfers {
+            self.loads[from] -= amount;
+            self.loads[to] += amount;
+        }
+        self.round += 1;
+        let round_min = self.loads.iter().copied().min().unwrap_or(0);
+        self.min_load_seen = self.min_load_seen.min(round_min);
+    }
+
+    fn loads_f64(&self) -> Vec<f64> {
+        self.loads.iter().map(|&x| x as f64).collect()
+    }
+}
+
+macro_rules! impl_balancer_common {
+    ($ty:ty) => {
+        impl DiscreteBalancer for $ty {
+            fn name(&self) -> &str {
+                &self.name
+            }
+            fn graph(&self) -> &Graph {
+                &self.state.graph
+            }
+            fn speeds(&self) -> &Speeds {
+                &self.state.speeds
+            }
+            fn round(&self) -> usize {
+                self.state.round
+            }
+            fn loads(&self) -> Vec<f64> {
+                self.state.loads_f64()
+            }
+            fn step(&mut self) {
+                self.step_impl();
+            }
+        }
+
+        impl $ty {
+            /// The smallest node load observed so far; negative values mean
+            /// the rounding scheme transiently overdrew a node.
+            pub fn min_load_seen(&self) -> i64 {
+                self.state.min_load_seen
+            }
+        }
+    };
+}
+
+/// Round-down discrete diffusion (Rabani et al. \[37\], Muthukrishnan et al.
+/// \[34\]): each node computes the continuous FOS amount for every incident
+/// edge from its current load and sends `⌊y⌋` tokens.
+///
+/// Never induces negative load; its final max-min discrepancy grows with
+/// `d·log n / (1 − λ)` (Table 1), i.e. with the graph size for tori and
+/// hypercubes — this is exactly the gap the paper's Algorithm 1 closes.
+#[derive(Debug, Clone)]
+pub struct RoundDownDiffusion {
+    state: DiffusionState,
+    name: String,
+}
+
+impl RoundDownDiffusion {
+    /// Creates the process.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] for weighted tasks or
+    /// mismatched dimensions.
+    pub fn new(graph: Graph, speeds: Speeds, initial: &InitialLoad) -> Result<Self, CoreError> {
+        Ok(RoundDownDiffusion {
+            state: DiffusionState::new(graph, speeds, initial)?,
+            name: "round_down_diffusion".to_string(),
+        })
+    }
+
+    fn step_impl(&mut self) {
+        let mut transfers = Vec::new();
+        for i in self.state.graph.nodes() {
+            for (j, e) in self.state.graph.neighbors_with_edges(i) {
+                let send = self.state.continuous_send(i, e).floor() as i64;
+                if send > 0 {
+                    transfers.push((i, j, send));
+                }
+            }
+        }
+        self.state.apply_transfers(&transfers);
+    }
+}
+
+impl_balancer_common!(RoundDownDiffusion);
+
+/// Randomized-rounding discrete diffusion (Friedrich et al. \[26\]): the
+/// continuous amount `y` is sent as `⌊y⌋ + Bernoulli(frac(y))` tokens,
+/// independently per directed edge.
+#[derive(Debug, Clone)]
+pub struct RandomizedRoundingDiffusion {
+    state: DiffusionState,
+    rng: StdRng,
+    name: String,
+}
+
+impl RandomizedRoundingDiffusion {
+    /// Creates the process with an explicit RNG seed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] for weighted tasks or
+    /// mismatched dimensions.
+    pub fn new(
+        graph: Graph,
+        speeds: Speeds,
+        initial: &InitialLoad,
+        seed: u64,
+    ) -> Result<Self, CoreError> {
+        Ok(RandomizedRoundingDiffusion {
+            state: DiffusionState::new(graph, speeds, initial)?,
+            rng: StdRng::seed_from_u64(seed),
+            name: "randomized_rounding_diffusion".to_string(),
+        })
+    }
+
+    fn step_impl(&mut self) {
+        let mut transfers = Vec::new();
+        for i in self.state.graph.nodes() {
+            for (j, e) in self.state.graph.neighbors_with_edges(i) {
+                let y = self.state.continuous_send(i, e);
+                let floor = y.floor();
+                let frac = y - floor;
+                let up = frac > 0.0 && self.rng.gen_bool(frac.min(1.0));
+                let send = floor as i64 + i64::from(up);
+                if send > 0 {
+                    transfers.push((i, j, send));
+                }
+            }
+        }
+        self.state.apply_transfers(&transfers);
+    }
+}
+
+impl_balancer_common!(RandomizedRoundingDiffusion);
+
+/// Deterministic ("quasirandom") rounding diffusion (Friedrich et al. \[26\]):
+/// per directed edge the accumulated rounding error decides whether to round
+/// the continuous amount up or down, keeping every accumulated error bounded
+/// by a constant.
+#[derive(Debug, Clone)]
+pub struct QuasirandomDiffusion {
+    state: DiffusionState,
+    /// Accumulated rounding error per directed edge, indexed `2·e + dir`
+    /// where `dir = 0` for the canonical orientation and 1 for the reverse.
+    accumulated: Vec<f64>,
+    name: String,
+}
+
+impl QuasirandomDiffusion {
+    /// Creates the process.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] for weighted tasks or
+    /// mismatched dimensions.
+    pub fn new(graph: Graph, speeds: Speeds, initial: &InitialLoad) -> Result<Self, CoreError> {
+        let accumulated = vec![0.0; graph.edge_count() * 2];
+        Ok(QuasirandomDiffusion {
+            state: DiffusionState::new(graph, speeds, initial)?,
+            accumulated,
+            name: "quasirandom_diffusion".to_string(),
+        })
+    }
+
+    /// The largest accumulated rounding error over all directed edges — the
+    /// "bounded-error property" quantity of \[26\].
+    pub fn max_accumulated_error(&self) -> f64 {
+        self.accumulated.iter().map(|e| e.abs()).fold(0.0, f64::max)
+    }
+
+    fn step_impl(&mut self) {
+        let mut transfers = Vec::new();
+        for i in self.state.graph.nodes() {
+            for (j, e) in self.state.graph.neighbors_with_edges(i) {
+                let y = self.state.continuous_send(i, e);
+                let (u, _) = self.state.graph.edge_endpoints(e);
+                let dir = usize::from(i != u);
+                let slot = 2 * e + dir;
+                let acc = self.accumulated[slot];
+                let down = y.floor();
+                let up = y.ceil();
+                // Choose the rounding that keeps the accumulated error small.
+                let send = if (acc + y - down).abs() <= (acc + y - up).abs() {
+                    down
+                } else {
+                    up
+                };
+                self.accumulated[slot] = acc + y - send;
+                let send = send as i64;
+                if send > 0 {
+                    transfers.push((i, j, send));
+                }
+            }
+        }
+        self.state.apply_transfers(&transfers);
+    }
+}
+
+impl_balancer_common!(QuasirandomDiffusion);
+
+/// How the excess tokens of [`ExcessTokenDiffusion`] are spread over the
+/// node's neighbours.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[non_exhaustive]
+pub enum ExcessPolicy {
+    /// Each excess token goes to a distinct neighbour chosen uniformly at
+    /// random without replacement (the scheme analysed in \[9\]).
+    #[default]
+    RandomWithoutReplacement,
+    /// Excess tokens are dealt to neighbours in round-robin order starting
+    /// from a random offset (the variant noted in \[5\] to give comparable
+    /// guarantees).
+    RoundRobin,
+}
+
+/// Excess-token randomized diffusion (Berenbrink et al. \[9\]): every node
+/// sends `⌊y⌋` tokens over each incident edge and then forwards its excess
+/// tokens (the leftover fractional mass, an integer ≤ d) to neighbours chosen
+/// according to an [`ExcessPolicy`]. Never induces negative load.
+#[derive(Debug, Clone)]
+pub struct ExcessTokenDiffusion {
+    state: DiffusionState,
+    rng: StdRng,
+    policy: ExcessPolicy,
+    name: String,
+}
+
+impl ExcessTokenDiffusion {
+    /// Creates the process with an explicit RNG seed and the default
+    /// without-replacement excess policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] for weighted tasks or
+    /// mismatched dimensions.
+    pub fn new(
+        graph: Graph,
+        speeds: Speeds,
+        initial: &InitialLoad,
+        seed: u64,
+    ) -> Result<Self, CoreError> {
+        Self::with_policy(graph, speeds, initial, seed, ExcessPolicy::default())
+    }
+
+    /// Creates the process with an explicit excess-distribution policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] for weighted tasks or
+    /// mismatched dimensions.
+    pub fn with_policy(
+        graph: Graph,
+        speeds: Speeds,
+        initial: &InitialLoad,
+        seed: u64,
+        policy: ExcessPolicy,
+    ) -> Result<Self, CoreError> {
+        Ok(ExcessTokenDiffusion {
+            state: DiffusionState::new(graph, speeds, initial)?,
+            rng: StdRng::seed_from_u64(seed),
+            policy,
+            name: format!("excess_token_diffusion({policy:?})"),
+        })
+    }
+
+    /// The excess-distribution policy in use.
+    pub fn policy(&self) -> ExcessPolicy {
+        self.policy
+    }
+
+    fn step_impl(&mut self) {
+        let mut transfers = Vec::new();
+        for i in self.state.graph.nodes() {
+            let x = self.state.loads[i];
+            if x <= 0 {
+                continue;
+            }
+            let mut sent_floor_total: i64 = 0;
+            let mut continuous_total = 0.0;
+            let neighbours: Vec<(usize, usize)> = self.state.graph.neighbors_with_edges(i).collect();
+            for &(j, e) in &neighbours {
+                let y = self.state.continuous_send(i, e);
+                continuous_total += y;
+                let send = y.floor() as i64;
+                sent_floor_total += send;
+                if send > 0 {
+                    transfers.push((i, j, send));
+                }
+            }
+            // Load the node keeps in the continuous process, rounded down.
+            let keep_floor = (x as f64 - continuous_total).floor() as i64;
+            let excess = x - sent_floor_total - keep_floor.max(0);
+            if excess > 0 {
+                // Forward one excess token to each of `excess` distinct
+                // neighbours; anything beyond the degree stays put.
+                let mut order: Vec<usize> = neighbours.iter().map(|&(j, _)| j).collect();
+                match self.policy {
+                    ExcessPolicy::RandomWithoutReplacement => order.shuffle(&mut self.rng),
+                    ExcessPolicy::RoundRobin => {
+                        let offset = self.rng.gen_range(0..order.len().max(1));
+                        order.rotate_left(offset);
+                    }
+                }
+                for &j in order.iter().take(excess as usize) {
+                    transfers.push((i, j, 1));
+                }
+            }
+        }
+        self.state.apply_transfers(&transfers);
+    }
+}
+
+impl_balancer_common!(ExcessTokenDiffusion);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics;
+    use lb_graph::generators;
+
+    fn setup(n_extra: u64) -> (Graph, Speeds, InitialLoad) {
+        let g = generators::torus(4, 4).unwrap();
+        let n = g.node_count();
+        let speeds = Speeds::uniform(n);
+        let mut counts = vec![4u64; n];
+        counts[0] += n_extra;
+        (g, speeds, InitialLoad::from_token_counts(counts))
+    }
+
+    #[test]
+    fn round_down_conserves_tokens_and_never_goes_negative() {
+        let (g, speeds, initial) = setup(200);
+        let total = initial.total_weight() as f64;
+        let mut p = RoundDownDiffusion::new(g, speeds, &initial).unwrap();
+        p.run(500);
+        assert!((p.loads().iter().sum::<f64>() - total).abs() < 1e-9);
+        assert!(p.min_load_seen() >= 0);
+        assert_eq!(p.round(), 500);
+    }
+
+    #[test]
+    fn round_down_reduces_discrepancy_but_not_to_zero() {
+        let (g, speeds, initial) = setup(320);
+        let initial_disc = initial.initial_discrepancy(&speeds);
+        let mut p = RoundDownDiffusion::new(g, speeds.clone(), &initial).unwrap();
+        p.run(1_000);
+        let final_disc = metrics::max_min_discrepancy(&p.loads(), &speeds);
+        assert!(final_disc < initial_disc / 4.0);
+        // Round-down famously stalls with a residual discrepancy.
+        assert!(final_disc > 0.0);
+    }
+
+    #[test]
+    fn randomized_rounding_conserves_tokens() {
+        let (g, speeds, initial) = setup(320);
+        let total = initial.total_weight() as f64;
+        let mut p = RandomizedRoundingDiffusion::new(g, speeds.clone(), &initial, 3).unwrap();
+        p.run(800);
+        assert!((p.loads().iter().sum::<f64>() - total).abs() < 1e-9);
+        assert!(metrics::max_min_discrepancy(&p.loads(), &speeds) < 10.0);
+    }
+
+    #[test]
+    fn quasirandom_has_bounded_accumulated_error() {
+        let (g, speeds, initial) = setup(320);
+        let mut p = QuasirandomDiffusion::new(g, speeds, &initial).unwrap();
+        p.run(800);
+        // The scheme keeps every accumulated per-edge error below 1.
+        assert!(p.max_accumulated_error() <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn excess_token_never_goes_negative_and_balances_well() {
+        let (g, speeds, initial) = setup(320);
+        let total = initial.total_weight() as f64;
+        let mut p = ExcessTokenDiffusion::new(g, speeds.clone(), &initial, 9).unwrap();
+        p.run(800);
+        assert!(p.min_load_seen() >= 0);
+        assert!((p.loads().iter().sum::<f64>() - total).abs() < 1e-9);
+        assert!(metrics::max_min_discrepancy(&p.loads(), &speeds) < 10.0);
+    }
+
+    #[test]
+    fn baselines_reject_weighted_tasks() {
+        use crate::task::{Task, TaskId};
+        let g = generators::cycle(4).unwrap();
+        let speeds = Speeds::uniform(4);
+        let weighted = InitialLoad::from_tasks(vec![
+            vec![Task::new(TaskId(0), 3)],
+            vec![],
+            vec![],
+            vec![],
+        ]);
+        assert!(RoundDownDiffusion::new(g.clone(), speeds.clone(), &weighted).is_err());
+        assert!(
+            RandomizedRoundingDiffusion::new(g.clone(), speeds.clone(), &weighted, 0).is_err()
+        );
+        assert!(QuasirandomDiffusion::new(g.clone(), speeds.clone(), &weighted).is_err());
+        assert!(ExcessTokenDiffusion::new(g, speeds, &weighted, 0).is_err());
+    }
+
+    #[test]
+    fn randomized_baselines_are_deterministic_per_seed() {
+        let (g, speeds, initial) = setup(100);
+        let mut a =
+            RandomizedRoundingDiffusion::new(g.clone(), speeds.clone(), &initial, 5).unwrap();
+        let mut b = RandomizedRoundingDiffusion::new(g, speeds, &initial, 5).unwrap();
+        a.run(100);
+        b.run(100);
+        assert_eq!(a.loads(), b.loads());
+    }
+
+    #[test]
+    fn heterogeneous_speeds_round_down_balances_proportionally() {
+        let g = generators::complete(4).unwrap();
+        let speeds = Speeds::new(vec![1, 1, 2, 4]).unwrap();
+        let initial = InitialLoad::from_token_counts(vec![800, 8, 8, 8]);
+        let mut p = RoundDownDiffusion::new(g, speeds.clone(), &initial).unwrap();
+        p.run(500);
+        let loads = p.loads();
+        assert!(loads[3] > loads[0]);
+        assert!(metrics::max_avg_discrepancy(&loads, &speeds) < 20.0);
+    }
+}

@@ -1,0 +1,379 @@
+//! Matching-model baselines (periodic and random matchings) on integer token
+//! counts.
+
+use crate::discrete::DiscreteBalancer;
+use crate::error::CoreError;
+use crate::load::InitialLoad;
+use crate::task::Speeds;
+use lb_graph::{random_maximal_matching, Graph, Matching, PeriodicMatchings};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// How the per-round matching is chosen.
+#[derive(Debug, Clone)]
+pub enum MatchingSchedule {
+    /// A fixed family of matchings used round-robin (dimension exchange).
+    Periodic(PeriodicMatchings),
+    /// An independent random maximal matching every round, driven by the
+    /// given seed.
+    Random {
+        /// Seed for the per-round matching sampler.
+        seed: u64,
+    },
+}
+
+impl MatchingSchedule {
+    /// Convenience constructor: periodic matchings from a greedy edge
+    /// colouring of `graph`.
+    pub fn periodic_greedy(graph: &Graph) -> Self {
+        MatchingSchedule::Periodic(PeriodicMatchings::greedy_edge_coloring(graph))
+    }
+
+    /// A short tag used in process names.
+    fn tag(&self) -> &'static str {
+        match self {
+            MatchingSchedule::Periodic(_) => "periodic",
+            MatchingSchedule::Random { .. } => "random",
+        }
+    }
+}
+
+/// Internal driver resolving the matching of each round.
+#[derive(Debug, Clone)]
+enum ScheduleState {
+    Periodic(PeriodicMatchings),
+    Random(StdRng),
+}
+
+impl ScheduleState {
+    fn new(schedule: MatchingSchedule) -> Self {
+        match schedule {
+            MatchingSchedule::Periodic(pm) => ScheduleState::Periodic(pm),
+            MatchingSchedule::Random { seed } => ScheduleState::Random(StdRng::seed_from_u64(seed)),
+        }
+    }
+
+    fn matching_for_round(&mut self, graph: &Graph, t: usize) -> Matching {
+        match self {
+            ScheduleState::Periodic(pm) => pm.for_round(t).clone(),
+            ScheduleState::Random(rng) => random_maximal_matching(graph, rng),
+        }
+    }
+}
+
+/// Shared state of the matching-model baselines.
+#[derive(Debug, Clone)]
+struct MatchingState {
+    graph: Graph,
+    speeds: Speeds,
+    loads: Vec<i64>,
+    schedule: ScheduleState,
+    round: usize,
+    min_load_seen: i64,
+}
+
+impl MatchingState {
+    fn new(
+        graph: Graph,
+        speeds: Speeds,
+        initial: &InitialLoad,
+        schedule: MatchingSchedule,
+    ) -> Result<Self, CoreError> {
+        if !initial.is_unit_weight() {
+            return Err(CoreError::invalid_parameter(
+                "matching baselines are defined for unit-weight tokens",
+            ));
+        }
+        if initial.node_count() != graph.node_count() || speeds.len() != graph.node_count() {
+            return Err(CoreError::invalid_parameter(
+                "initial load, speeds and graph must have the same number of nodes",
+            ));
+        }
+        if let MatchingSchedule::Periodic(pm) = &schedule {
+            if !pm.is_proper_cover(&graph) {
+                return Err(CoreError::invalid_parameter(
+                    "periodic matchings must cover every edge exactly once",
+                ));
+            }
+        }
+        let loads: Vec<i64> = initial.load_vector().iter().map(|&x| x as i64).collect();
+        let min_load_seen = loads.iter().copied().min().unwrap_or(0);
+        Ok(MatchingState {
+            graph,
+            speeds,
+            loads,
+            schedule: ScheduleState::new(schedule),
+            round: 0,
+            min_load_seen,
+        })
+    }
+
+    /// The signed continuous excess that node `u` should pass to node `v` so
+    /// that their makespans equalise (positive: `u` sends to `v`).
+    fn continuous_excess(&self, u: usize, v: usize) -> f64 {
+        let (su, sv) = (self.speeds.get(u) as f64, self.speeds.get(v) as f64);
+        (sv * self.loads[u] as f64 - su * self.loads[v] as f64) / (su + sv)
+    }
+
+    fn finish_round(&mut self) {
+        self.round += 1;
+        let round_min = self.loads.iter().copied().min().unwrap_or(0);
+        self.min_load_seen = self.min_load_seen.min(round_min);
+    }
+
+    fn loads_f64(&self) -> Vec<f64> {
+        self.loads.iter().map(|&x| x as f64).collect()
+    }
+}
+
+macro_rules! impl_matching_balancer_common {
+    ($ty:ty) => {
+        impl DiscreteBalancer for $ty {
+            fn name(&self) -> &str {
+                &self.name
+            }
+            fn graph(&self) -> &Graph {
+                &self.state.graph
+            }
+            fn speeds(&self) -> &Speeds {
+                &self.state.speeds
+            }
+            fn round(&self) -> usize {
+                self.state.round
+            }
+            fn loads(&self) -> Vec<f64> {
+                self.state.loads_f64()
+            }
+            fn step(&mut self) {
+                self.step_impl();
+            }
+        }
+
+        impl $ty {
+            /// The smallest node load observed so far; negative values mean
+            /// the rounding scheme transiently overdrew a node.
+            pub fn min_load_seen(&self) -> i64 {
+                self.state.min_load_seen
+            }
+        }
+    };
+}
+
+/// Round-down matching baseline (Rabani et al. \[37\]): each matched pair
+/// computes the continuous excess of its heavier endpoint and transfers
+/// `⌊excess⌋` tokens. Never induces negative load.
+#[derive(Debug, Clone)]
+pub struct RoundDownMatching {
+    state: MatchingState,
+    name: String,
+}
+
+impl RoundDownMatching {
+    /// Creates the process.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] for weighted tasks, mismatched
+    /// dimensions, or an improper periodic cover.
+    pub fn new(
+        graph: Graph,
+        speeds: Speeds,
+        initial: &InitialLoad,
+        schedule: MatchingSchedule,
+    ) -> Result<Self, CoreError> {
+        let name = format!("round_down_matching({})", schedule.tag());
+        Ok(RoundDownMatching {
+            state: MatchingState::new(graph, speeds, initial, schedule)?,
+            name,
+        })
+    }
+
+    fn step_impl(&mut self) {
+        let matching = self
+            .state
+            .schedule
+            .matching_for_round(&self.state.graph, self.state.round);
+        for &e in matching.edges() {
+            let (u, v) = self.state.graph.edge_endpoints(e);
+            let excess = self.state.continuous_excess(u, v);
+            let transfer = excess.abs().floor() as i64;
+            if transfer == 0 {
+                continue;
+            }
+            let (from, to) = if excess > 0.0 { (u, v) } else { (v, u) };
+            self.state.loads[from] -= transfer;
+            self.state.loads[to] += transfer;
+        }
+        self.state.finish_round();
+    }
+}
+
+impl_matching_balancer_common!(RoundDownMatching);
+
+/// Randomized-rounding matching baseline (Friedrich–Sauerwald \[24\]): the
+/// continuous excess is rounded up or down at random with probability equal
+/// to its fractional part (the original paper rounds up/down with probability
+/// ½ each; the unbiased variant used here is the one carried forward by
+/// \[38\] and by the paper's own Algorithm 2, and gives the same asymptotic
+/// guarantees).
+#[derive(Debug, Clone)]
+pub struct RandomizedRoundingMatching {
+    state: MatchingState,
+    rng: StdRng,
+    name: String,
+}
+
+impl RandomizedRoundingMatching {
+    /// Creates the process with an explicit rounding RNG seed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] for weighted tasks, mismatched
+    /// dimensions, or an improper periodic cover.
+    pub fn new(
+        graph: Graph,
+        speeds: Speeds,
+        initial: &InitialLoad,
+        schedule: MatchingSchedule,
+        seed: u64,
+    ) -> Result<Self, CoreError> {
+        let name = format!("randomized_rounding_matching({})", schedule.tag());
+        Ok(RandomizedRoundingMatching {
+            state: MatchingState::new(graph, speeds, initial, schedule)?,
+            rng: StdRng::seed_from_u64(seed),
+            name,
+        })
+    }
+
+    fn step_impl(&mut self) {
+        let matching = self
+            .state
+            .schedule
+            .matching_for_round(&self.state.graph, self.state.round);
+        for &e in matching.edges() {
+            let (u, v) = self.state.graph.edge_endpoints(e);
+            let excess = self.state.continuous_excess(u, v);
+            let magnitude = excess.abs();
+            let floor = magnitude.floor();
+            let frac = magnitude - floor;
+            let up = frac > 0.0 && self.rng.gen_bool(frac.min(1.0));
+            let transfer = floor as i64 + i64::from(up);
+            if transfer == 0 {
+                continue;
+            }
+            let (from, to) = if excess > 0.0 { (u, v) } else { (v, u) };
+            self.state.loads[from] -= transfer;
+            self.state.loads[to] += transfer;
+        }
+        self.state.finish_round();
+    }
+}
+
+impl_matching_balancer_common!(RandomizedRoundingMatching);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics;
+    use lb_graph::generators;
+
+    fn setup() -> (Graph, Speeds, InitialLoad) {
+        let g = generators::hypercube(4).unwrap();
+        let n = g.node_count();
+        let speeds = Speeds::uniform(n);
+        let mut counts = vec![4u64; n];
+        counts[0] += 320;
+        (g, speeds, InitialLoad::from_token_counts(counts))
+    }
+
+    #[test]
+    fn round_down_periodic_converges_without_negative_load() {
+        let (g, speeds, initial) = setup();
+        let schedule = MatchingSchedule::periodic_greedy(&g);
+        let total = initial.total_weight() as f64;
+        let mut p = RoundDownMatching::new(g, speeds.clone(), &initial, schedule).unwrap();
+        p.run(1_000);
+        assert!(p.min_load_seen() >= 0);
+        assert!((p.loads().iter().sum::<f64>() - total).abs() < 1e-9);
+        let disc = metrics::max_min_discrepancy(&p.loads(), &speeds);
+        assert!(disc < initial.initial_discrepancy(&speeds) / 4.0);
+    }
+
+    #[test]
+    fn round_down_random_matching_converges() {
+        let (g, speeds, initial) = setup();
+        let mut p = RoundDownMatching::new(
+            g,
+            speeds.clone(),
+            &initial,
+            MatchingSchedule::Random { seed: 17 },
+        )
+        .unwrap();
+        p.run(2_000);
+        assert!(metrics::max_min_discrepancy(&p.loads(), &speeds) < 20.0);
+        assert!(p.name().contains("random"));
+    }
+
+    #[test]
+    fn randomized_rounding_periodic_gets_small_discrepancy() {
+        let (g, speeds, initial) = setup();
+        let schedule = MatchingSchedule::periodic_greedy(&g);
+        let total = initial.total_weight() as f64;
+        let mut p =
+            RandomizedRoundingMatching::new(g, speeds.clone(), &initial, schedule, 23).unwrap();
+        p.run(1_000);
+        assert!((p.loads().iter().sum::<f64>() - total).abs() < 1e-9);
+        assert!(metrics::max_min_discrepancy(&p.loads(), &speeds) < 10.0);
+        assert!(p.name().contains("periodic"));
+    }
+
+    #[test]
+    fn heterogeneous_speeds_matching_balances_proportionally() {
+        let g = generators::complete(4).unwrap();
+        let speeds = Speeds::new(vec![1, 1, 2, 4]).unwrap();
+        let initial = InitialLoad::from_token_counts(vec![400, 4, 4, 4]);
+        let schedule = MatchingSchedule::periodic_greedy(&g);
+        let mut p = RoundDownMatching::new(g, speeds.clone(), &initial, schedule).unwrap();
+        p.run(300);
+        let loads = p.loads();
+        assert!(loads[3] > loads[0]);
+        assert!(metrics::max_avg_discrepancy(&loads, &speeds) < 20.0);
+    }
+
+    #[test]
+    fn rejects_weighted_tasks_and_bad_dimensions() {
+        use crate::task::{Task, TaskId};
+        let g = generators::cycle(4).unwrap();
+        let speeds = Speeds::uniform(4);
+        let weighted = InitialLoad::from_tasks(vec![
+            vec![Task::new(TaskId(0), 2)],
+            vec![],
+            vec![],
+            vec![],
+        ]);
+        let schedule = MatchingSchedule::periodic_greedy(&g);
+        assert!(RoundDownMatching::new(g.clone(), speeds.clone(), &weighted, schedule.clone())
+            .is_err());
+        let tokens = InitialLoad::single_source(5, 0, 10);
+        assert!(RandomizedRoundingMatching::new(g, speeds, &tokens, schedule, 0).is_err());
+    }
+
+    #[test]
+    fn random_schedule_is_deterministic_per_seed() {
+        let (g, speeds, initial) = setup();
+        let mk = |seed| {
+            RoundDownMatching::new(
+                g.clone(),
+                speeds.clone(),
+                &initial,
+                MatchingSchedule::Random { seed },
+            )
+            .unwrap()
+        };
+        let mut a = mk(3);
+        let mut b = mk(3);
+        a.run(200);
+        b.run(200);
+        assert_eq!(a.loads(), b.loads());
+    }
+}

@@ -1,0 +1,27 @@
+//! Baseline discrete balancing processes from prior work.
+//!
+//! These are the comparators of the paper's Tables 1 and 2. They are all
+//! defined for identical (unit-weight) tokens, which is the setting the
+//! original papers analyse; the diffusion baselines additionally support
+//! heterogeneous speeds through the same `α`-scheme as the continuous FOS.
+//!
+//! | Baseline | Source | Model |
+//! |----------|--------|-------|
+//! | [`RoundDownDiffusion`] | Rabani–Sinclair–Wanka \[37\], Muthukrishnan et al. \[34\] | diffusion |
+//! | [`RandomizedRoundingDiffusion`] | Friedrich–Gairing–Sauerwald \[26\] (randomized) | diffusion |
+//! | [`QuasirandomDiffusion`] | Friedrich–Gairing–Sauerwald \[26\] (deterministic) | diffusion |
+//! | [`ExcessTokenDiffusion`] | Berenbrink–Cooper–Friedetzky–Friedrich–Sauerwald \[9\] | diffusion |
+//! | [`RoundDownMatching`] | Rabani–Sinclair–Wanka \[37\] | periodic / random matchings |
+//! | [`RandomizedRoundingMatching`] | Friedrich–Sauerwald \[24\] | periodic / random matchings |
+//! | [`RandomWalkFineBalancer`] | Elsässer–Monien \[18\], Elsässer–Sauerwald \[19\] | two-phase diffusion + random-walk fine balancing |
+
+mod diffusion;
+mod matching;
+mod random_walk;
+
+pub use diffusion::{
+    ExcessPolicy, ExcessTokenDiffusion, QuasirandomDiffusion, RandomizedRoundingDiffusion,
+    RoundDownDiffusion,
+};
+pub use matching::{MatchingSchedule, RandomizedRoundingMatching, RoundDownMatching};
+pub use random_walk::RandomWalkFineBalancer;

@@ -1,0 +1,292 @@
+//! The two-phase "random walk" fine-balancing approach (Section 2.3 of the
+//! paper; Elsässer–Monien \[18\], Elsässer–Sauerwald \[19\]).
+//!
+//! Phase 1 runs the classical round-down diffusion to get within coarse
+//! distance of the average. Phase 2 ("fine balancing") marks every token
+//! above the average as a *positive token* and every missing token below the
+//! average as a *negative token* (a hole); both perform independent random
+//! walk steps each round and annihilate when they meet. This achieves a
+//! constant max-min discrepancy in `O(T)` extra rounds, at the cost of no
+//! longer being a pure neighbourhood balancing scheme (nodes must know the
+//! global average).
+
+use crate::discrete::baselines::RoundDownDiffusion;
+use crate::discrete::DiscreteBalancer;
+use crate::error::CoreError;
+use crate::load::InitialLoad;
+use crate::task::Speeds;
+use lb_graph::Graph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Two-phase random-walk fine balancer (tokens, uniform or heterogeneous
+/// speeds).
+///
+/// # Examples
+///
+/// ```
+/// use lb_core::discrete::baselines::RandomWalkFineBalancer;
+/// use lb_core::discrete::DiscreteBalancer;
+/// use lb_core::{InitialLoad, Speeds};
+/// use lb_graph::generators;
+///
+/// let g = generators::torus(4, 4)?;
+/// let initial = InitialLoad::single_source(16, 0, 320);
+/// let mut p = RandomWalkFineBalancer::new(g, Speeds::uniform(16), &initial, 100, 7)?;
+/// p.run(400);
+/// assert!(p.metrics().max_min <= 4.0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct RandomWalkFineBalancer {
+    /// Phase-1 engine (round-down diffusion).
+    coarse: RoundDownDiffusion,
+    /// Rounds to spend in phase 1 before switching to fine balancing.
+    phase1_rounds: usize,
+    /// Per-node target load `round(W·s_i/S)` used by phase 2.
+    targets: Vec<i64>,
+    /// Positive tokens (units above target) per node — populated when phase 2
+    /// starts.
+    positive: Vec<u64>,
+    /// Negative tokens (units below target, "holes") per node.
+    negative: Vec<u64>,
+    phase2_started: bool,
+    rng: StdRng,
+    round: usize,
+    name: String,
+}
+
+impl RandomWalkFineBalancer {
+    /// Creates the two-phase balancer. `phase1_rounds` controls how long the
+    /// coarse diffusion phase lasts (use the continuous balancing time `T`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] for weighted tasks or
+    /// mismatched dimensions (propagated from the phase-1 process).
+    pub fn new(
+        graph: Graph,
+        speeds: Speeds,
+        initial: &InitialLoad,
+        phase1_rounds: usize,
+        seed: u64,
+    ) -> Result<Self, CoreError> {
+        let coarse = RoundDownDiffusion::new(graph, speeds, initial)?;
+        let n = coarse.graph().node_count();
+        // Speed-proportional targets, rounded; the leftover units stay as
+        // permanent positive/negative tokens of magnitude O(n) in total and
+        // at most 1 per node.
+        let total_weight = initial.total_weight() as f64;
+        let total_speed = coarse.speeds().total() as f64;
+        let targets: Vec<i64> = (0..n)
+            .map(|i| {
+                (total_weight * coarse.speeds().get(i) as f64 / total_speed).round() as i64
+            })
+            .collect();
+        Ok(RandomWalkFineBalancer {
+            coarse,
+            phase1_rounds,
+            targets,
+            positive: vec![0; n],
+            negative: vec![0; n],
+            phase2_started: false,
+            rng: StdRng::seed_from_u64(seed),
+            round: 0,
+            name: format!("random_walk_fine(phase1={phase1_rounds})"),
+        })
+    }
+
+    /// Returns `true` once the fine-balancing phase has begun.
+    pub fn in_fine_phase(&self) -> bool {
+        self.phase2_started
+    }
+
+    /// Total positive tokens currently walking (0 before phase 2).
+    pub fn positive_tokens(&self) -> u64 {
+        self.positive.iter().sum()
+    }
+
+    /// Total negative tokens (holes) currently walking (0 before phase 2).
+    pub fn negative_tokens(&self) -> u64 {
+        self.negative.iter().sum()
+    }
+
+    fn start_phase2(&mut self) {
+        let loads = self.coarse.loads();
+        for (i, &load) in loads.iter().enumerate() {
+            let excess = load as i64 - self.targets[i];
+            if excess >= 0 {
+                self.positive[i] = excess as u64;
+            } else {
+                self.negative[i] = (-excess) as u64;
+            }
+        }
+        self.phase2_started = true;
+    }
+
+    fn walk_step(&mut self) {
+        let graph = self.coarse.graph().clone();
+        let n = graph.node_count();
+        let mut new_positive = vec![0u64; n];
+        let mut new_negative = vec![0u64; n];
+        for i in 0..n {
+            let neighbours = graph.neighbors(i);
+            if neighbours.is_empty() {
+                new_positive[i] += self.positive[i];
+                new_negative[i] += self.negative[i];
+                continue;
+            }
+            // Lazy random walk (stay with probability 1/2): laziness is
+            // essential on bipartite graphs, where non-lazy positive and
+            // negative tokens of opposite parity could never meet.
+            for _ in 0..self.positive[i] {
+                if self.rng.gen_bool(0.5) {
+                    new_positive[i] += 1;
+                } else {
+                    let j = neighbours[self.rng.gen_range(0..neighbours.len())];
+                    new_positive[j] += 1;
+                }
+            }
+            for _ in 0..self.negative[i] {
+                if self.rng.gen_bool(0.5) {
+                    new_negative[i] += 1;
+                } else {
+                    let j = neighbours[self.rng.gen_range(0..neighbours.len())];
+                    new_negative[j] += 1;
+                }
+            }
+        }
+        // Annihilate positive/negative pairs that landed on the same node.
+        for i in 0..n {
+            let cancel = new_positive[i].min(new_negative[i]);
+            self.positive[i] = new_positive[i] - cancel;
+            self.negative[i] = new_negative[i] - cancel;
+        }
+    }
+}
+
+impl DiscreteBalancer for RandomWalkFineBalancer {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn graph(&self) -> &Graph {
+        self.coarse.graph()
+    }
+
+    fn speeds(&self) -> &Speeds {
+        self.coarse.speeds()
+    }
+
+    fn round(&self) -> usize {
+        self.round
+    }
+
+    fn loads(&self) -> Vec<f64> {
+        if self.phase2_started {
+            self.targets
+                .iter()
+                .zip(self.positive.iter().zip(&self.negative))
+                .map(|(&t, (&p, &m))| (t + p as i64 - m as i64) as f64)
+                .collect()
+        } else {
+            self.coarse.loads()
+        }
+    }
+
+    fn step(&mut self) {
+        if self.round < self.phase1_rounds {
+            self.coarse.step();
+        } else {
+            if !self.phase2_started {
+                self.start_phase2();
+            }
+            self.walk_step();
+        }
+        self.round += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics;
+    use lb_graph::generators;
+
+    fn setup() -> (Graph, Speeds, InitialLoad) {
+        let g = generators::hypercube(4).unwrap();
+        let n = g.node_count();
+        (g, Speeds::uniform(n), InitialLoad::single_source(n, 0, 20 * n as u64))
+    }
+
+    #[test]
+    fn phase_transition_happens_at_configured_round() {
+        let (g, speeds, initial) = setup();
+        let mut p = RandomWalkFineBalancer::new(g, speeds, &initial, 50, 1).unwrap();
+        p.run(50);
+        assert!(!p.in_fine_phase());
+        p.step();
+        assert!(p.in_fine_phase());
+    }
+
+    #[test]
+    fn conserves_total_load_in_both_phases() {
+        let (g, speeds, initial) = setup();
+        let total = initial.total_weight() as f64;
+        let mut p = RandomWalkFineBalancer::new(g, speeds, &initial, 60, 2).unwrap();
+        for _ in 0..300 {
+            p.step();
+            let sum: f64 = p.loads().iter().sum();
+            assert!((sum - total).abs() < 1e-9, "round {}", p.round());
+        }
+    }
+
+    #[test]
+    fn fine_phase_reaches_small_discrepancy() {
+        let (g, speeds, initial) = setup();
+        let mut p = RandomWalkFineBalancer::new(g, speeds.clone(), &initial, 100, 3).unwrap();
+        p.run(1_500);
+        let disc = metrics::max_min_discrepancy(&p.loads(), &speeds);
+        assert!(disc <= 3.0, "discrepancy = {disc}");
+        // Most walking tokens should have annihilated by now.
+        assert!(p.positive_tokens() + p.negative_tokens() <= 6);
+    }
+
+    #[test]
+    fn heterogeneous_speeds_target_is_proportional() {
+        let g = generators::complete(4).unwrap();
+        let speeds = Speeds::new(vec![1, 1, 2, 4]).unwrap();
+        let initial = InitialLoad::from_token_counts(vec![800, 0, 0, 0]);
+        let mut p = RandomWalkFineBalancer::new(g, speeds.clone(), &initial, 50, 4).unwrap();
+        p.run(800);
+        let loads = p.loads();
+        assert!(loads[3] > loads[0]);
+        assert!(metrics::max_min_discrepancy(&loads, &speeds) <= 3.0);
+    }
+
+    #[test]
+    fn rejects_weighted_tasks() {
+        use crate::task::{Task, TaskId};
+        let g = generators::cycle(4).unwrap();
+        let weighted = InitialLoad::from_tasks(vec![
+            vec![Task::new(TaskId(0), 2)],
+            vec![],
+            vec![],
+            vec![],
+        ]);
+        assert!(
+            RandomWalkFineBalancer::new(g, Speeds::uniform(4), &weighted, 10, 0).is_err()
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (g, speeds, initial) = setup();
+        let mk = |seed| RandomWalkFineBalancer::new(g.clone(), speeds.clone(), &initial, 40, seed).unwrap();
+        let mut a = mk(9);
+        let mut b = mk(9);
+        a.run(200);
+        b.run(200);
+        assert_eq!(a.loads(), b.loads());
+    }
+}

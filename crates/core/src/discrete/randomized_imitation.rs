@@ -1,0 +1,374 @@
+//! Algorithm 2 — randomized flow imitation (identical tasks).
+//!
+//! Like Algorithm 1, the discrete process tracks the cumulative continuous
+//! flow of a twin process, but the per-edge flow deficit
+//! `Ŷ_e(t) = f^A_e(t) − F^D_e(t−1)` is rounded *randomly*: up with
+//! probability equal to its fractional part, down otherwise. Only unit-weight
+//! tokens are supported.
+//!
+//! Guarantees (Theorem 8): at the continuous balancing time the max-avg
+//! discrepancy is `d/4 + O(√(d·log n))` w.h.p.; with initial load at least
+//! `(d/4 + Θ(√(d·log n)))·s_i` per node the max-min discrepancy is
+//! `O(√(d·log n))` w.h.p.
+
+use super::DiscreteBalancer;
+use crate::continuous::{ContinuousProcess, ContinuousRunner};
+use crate::error::CoreError;
+use crate::load::InitialLoad;
+use crate::task::Speeds;
+use lb_graph::{Graph, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Algorithm 2: the randomized flow-imitation discretization of a continuous
+/// process `A`, for identical (unit-weight) tasks.
+///
+/// # Examples
+///
+/// ```
+/// use lb_core::continuous::Fos;
+/// use lb_core::discrete::{DiscreteBalancer, RandomizedImitation};
+/// use lb_core::{InitialLoad, Speeds};
+/// use lb_graph::{generators, AlphaScheme};
+///
+/// let g = generators::torus(4, 4)?;
+/// let speeds = Speeds::uniform(16);
+/// let fos = Fos::new(g, &speeds, AlphaScheme::MaxDegreePlusOne)?;
+/// // Give every node enough initial load for the max-min guarantee.
+/// let mut counts = vec![8u64; 16];
+/// counts[0] += 320;
+/// let initial = InitialLoad::from_token_counts(counts);
+/// let mut alg2 = RandomizedImitation::new(fos, &initial, speeds, 42)?;
+/// alg2.run(300);
+/// assert!(alg2.metrics().max_min < 16.0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct RandomizedImitation<A: ContinuousProcess> {
+    twin: ContinuousRunner<A>,
+    graph: Graph,
+    speeds: Speeds,
+    /// Real (workload) tokens held by each node.
+    tokens: Vec<u64>,
+    /// Dummy tokens held by each node.
+    dummy: Vec<u64>,
+    /// Cumulative net discrete flow along each canonical edge orientation.
+    discrete_flow: Vec<i64>,
+    rng: StdRng,
+    round: usize,
+    dummy_created: u64,
+    name: String,
+}
+
+impl<A: ContinuousProcess> RandomizedImitation<A> {
+    /// Creates the randomized discretization of `process` starting from
+    /// `initial`, with an explicit RNG `seed` for reproducibility.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] if the initial load contains
+    /// non-unit task weights or the node counts of process, load and speeds
+    /// disagree.
+    pub fn new(
+        process: A,
+        initial: &InitialLoad,
+        speeds: Speeds,
+        seed: u64,
+    ) -> Result<Self, CoreError> {
+        if !initial.is_unit_weight() {
+            return Err(CoreError::invalid_parameter(
+                "randomized flow imitation (Algorithm 2) requires unit-weight tasks",
+            ));
+        }
+        let graph = process.graph().clone();
+        let n = graph.node_count();
+        if initial.node_count() != n {
+            return Err(CoreError::invalid_parameter(format!(
+                "initial load has {} nodes, graph has {n}",
+                initial.node_count()
+            )));
+        }
+        if speeds.len() != n {
+            return Err(CoreError::invalid_parameter(format!(
+                "speeds vector has {} entries, graph has {n} nodes",
+                speeds.len()
+            )));
+        }
+        let name = format!("alg2({})", process.name());
+        let twin = ContinuousRunner::new(process, initial.load_vector_f64());
+        let m = graph.edge_count();
+        Ok(RandomizedImitation {
+            twin,
+            graph,
+            speeds,
+            tokens: initial.load_vector(),
+            dummy: vec![0; n],
+            discrete_flow: vec![0; m],
+            rng: StdRng::seed_from_u64(seed),
+            round: 0,
+            dummy_created: 0,
+            name,
+        })
+    }
+
+    /// The continuous twin being imitated.
+    pub fn continuous(&self) -> &ContinuousRunner<A> {
+        &self.twin
+    }
+
+    /// Total dummy load created from the infinite source so far.
+    pub fn dummy_created(&self) -> u64 {
+        self.dummy_created
+    }
+
+    /// Per-node loads excluding dummy tokens.
+    pub fn real_loads(&self) -> Vec<f64> {
+        self.tokens.iter().map(|&t| t as f64).collect()
+    }
+
+    /// Maximum absolute per-edge deviation `|E_e(t)|` between the continuous
+    /// and discrete cumulative flows. With randomized rounding this stays
+    /// below 1 (part (3) of Observation 9).
+    pub fn max_flow_deviation(&self) -> f64 {
+        self.twin
+            .cumulative_flows()
+            .iter()
+            .zip(&self.discrete_flow)
+            .map(|(&fa, &fd)| (fa - fd as f64).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Removes `amount` tokens from `node`, preferring real tokens, then held
+    /// dummies, then the infinite source. Returns `(real, dummy)` portions
+    /// actually drawn.
+    fn draw(&mut self, node: NodeId, amount: u64) -> (u64, u64) {
+        let real = amount.min(self.tokens[node]);
+        self.tokens[node] -= real;
+        let mut dummy = amount - real;
+        let from_held = dummy.min(self.dummy[node]);
+        self.dummy[node] -= from_held;
+        let generated = dummy - from_held;
+        self.dummy_created += generated;
+        dummy = from_held + generated;
+        (real, dummy)
+    }
+}
+
+impl<A: ContinuousProcess> DiscreteBalancer for RandomizedImitation<A> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    fn speeds(&self) -> &Speeds {
+        &self.speeds
+    }
+
+    fn round(&self) -> usize {
+        self.round
+    }
+
+    fn loads(&self) -> Vec<f64> {
+        self.tokens
+            .iter()
+            .zip(&self.dummy)
+            .map(|(&t, &d)| (t + d) as f64)
+            .collect()
+    }
+
+    fn dummy_load(&self) -> u64 {
+        self.dummy.iter().sum()
+    }
+
+    fn step(&mut self) {
+        self.twin.step();
+        let continuous_flow = self.twin.cumulative_flows().to_vec();
+
+        let n = self.graph.node_count();
+        let mut real_deliveries = vec![0u64; n];
+        let mut dummy_deliveries = vec![0u64; n];
+
+        let edges: Vec<(usize, NodeId, NodeId)> = self
+            .graph
+            .edges()
+            .iter()
+            .enumerate()
+            .map(|(e, &(u, v))| (e, u, v))
+            .collect();
+        for (e, u, v) in edges {
+            let deficit = continuous_flow[e] - self.discrete_flow[e] as f64;
+            if deficit == 0.0 {
+                continue;
+            }
+            let (sender, receiver, magnitude, sign) = if deficit > 0.0 {
+                (u, v, deficit, 1i64)
+            } else {
+                (v, u, -deficit, -1i64)
+            };
+            let floor = magnitude.floor();
+            let fraction = magnitude - floor;
+            let round_up = fraction > 0.0 && self.rng.gen_bool(fraction.min(1.0));
+            let send = floor as u64 + u64::from(round_up);
+            if send == 0 {
+                continue;
+            }
+            let (real, dummy) = self.draw(sender, send);
+            real_deliveries[receiver] += real;
+            dummy_deliveries[receiver] += dummy;
+            self.discrete_flow[e] += sign * send as i64;
+        }
+
+        for i in 0..n {
+            self.tokens[i] += real_deliveries[i];
+            self.dummy[i] += dummy_deliveries[i];
+        }
+        self.round += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::continuous::{DimensionExchange, Fos, RandomMatching};
+    use crate::metrics;
+    use lb_graph::{generators, AlphaScheme};
+
+    fn fos_on(graph: Graph, speeds: &Speeds) -> Fos {
+        Fos::new(graph, speeds, AlphaScheme::MaxDegreePlusOne).unwrap()
+    }
+
+    /// Builds an initial load with `base` tokens everywhere plus `extra` on
+    /// node 0.
+    fn padded_load(n: usize, base: u64, extra: u64) -> InitialLoad {
+        let mut counts = vec![base; n];
+        counts[0] += extra;
+        InitialLoad::from_token_counts(counts)
+    }
+
+    #[test]
+    fn rejects_weighted_tasks() {
+        use crate::task::{Task, TaskId};
+        let g = generators::cycle(4).unwrap();
+        let speeds = Speeds::uniform(4);
+        let fos = fos_on(g, &speeds);
+        let weighted = InitialLoad::from_tasks(vec![
+            vec![Task::new(TaskId(0), 2)],
+            vec![],
+            vec![],
+            vec![],
+        ]);
+        assert!(RandomizedImitation::new(fos, &weighted, speeds, 1).is_err());
+    }
+
+    #[test]
+    fn conserves_real_tokens() {
+        let g = generators::torus(4, 4).unwrap();
+        let speeds = Speeds::uniform(16);
+        let initial = padded_load(16, 8, 160);
+        let total = initial.total_weight() as f64;
+        let mut alg2 =
+            RandomizedImitation::new(fos_on(g, &speeds), &initial, speeds.clone(), 7).unwrap();
+        alg2.run(200);
+        assert!((alg2.real_loads().iter().sum::<f64>() - total).abs() < 1e-9);
+    }
+
+    #[test]
+    fn flow_deviation_stays_below_one() {
+        let g = generators::hypercube(4).unwrap();
+        let speeds = Speeds::uniform(16);
+        let initial = padded_load(16, 8, 320);
+        let mut alg2 =
+            RandomizedImitation::new(fos_on(g, &speeds), &initial, speeds, 11).unwrap();
+        for _ in 0..200 {
+            alg2.step();
+            assert!(
+                alg2.max_flow_deviation() < 1.0 + 1e-9,
+                "per-edge deviation must stay below 1 (Observation 9(3))"
+            );
+        }
+    }
+
+    #[test]
+    fn sufficient_load_avoids_infinite_source_whp() {
+        // With d/4 + 2c·sqrt(d log n) ≈ a handful of tokens per node on a
+        // degree-4 torus, the infinite source should not be touched.
+        let g = generators::torus(6, 6).unwrap();
+        let n = g.node_count();
+        let speeds = Speeds::uniform(n);
+        let initial = padded_load(n, 10, 360);
+        let mut alg2 =
+            RandomizedImitation::new(fos_on(g, &speeds), &initial, speeds.clone(), 3).unwrap();
+        alg2.run(1_000);
+        assert_eq!(alg2.dummy_created(), 0);
+        // Discrepancy is small (O(sqrt(d log n)) ≈ single digits).
+        let max_min = metrics::max_min_discrepancy(&alg2.loads(), &speeds);
+        assert!(max_min <= 12.0, "max_min = {max_min}");
+    }
+
+    #[test]
+    fn determinism_per_seed_and_variation_across_seeds() {
+        let mk = |seed| {
+            let g = generators::torus(4, 4).unwrap();
+            let speeds = Speeds::uniform(16);
+            let initial = padded_load(16, 4, 100);
+            RandomizedImitation::new(fos_on(g, &speeds), &initial, speeds, seed).unwrap()
+        };
+        let mut a = mk(5);
+        let mut b = mk(5);
+        let mut c = mk(6);
+        a.run(50);
+        b.run(50);
+        c.run(50);
+        assert_eq!(a.loads(), b.loads());
+        // Different seeds should (almost surely) differ somewhere.
+        assert_ne!(a.loads(), c.loads());
+    }
+
+    #[test]
+    fn works_with_matching_processes() {
+        let g = generators::hypercube(4).unwrap();
+        let n = g.node_count();
+        let speeds = Speeds::uniform(n);
+        let initial = padded_load(n, 8, 320);
+
+        let de = DimensionExchange::with_greedy_coloring(g.clone(), &speeds).unwrap();
+        let mut alg2_de = RandomizedImitation::new(de, &initial, speeds.clone(), 1).unwrap();
+        alg2_de.run(1_000);
+        assert!(metrics::max_min_discrepancy(&alg2_de.loads(), &speeds) <= 12.0);
+
+        let rm = RandomMatching::new(g, &speeds, 99).unwrap();
+        let mut alg2_rm = RandomizedImitation::new(rm, &initial, speeds.clone(), 2).unwrap();
+        alg2_rm.run(2_000);
+        assert!(metrics::max_min_discrepancy(&alg2_rm.loads(), &speeds) <= 12.0);
+    }
+
+    #[test]
+    fn heterogeneous_speeds_balance_proportionally() {
+        let g = generators::complete(4).unwrap();
+        let speeds = Speeds::new(vec![1, 1, 2, 4]).unwrap();
+        let initial = padded_load(4, 16, 800);
+        let fos = Fos::new(g, &speeds, AlphaScheme::MaxDegreePlusOne).unwrap();
+        let mut alg2 = RandomizedImitation::new(fos, &initial, speeds.clone(), 13).unwrap();
+        alg2.run(500);
+        let loads = alg2.loads();
+        assert!(loads[3] > loads[0], "fast node should carry more load");
+        assert!(metrics::max_min_discrepancy(&loads, &speeds) <= 12.0);
+    }
+
+    #[test]
+    fn mismatched_dimensions_rejected() {
+        let g = generators::cycle(4).unwrap();
+        let speeds = Speeds::uniform(4);
+        let fos = fos_on(g, &speeds);
+        let wrong_nodes = InitialLoad::single_source(5, 0, 10);
+        assert!(RandomizedImitation::new(fos, &wrong_nodes, speeds.clone(), 0).is_err());
+
+        let g = generators::cycle(4).unwrap();
+        let fos = fos_on(g, &speeds);
+        let initial = InitialLoad::single_source(4, 0, 10);
+        assert!(RandomizedImitation::new(fos, &initial, Speeds::uniform(3), 0).is_err());
+    }
+}

@@ -1,0 +1,75 @@
+//! Error types for the lb-core crate.
+
+use lb_graph::GraphError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while configuring or running balancing processes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// An underlying graph/matrix construction failed.
+    Graph(GraphError),
+    /// A process or discretizer was configured with invalid parameters.
+    InvalidParameter {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+}
+
+impl CoreError {
+    /// Convenience constructor for [`CoreError::InvalidParameter`].
+    pub fn invalid_parameter(reason: impl Into<String>) -> Self {
+        CoreError::InvalidParameter {
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Graph(e) => write!(f, "graph error: {e}"),
+            CoreError::InvalidParameter { reason } => {
+                write!(f, "invalid process parameter: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Graph(e) => Some(e),
+            CoreError::InvalidParameter { .. } => None,
+        }
+    }
+}
+
+impl From<GraphError> for CoreError {
+    fn from(e: GraphError) -> Self {
+        CoreError::Graph(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = CoreError::from(GraphError::EmptyGraph);
+        assert!(e.to_string().contains("graph error"));
+        assert!(e.source().is_some());
+
+        let e = CoreError::invalid_parameter("beta out of range");
+        assert!(e.to_string().contains("beta out of range"));
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

@@ -1,0 +1,61 @@
+//! # lb-core
+//!
+//! Continuous and discrete neighbourhood load-balancing processes,
+//! reproducing *"A Simple Approach for Adapting Continuous Load Balancing
+//! Processes to Discrete Settings"* (Akbari, Berenbrink, Sauerwald — PODC
+//! 2012).
+//!
+//! ## Layout
+//!
+//! * [`continuous`] — the continuous processes being discretized: first- and
+//!   second-order diffusion, periodic dimension exchange, random matchings.
+//! * [`discrete`] — the paper's two flow-imitation transformations
+//!   (Algorithm 1: [`discrete::FlowImitation`], Algorithm 2:
+//!   [`discrete::RandomizedImitation`]) plus the prior-work baselines they
+//!   are compared against.
+//! * [`metrics`] — makespan, max-min / max-avg discrepancy and the quadratic
+//!   potential.
+//! * [`convergence`] — measuring the continuous balancing time `T`.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use lb_core::continuous::Fos;
+//! use lb_core::discrete::{DiscreteBalancer, FlowImitation, TaskPicker};
+//! use lb_core::{InitialLoad, Speeds};
+//! use lb_graph::{generators, AlphaScheme};
+//!
+//! // A hypercube of 64 processors, all tokens initially on node 0 plus the
+//! // d·w_max safety stock everywhere (Theorem 3(2)).
+//! let graph = generators::hypercube(6)?;
+//! let n = graph.node_count();
+//! let speeds = Speeds::uniform(n);
+//! let mut counts = vec![6u64; n];
+//! counts[0] += (n * 10) as u64;
+//! let initial = InitialLoad::from_token_counts(counts);
+//!
+//! let fos = Fos::new(graph, &speeds, AlphaScheme::MaxDegreePlusOne)?;
+//! let mut alg1 = FlowImitation::new(fos, &initial, speeds, TaskPicker::Fifo)?;
+//! alg1.run(400);
+//!
+//! // Final discrepancy is bounded by 2·d·w_max + 2 = 14, independent of n.
+//! assert!(alg1.metrics().max_min <= 14.0);
+//! assert_eq!(alg1.dummy_created(), 0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod continuous;
+pub mod convergence;
+pub mod discrete;
+mod error;
+mod load;
+pub mod metrics;
+mod task;
+
+pub use error::CoreError;
+pub use load::InitialLoad;
+pub use metrics::MetricsSnapshot;
+pub use task::{Speeds, Task, TaskId, TaskOrigin, Weight};

@@ -1,0 +1,186 @@
+//! Discrepancy and potential metrics (Section 3 of the paper).
+//!
+//! All metrics are phrased in terms of *makespans* `x_i / s_i`:
+//!
+//! * **max-min discrepancy** — `max_i x_i/s_i − min_i x_i/s_i`,
+//! * **max-avg discrepancy** — `max_i x_i/s_i − W/S`,
+//! * **potential** — `Φ = Σ_i (x_i − s_i·W/S)²`, the quantity driving the
+//!   potential-function analyses referenced in Section 2.2.
+
+use crate::task::Speeds;
+use serde::{Deserialize, Serialize};
+
+/// Per-node makespans `x_i / s_i`.
+///
+/// # Panics
+///
+/// Panics if `loads.len() != speeds.len()`.
+pub fn makespans(loads: &[f64], speeds: &Speeds) -> Vec<f64> {
+    assert_eq!(loads.len(), speeds.len(), "loads and speeds length mismatch");
+    loads
+        .iter()
+        .zip(speeds.as_slice())
+        .map(|(&x, &s)| x / s as f64)
+        .collect()
+}
+
+/// The maximum makespan of the assignment.
+///
+/// Returns 0.0 for an empty network.
+pub fn max_makespan(loads: &[f64], speeds: &Speeds) -> f64 {
+    makespans(loads, speeds)
+        .into_iter()
+        .fold(f64::NEG_INFINITY, f64::max)
+        .max(0.0)
+}
+
+/// The makespan of the perfectly balanced allocation, `W / S`.
+///
+/// Returns 0.0 for an empty network.
+pub fn balanced_makespan(loads: &[f64], speeds: &Speeds) -> f64 {
+    assert_eq!(loads.len(), speeds.len(), "loads and speeds length mismatch");
+    let total_speed = speeds.total();
+    if total_speed == 0 {
+        return 0.0;
+    }
+    loads.iter().sum::<f64>() / total_speed as f64
+}
+
+/// Max-min discrepancy: difference between the largest and smallest makespan.
+///
+/// Returns 0.0 for an empty network.
+pub fn max_min_discrepancy(loads: &[f64], speeds: &Speeds) -> f64 {
+    let ms = makespans(loads, speeds);
+    if ms.is_empty() {
+        return 0.0;
+    }
+    let max = ms.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let min = ms.iter().copied().fold(f64::INFINITY, f64::min);
+    max - min
+}
+
+/// Max-avg discrepancy: difference between the largest makespan and the
+/// balanced makespan `W/S`.
+///
+/// Returns 0.0 for an empty network.
+pub fn max_avg_discrepancy(loads: &[f64], speeds: &Speeds) -> f64 {
+    if loads.is_empty() {
+        return 0.0;
+    }
+    max_makespan(loads, speeds) - balanced_makespan(loads, speeds)
+}
+
+/// The quadratic potential `Φ = Σ_i (x_i − s_i·W/S)²`.
+pub fn potential(loads: &[f64], speeds: &Speeds) -> f64 {
+    assert_eq!(loads.len(), speeds.len(), "loads and speeds length mismatch");
+    let avg = balanced_makespan(loads, speeds);
+    loads
+        .iter()
+        .zip(speeds.as_slice())
+        .map(|(&x, &s)| {
+            let target = s as f64 * avg;
+            (x - target) * (x - target)
+        })
+        .sum()
+}
+
+/// A snapshot of all load-balance metrics at a single round.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Round index the snapshot was taken at (state at the *beginning* of
+    /// this round).
+    pub round: usize,
+    /// Max-min makespan discrepancy.
+    pub max_min: f64,
+    /// Max-avg makespan discrepancy.
+    pub max_avg: f64,
+    /// Maximum makespan.
+    pub max_makespan: f64,
+    /// Quadratic potential `Φ`.
+    pub potential: f64,
+}
+
+impl MetricsSnapshot {
+    /// Computes a snapshot of all metrics for the given state.
+    pub fn compute(round: usize, loads: &[f64], speeds: &Speeds) -> Self {
+        MetricsSnapshot {
+            round,
+            max_min: max_min_discrepancy(loads, speeds),
+            max_avg: max_avg_discrepancy(loads, speeds),
+            max_makespan: max_makespan(loads, speeds),
+            potential: potential(loads, speeds),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_speeds_discrepancies() {
+        let speeds = Speeds::uniform(4);
+        let loads = vec![10.0, 2.0, 4.0, 4.0];
+        assert!((max_min_discrepancy(&loads, &speeds) - 8.0).abs() < 1e-12);
+        // W/S = 20/4 = 5.
+        assert!((max_avg_discrepancy(&loads, &speeds) - 5.0).abs() < 1e-12);
+        assert!((max_makespan(&loads, &speeds) - 10.0).abs() < 1e-12);
+        assert!((balanced_makespan(&loads, &speeds) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn heterogeneous_speeds_use_makespans() {
+        let speeds = Speeds::new(vec![1, 2, 4]).unwrap();
+        // Loads proportional to speed are perfectly balanced.
+        let loads = vec![3.0, 6.0, 12.0];
+        assert!(max_min_discrepancy(&loads, &speeds).abs() < 1e-12);
+        assert!(max_avg_discrepancy(&loads, &speeds).abs() < 1e-12);
+        assert!(potential(&loads, &speeds).abs() < 1e-12);
+    }
+
+    #[test]
+    fn potential_matches_hand_computation() {
+        let speeds = Speeds::uniform(3);
+        let loads = vec![4.0, 1.0, 1.0];
+        // avg = 2, deviations = (2, -1, -1), potential = 4 + 1 + 1 = 6.
+        assert!((potential(&loads, &speeds) - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn balanced_state_has_zero_metrics() {
+        let speeds = Speeds::uniform(5);
+        let loads = vec![3.0; 5];
+        assert_eq!(max_min_discrepancy(&loads, &speeds), 0.0);
+        assert_eq!(max_avg_discrepancy(&loads, &speeds), 0.0);
+        assert_eq!(potential(&loads, &speeds), 0.0);
+    }
+
+    #[test]
+    fn empty_network_is_all_zero() {
+        let speeds = Speeds::uniform(0);
+        let loads: Vec<f64> = vec![];
+        assert_eq!(max_min_discrepancy(&loads, &speeds), 0.0);
+        assert_eq!(max_avg_discrepancy(&loads, &speeds), 0.0);
+        assert_eq!(max_makespan(&loads, &speeds), 0.0);
+        assert_eq!(balanced_makespan(&loads, &speeds), 0.0);
+    }
+
+    #[test]
+    fn snapshot_bundles_all_metrics() {
+        let speeds = Speeds::uniform(2);
+        let loads = vec![4.0, 0.0];
+        let snap = MetricsSnapshot::compute(7, &loads, &speeds);
+        assert_eq!(snap.round, 7);
+        assert!((snap.max_min - 4.0).abs() < 1e-12);
+        assert!((snap.max_avg - 2.0).abs() < 1e-12);
+        assert!((snap.max_makespan - 4.0).abs() < 1e-12);
+        assert!((snap.potential - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let speeds = Speeds::uniform(2);
+        let _ = makespans(&[1.0, 2.0, 3.0], &speeds);
+    }
+}

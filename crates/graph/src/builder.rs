@@ -1,0 +1,163 @@
+//! Incremental construction of [`Graph`] values.
+
+use crate::error::GraphError;
+use crate::graph::{Graph, NodeId};
+use std::collections::BTreeSet;
+
+/// A builder for assembling a [`Graph`] edge by edge.
+///
+/// Unlike [`Graph::from_edges`], the builder tolerates duplicate edge
+/// insertions (they are ignored) which simplifies generator code that may
+/// naturally produce the same edge twice (e.g. torus wrap-around edges on
+/// side length 2).
+///
+/// # Examples
+///
+/// ```
+/// use lb_graph::GraphBuilder;
+///
+/// let mut b = GraphBuilder::new(3);
+/// b.add_edge(0, 1)?;
+/// b.add_edge(1, 2)?;
+/// b.add_edge(2, 1)?; // duplicate, ignored
+/// let g = b.build();
+/// assert_eq!(g.edge_count(), 2);
+/// # Ok::<(), lb_graph::GraphError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: BTreeSet<(NodeId, NodeId)>,
+    name: String,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph with `n` nodes and no edges.
+    pub fn new(n: usize) -> Self {
+        GraphBuilder {
+            n,
+            edges: BTreeSet::new(),
+            name: String::new(),
+        }
+    }
+
+    /// Number of nodes the built graph will have.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of distinct undirected edges added so far.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Sets the graph name recorded on [`build`](Self::build).
+    pub fn set_name(&mut self, name: impl Into<String>) -> &mut Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Adds the undirected edge `{u, v}`. Duplicate insertions are ignored;
+    /// returns `true` if the edge was newly inserted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfRange`] or [`GraphError::SelfLoop`] for
+    /// invalid endpoints.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> Result<bool, GraphError> {
+        if u >= self.n {
+            return Err(GraphError::NodeOutOfRange { node: u, n: self.n });
+        }
+        if v >= self.n {
+            return Err(GraphError::NodeOutOfRange { node: v, n: self.n });
+        }
+        if u == v {
+            return Err(GraphError::SelfLoop { node: u });
+        }
+        let key = if u < v { (u, v) } else { (v, u) };
+        Ok(self.edges.insert(key))
+    }
+
+    /// Returns `true` if the undirected edge `{u, v}` has been added.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        let key = if u < v { (u, v) } else { (v, u) };
+        self.edges.contains(&key)
+    }
+
+    /// Finalises the builder into an immutable [`Graph`].
+    pub fn build(self) -> Graph {
+        let edges: Vec<(NodeId, NodeId)> = self.edges.into_iter().collect();
+        let g = Graph::from_canonical_edges(self.n, edges);
+        if self.name.is_empty() {
+            g
+        } else {
+            g.with_name(self.name)
+        }
+    }
+}
+
+impl Extend<(NodeId, NodeId)> for GraphBuilder {
+    /// Extends the builder with edges, panicking on invalid endpoints.
+    ///
+    /// Intended for internal generator use where endpoints are known valid.
+    fn extend<T: IntoIterator<Item = (NodeId, NodeId)>>(&mut self, iter: T) {
+        for (u, v) in iter {
+            self.add_edge(u, v).expect("edge endpoints must be valid");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_simple_graph() {
+        let mut b = GraphBuilder::new(4);
+        assert!(b.add_edge(0, 1).unwrap());
+        assert!(b.add_edge(2, 3).unwrap());
+        assert!(!b.add_edge(1, 0).unwrap(), "duplicate reports false");
+        assert_eq!(b.edge_count(), 2);
+        assert!(b.has_edge(0, 1));
+        assert!(b.has_edge(1, 0));
+        assert!(!b.has_edge(0, 2));
+        let g = b.build();
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.node_count(), 4);
+    }
+
+    #[test]
+    fn rejects_invalid_edges() {
+        let mut b = GraphBuilder::new(2);
+        assert!(matches!(
+            b.add_edge(0, 5),
+            Err(GraphError::NodeOutOfRange { node: 5, n: 2 })
+        ));
+        assert!(matches!(b.add_edge(1, 1), Err(GraphError::SelfLoop { node: 1 })));
+    }
+
+    #[test]
+    fn name_is_propagated() {
+        let mut b = GraphBuilder::new(2);
+        b.set_name("pair");
+        b.add_edge(0, 1).unwrap();
+        let g = b.build();
+        assert_eq!(g.name(), "pair");
+    }
+
+    #[test]
+    fn extend_adds_edges() {
+        let mut b = GraphBuilder::new(4);
+        b.extend([(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(b.edge_count(), 3);
+    }
+
+    #[test]
+    fn default_builder_is_empty() {
+        let b = GraphBuilder::default();
+        assert_eq!(b.node_count(), 0);
+        assert_eq!(b.edge_count(), 0);
+        let g = b.build();
+        assert!(g.is_empty());
+    }
+}

@@ -1,0 +1,101 @@
+//! Error types for graph construction and analysis.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while constructing or validating a [`Graph`](crate::Graph).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// An edge endpoint referred to a node index `>= n`.
+    NodeOutOfRange {
+        /// The offending node index.
+        node: usize,
+        /// The number of nodes in the graph.
+        n: usize,
+    },
+    /// A self-loop `(u, u)` was supplied; the load-balancing model forbids them.
+    SelfLoop {
+        /// The node carrying the self-loop.
+        node: usize,
+    },
+    /// The same undirected edge was supplied more than once.
+    DuplicateEdge {
+        /// First endpoint (canonical, smaller index).
+        u: usize,
+        /// Second endpoint (canonical, larger index).
+        v: usize,
+    },
+    /// A generator was asked for an impossible parameter combination.
+    InvalidParameter {
+        /// Human-readable description of the parameter problem.
+        reason: String,
+    },
+    /// The requested operation requires a non-empty graph.
+    EmptyGraph,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, n } => {
+                write!(f, "node index {node} out of range for graph with {n} nodes")
+            }
+            GraphError::SelfLoop { node } => write!(f, "self-loop at node {node} is not allowed"),
+            GraphError::DuplicateEdge { u, v } => {
+                write!(f, "duplicate undirected edge ({u}, {v})")
+            }
+            GraphError::InvalidParameter { reason } => {
+                write!(f, "invalid generator parameter: {reason}")
+            }
+            GraphError::EmptyGraph => write!(f, "operation requires a non-empty graph"),
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+impl GraphError {
+    /// Convenience constructor for [`GraphError::InvalidParameter`].
+    pub fn invalid_parameter(reason: impl Into<String>) -> Self {
+        GraphError::InvalidParameter {
+            reason: reason.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = GraphError::NodeOutOfRange { node: 7, n: 4 };
+        assert!(e.to_string().contains("7"));
+        assert!(e.to_string().contains("4"));
+
+        let e = GraphError::SelfLoop { node: 3 };
+        assert!(e.to_string().contains("self-loop"));
+
+        let e = GraphError::DuplicateEdge { u: 1, v: 2 };
+        assert!(e.to_string().contains("(1, 2)"));
+
+        let e = GraphError::invalid_parameter("degree must be even");
+        assert!(e.to_string().contains("degree must be even"));
+
+        let e = GraphError::EmptyGraph;
+        assert!(e.to_string().contains("non-empty"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphError>();
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn Error> = Box::new(GraphError::EmptyGraph);
+        assert!(e.source().is_none());
+    }
+}

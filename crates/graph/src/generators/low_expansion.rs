@@ -1,0 +1,169 @@
+//! Low-expansion ("bottleneck") graph families.
+//!
+//! These families have a small spectral gap, so discretization schemes whose
+//! discrepancy bound depends on `1/(1 - λ)` or the expansion degrade badly on
+//! them, while the paper's flow-imitation bounds do not. They are used in the
+//! ablation experiments that highlight the gap between the bounds.
+
+use crate::builder::GraphBuilder;
+use crate::error::GraphError;
+use crate::graph::Graph;
+
+/// Builds a barbell graph: two cliques of `clique_size` nodes joined by a
+/// path of `bridge_len` extra nodes (a bridge of length 0 joins the cliques
+/// by a single edge).
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `clique_size < 2`.
+pub fn barbell(clique_size: usize, bridge_len: usize) -> Result<Graph, GraphError> {
+    if clique_size < 2 {
+        return Err(GraphError::invalid_parameter(
+            "barbell clique size must be at least 2",
+        ));
+    }
+    let n = 2 * clique_size + bridge_len;
+    let mut builder = GraphBuilder::new(n);
+    builder.set_name(format!("barbell(k={clique_size}, bridge={bridge_len})"));
+    // Left clique: nodes 0..clique_size.
+    add_clique(&mut builder, 0, clique_size);
+    // Right clique: the last clique_size nodes.
+    add_clique(&mut builder, clique_size + bridge_len, clique_size);
+    // Bridge path: clique_size-1 -> bridge nodes -> clique_size+bridge_len.
+    let mut prev = clique_size - 1;
+    for b in 0..bridge_len {
+        let node = clique_size + b;
+        builder.add_edge(prev, node).expect("bridge edges valid");
+        prev = node;
+    }
+    builder
+        .add_edge(prev, clique_size + bridge_len)
+        .expect("bridge end edge valid");
+    Ok(builder.build())
+}
+
+/// Builds a lollipop graph: a clique of `clique_size` nodes with a path of
+/// `tail_len` nodes attached.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `clique_size < 2` or
+/// `tail_len == 0`.
+pub fn lollipop(clique_size: usize, tail_len: usize) -> Result<Graph, GraphError> {
+    if clique_size < 2 {
+        return Err(GraphError::invalid_parameter(
+            "lollipop clique size must be at least 2",
+        ));
+    }
+    if tail_len == 0 {
+        return Err(GraphError::invalid_parameter(
+            "lollipop tail length must be at least 1",
+        ));
+    }
+    let n = clique_size + tail_len;
+    let mut builder = GraphBuilder::new(n);
+    builder.set_name(format!("lollipop(k={clique_size}, tail={tail_len})"));
+    add_clique(&mut builder, 0, clique_size);
+    let mut prev = clique_size - 1;
+    for t in 0..tail_len {
+        let node = clique_size + t;
+        builder.add_edge(prev, node).expect("tail edges valid");
+        prev = node;
+    }
+    Ok(builder.build())
+}
+
+/// Builds a ring of `cliques` cliques, each of `clique_size` nodes, where
+/// consecutive cliques are joined by a single edge.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `cliques < 3` or
+/// `clique_size < 2`.
+pub fn ring_of_cliques(cliques: usize, clique_size: usize) -> Result<Graph, GraphError> {
+    if cliques < 3 {
+        return Err(GraphError::invalid_parameter(
+            "ring of cliques requires at least 3 cliques",
+        ));
+    }
+    if clique_size < 2 {
+        return Err(GraphError::invalid_parameter(
+            "ring of cliques requires clique size at least 2",
+        ));
+    }
+    let n = cliques * clique_size;
+    let mut builder = GraphBuilder::new(n);
+    builder.set_name(format!("ring_of_cliques({cliques}x{clique_size})"));
+    for c in 0..cliques {
+        add_clique(&mut builder, c * clique_size, clique_size);
+        // Connect the "last" node of this clique to the "first" node of the
+        // next clique around the ring.
+        let from = c * clique_size + (clique_size - 1);
+        let to = ((c + 1) % cliques) * clique_size;
+        builder.add_edge(from, to).expect("ring edges valid");
+    }
+    Ok(builder.build())
+}
+
+fn add_clique(builder: &mut GraphBuilder, start: usize, size: usize) {
+    for u in start..start + size {
+        for v in u + 1..start + size {
+            builder.add_edge(u, v).expect("clique edges valid");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn barbell_counts() {
+        let g = barbell(5, 3).unwrap();
+        assert_eq!(g.node_count(), 13);
+        // Two cliques of C(5,2)=10 edges each, plus a bridge path of 4 edges.
+        assert_eq!(g.edge_count(), 10 + 10 + 4);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn barbell_without_bridge_nodes() {
+        let g = barbell(4, 0).unwrap();
+        assert_eq!(g.node_count(), 8);
+        assert_eq!(g.edge_count(), 6 + 6 + 1);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn lollipop_counts() {
+        let g = lollipop(6, 4).unwrap();
+        assert_eq!(g.node_count(), 10);
+        assert_eq!(g.edge_count(), 15 + 4);
+        assert_eq!(g.min_degree(), 1);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn ring_of_cliques_counts() {
+        let g = ring_of_cliques(4, 5).unwrap();
+        assert_eq!(g.node_count(), 20);
+        assert_eq!(g.edge_count(), 4 * 10 + 4);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(barbell(1, 2).is_err());
+        assert!(lollipop(1, 2).is_err());
+        assert!(lollipop(3, 0).is_err());
+        assert!(ring_of_cliques(2, 3).is_err());
+        assert!(ring_of_cliques(3, 1).is_err());
+    }
+
+    #[test]
+    fn barbell_diameter_grows_with_bridge() {
+        let short = barbell(4, 0).unwrap().diameter().unwrap();
+        let long = barbell(4, 6).unwrap().diameter().unwrap();
+        assert!(long > short);
+    }
+}

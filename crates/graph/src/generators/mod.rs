@@ -1,0 +1,55 @@
+//! Graph family generators used throughout the experiments.
+//!
+//! Each generator returns a named [`Graph`](crate::Graph) and validates its
+//! parameters, returning [`GraphError::InvalidParameter`](crate::GraphError)
+//! for impossible requests instead of panicking.
+//!
+//! The families cover the four graph classes of the paper's comparison
+//! tables (arbitrary graphs, constant-degree expanders, hypercubes, r-dim
+//! tori) plus low-expansion families used to stress the discrepancy bounds.
+
+mod hypercube;
+mod low_expansion;
+mod random;
+mod structured;
+mod torus;
+
+pub use hypercube::hypercube;
+pub use low_expansion::{barbell, lollipop, ring_of_cliques};
+pub use random::{erdos_renyi_connected, random_regular};
+pub use structured::{binary_tree, complete, cycle, path, star};
+pub use torus::{grid, torus, torus_multidim};
+
+#[cfg(test)]
+mod tests {
+    //! Cross-family sanity checks shared by all generators.
+
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn all_generators_produce_connected_graphs() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let graphs = vec![
+            hypercube(4).unwrap(),
+            torus(4, 4).unwrap(),
+            torus_multidim(&[3, 3, 3]).unwrap(),
+            grid(3, 5).unwrap(),
+            cycle(8).unwrap(),
+            path(8).unwrap(),
+            complete(6).unwrap(),
+            star(7).unwrap(),
+            binary_tree(4).unwrap(),
+            random_regular(32, 4, &mut rng).unwrap(),
+            erdos_renyi_connected(32, 0.2, &mut rng).unwrap(),
+            barbell(8, 4).unwrap(),
+            lollipop(8, 8).unwrap(),
+            ring_of_cliques(4, 5).unwrap(),
+        ];
+        for g in graphs {
+            assert!(g.is_connected(), "{g} must be connected");
+            assert!(!g.name().is_empty(), "generators must name their graphs");
+        }
+    }
+}

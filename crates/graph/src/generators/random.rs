@@ -1,0 +1,247 @@
+//! Random graph families: random regular graphs and connected Erdős–Rényi
+//! graphs.
+//!
+//! Random `d`-regular graphs with `d >= 3` are expanders with high
+//! probability, so [`random_regular`] doubles as the "constant-degree
+//! expander" family of the paper's comparison tables. Callers that need a
+//! certified spectral gap can verify it with
+//! [`spectral::second_eigenvalue`](crate::spectral).
+
+use crate::builder::GraphBuilder;
+use crate::error::GraphError;
+use crate::graph::Graph;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Maximum number of pairing attempts before the generator gives up. Each
+/// attempt repairs self-loops and multi-edges with random edge swaps, so a
+/// single attempt almost always succeeds; the retry loop only guards against
+/// the rare disconnected sample.
+const MAX_PAIRING_ATTEMPTS: usize = 200;
+
+/// Generates a random simple `d`-regular graph on `n` nodes using the
+/// configuration (pairing) model followed by random edge-swap repair of
+/// self-loops and multi-edges, retrying until the result is simple and
+/// connected.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `d >= n`, if `n * d` is odd,
+/// if `d == 0`, or if no simple connected pairing was found after an internal
+/// retry limit (practically impossible for `d >= 3`).
+///
+/// # Examples
+///
+/// ```
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(42);
+/// let g = lb_graph::generators::random_regular(64, 4, &mut rng)?;
+/// assert!(g.is_regular());
+/// assert_eq!(g.max_degree(), 4);
+/// # Ok::<(), lb_graph::GraphError>(())
+/// ```
+pub fn random_regular(n: usize, d: usize, rng: &mut impl Rng) -> Result<Graph, GraphError> {
+    if d == 0 {
+        return Err(GraphError::invalid_parameter("degree must be positive"));
+    }
+    if d >= n {
+        return Err(GraphError::invalid_parameter(format!(
+            "degree {d} must be smaller than node count {n}"
+        )));
+    }
+    if (n * d) % 2 != 0 {
+        return Err(GraphError::invalid_parameter(format!(
+            "n * d must be even, got n = {n}, d = {d}"
+        )));
+    }
+
+    for _ in 0..MAX_PAIRING_ATTEMPTS {
+        if let Some(graph) = try_pairing(n, d, rng) {
+            if graph.is_connected() {
+                return Ok(graph.with_name(format!("random_regular(n={n}, d={d})")));
+            }
+        }
+    }
+    Err(GraphError::invalid_parameter(format!(
+        "failed to sample a simple connected {d}-regular graph on {n} nodes"
+    )))
+}
+
+fn try_pairing(n: usize, d: usize, rng: &mut impl Rng) -> Option<Graph> {
+    // One stub per (node, slot); a uniformly random perfect matching of the
+    // stubs induces a d-regular multigraph. Self-loops and multi-edges are
+    // then repaired with random double edge swaps, which preserve the degree
+    // sequence.
+    let mut stubs: Vec<usize> = (0..n * d).map(|s| s / d).collect();
+    stubs.shuffle(rng);
+    let mut pairs: Vec<(usize, usize)> = stubs
+        .chunks_exact(2)
+        .map(|pair| (pair[0], pair[1]))
+        .collect();
+
+    use std::collections::HashSet;
+    let canonical = |u: usize, v: usize| if u < v { (u, v) } else { (v, u) };
+    let mut edge_set: HashSet<(usize, usize)> = HashSet::with_capacity(pairs.len());
+    let is_bad = |u: usize, v: usize, set: &HashSet<(usize, usize)>| {
+        u == v || set.contains(&canonical(u, v))
+    };
+    for &(u, v) in &pairs {
+        if u != v {
+            // Multi-edges simply fail to insert; they stay "bad" below.
+            edge_set.insert(canonical(u, v));
+        }
+    }
+    // Repair loop: repeatedly pick a bad pair and swap one endpoint with a
+    // random other pair. Each successful swap strictly reduces badness in
+    // expectation; cap the work to avoid pathological spins.
+    let max_swaps = 200 * pairs.len() + 10_000;
+    let mut swaps = 0usize;
+    loop {
+        // Recompute the set exactly (cheap relative to simulation sizes) so
+        // duplicates are tracked correctly.
+        edge_set.clear();
+        let mut bad_indices = Vec::new();
+        for (idx, &(u, v)) in pairs.iter().enumerate() {
+            if u == v || !edge_set.insert(canonical(u, v)) {
+                bad_indices.push(idx);
+            }
+        }
+        if bad_indices.is_empty() {
+            break;
+        }
+        for &idx in &bad_indices {
+            swaps += 1;
+            if swaps > max_swaps {
+                return None;
+            }
+            let other = rng.gen_range(0..pairs.len());
+            if other == idx {
+                continue;
+            }
+            let (a, b) = pairs[idx];
+            let (c, e) = pairs[other];
+            // Swap to (a, e) and (c, b); accept only if both are non-loops
+            // and do not duplicate existing edges (best effort: the next
+            // outer pass re-validates everything).
+            if !is_bad(a, e, &edge_set) && !is_bad(c, b, &edge_set) && canonical(a, e) != canonical(c, b) {
+                pairs[idx] = (a, e);
+                pairs[other] = (c, b);
+                edge_set.insert(canonical(a, e));
+                edge_set.insert(canonical(c, b));
+            }
+        }
+    }
+
+    let mut builder = GraphBuilder::new(n);
+    for (u, v) in pairs {
+        match builder.add_edge(u, v) {
+            Ok(true) => {}
+            Ok(false) => return None,
+            Err(_) => unreachable!("stub endpoints are always in range"),
+        }
+    }
+    Some(builder.build())
+}
+
+/// Generates a connected Erdős–Rényi graph `G(n, p)` by sampling until the
+/// result is connected.
+///
+/// This is the "arbitrary graph" family used in experiments: it is neither
+/// regular nor vertex-transitive and its expansion depends on `p`.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `n < 2`, if `p` is not in
+/// `(0, 1]`, or if no connected sample was found after an internal retry
+/// limit (use a larger `p` in that case).
+pub fn erdos_renyi_connected(
+    n: usize,
+    p: f64,
+    rng: &mut impl Rng,
+) -> Result<Graph, GraphError> {
+    if n < 2 {
+        return Err(GraphError::invalid_parameter("G(n, p) requires n >= 2"));
+    }
+    if !(p > 0.0 && p <= 1.0) {
+        return Err(GraphError::invalid_parameter(format!(
+            "edge probability must be in (0, 1], got {p}"
+        )));
+    }
+    const MAX_ATTEMPTS: usize = 100;
+    for _ in 0..MAX_ATTEMPTS {
+        let mut builder = GraphBuilder::new(n);
+        for u in 0..n {
+            for v in u + 1..n {
+                if rng.gen_bool(p) {
+                    builder.add_edge(u, v).expect("edge endpoints in range");
+                }
+            }
+        }
+        let g = builder.build();
+        if g.is_connected() {
+            return Ok(g.with_name(format!("erdos_renyi(n={n}, p={p})")));
+        }
+    }
+    Err(GraphError::invalid_parameter(format!(
+        "failed to sample a connected G({n}, {p}); increase p"
+    )))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_regular_is_regular_and_connected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for d in [2usize, 3, 4, 6] {
+            let g = random_regular(50, d, &mut rng).unwrap();
+            assert!(g.is_regular(), "d = {d}");
+            assert_eq!(g.max_degree(), d);
+            assert!(g.is_connected());
+            assert_eq!(g.edge_count(), 50 * d / 2);
+        }
+    }
+
+    #[test]
+    fn random_regular_is_deterministic_per_seed() {
+        let g1 = random_regular(40, 4, &mut StdRng::seed_from_u64(99)).unwrap();
+        let g2 = random_regular(40, 4, &mut StdRng::seed_from_u64(99)).unwrap();
+        assert_eq!(g1.edges(), g2.edges());
+    }
+
+    #[test]
+    fn random_regular_rejects_bad_parameters() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(random_regular(10, 0, &mut rng).is_err());
+        assert!(random_regular(10, 10, &mut rng).is_err());
+        assert!(random_regular(5, 3, &mut rng).is_err(), "odd n*d");
+    }
+
+    #[test]
+    fn erdos_renyi_connected_sample() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = erdos_renyi_connected(40, 0.15, &mut rng).unwrap();
+        assert!(g.is_connected());
+        assert_eq!(g.node_count(), 40);
+        assert!(g.edge_count() > 0);
+    }
+
+    #[test]
+    fn erdos_renyi_rejects_bad_parameters() {
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!(erdos_renyi_connected(1, 0.5, &mut rng).is_err());
+        assert!(erdos_renyi_connected(10, 0.0, &mut rng).is_err());
+        assert!(erdos_renyi_connected(10, 1.5, &mut rng).is_err());
+    }
+
+    #[test]
+    fn erdos_renyi_full_probability_is_complete() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = erdos_renyi_connected(8, 1.0, &mut rng).unwrap();
+        assert_eq!(g.edge_count(), 8 * 7 / 2);
+    }
+}

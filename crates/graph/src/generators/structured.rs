@@ -1,0 +1,166 @@
+//! Small structured families: cycles, paths, cliques, stars, trees.
+
+use crate::builder::GraphBuilder;
+use crate::error::GraphError;
+use crate::graph::Graph;
+
+/// Builds the cycle on `n >= 3` nodes.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `n < 3`.
+pub fn cycle(n: usize) -> Result<Graph, GraphError> {
+    if n < 3 {
+        return Err(GraphError::invalid_parameter("cycle requires n >= 3"));
+    }
+    let mut builder = GraphBuilder::new(n);
+    builder.set_name(format!("cycle({n})"));
+    for u in 0..n {
+        builder.add_edge(u, (u + 1) % n).expect("cycle edges valid");
+    }
+    Ok(builder.build())
+}
+
+/// Builds the path on `n >= 2` nodes.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `n < 2`.
+pub fn path(n: usize) -> Result<Graph, GraphError> {
+    if n < 2 {
+        return Err(GraphError::invalid_parameter("path requires n >= 2"));
+    }
+    let mut builder = GraphBuilder::new(n);
+    builder.set_name(format!("path({n})"));
+    for u in 0..n - 1 {
+        builder.add_edge(u, u + 1).expect("path edges valid");
+    }
+    Ok(builder.build())
+}
+
+/// Builds the complete graph on `n >= 2` nodes.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `n < 2`.
+pub fn complete(n: usize) -> Result<Graph, GraphError> {
+    if n < 2 {
+        return Err(GraphError::invalid_parameter("complete graph requires n >= 2"));
+    }
+    let mut builder = GraphBuilder::new(n);
+    builder.set_name(format!("complete({n})"));
+    for u in 0..n {
+        for v in u + 1..n {
+            builder.add_edge(u, v).expect("complete edges valid");
+        }
+    }
+    Ok(builder.build())
+}
+
+/// Builds the star with one centre (node 0) and `n - 1` leaves.
+///
+/// The star is the canonical maximum-degree, non-regular test case.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `n < 2`.
+pub fn star(n: usize) -> Result<Graph, GraphError> {
+    if n < 2 {
+        return Err(GraphError::invalid_parameter("star requires n >= 2"));
+    }
+    let mut builder = GraphBuilder::new(n);
+    builder.set_name(format!("star({n})"));
+    for leaf in 1..n {
+        builder.add_edge(0, leaf).expect("star edges valid");
+    }
+    Ok(builder.build())
+}
+
+/// Builds the complete binary tree of the given `depth` (a tree of depth 1 is
+/// a single edge plus root: 3 nodes).
+///
+/// The tree has `2^{depth+1} - 1` nodes; node 0 is the root and node `u` has
+/// children `2u + 1` and `2u + 2`.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `depth == 0` or `depth >= 40`.
+pub fn binary_tree(depth: u32) -> Result<Graph, GraphError> {
+    if depth == 0 {
+        return Err(GraphError::invalid_parameter("binary tree depth must be >= 1"));
+    }
+    if depth >= 40 {
+        return Err(GraphError::invalid_parameter("binary tree depth must be < 40"));
+    }
+    let n = (1usize << (depth + 1)) - 1;
+    let mut builder = GraphBuilder::new(n);
+    builder.set_name(format!("binary_tree({depth})"));
+    for u in 0..n {
+        for child in [2 * u + 1, 2 * u + 2] {
+            if child < n {
+                builder.add_edge(u, child).expect("tree edges valid");
+            }
+        }
+    }
+    Ok(builder.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_properties() {
+        let g = cycle(7).unwrap();
+        assert_eq!(g.edge_count(), 7);
+        assert!(g.is_regular());
+        assert_eq!(g.max_degree(), 2);
+        assert_eq!(g.diameter(), Some(3));
+        assert!(cycle(2).is_err());
+    }
+
+    #[test]
+    fn path_properties() {
+        let g = path(6).unwrap();
+        assert_eq!(g.edge_count(), 5);
+        assert_eq!(g.diameter(), Some(5));
+        assert!(path(1).is_err());
+    }
+
+    #[test]
+    fn complete_properties() {
+        let g = complete(5).unwrap();
+        assert_eq!(g.edge_count(), 10);
+        assert_eq!(g.diameter(), Some(1));
+        assert!(g.is_regular());
+        assert!(complete(1).is_err());
+    }
+
+    #[test]
+    fn star_properties() {
+        let g = star(9).unwrap();
+        assert_eq!(g.edge_count(), 8);
+        assert_eq!(g.max_degree(), 8);
+        assert_eq!(g.min_degree(), 1);
+        assert_eq!(g.diameter(), Some(2));
+        assert!(star(1).is_err());
+    }
+
+    #[test]
+    fn binary_tree_properties() {
+        let g = binary_tree(3).unwrap();
+        assert_eq!(g.node_count(), 15);
+        assert_eq!(g.edge_count(), 14);
+        assert_eq!(g.max_degree(), 3);
+        assert!(g.is_connected());
+        assert!(g.is_bipartite());
+        assert!(binary_tree(0).is_err());
+        assert!(binary_tree(40).is_err());
+    }
+
+    #[test]
+    fn even_cycles_are_bipartite_odd_are_not() {
+        assert!(cycle(8).unwrap().is_bipartite());
+        assert!(!cycle(9).unwrap().is_bipartite());
+    }
+}

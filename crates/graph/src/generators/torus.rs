@@ -1,0 +1,188 @@
+//! Torus and grid families.
+
+use crate::builder::GraphBuilder;
+use crate::error::GraphError;
+use crate::graph::Graph;
+
+/// Builds the 2-dimensional torus (wrap-around grid) with `rows × cols`
+/// nodes.
+///
+/// Node `(r, c)` is numbered `r * cols + c` and is adjacent to its four
+/// wrap-around neighbours. For side length 2 the wrap-around edge coincides
+/// with the direct edge, so degrees drop accordingly.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if either side is smaller than 2.
+///
+/// # Examples
+///
+/// ```
+/// let g = lb_graph::generators::torus(4, 4)?;
+/// assert_eq!(g.node_count(), 16);
+/// assert!(g.is_regular());
+/// assert_eq!(g.max_degree(), 4);
+/// # Ok::<(), lb_graph::GraphError>(())
+/// ```
+pub fn torus(rows: usize, cols: usize) -> Result<Graph, GraphError> {
+    torus_multidim(&[rows, cols]).map(|g| g.with_name(format!("torus({rows}x{cols})")))
+}
+
+/// Builds an `r`-dimensional torus with the given side lengths.
+///
+/// The node with coordinates `(c_0, …, c_{r-1})` is adjacent to the nodes
+/// obtained by incrementing or decrementing one coordinate modulo its side
+/// length. This is the "r-dim tori, r = O(1)" family from the paper's
+/// comparison tables.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if no side lengths are given or
+/// any side length is smaller than 2.
+pub fn torus_multidim(sides: &[usize]) -> Result<Graph, GraphError> {
+    if sides.is_empty() {
+        return Err(GraphError::invalid_parameter(
+            "torus requires at least one dimension",
+        ));
+    }
+    if let Some(bad) = sides.iter().find(|&&s| s < 2) {
+        return Err(GraphError::invalid_parameter(format!(
+            "torus side lengths must be at least 2, got {bad}"
+        )));
+    }
+    let n: usize = sides.iter().product();
+    let mut builder = GraphBuilder::new(n);
+    builder.set_name(format!("torus{sides:?}"));
+    let mut coords = vec![0usize; sides.len()];
+    for u in 0..n {
+        // Decode coordinates of u (row-major).
+        let mut rest = u;
+        for (k, &side) in sides.iter().enumerate().rev() {
+            coords[k] = rest % side;
+            rest /= side;
+        }
+        for (k, &side) in sides.iter().enumerate() {
+            let up = (coords[k] + 1) % side;
+            let v = recompose(&coords, k, up, sides);
+            if v != u {
+                builder.add_edge(u, v).expect("torus edges are valid");
+            }
+        }
+    }
+    Ok(builder.build())
+}
+
+/// Builds the non-wrapping 2-dimensional grid with `rows × cols` nodes.
+///
+/// Interior nodes have degree 4, border nodes 3, corners 2. The grid has the
+/// same `Θ(n^{1/2})` diameter as the torus but is not regular, making it a
+/// useful "arbitrary graph" test case.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if either side is zero.
+pub fn grid(rows: usize, cols: usize) -> Result<Graph, GraphError> {
+    if rows == 0 || cols == 0 {
+        return Err(GraphError::invalid_parameter(
+            "grid sides must be positive",
+        ));
+    }
+    let n = rows * cols;
+    let mut builder = GraphBuilder::new(n);
+    builder.set_name(format!("grid({rows}x{cols})"));
+    for r in 0..rows {
+        for c in 0..cols {
+            let u = r * cols + c;
+            if c + 1 < cols {
+                builder.add_edge(u, u + 1).expect("grid edges are valid");
+            }
+            if r + 1 < rows {
+                builder.add_edge(u, u + cols).expect("grid edges are valid");
+            }
+        }
+    }
+    Ok(builder.build())
+}
+
+fn recompose(coords: &[usize], replaced: usize, value: usize, sides: &[usize]) -> usize {
+    let mut idx = 0usize;
+    for (k, &side) in sides.iter().enumerate() {
+        let c = if k == replaced { value } else { coords[k] };
+        idx = idx * side + c;
+    }
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn torus_4x4_is_4_regular() {
+        let g = torus(4, 4).unwrap();
+        assert_eq!(g.node_count(), 16);
+        assert!(g.is_regular());
+        assert_eq!(g.max_degree(), 4);
+        assert_eq!(g.edge_count(), 32);
+    }
+
+    #[test]
+    fn torus_side_two_merges_wraparound() {
+        // On a 2x4 torus the vertical wrap edge coincides with the direct
+        // edge, so vertical degree contribution is 1 instead of 2.
+        let g = torus(2, 4).unwrap();
+        assert!(g.is_regular());
+        assert_eq!(g.max_degree(), 3);
+    }
+
+    #[test]
+    fn three_dimensional_torus() {
+        let g = torus_multidim(&[3, 3, 3]).unwrap();
+        assert_eq!(g.node_count(), 27);
+        assert!(g.is_regular());
+        assert_eq!(g.max_degree(), 6);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn torus_cycle_equivalence() {
+        // A 1-dimensional torus of length k is the k-cycle.
+        let g = torus_multidim(&[6]).unwrap();
+        assert_eq!(g.node_count(), 6);
+        assert_eq!(g.edge_count(), 6);
+        assert!(g.is_regular());
+        assert_eq!(g.max_degree(), 2);
+    }
+
+    #[test]
+    fn grid_degrees() {
+        let g = grid(3, 4).unwrap();
+        assert_eq!(g.node_count(), 12);
+        assert_eq!(g.edge_count(), 3 * 3 + 2 * 4);
+        assert_eq!(g.min_degree(), 2);
+        assert_eq!(g.max_degree(), 4);
+        assert!(!g.is_regular());
+    }
+
+    #[test]
+    fn grid_single_row_is_path() {
+        let g = grid(1, 5).unwrap();
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.diameter(), Some(4));
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(torus(1, 4).is_err());
+        assert!(torus_multidim(&[]).is_err());
+        assert!(torus_multidim(&[3, 1]).is_err());
+        assert!(grid(0, 3).is_err());
+    }
+
+    #[test]
+    fn torus_diameter_matches_manhattan_wraparound() {
+        let g = torus(4, 6).unwrap();
+        // diameter = floor(4/2) + floor(6/2) = 2 + 3
+        assert_eq!(g.diameter(), Some(5));
+    }
+}

@@ -1,0 +1,507 @@
+//! The core undirected [`Graph`] type used by every load-balancing process.
+//!
+//! The representation is a compressed-sparse-row (CSR) adjacency structure
+//! augmented with a canonical undirected edge list, so that per-edge state
+//! (e.g. cumulative flow in a balancing process) can be stored in a flat
+//! `Vec` indexed by [`EdgeId`].
+
+use crate::error::GraphError;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Index of a node in a [`Graph`]. Nodes are numbered `0..n`.
+pub type NodeId = usize;
+
+/// Index of an undirected edge in a [`Graph`]. Edges are numbered `0..m` in
+/// the canonical order returned by [`Graph::edges`].
+pub type EdgeId = usize;
+
+/// An immutable, simple, undirected graph in CSR form.
+///
+/// Invariants upheld by construction:
+/// * no self-loops,
+/// * no duplicate undirected edges,
+/// * neighbour lists are sorted by node index,
+/// * the canonical edge list stores each edge once as `(u, v)` with `u < v`.
+///
+/// # Examples
+///
+/// ```
+/// use lb_graph::Graph;
+///
+/// let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)])?;
+/// assert_eq!(g.node_count(), 4);
+/// assert_eq!(g.edge_count(), 4);
+/// assert_eq!(g.degree(0), 2);
+/// assert!(g.is_connected());
+/// # Ok::<(), lb_graph::GraphError>(())
+/// ```
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Graph {
+    n: usize,
+    /// CSR offsets, length `n + 1`.
+    offsets: Vec<usize>,
+    /// Flattened neighbour lists, length `2m`.
+    adjacency: Vec<NodeId>,
+    /// For each adjacency slot, the id of the undirected edge it belongs to.
+    adjacency_edge: Vec<EdgeId>,
+    /// Canonical edge list: `edges[e] = (u, v)` with `u < v`.
+    edges: Vec<(NodeId, NodeId)>,
+    /// Optional human-readable name (e.g. `"hypercube(10)"`).
+    name: String,
+}
+
+impl Graph {
+    /// Builds a graph with `n` nodes from an iterator of undirected edges.
+    ///
+    /// Edges may be given in either orientation; they are canonicalised to
+    /// `(min, max)` order and sorted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfRange`] if an endpoint is `>= n`,
+    /// [`GraphError::SelfLoop`] for an edge `(u, u)`, and
+    /// [`GraphError::DuplicateEdge`] if the same undirected edge appears twice.
+    pub fn from_edges(
+        n: usize,
+        edges: impl IntoIterator<Item = (NodeId, NodeId)>,
+    ) -> Result<Self, GraphError> {
+        let mut canonical: Vec<(NodeId, NodeId)> = Vec::new();
+        for (a, b) in edges {
+            if a >= n {
+                return Err(GraphError::NodeOutOfRange { node: a, n });
+            }
+            if b >= n {
+                return Err(GraphError::NodeOutOfRange { node: b, n });
+            }
+            if a == b {
+                return Err(GraphError::SelfLoop { node: a });
+            }
+            let (u, v) = if a < b { (a, b) } else { (b, a) };
+            canonical.push((u, v));
+        }
+        canonical.sort_unstable();
+        for w in canonical.windows(2) {
+            if w[0] == w[1] {
+                return Err(GraphError::DuplicateEdge {
+                    u: w[0].0,
+                    v: w[0].1,
+                });
+            }
+        }
+        Ok(Self::from_canonical_edges(n, canonical))
+    }
+
+    /// Builds a graph from a pre-validated, sorted, canonical edge list.
+    ///
+    /// Used internally by generators that construct edges in canonical form.
+    pub(crate) fn from_canonical_edges(n: usize, edges: Vec<(NodeId, NodeId)>) -> Self {
+        let mut degree = vec![0usize; n];
+        for &(u, v) in &edges {
+            degree[u] += 1;
+            degree[v] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0);
+        for d in &degree {
+            let last = *offsets.last().expect("offsets is never empty");
+            offsets.push(last + d);
+        }
+        let total = offsets[n];
+        let mut adjacency = vec![0usize; total];
+        let mut adjacency_edge = vec![0usize; total];
+        let mut cursor = offsets[..n].to_vec();
+        for (eid, &(u, v)) in edges.iter().enumerate() {
+            adjacency[cursor[u]] = v;
+            adjacency_edge[cursor[u]] = eid;
+            cursor[u] += 1;
+            adjacency[cursor[v]] = u;
+            adjacency_edge[cursor[v]] = eid;
+            cursor[v] += 1;
+        }
+        // Sort each neighbour list (and the parallel edge-id list) by node id.
+        for u in 0..n {
+            let range = offsets[u]..offsets[u + 1];
+            let mut pairs: Vec<(NodeId, EdgeId)> = adjacency[range.clone()]
+                .iter()
+                .copied()
+                .zip(adjacency_edge[range.clone()].iter().copied())
+                .collect();
+            pairs.sort_unstable();
+            for (slot, (nbr, eid)) in range.clone().zip(pairs) {
+                adjacency[slot] = nbr;
+                adjacency_edge[slot] = eid;
+            }
+        }
+        Graph {
+            n,
+            offsets,
+            adjacency,
+            adjacency_edge,
+            edges,
+            name: String::new(),
+        }
+    }
+
+    /// Sets a human-readable name for the graph (used in experiment reports).
+    #[must_use]
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Returns the graph's human-readable name, or `""` if none was set.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of nodes `n`.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of undirected edges `m`.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Returns `true` if the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Iterator over all node indices `0..n`.
+    pub fn nodes(&self) -> std::ops::Range<NodeId> {
+        0..self.n
+    }
+
+    /// The canonical undirected edge list; `edges()[e]` are the endpoints of
+    /// edge `e` with the smaller endpoint first.
+    pub fn edges(&self) -> &[(NodeId, NodeId)] {
+        &self.edges
+    }
+
+    /// Endpoints of edge `e` (smaller endpoint first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e >= self.edge_count()`.
+    pub fn edge_endpoints(&self, e: EdgeId) -> (NodeId, NodeId) {
+        self.edges[e]
+    }
+
+    /// Degree of node `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u >= self.node_count()`.
+    pub fn degree(&self, u: NodeId) -> usize {
+        self.offsets[u + 1] - self.offsets[u]
+    }
+
+    /// Maximum degree `d` over all nodes (0 for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        self.nodes().map(|u| self.degree(u)).max().unwrap_or(0)
+    }
+
+    /// Minimum degree over all nodes (0 for the empty graph).
+    pub fn min_degree(&self) -> usize {
+        self.nodes().map(|u| self.degree(u)).min().unwrap_or(0)
+    }
+
+    /// Returns `true` if every node has the same degree.
+    pub fn is_regular(&self) -> bool {
+        self.max_degree() == self.min_degree()
+    }
+
+    /// Sorted slice of the neighbours of `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u >= self.node_count()`.
+    pub fn neighbors(&self, u: NodeId) -> &[NodeId] {
+        &self.adjacency[self.offsets[u]..self.offsets[u + 1]]
+    }
+
+    /// Iterator over `(neighbour, edge_id)` pairs for node `u`, sorted by
+    /// neighbour index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u >= self.node_count()`.
+    pub fn neighbors_with_edges(
+        &self,
+        u: NodeId,
+    ) -> impl Iterator<Item = (NodeId, EdgeId)> + '_ {
+        let range = self.offsets[u]..self.offsets[u + 1];
+        self.adjacency[range.clone()]
+            .iter()
+            .copied()
+            .zip(self.adjacency_edge[range].iter().copied())
+    }
+
+    /// Returns the edge id of the undirected edge between `u` and `v`, or
+    /// `None` if they are not adjacent.
+    pub fn edge_between(&self, u: NodeId, v: NodeId) -> Option<EdgeId> {
+        if u >= self.n || v >= self.n {
+            return None;
+        }
+        let range = self.offsets[u]..self.offsets[u + 1];
+        let nbrs = &self.adjacency[range.clone()];
+        let pos = nbrs.binary_search(&v).ok()?;
+        Some(self.adjacency_edge[range.start + pos])
+    }
+
+    /// Returns `true` if `u` and `v` are adjacent.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.edge_between(u, v).is_some()
+    }
+
+    /// Returns `true` if the graph is connected (the empty graph and the
+    /// single-node graph count as connected).
+    pub fn is_connected(&self) -> bool {
+        if self.n <= 1 {
+            return true;
+        }
+        let visited = self.bfs_distances(0);
+        visited.iter().all(|d| d.is_some())
+    }
+
+    /// BFS distances from `source`; `None` marks unreachable nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source >= self.node_count()`.
+    pub fn bfs_distances(&self, source: NodeId) -> Vec<Option<usize>> {
+        assert!(source < self.n, "source {source} out of range");
+        let mut dist = vec![None; self.n];
+        dist[source] = Some(0);
+        let mut queue = VecDeque::new();
+        queue.push_back(source);
+        while let Some(u) = queue.pop_front() {
+            let du = dist[u].expect("queued nodes always have a distance");
+            for &v in self.neighbors(u) {
+                if dist[v].is_none() {
+                    dist[v] = Some(du + 1);
+                    queue.push_back(v);
+                }
+            }
+        }
+        dist
+    }
+
+    /// Exact diameter via repeated BFS.
+    ///
+    /// Runs in `O(n · (n + m))`; intended for the moderate graph sizes used in
+    /// experiments. Returns `None` for disconnected or empty graphs.
+    pub fn diameter(&self) -> Option<usize> {
+        if self.n == 0 {
+            return None;
+        }
+        let mut best = 0usize;
+        for u in self.nodes() {
+            let dist = self.bfs_distances(u);
+            for d in &dist {
+                match d {
+                    Some(d) => best = best.max(*d),
+                    None => return None,
+                }
+            }
+        }
+        Some(best)
+    }
+
+    /// Returns `true` if the graph is bipartite (2-colourable).
+    ///
+    /// Useful because the standard diffusion matrix on bipartite regular
+    /// graphs can have eigenvalue `-1`, which stalls convergence.
+    pub fn is_bipartite(&self) -> bool {
+        let mut colour: Vec<Option<bool>> = vec![None; self.n];
+        for start in self.nodes() {
+            if colour[start].is_some() {
+                continue;
+            }
+            colour[start] = Some(false);
+            let mut queue = VecDeque::new();
+            queue.push_back(start);
+            while let Some(u) = queue.pop_front() {
+                let cu = colour[u].expect("queued nodes are coloured");
+                for &v in self.neighbors(u) {
+                    match colour[v] {
+                        None => {
+                            colour[v] = Some(!cu);
+                            queue.push_back(v);
+                        }
+                        Some(cv) if cv == cu => return false,
+                        Some(_) => {}
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Sum of all node degrees (equals `2m`).
+    pub fn degree_sum(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Average degree `2m / n`, or 0.0 for the empty graph.
+    pub fn average_degree(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.degree_sum() as f64 / self.n as f64
+        }
+    }
+}
+
+impl fmt::Debug for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Graph")
+            .field("name", &self.name)
+            .field("n", &self.n)
+            .field("m", &self.edges.len())
+            .field("max_degree", &self.max_degree())
+            .finish()
+    }
+}
+
+impl fmt::Display for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.name.is_empty() {
+            write!(f, "graph(n={}, m={})", self.n, self.edges.len())
+        } else {
+            write!(f, "{}(n={}, m={})", self.name, self.n, self.edges.len())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cycle4() -> Graph {
+        Graph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)]).expect("valid cycle")
+    }
+
+    #[test]
+    fn from_edges_basic_counts() {
+        let g = cycle4();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.degree_sum(), 8);
+        assert!((g.average_degree() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn neighbors_are_sorted() {
+        let g = Graph::from_edges(5, [(0, 4), (0, 2), (0, 1), (0, 3)]).expect("star");
+        assert_eq!(g.neighbors(0), &[1, 2, 3, 4]);
+        assert_eq!(g.degree(0), 4);
+        assert_eq!(g.degree(3), 1);
+    }
+
+    #[test]
+    fn edge_between_and_endpoints_agree() {
+        let g = cycle4();
+        for e in 0..g.edge_count() {
+            let (u, v) = g.edge_endpoints(e);
+            assert!(u < v);
+            assert_eq!(g.edge_between(u, v), Some(e));
+            assert_eq!(g.edge_between(v, u), Some(e));
+        }
+        assert_eq!(g.edge_between(0, 2), None);
+        assert_eq!(g.edge_between(0, 99), None);
+    }
+
+    #[test]
+    fn neighbors_with_edges_matches_edge_between() {
+        let g = cycle4();
+        for u in g.nodes() {
+            for (v, e) in g.neighbors_with_edges(u) {
+                assert_eq!(g.edge_between(u, v), Some(e));
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_out_of_range_nodes() {
+        let err = Graph::from_edges(3, [(0, 3)]).unwrap_err();
+        assert_eq!(err, GraphError::NodeOutOfRange { node: 3, n: 3 });
+    }
+
+    #[test]
+    fn rejects_self_loops() {
+        let err = Graph::from_edges(3, [(1, 1)]).unwrap_err();
+        assert_eq!(err, GraphError::SelfLoop { node: 1 });
+    }
+
+    #[test]
+    fn rejects_duplicate_edges_in_either_orientation() {
+        let err = Graph::from_edges(3, [(0, 1), (1, 0)]).unwrap_err();
+        assert_eq!(err, GraphError::DuplicateEdge { u: 0, v: 1 });
+    }
+
+    #[test]
+    fn connectivity_and_diameter() {
+        let g = cycle4();
+        assert!(g.is_connected());
+        assert_eq!(g.diameter(), Some(2));
+
+        let disconnected = Graph::from_edges(4, [(0, 1), (2, 3)]).expect("two components");
+        assert!(!disconnected.is_connected());
+        assert_eq!(disconnected.diameter(), None);
+    }
+
+    #[test]
+    fn bfs_distances_on_path() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]).expect("path");
+        let d = g.bfs_distances(0);
+        assert_eq!(d, vec![Some(0), Some(1), Some(2), Some(3)]);
+    }
+
+    #[test]
+    fn bipartite_detection() {
+        assert!(cycle4().is_bipartite());
+        let triangle = Graph::from_edges(3, [(0, 1), (1, 2), (0, 2)]).expect("triangle");
+        assert!(!triangle.is_bipartite());
+    }
+
+    #[test]
+    fn regularity() {
+        assert!(cycle4().is_regular());
+        let star = Graph::from_edges(4, [(0, 1), (0, 2), (0, 3)]).expect("star");
+        assert!(!star.is_regular());
+        assert_eq!(star.max_degree(), 3);
+        assert_eq!(star.min_degree(), 1);
+    }
+
+    #[test]
+    fn empty_and_singleton_graphs() {
+        let empty = Graph::from_edges(0, []).expect("empty");
+        assert!(empty.is_empty());
+        assert!(empty.is_connected());
+        assert_eq!(empty.max_degree(), 0);
+        assert_eq!(empty.diameter(), None);
+
+        let singleton = Graph::from_edges(1, []).expect("singleton");
+        assert!(singleton.is_connected());
+        assert_eq!(singleton.diameter(), Some(0));
+    }
+
+    #[test]
+    fn display_and_debug_are_nonempty() {
+        let g = cycle4().with_name("cycle");
+        assert_eq!(g.name(), "cycle");
+        assert!(format!("{g}").contains("cycle"));
+        assert!(format!("{g:?}").contains("Graph"));
+    }
+
+    #[test]
+    fn graph_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Graph>();
+    }
+}

@@ -1,0 +1,333 @@
+//! Matchings for dimension-exchange style load balancing.
+//!
+//! The matching-based models of the paper restrict the per-round load
+//! exchange to a matching of the graph. Two variants are supported:
+//!
+//! * **Periodic matchings** — a fixed set of matchings that together cover
+//!   every edge (obtained from a greedy edge colouring) and are used
+//!   round-robin, `P(t) = P(t mod d̃)`.
+//! * **Random matchings** — an independently sampled random maximal matching
+//!   per round.
+
+use crate::graph::{EdgeId, Graph, NodeId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A matching: a set of edges no two of which share an endpoint.
+///
+/// Stored as the list of edge ids; the node pairing can be recovered through
+/// [`Graph::edge_endpoints`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct Matching {
+    edges: Vec<EdgeId>,
+}
+
+impl Matching {
+    /// Creates a matching from a list of edge ids.
+    ///
+    /// The caller is responsible for the edges actually being disjoint; use
+    /// [`Matching::is_valid`] to verify against a graph.
+    pub fn new(edges: Vec<EdgeId>) -> Self {
+        Matching { edges }
+    }
+
+    /// The edge ids in this matching.
+    pub fn edges(&self) -> &[EdgeId] {
+        &self.edges
+    }
+
+    /// Number of edges in the matching.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Returns `true` if the matching contains no edges.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Checks that no two edges of the matching share an endpoint in `graph`.
+    pub fn is_valid(&self, graph: &Graph) -> bool {
+        let mut used = vec![false; graph.node_count()];
+        for &e in &self.edges {
+            if e >= graph.edge_count() {
+                return false;
+            }
+            let (u, v) = graph.edge_endpoints(e);
+            if used[u] || used[v] {
+                return false;
+            }
+            used[u] = true;
+            used[v] = true;
+        }
+        true
+    }
+
+    /// Returns the partner of `node` in this matching, or `None` if the node
+    /// is unmatched.
+    pub fn partner_of(&self, graph: &Graph, node: NodeId) -> Option<NodeId> {
+        for &e in &self.edges {
+            let (u, v) = graph.edge_endpoints(e);
+            if u == node {
+                return Some(v);
+            }
+            if v == node {
+                return Some(u);
+            }
+        }
+        None
+    }
+}
+
+impl FromIterator<EdgeId> for Matching {
+    fn from_iter<T: IntoIterator<Item = EdgeId>>(iter: T) -> Self {
+        Matching::new(iter.into_iter().collect())
+    }
+}
+
+/// A fixed family of matchings covering every edge, used periodically.
+///
+/// Constructed by [`PeriodicMatchings::greedy_edge_coloring`], which colours
+/// edges greedily and therefore uses at most `2·d − 1` colours (the paper
+/// only needs "roughly maximum degree many" matchings).
+///
+/// # Examples
+///
+/// ```
+/// use lb_graph::{generators, PeriodicMatchings};
+///
+/// let g = generators::hypercube(3)?;
+/// let pm = PeriodicMatchings::greedy_edge_coloring(&g);
+/// assert!(pm.period() >= 3);
+/// // Every edge appears in exactly one matching.
+/// let covered: usize = (0..pm.period()).map(|i| pm.matching(i).len()).sum();
+/// assert_eq!(covered, g.edge_count());
+/// # Ok::<(), lb_graph::GraphError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PeriodicMatchings {
+    matchings: Vec<Matching>,
+}
+
+impl PeriodicMatchings {
+    /// Builds periodic matchings from an explicit list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `matchings` is empty.
+    pub fn new(matchings: Vec<Matching>) -> Self {
+        assert!(
+            !matchings.is_empty(),
+            "periodic matchings require at least one matching"
+        );
+        PeriodicMatchings { matchings }
+    }
+
+    /// Greedily edge-colours `graph` and returns the colour classes as
+    /// matchings. Every edge is covered exactly once; at most `2·d − 1`
+    /// colours are used. For the empty graph a single empty matching is
+    /// returned so that the period is never zero.
+    pub fn greedy_edge_coloring(graph: &Graph) -> Self {
+        let n = graph.node_count();
+        let mut colour_of_edge: Vec<Option<usize>> = vec![None; graph.edge_count()];
+        // colours_used[u] holds the set of colours already incident to u,
+        // as a bitset in a Vec<bool> grown on demand.
+        let mut colours_used: Vec<Vec<bool>> = vec![Vec::new(); n];
+        let mut num_colours = 0usize;
+        for (e, &(u, v)) in graph.edges().iter().enumerate() {
+            // Find the smallest colour free at both endpoints.
+            let mut colour = 0usize;
+            loop {
+                let used_u = colours_used[u].get(colour).copied().unwrap_or(false);
+                let used_v = colours_used[v].get(colour).copied().unwrap_or(false);
+                if !used_u && !used_v {
+                    break;
+                }
+                colour += 1;
+            }
+            colour_of_edge[e] = Some(colour);
+            for node in [u, v] {
+                if colours_used[node].len() <= colour {
+                    colours_used[node].resize(colour + 1, false);
+                }
+                colours_used[node][colour] = true;
+            }
+            num_colours = num_colours.max(colour + 1);
+        }
+        let mut classes: Vec<Vec<EdgeId>> = vec![Vec::new(); num_colours.max(1)];
+        for (e, colour) in colour_of_edge.into_iter().enumerate() {
+            let colour = colour.expect("every edge is coloured");
+            classes[colour].push(e);
+        }
+        PeriodicMatchings {
+            matchings: classes.into_iter().map(Matching::new).collect(),
+        }
+    }
+
+    /// The number of matchings `d̃` in one period.
+    pub fn period(&self) -> usize {
+        self.matchings.len()
+    }
+
+    /// The matching used in round `t`, i.e. matching `t mod d̃`.
+    pub fn for_round(&self, t: usize) -> &Matching {
+        &self.matchings[t % self.matchings.len()]
+    }
+
+    /// The `i`-th matching of the period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.period()`.
+    pub fn matching(&self, i: usize) -> &Matching {
+        &self.matchings[i]
+    }
+
+    /// Iterator over the matchings of one period.
+    pub fn iter(&self) -> impl Iterator<Item = &Matching> {
+        self.matchings.iter()
+    }
+
+    /// Checks that all matchings are valid and together cover each edge of
+    /// `graph` exactly once.
+    pub fn is_proper_cover(&self, graph: &Graph) -> bool {
+        let mut seen = vec![false; graph.edge_count()];
+        for matching in &self.matchings {
+            if !matching.is_valid(graph) {
+                return false;
+            }
+            for &e in matching.edges() {
+                if seen[e] {
+                    return false;
+                }
+                seen[e] = true;
+            }
+        }
+        seen.iter().all(|&s| s)
+    }
+}
+
+/// Samples a random maximal matching of `graph`: edges are visited in a
+/// uniformly random order and added whenever both endpoints are still free.
+///
+/// This is the per-round matching distribution of the random-matching model
+/// (Ghosh–Muthukrishnan style); each edge is included with probability
+/// `Ω(1/d)`.
+pub fn random_maximal_matching(graph: &Graph, rng: &mut impl Rng) -> Matching {
+    let mut order: Vec<EdgeId> = (0..graph.edge_count()).collect();
+    order.shuffle(rng);
+    let mut used = vec![false; graph.node_count()];
+    let mut picked = Vec::new();
+    for e in order {
+        let (u, v) = graph.edge_endpoints(e);
+        if !used[u] && !used[v] {
+            used[u] = true;
+            used[v] = true;
+            picked.push(e);
+        }
+    }
+    picked.sort_unstable();
+    Matching::new(picked)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn greedy_coloring_covers_hypercube() {
+        let g = generators::hypercube(4).unwrap();
+        let pm = PeriodicMatchings::greedy_edge_coloring(&g);
+        assert!(pm.is_proper_cover(&g));
+        assert!(pm.period() >= 4, "need at least d matchings");
+        assert!(pm.period() <= 2 * 4 - 1, "greedy colouring uses < 2d colours");
+    }
+
+    #[test]
+    fn greedy_coloring_covers_irregular_graph() {
+        let g = generators::star(9).unwrap();
+        let pm = PeriodicMatchings::greedy_edge_coloring(&g);
+        assert!(pm.is_proper_cover(&g));
+        // A star needs exactly d = 8 matchings of one edge each.
+        assert_eq!(pm.period(), 8);
+        for m in pm.iter() {
+            assert_eq!(m.len(), 1);
+        }
+    }
+
+    #[test]
+    fn for_round_wraps_around() {
+        let g = generators::cycle(6).unwrap();
+        let pm = PeriodicMatchings::greedy_edge_coloring(&g);
+        let period = pm.period();
+        assert_eq!(pm.for_round(0), pm.for_round(period));
+        assert_eq!(pm.for_round(3), pm.for_round(3 + 5 * period));
+    }
+
+    #[test]
+    fn matching_partner_lookup() {
+        let g = generators::path(4).unwrap();
+        let e01 = g.edge_between(0, 1).unwrap();
+        let e23 = g.edge_between(2, 3).unwrap();
+        let m = Matching::new(vec![e01, e23]);
+        assert!(m.is_valid(&g));
+        assert_eq!(m.partner_of(&g, 0), Some(1));
+        assert_eq!(m.partner_of(&g, 3), Some(2));
+        let e12 = g.edge_between(1, 2).unwrap();
+        let bad = Matching::new(vec![e01, e12]);
+        assert!(!bad.is_valid(&g));
+    }
+
+    #[test]
+    fn matching_from_iterator_and_emptiness() {
+        let m: Matching = [].into_iter().collect();
+        assert!(m.is_empty());
+        let m: Matching = [0usize, 2].into_iter().collect();
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn invalid_edge_id_fails_validation() {
+        let g = generators::path(3).unwrap();
+        let m = Matching::new(vec![99]);
+        assert!(!m.is_valid(&g));
+    }
+
+    #[test]
+    fn random_maximal_matching_is_valid_and_maximal() {
+        let g = generators::torus(4, 4).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..20 {
+            let m = random_maximal_matching(&g, &mut rng);
+            assert!(m.is_valid(&g));
+            // Maximality: every edge has at least one matched endpoint.
+            let mut matched = vec![false; g.node_count()];
+            for &e in m.edges() {
+                let (u, v) = g.edge_endpoints(e);
+                matched[u] = true;
+                matched[v] = true;
+            }
+            for &(u, v) in g.edges() {
+                assert!(matched[u] || matched[v], "edge ({u},{v}) extendable");
+            }
+        }
+    }
+
+    #[test]
+    fn random_matching_is_deterministic_per_seed() {
+        let g = generators::hypercube(3).unwrap();
+        let m1 = random_maximal_matching(&g, &mut StdRng::seed_from_u64(7));
+        let m2 = random_maximal_matching(&g, &mut StdRng::seed_from_u64(7));
+        assert_eq!(m1, m2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one matching")]
+    fn periodic_matchings_reject_empty_list() {
+        let _ = PeriodicMatchings::new(vec![]);
+    }
+}

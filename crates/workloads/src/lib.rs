@@ -1,0 +1,27 @@
+//! # lb-workloads
+//!
+//! Workload generators for the load-balancing experiments: initial token
+//! distributions ([`TokenDistribution`]), weighted workloads
+//! ([`WeightModel`], [`weighted_load`]), node speed profiles ([`SpeedModel`])
+//! and the sufficient-initial-load padding of Theorems 3(2)/8(2)
+//! ([`pad_for_min_load`]).
+//!
+//! ```
+//! use lb_workloads::{TokenDistribution, SpeedModel};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let load = TokenDistribution::UniformRandom.generate(16, 1_000, &mut rng);
+//! let speeds = SpeedModel::PowersOfTwo { classes: 2 }.generate(16, &mut rng);
+//! assert_eq!(load.total_weight(), 1_000);
+//! assert_eq!(speeds.len(), 16);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod distributions;
+mod weights;
+
+pub use distributions::{corner_source, pad_for_min_load, TokenDistribution};
+pub use weights::{weighted_load, SpeedModel, WeightModel};

@@ -1,0 +1,68 @@
+//! Single-port networks: balancing with matching-based models.
+//!
+//! Many interconnects can only talk to one neighbour per round. This example
+//! runs the two matching models of the paper — periodic matchings from an
+//! edge colouring, and fresh random matchings every round — and discretizes
+//! both with Algorithm 1 and Algorithm 2, comparing against the round-down
+//! baseline.
+//!
+//! Run with: `cargo run -p lb-bench --example matching_models`
+
+use lb_bench::harness::{
+    build_balancer, measure_balancing_time, standard_initial_load, ContinuousModel, Discretizer,
+    RunConfig,
+};
+use lb_core::Speeds;
+use lb_graph::generators;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let graph = generators::random_regular(
+        256,
+        4,
+        &mut <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(7),
+    )?;
+    let n = graph.node_count();
+    let d = graph.max_degree() as u64;
+    let speeds = Speeds::uniform(n);
+    let initial = standard_initial_load(n, 32, d);
+
+    println!("network: {graph}\n");
+    println!(
+        "{:<22} {:>12} {:>12} {:>12}",
+        "model", "T (rounds)", "algorithm", "max-min"
+    );
+
+    for model in [
+        ContinuousModel::PeriodicMatching,
+        ContinuousModel::RandomMatching { seed: 99 },
+    ] {
+        let t = measure_balancing_time(&graph, &speeds, &initial, model, 200_000)?.rounds();
+        for discretizer in [Discretizer::Alg1, Discretizer::Alg2, Discretizer::RoundDown] {
+            let mut balancer = build_balancer(&RunConfig {
+                graph: graph.clone(),
+                speeds: speeds.clone(),
+                initial: initial.clone(),
+                model,
+                discretizer,
+                rounds: t,
+                seed: 5,
+            })?;
+            balancer.run(t);
+            println!(
+                "{:<22} {:>12} {:>12} {:>12.2}",
+                model.label(),
+                t,
+                discretizer.label(),
+                balancer.metrics().max_min
+            );
+        }
+        println!();
+    }
+
+    println!(
+        "Algorithm 1 ends within 2*d + 2 = {} in both models, independent of n;\n\
+         the round-down baseline keeps a larger residual discrepancy.",
+        2 * d + 2
+    );
+    Ok(())
+}
