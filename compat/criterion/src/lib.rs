@@ -1,0 +1,250 @@
+//! Offline, std-only stand-in for the subset of the `criterion` benchmarking
+//! API this workspace uses: `Criterion`, benchmark groups, `BenchmarkId`,
+//! `black_box` and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! The harness is intentionally simple: each benchmark is warmed up briefly
+//! and then timed over a fixed wall-clock budget; the mean, minimum and
+//! iteration count are printed in a `name ... time: [..]` line similar to
+//! criterion's. There is no statistical analysis or HTML report — the goal is
+//! that `cargo bench` runs offline and prints comparable per-iteration
+//! timings.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier of one benchmark within a group, optionally parameterised.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter, rendered `name/param`.
+    pub fn new(name: impl fmt::Display, param: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{name}/{param}"),
+        }
+    }
+
+    /// An id consisting of the parameter only.
+    pub fn from_parameter(param: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: param.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] runs the measured routine.
+pub struct Bencher {
+    /// Measured mean nanoseconds per iteration, filled in by `iter`.
+    mean_ns: f64,
+    min_ns: f64,
+    iterations: u64,
+    budget: Duration,
+}
+
+impl Bencher {
+    fn new(budget: Duration) -> Self {
+        Bencher {
+            mean_ns: 0.0,
+            min_ns: 0.0,
+            iterations: 0,
+            budget,
+        }
+    }
+
+    /// Times `routine` repeatedly within the configured budget.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: a few iterations, also used to size the batches.
+        let warmup_start = Instant::now();
+        let mut warmup_iters = 0u64;
+        while warmup_iters < 3 || warmup_start.elapsed() < self.budget / 10 {
+            black_box(routine());
+            warmup_iters += 1;
+            if warmup_start.elapsed() > self.budget {
+                break;
+            }
+        }
+        let per_iter = warmup_start.elapsed().as_nanos() as f64 / warmup_iters as f64;
+
+        let mut total = Duration::ZERO;
+        let mut iterations = 0u64;
+        let mut min_ns = f64::INFINITY;
+        while total < self.budget {
+            let start = Instant::now();
+            black_box(routine());
+            let elapsed = start.elapsed();
+            min_ns = min_ns.min(elapsed.as_nanos() as f64);
+            total += elapsed;
+            iterations += 1;
+            // Never spin forever on sub-microsecond routines.
+            if iterations >= 1_000_000 {
+                break;
+            }
+        }
+        self.iterations = iterations;
+        self.mean_ns = if iterations > 0 {
+            total.as_nanos() as f64 / iterations as f64
+        } else {
+            per_iter
+        };
+        self.min_ns = if min_ns.is_finite() { min_ns } else { per_iter };
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn run_one(full_name: &str, budget: Duration, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher::new(budget);
+    f(&mut bencher);
+    println!(
+        "{:<60} time: [min {} / mean {}]  ({} iters)",
+        full_name,
+        format_ns(bencher.min_ns),
+        format_ns(bencher.mean_ns),
+        bencher.iterations
+    );
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let ms = std::env::var("CRITERION_BUDGET_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(300u64);
+        Criterion {
+            budget: Duration::from_millis(ms),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            budget: self.budget,
+            _parent: std::marker::PhantomData,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl fmt::Display, mut f: F) {
+        run_one(&name.to_string(), self.budget, &mut f);
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    budget: Duration,
+    _parent: std::marker::PhantomData<&'a ()>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for source compatibility; the stand-in uses a time budget
+    /// rather than a sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl fmt::Display, mut f: F) {
+        run_one(&format!("{}/{id}", self.name), self.budget, &mut f);
+    }
+
+    /// Runs one parameterised benchmark within the group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        run_one(&format!("{}/{id}", self.name), self.budget, &mut |b| {
+            f(b, input)
+        });
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench `main` function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion {
+            budget: Duration::from_millis(5),
+        }
+    }
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = quick();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        group.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        group.bench_with_input(BenchmarkId::new("param", 3), &3usize, |b, &n| {
+            b.iter(|| black_box(n * 2))
+        });
+        group.finish();
+        c.bench_function("standalone", |b| b.iter(|| black_box(42)));
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 10).to_string(), "f/10");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}

@@ -15,10 +15,12 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod json;
 mod record;
 mod stats;
 mod table;
 
+pub use json::Json;
 pub use record::{ExperimentRecord, Measurement};
 pub use stats::{correlation, linear_fit, Summary};
 pub use table::{format_value, Table};

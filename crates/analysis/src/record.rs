@@ -2,17 +2,19 @@
 //!
 //! Every experiment binary writes one [`ExperimentRecord`] as JSON under
 //! `target/experiments/`, so EXPERIMENTS.md can be regenerated and results
-//! can be diffed across runs.
+//! can be diffed across runs. Serialisation goes through the in-repo
+//! [`Json`](crate::json::Json) module (the workspace builds offline, without
+//! serde).
 
+use crate::json::Json;
 use crate::stats::Summary;
-use serde::{Deserialize, Serialize};
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
 /// One measured cell of a result table: an algorithm on a graph class with a
 /// concrete parameterisation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Measurement {
     /// Algorithm name (e.g. `"alg1(fos)"`).
     pub algorithm: String,
@@ -29,13 +31,79 @@ pub struct Measurement {
     /// Final max-avg makespan discrepancy (summary over repeats/seeds).
     pub max_avg: Summary,
     /// Free-form extra key/value annotations (e.g. `w_max`, `lambda`).
-    #[serde(default)]
     pub notes: Vec<(String, String)>,
+}
+
+impl Measurement {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("algorithm", Json::from(self.algorithm.clone())),
+            ("graph", Json::from(self.graph.clone())),
+            ("nodes", Json::from(self.nodes)),
+            ("max_degree", Json::from(self.max_degree)),
+            ("rounds", Json::from(self.rounds)),
+            ("max_min", self.max_min.to_json()),
+            ("max_avg", self.max_avg.to_json()),
+            (
+                "notes",
+                Json::Arr(
+                    self.notes
+                        .iter()
+                        .map(|(k, v)| Json::Arr(vec![Json::from(k.clone()), Json::from(v.clone())]))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    fn from_json(json: &Json) -> Result<Self, String> {
+        let field = |key: &str| json.get(key).ok_or_else(|| format!("missing field {key}"));
+        let notes = match json.get("notes") {
+            None => Vec::new(),
+            Some(notes) => notes
+                .as_array()
+                .ok_or("notes must be an array")?
+                .iter()
+                .map(|pair| {
+                    let pair = pair.as_array().ok_or("note must be a [key, value] pair")?;
+                    match pair {
+                        [k, v] => Ok((
+                            k.as_str().ok_or("note key must be a string")?.to_string(),
+                            v.as_str().ok_or("note value must be a string")?.to_string(),
+                        )),
+                        _ => Err("note must have exactly two entries".to_string()),
+                    }
+                })
+                .collect::<Result<Vec<_>, String>>()?,
+        };
+        Ok(Measurement {
+            algorithm: field("algorithm")?
+                .as_str()
+                .ok_or("algorithm must be a string")?
+                .to_string(),
+            graph: field("graph")?
+                .as_str()
+                .ok_or("graph must be a string")?
+                .to_string(),
+            nodes: field("nodes")?
+                .as_usize()
+                .ok_or("nodes must be an integer")?,
+            max_degree: field("max_degree")?
+                .as_usize()
+                .ok_or("max_degree must be an integer")?,
+            rounds: field("rounds")?
+                .as_usize()
+                .ok_or("rounds must be an integer")?,
+            max_min: Summary::from_json(field("max_min")?)?,
+            max_avg: Summary::from_json(field("max_avg")?)?,
+            notes,
+        })
+    }
 }
 
 /// A complete experiment: which paper artefact it reproduces plus all of its
 /// measurements.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentRecord {
     /// Experiment id from DESIGN.md (e.g. `"E1"`).
     pub id: String,
@@ -69,12 +137,47 @@ impl ExperimentRecord {
     }
 
     /// Serialises the record as pretty JSON.
-    ///
-    /// # Panics
-    ///
-    /// Panics if serialisation fails, which cannot happen for this type.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("record serialisation cannot fail")
+        Json::obj([
+            ("id", Json::from(self.id.clone())),
+            ("paper_artifact", Json::from(self.paper_artifact.clone())),
+            ("description", Json::from(self.description.clone())),
+            (
+                "measurements",
+                Json::Arr(self.measurements.iter().map(|m| m.to_json()).collect()),
+            ),
+        ])
+        .render_pretty()
+    }
+
+    /// Parses a record from its JSON representation.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first syntax or schema violation.
+    pub fn from_json_str(text: &str) -> Result<Self, String> {
+        let json = Json::parse(text)?;
+        let field = |key: &str| json.get(key).ok_or_else(|| format!("missing field {key}"));
+        Ok(ExperimentRecord {
+            id: field("id")?
+                .as_str()
+                .ok_or("id must be a string")?
+                .to_string(),
+            paper_artifact: field("paper_artifact")?
+                .as_str()
+                .ok_or("paper_artifact must be a string")?
+                .to_string(),
+            description: field("description")?
+                .as_str()
+                .ok_or("description must be a string")?
+                .to_string(),
+            measurements: field("measurements")?
+                .as_array()
+                .ok_or("measurements must be an array")?
+                .iter()
+                .map(Measurement::from_json)
+                .collect::<Result<Vec<_>, String>>()?,
+        })
     }
 
     /// Writes the record to `dir/<id>.json`, creating the directory if
@@ -99,7 +202,7 @@ impl ExperimentRecord {
     /// `InvalidData` error if it does not parse as a record.
     pub fn read_from(path: impl AsRef<Path>) -> io::Result<Self> {
         let text = fs::read_to_string(path)?;
-        serde_json::from_str(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+        Self::from_json_str(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
     }
 }
 
@@ -126,7 +229,7 @@ mod tests {
     fn json_roundtrip() {
         let rec = sample_record();
         let json = rec.to_json();
-        let parsed: ExperimentRecord = serde_json::from_str(&json).unwrap();
+        let parsed = ExperimentRecord::from_json_str(&json).unwrap();
         assert_eq!(parsed, rec);
         assert!(json.contains("alg1(fos)"));
     }
@@ -151,5 +254,16 @@ mod tests {
         let err = ExperimentRecord::read_from(&path).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
         let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn missing_notes_default_to_empty() {
+        let text = r#"{"id": "x", "paper_artifact": "t", "description": "d",
+            "measurements": [{"algorithm": "a", "graph": "g", "nodes": 4,
+            "max_degree": 2, "rounds": 7,
+            "max_min": {"count": 0, "mean": 0, "std_dev": 0, "min": 0, "max": 0, "median": 0},
+            "max_avg": {"count": 0, "mean": 0, "std_dev": 0, "min": 0, "max": 0, "median": 0}}]}"#;
+        let rec = ExperimentRecord::from_json_str(text).unwrap();
+        assert!(rec.measurements[0].notes.is_empty());
     }
 }

@@ -1,10 +1,8 @@
 //! Small summary-statistics helpers used by the experiment harness.
 
-use serde::{Deserialize, Serialize};
-
 /// Summary statistics of a sample of measurements (e.g. final discrepancies
 /// over repeated seeded runs).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Summary {
     /// Number of observations.
     pub count: usize,
@@ -57,6 +55,40 @@ impl Summary {
             max: sorted[count - 1],
             median,
         }
+    }
+
+    /// Serialises the summary as a JSON object.
+    pub fn to_json(&self) -> crate::json::Json {
+        use crate::json::Json;
+        Json::obj([
+            ("count", Json::from(self.count)),
+            ("mean", Json::from(self.mean)),
+            ("std_dev", Json::from(self.std_dev)),
+            ("min", Json::from(self.min)),
+            ("max", Json::from(self.max)),
+            ("median", Json::from(self.median)),
+        ])
+    }
+
+    /// Parses a summary back from its JSON object form.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first missing or mistyped field.
+    pub fn from_json(json: &crate::json::Json) -> Result<Self, String> {
+        let num = |key: &str| {
+            json.get(key)
+                .and_then(crate::json::Json::as_f64)
+                .ok_or_else(|| format!("summary field {key} missing or not a number"))
+        };
+        Ok(Summary {
+            count: num("count")? as usize,
+            mean: num("mean")?,
+            std_dev: num("std_dev")?,
+            min: num("min")?,
+            max: num("max")?,
+            median: num("median")?,
+        })
     }
 }
 

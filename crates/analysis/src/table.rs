@@ -135,7 +135,7 @@ mod tests {
     #[test]
     fn float_formatting() {
         assert_eq!(format_value(3.0), "3");
-        assert_eq!(format_value(3.14159), "3.14");
+        assert_eq!(format_value(2.46913), "2.47");
         assert_eq!(format_value(0.5), "0.50");
     }
 }

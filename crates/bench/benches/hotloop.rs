@@ -1,0 +1,70 @@
+//! Hot-loop micro-bench: per-round step cost of Algorithm 1 (FIFO) on
+//! hypercube / torus / random-regular topologies at n ≈ 1k, 10k and —
+//! when `LB_BENCH_LARGE=1` — 100k nodes, so regressions in the buffer-reuse
+//! kernel and the `TaskQueue` storage are caught in-repo.
+//!
+//! Run with: `cargo bench -p lb-bench --bench hotloop`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lb_bench::harness::{standard_initial_load, GraphClass};
+use lb_core::continuous::Fos;
+use lb_core::discrete::{DiscreteBalancer, FlowImitation, TaskPicker};
+use lb_core::Speeds;
+use lb_graph::{AlphaScheme, Graph};
+use std::sync::Arc;
+
+fn sizes() -> Vec<usize> {
+    let mut sizes = vec![1_000, 10_000];
+    if std::env::var("LB_BENCH_LARGE").is_ok_and(|v| v == "1") {
+        sizes.push(100_000);
+    }
+    sizes
+}
+
+fn bench_hotloop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alg1_round_fifo");
+    group.sample_size(20);
+    for class in [
+        GraphClass::Hypercube,
+        GraphClass::Torus,
+        GraphClass::Expander,
+    ] {
+        for target_n in sizes() {
+            let graph: Arc<Graph> = class
+                .build(target_n, 0xAB)
+                .expect("bench families always build")
+                .into();
+            let n = graph.node_count();
+            let d = graph.max_degree() as u64;
+            let speeds = Speeds::uniform(n);
+            let initial = standard_initial_load(n, 4, d);
+            let fos = Fos::new(Arc::clone(&graph), &speeds, AlphaScheme::MaxDegreePlusOne)
+                .expect("FOS constructs");
+            let mut pristine = FlowImitation::new(fos, &initial, speeds, TaskPicker::Fifo)
+                .expect("dimensions agree");
+            // Warm up past the initial burst so buffers reach steady-state
+            // capacity, then keep a snapshot: the measured loop rewinds to it
+            // periodically so every measured round still moves tasks (a
+            // balancer left running converges and would only exercise the
+            // O(m) edge scan, hiding TaskQueue regressions).
+            pristine.run(5);
+            let reset_every = 50;
+            let mut alg1 = pristine.clone();
+            let mut rounds_since_reset = 0usize;
+            group.bench_with_input(BenchmarkId::new(class.label(), n), &n, |b, _| {
+                b.iter(|| {
+                    if rounds_since_reset == reset_every {
+                        alg1 = pristine.clone();
+                        rounds_since_reset = 0;
+                    }
+                    alg1.step();
+                    rounds_since_reset += 1;
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hotloop);
+criterion_main!(benches);

@@ -43,7 +43,9 @@ fn bench_rounds(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("continuous_fos", n), &n, |b, _| {
             let fos = Fos::new(graph.clone(), &speeds, AlphaScheme::MaxDegreePlusOne).unwrap();
             let mut runner = ContinuousRunner::new(fos, initial.load_vector_f64());
-            b.iter(|| runner.step());
+            b.iter(|| {
+                runner.step();
+            });
         });
         group.bench_with_input(BenchmarkId::new("alg1_round", n), &n, |b, _| {
             let fos = Fos::new(graph.clone(), &speeds, AlphaScheme::MaxDegreePlusOne).unwrap();

@@ -16,7 +16,8 @@ fn bench_table1(c: &mut Criterion) {
     let report = lb_bench::experiments::table1::run(true);
     println!("{}", report.markdown);
 
-    let graph = GraphClass::Torus.build(64, 1).expect("torus builds");
+    let graph: std::sync::Arc<lb_graph::Graph> =
+        GraphClass::Torus.build(64, 1).expect("torus builds").into();
     let n = graph.node_count();
     let speeds = Speeds::uniform(n);
     let initial = standard_initial_load(n, 32, graph.max_degree() as u64);

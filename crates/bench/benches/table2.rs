@@ -13,7 +13,10 @@ fn bench_table2(c: &mut Criterion) {
     let report = lb_bench::experiments::table2::run(true);
     println!("{}", report.markdown);
 
-    let graph = GraphClass::Hypercube.build(64, 1).expect("hypercube builds");
+    let graph: std::sync::Arc<lb_graph::Graph> = GraphClass::Hypercube
+        .build(64, 1)
+        .expect("hypercube builds")
+        .into();
     let n = graph.node_count();
     let speeds = Speeds::uniform(n);
     let initial = standard_initial_load(n, 32, graph.max_degree() as u64);

@@ -31,7 +31,11 @@ fn bench_theorem3(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("theorem3_alg1_task_picker");
     group.sample_size(10);
-    for picker in [TaskPicker::Fifo, TaskPicker::LargestFirst, TaskPicker::SmallestFirst] {
+    for picker in [
+        TaskPicker::Fifo,
+        TaskPicker::LargestFirst,
+        TaskPicker::SmallestFirst,
+    ] {
         group.bench_function(format!("{picker:?}"), |b| {
             b.iter(|| {
                 let fos = Fos::new(graph.clone(), &speeds, AlphaScheme::MaxDegreePlusOne)

@@ -17,7 +17,9 @@ fn bench_theorem8(c: &mut Criterion) {
     group.sample_size(10);
     for d in [4usize, 8, 16] {
         let mut rng = StdRng::seed_from_u64(d as u64);
-        let graph = generators::random_regular(128, d, &mut rng).expect("regular graph builds");
+        let graph: std::sync::Arc<lb_graph::Graph> = generators::random_regular(128, d, &mut rng)
+            .expect("regular graph builds")
+            .into();
         let n = graph.node_count();
         let speeds = Speeds::uniform(n);
         let mut counts = vec![8u64 + d as u64; n];

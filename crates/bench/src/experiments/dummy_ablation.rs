@@ -13,13 +13,16 @@ use lb_analysis::{format_value, ExperimentRecord, Measurement, Summary, Table};
 use lb_core::continuous::Fos;
 use lb_core::discrete::{DiscreteBalancer, FlowImitation, TaskPicker};
 use lb_core::{InitialLoad, Speeds};
-use lb_graph::{generators, AlphaScheme};
+use lb_graph::{generators, AlphaScheme, Graph};
+use std::sync::Arc;
 
 /// Runs the experiment. `quick` shrinks the instance for tests/benches.
 pub fn run(quick: bool) -> ExperimentReport {
     let clique = if quick { 6 } else { 16 };
     let bridge = if quick { 4 } else { 16 };
-    let graph = generators::barbell(clique, bridge).expect("barbell builds");
+    let graph: Arc<Graph> = generators::barbell(clique, bridge)
+        .expect("barbell builds")
+        .into();
     let n = graph.node_count();
     let d = graph.max_degree() as u64;
     let speeds = Speeds::uniform(n);

@@ -11,22 +11,35 @@ use super::ExperimentReport;
 use crate::harness::{measure_balancing_time, run_once, ContinuousModel, Discretizer, RunConfig};
 use lb_analysis::{format_value, ExperimentRecord, Measurement, Summary, Table};
 use lb_core::Speeds;
-use lb_graph::{generators, AlphaScheme, DiffusionMatrix, PowerIterationOptions};
+use lb_graph::{generators, AlphaScheme, DiffusionMatrix, Graph, PowerIterationOptions};
+use std::sync::Arc;
 
 /// Runs the experiment. `quick` shrinks the instances for tests/benches.
 pub fn run(quick: bool) -> ExperimentReport {
-    let configs: Vec<(String, lb_graph::Graph)> = if quick {
+    let configs: Vec<(String, Arc<Graph>)> = if quick {
         vec![
-            ("cycle".into(), generators::cycle(32).expect("cycle builds")),
-            ("torus".into(), generators::torus(6, 6).expect("torus builds")),
+            (
+                "cycle".into(),
+                generators::cycle(32).expect("cycle builds").into(),
+            ),
+            (
+                "torus".into(),
+                generators::torus(6, 6).expect("torus builds").into(),
+            ),
         ]
     } else {
         vec![
-            ("cycle".into(), generators::cycle(256).expect("cycle builds")),
-            ("torus".into(), generators::torus(24, 24).expect("torus builds")),
+            (
+                "cycle".into(),
+                generators::cycle(256).expect("cycle builds").into(),
+            ),
+            (
+                "torus".into(),
+                generators::torus(24, 24).expect("torus builds").into(),
+            ),
             (
                 "hypercube".into(),
-                generators::hypercube(10).expect("hypercube builds"),
+                generators::hypercube(10).expect("hypercube builds").into(),
             ),
         ]
     };
@@ -52,8 +65,8 @@ pub fn run(quick: bool) -> ExperimentReport {
         let n = graph.node_count();
         let d = graph.max_degree() as u64;
         let speeds = Speeds::uniform(n);
-        let matrix = DiffusionMatrix::uniform(&graph, AlphaScheme::MaxDegreePlusOne)
-            .expect("matrix builds");
+        let matrix =
+            DiffusionMatrix::uniform(&graph, AlphaScheme::MaxDegreePlusOne).expect("matrix builds");
         let lambda = lb_graph::spectral::second_eigenvalue(
             &graph,
             &matrix,
@@ -61,12 +74,14 @@ pub fn run(quick: bool) -> ExperimentReport {
         );
         let initial = crate::harness::standard_initial_load(n, 32, d);
         let max_rounds = if quick { 100_000 } else { 400_000 };
-        let t_fos = measure_balancing_time(&graph, &speeds, &initial, ContinuousModel::Fos, max_rounds)
-            .expect("FOS constructs")
-            .rounds();
-        let t_sos = measure_balancing_time(&graph, &speeds, &initial, ContinuousModel::Sos, max_rounds)
-            .expect("SOS constructs")
-            .rounds();
+        let t_fos =
+            measure_balancing_time(&graph, &speeds, &initial, ContinuousModel::Fos, max_rounds)
+                .expect("FOS constructs")
+                .rounds();
+        let t_sos =
+            measure_balancing_time(&graph, &speeds, &initial, ContinuousModel::Sos, max_rounds)
+                .expect("SOS constructs")
+                .rounds();
 
         let run_alg1 = |model, rounds| {
             run_once(&RunConfig {

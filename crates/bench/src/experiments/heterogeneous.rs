@@ -13,15 +13,16 @@ use lb_analysis::{format_value, ExperimentRecord, Measurement, Summary, Table};
 use lb_core::continuous::Fos;
 use lb_core::discrete::{DiscreteBalancer, FlowImitation, TaskPicker};
 use lb_core::{InitialLoad, Speeds};
-use lb_graph::{generators, AlphaScheme};
+use lb_graph::{generators, AlphaScheme, Graph};
 use lb_workloads::{pad_for_min_load, weighted_load, SpeedModel, WeightModel};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 
 /// Runs the experiment. `quick` shrinks the instance for tests/benches.
 pub fn run(quick: bool) -> ExperimentReport {
     let side = if quick { 6 } else { 24 };
-    let graph = generators::torus(side, side).expect("torus builds");
+    let graph: Arc<Graph> = generators::torus(side, side).expect("torus builds").into();
     let n = graph.node_count();
     let d = graph.max_degree() as u64;
     let mut rng = StdRng::seed_from_u64(31);
@@ -103,8 +104,12 @@ pub fn run(quick: bool) -> ExperimentReport {
     )
     .expect("FOS constructs")
     .rounds();
-    let fos = Fos::new(graph.clone(), &uniform_speeds, AlphaScheme::MaxDegreePlusOne)
-        .expect("FOS constructs");
+    let fos = Fos::new(
+        graph.clone(),
+        &uniform_speeds,
+        AlphaScheme::MaxDegreePlusOne,
+    )
+    .expect("FOS constructs");
     let mut alg1 = FlowImitation::new(fos, &weighted, uniform_speeds.clone(), TaskPicker::Fifo)
         .expect("dimensions agree");
     alg1.run(t_w);

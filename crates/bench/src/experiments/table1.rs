@@ -10,7 +10,7 @@
 
 use super::{ExperimentReport, REPEAT_SEEDS};
 use crate::harness::{
-    measure_balancing_time, run_once, standard_initial_load, ContinuousModel, Discretizer,
+    measure_balancing_time, run_all, standard_initial_load, ContinuousModel, Discretizer,
     GraphClass, RunConfig,
 };
 use lb_analysis::{format_value, ExperimentRecord, Measurement, Summary, Table};
@@ -50,9 +50,10 @@ pub fn run(quick: bool) -> ExperimentReport {
         // comparison matches the paper's "same instance" setting.
         let mut columns = Vec::new();
         for class in GraphClass::TABLE_CLASSES {
-            let graph = class
+            let graph: std::sync::Arc<lb_graph::Graph> = class
                 .build(n, 0xC0FFEE)
-                .expect("table graph families always build");
+                .expect("table graph families always build")
+                .into();
             let nodes = graph.node_count();
             let d = graph.max_degree();
             let speeds = Speeds::uniform(nodes);
@@ -63,13 +64,14 @@ pub fn run(quick: bool) -> ExperimentReport {
             columns.push((class, graph, speeds, initial, t));
         }
 
+        // Every (algorithm, class, seed) trial of this size is independent;
+        // fan the whole batch out across worker threads. Cloning a config is
+        // cheap — the graph is shared through an Arc.
+        let mut batch = Vec::new();
         for discretizer in Discretizer::TABLE1 {
-            let mut row = vec![discretizer.label().to_string()];
-            for (class, graph, speeds, initial, t) in &columns {
-                let mut max_mins = Vec::new();
-                let mut max_avgs = Vec::new();
+            for (_, graph, speeds, initial, t) in &columns {
                 for seed in REPEAT_SEEDS.iter().take(repeats) {
-                    let outcome = run_once(&RunConfig {
+                    batch.push(RunConfig {
                         graph: graph.clone(),
                         speeds: speeds.clone(),
                         initial: initial.clone(),
@@ -77,8 +79,22 @@ pub fn run(quick: bool) -> ExperimentReport {
                         discretizer,
                         rounds: *t,
                         seed: *seed,
-                    })
-                    .expect("table 1 combinations are all supported");
+                    });
+                }
+            }
+        }
+        let mut outcomes = run_all(&batch).into_iter();
+
+        for discretizer in Discretizer::TABLE1 {
+            let mut row = vec![discretizer.label().to_string()];
+            for (class, graph, _, _, t) in &columns {
+                let mut max_mins = Vec::new();
+                let mut max_avgs = Vec::new();
+                for _ in 0..repeats {
+                    let outcome = outcomes
+                        .next()
+                        .expect("one outcome per scheduled trial")
+                        .expect("table 1 combinations are all supported");
                     max_mins.push(outcome.max_min);
                     max_avgs.push(outcome.max_avg);
                 }

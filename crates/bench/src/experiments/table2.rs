@@ -4,7 +4,7 @@
 
 use super::{ExperimentReport, REPEAT_SEEDS};
 use crate::harness::{
-    measure_balancing_time, run_once, standard_initial_load, ContinuousModel, Discretizer,
+    measure_balancing_time, run_all, standard_initial_load, ContinuousModel, Discretizer,
     GraphClass, RunConfig,
 };
 use lb_analysis::{format_value, ExperimentRecord, Measurement, Summary, Table};
@@ -33,7 +33,10 @@ pub fn run(quick: bool) -> ExperimentReport {
 
     for (model_label, model) in [
         ("periodic matchings", ContinuousModel::PeriodicMatching),
-        ("random matchings", ContinuousModel::RandomMatching { seed: 777 }),
+        (
+            "random matchings",
+            ContinuousModel::RandomMatching { seed: 777 },
+        ),
     ] {
         let mut table = Table::new({
             let mut header = vec!["algorithm".to_string()];
@@ -47,9 +50,10 @@ pub fn run(quick: bool) -> ExperimentReport {
 
         let mut columns = Vec::new();
         for class in GraphClass::TABLE_CLASSES {
-            let graph = class
+            let graph: std::sync::Arc<lb_graph::Graph> = class
                 .build(n, 0xBEEF)
-                .expect("table graph families always build");
+                .expect("table graph families always build")
+                .into();
             let nodes = graph.node_count();
             let d = graph.max_degree();
             let speeds = Speeds::uniform(nodes);
@@ -60,13 +64,13 @@ pub fn run(quick: bool) -> ExperimentReport {
             columns.push((class, graph, speeds, initial, t));
         }
 
+        // Independent trials fan out across worker threads; the shared-Arc
+        // graphs make per-trial config clones cheap.
+        let mut batch = Vec::new();
         for discretizer in Discretizer::TABLE2 {
-            let mut row = vec![discretizer.label().to_string()];
-            for (class, graph, speeds, initial, t) in &columns {
-                let mut max_mins = Vec::new();
-                let mut max_avgs = Vec::new();
+            for (_, graph, speeds, initial, t) in &columns {
                 for seed in REPEAT_SEEDS.iter().take(repeats) {
-                    let outcome = run_once(&RunConfig {
+                    batch.push(RunConfig {
                         graph: graph.clone(),
                         speeds: speeds.clone(),
                         initial: initial.clone(),
@@ -74,8 +78,22 @@ pub fn run(quick: bool) -> ExperimentReport {
                         discretizer,
                         rounds: *t,
                         seed: *seed,
-                    })
-                    .expect("table 2 combinations are all supported");
+                    });
+                }
+            }
+        }
+        let mut outcomes = run_all(&batch).into_iter();
+
+        for discretizer in Discretizer::TABLE2 {
+            let mut row = vec![discretizer.label().to_string()];
+            for (class, graph, _, _, t) in &columns {
+                let mut max_mins = Vec::new();
+                let mut max_avgs = Vec::new();
+                for _ in 0..repeats {
+                    let outcome = outcomes
+                        .next()
+                        .expect("one outcome per scheduled trial")
+                        .expect("table 2 combinations are all supported");
                     max_mins.push(outcome.max_min);
                     max_avgs.push(outcome.max_avg);
                 }

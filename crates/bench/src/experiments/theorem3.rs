@@ -33,7 +33,12 @@ fn workload(dim: u32, w_max: u64, tasks_on_source: u64, seed: u64) -> (usize, In
     // Force at least one task of weight exactly w_max so the reported w_max
     // is the configured one.
     let mut tasks = base.into_tasks();
-    let next_id = tasks.iter().flatten().map(|t| t.id().0 + 1).max().unwrap_or(0);
+    let next_id = tasks
+        .iter()
+        .flatten()
+        .map(|t| t.id().0 + 1)
+        .max()
+        .unwrap_or(0);
     tasks[0].push(Task::new(TaskId(next_id), w_max));
     let base = InitialLoad::from_tasks(tasks);
     let speeds = Speeds::uniform(n);
@@ -70,7 +75,9 @@ pub fn run(quick: bool) -> ExperimentReport {
         for &w_max in weights {
             let (n, initial) = workload(dim, w_max, 40 * (1 << dim), 97);
             let speeds = Speeds::uniform(n);
-            let graph = generators::hypercube(dim).expect("hypercube dims are valid");
+            let graph: std::sync::Arc<lb_graph::Graph> = generators::hypercube(dim)
+                .expect("hypercube dims are valid")
+                .into();
             let t = measure_balancing_time(&graph, &speeds, &initial, ContinuousModel::Fos, 60_000)
                 .expect("FOS constructs")
                 .rounds();

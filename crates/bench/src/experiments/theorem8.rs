@@ -7,9 +7,7 @@
 //! `√(d·ln n)` reference curve.
 
 use super::{ExperimentReport, REPEAT_SEEDS};
-use crate::harness::{
-    measure_balancing_time, run_once, ContinuousModel, Discretizer, RunConfig,
-};
+use crate::harness::{measure_balancing_time, run_once, ContinuousModel, Discretizer, RunConfig};
 use lb_analysis::{correlation, format_value, ExperimentRecord, Measurement, Summary, Table};
 use lb_core::{InitialLoad, Speeds};
 use lb_graph::generators;
@@ -43,7 +41,9 @@ pub fn run(quick: bool) -> ExperimentReport {
 
     for &d in degrees {
         let mut rng = StdRng::seed_from_u64(d as u64);
-        let graph = generators::random_regular(n, d, &mut rng).expect("regular graph builds");
+        let graph: std::sync::Arc<lb_graph::Graph> = generators::random_regular(n, d, &mut rng)
+            .expect("regular graph builds")
+            .into();
         let nodes = graph.node_count();
         let speeds = Speeds::uniform(nodes);
         let reference = (d as f64 * (nodes as f64).ln()).sqrt();

@@ -21,9 +21,10 @@ pub fn run(quick: bool) -> ExperimentReport {
     let target_n = if quick { 64 } else { 1024 };
     let samples = 12usize;
 
-    let graph = GraphClass::Torus
+    let graph: std::sync::Arc<lb_graph::Graph> = GraphClass::Torus
         .build(target_n, 5)
-        .expect("torus builds");
+        .expect("torus builds")
+        .into();
     let n = graph.node_count();
     let d = graph.max_degree() as u64;
     let speeds = Speeds::uniform(n);
@@ -35,8 +36,8 @@ pub fn run(quick: bool) -> ExperimentReport {
     let stride = (t / samples).max(1);
 
     // Continuous reference trajectory.
-    let fos = Fos::new(graph.clone(), &speeds, AlphaScheme::MaxDegreePlusOne)
-        .expect("FOS constructs");
+    let fos =
+        Fos::new(graph.clone(), &speeds, AlphaScheme::MaxDegreePlusOne).expect("FOS constructs");
     let mut continuous = ContinuousRunner::new(fos, initial.load_vector_f64());
 
     // Discrete processes under comparison.

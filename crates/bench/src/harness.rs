@@ -13,6 +13,7 @@ use lb_core::{CoreError, InitialLoad, Speeds};
 use lb_graph::{generators, AlphaScheme, Graph};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 
 /// The graph classes of the paper's comparison tables.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -180,10 +181,14 @@ impl Discretizer {
 }
 
 /// One fully-specified experiment cell.
+///
+/// The topology is held behind an [`Arc`], so cloning a config for repeated
+/// trials (or fanning configs out across worker threads with [`run_all`])
+/// shares one graph instance instead of deep-copying it.
 #[derive(Debug, Clone)]
 pub struct RunConfig {
-    /// The network.
-    pub graph: Graph,
+    /// The network (shared).
+    pub graph: Arc<Graph>,
     /// Node speeds.
     pub speeds: Speeds,
     /// Initial task placement.
@@ -215,8 +220,8 @@ pub struct RunOutcome {
     pub rounds: usize,
 }
 
-fn build_fos(graph: &Graph, speeds: &Speeds) -> Result<Fos, CoreError> {
-    Fos::new(graph.clone(), speeds, AlphaScheme::MaxDegreePlusOne)
+fn build_fos(graph: &Arc<Graph>, speeds: &Speeds) -> Result<Fos, CoreError> {
+    Fos::new(Arc::clone(graph), speeds, AlphaScheme::MaxDegreePlusOne)
 }
 
 /// Builds the balancer described by `config`.
@@ -236,7 +241,7 @@ pub fn build_balancer(config: &RunConfig) -> Result<Box<dyn DiscreteBalancer>, C
         seed,
         ..
     } = config;
-    let graph = graph.clone();
+    let graph = Arc::clone(graph);
     match (discretizer, model) {
         // ---- The paper's transformations work with every model. ----
         (Discretizer::Alg1, ContinuousModel::Fos) => Ok(Box::new(FlowImitation::new(
@@ -298,9 +303,14 @@ pub fn build_balancer(config: &RunConfig) -> Result<Box<dyn DiscreteBalancer>, C
         (Discretizer::RoundDown, ContinuousModel::Fos | ContinuousModel::Sos) => Ok(Box::new(
             RoundDownDiffusion::new(graph, speeds.clone(), initial)?,
         )),
-        (Discretizer::RandomizedRounding, ContinuousModel::Fos | ContinuousModel::Sos) => Ok(
-            Box::new(RandomizedRoundingDiffusion::new(graph, speeds.clone(), initial, *seed)?),
-        ),
+        (Discretizer::RandomizedRounding, ContinuousModel::Fos | ContinuousModel::Sos) => {
+            Ok(Box::new(RandomizedRoundingDiffusion::new(
+                graph,
+                speeds.clone(),
+                initial,
+                *seed,
+            )?))
+        }
         (Discretizer::Quasirandom, ContinuousModel::Fos | ContinuousModel::Sos) => Ok(Box::new(
             QuasirandomDiffusion::new(graph, speeds.clone(), initial)?,
         )),
@@ -364,7 +374,7 @@ pub fn build_balancer(config: &RunConfig) -> Result<Box<dyn DiscreteBalancer>, C
 ///
 /// Propagates construction errors from the continuous process.
 pub fn measure_balancing_time(
-    graph: &Graph,
+    graph: &Arc<Graph>,
     speeds: &Speeds,
     initial: &InitialLoad,
     model: ContinuousModel,
@@ -376,19 +386,19 @@ pub fn measure_balancing_time(
             continuous_balancing_time(build_fos(graph, speeds)?, x0, 1.0, max_rounds)
         }
         ContinuousModel::Sos => continuous_balancing_time(
-            Sos::with_optimal_beta(graph.clone(), speeds, AlphaScheme::MaxDegreePlusOne)?,
+            Sos::with_optimal_beta(Arc::clone(graph), speeds, AlphaScheme::MaxDegreePlusOne)?,
             x0,
             1.0,
             max_rounds,
         ),
         ContinuousModel::PeriodicMatching => continuous_balancing_time(
-            DimensionExchange::with_greedy_coloring(graph.clone(), speeds)?,
+            DimensionExchange::with_greedy_coloring(Arc::clone(graph), speeds)?,
             x0,
             1.0,
             max_rounds,
         ),
         ContinuousModel::RandomMatching { seed } => continuous_balancing_time(
-            RandomMatching::new(graph.clone(), speeds, seed)?,
+            RandomMatching::new(Arc::clone(graph), speeds, seed)?,
             x0,
             1.0,
             max_rounds,
@@ -415,6 +425,16 @@ pub fn run_once(config: &RunConfig) -> Result<RunOutcome, CoreError> {
     })
 }
 
+/// Runs every configuration with [`run_once`], fanning the trials out across
+/// worker threads (see [`crate::parallel`]). Results keep the input order,
+/// so `configs[i]` corresponds to `results[i]`.
+///
+/// Since [`RunConfig`] shares its graph through an `Arc`, cloning one config
+/// per seed/trial is cheap and the workers reference a single topology.
+pub fn run_all(configs: &[RunConfig]) -> Vec<Result<RunOutcome, CoreError>> {
+    crate::parallel::parallel_map(configs, run_once)
+}
+
 /// Builds the standard experiment workload: `load_per_node` tokens per node
 /// on average, all placed on node 0, plus `pad` tokens on every node (the
 /// sufficient-initial-load padding; use `d·w_max` to engage the max-min
@@ -430,7 +450,7 @@ mod tests {
     use super::*;
 
     fn quick_config(model: ContinuousModel, discretizer: Discretizer) -> RunConfig {
-        let graph = GraphClass::Torus.build(16, 1).unwrap();
+        let graph: Arc<Graph> = GraphClass::Torus.build(16, 1).unwrap().into();
         let n = graph.node_count();
         let speeds = Speeds::uniform(n);
         let initial = standard_initial_load(n, 10, 8);
@@ -452,7 +472,10 @@ mod tests {
             assert!(g.is_connected(), "{} must be connected", class.label());
             assert!(g.node_count() >= 32, "{}", class.label());
         }
-        assert!(GraphClass::RingOfCliques.build(64, 3).unwrap().is_connected());
+        assert!(GraphClass::RingOfCliques
+            .build(64, 3)
+            .unwrap()
+            .is_connected());
         assert!(GraphClass::Cycle.build(64, 3).unwrap().is_connected());
     }
 
@@ -502,7 +525,7 @@ mod tests {
 
     #[test]
     fn balancing_time_is_finite_for_all_models() {
-        let graph = GraphClass::Hypercube.build(16, 0).unwrap();
+        let graph: Arc<Graph> = GraphClass::Hypercube.build(16, 0).unwrap().into();
         let n = graph.node_count();
         let speeds = Speeds::uniform(n);
         let initial = standard_initial_load(n, 10, 0);
@@ -526,7 +549,7 @@ mod tests {
         // bound grows with d·diam — although on benign single-source inputs
         // it can also end with a small residual; the Table 1 experiment
         // reports both.)
-        let graph = GraphClass::Cycle.build(64, 0).unwrap();
+        let graph: Arc<Graph> = GraphClass::Cycle.build(64, 0).unwrap().into();
         let n = graph.node_count();
         let speeds = Speeds::uniform(n);
         let initial = standard_initial_load(n, 20, 2);

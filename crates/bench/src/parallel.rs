@@ -1,0 +1,99 @@
+//! Minimal work-stealing parallel map on std threads.
+//!
+//! The container this workspace builds in has no registry access, so rayon
+//! is unavailable; this module provides the one primitive the experiment
+//! harness needs — run independent trials/configurations across cores — with
+//! `std::thread::scope` and an atomic work counter. Results keep the input
+//! order.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of worker threads used by [`parallel_map`]: the available
+/// parallelism, overridable with the `LB_BENCH_THREADS` environment variable
+/// (`1` forces sequential execution, useful for profiling).
+pub fn worker_threads() -> usize {
+    if let Some(n) = std::env::var("LB_BENCH_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        return n.max(1);
+    }
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
+
+/// Applies `f` to every item, distributing items across worker threads with
+/// an atomic cursor (dynamic load balancing — long and short trials mix
+/// freely). The output preserves input order.
+///
+/// Falls back to a plain sequential map for a single worker or short inputs.
+pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = worker_threads().min(n);
+    if threads <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let result = f(&items[i]);
+                *slots[i].lock().expect("result slot poisoned") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every slot filled by a worker")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order_and_covers_all_items() {
+        let items: Vec<usize> = (0..257).collect();
+        let doubled = parallel_map(&items, |&x| x * 2);
+        assert_eq!(doubled, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let out: Vec<usize> = parallel_map(&[] as &[usize], |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn uneven_work_is_balanced() {
+        // Items with wildly different costs still all complete.
+        let items: Vec<u64> = (0..64).collect();
+        let sums = parallel_map(&items, |&x| (0..(x % 7) * 10_000).sum::<u64>() + x);
+        assert_eq!(sums.len(), 64);
+        for (i, &s) in sums.iter().enumerate() {
+            assert!(s >= i as u64);
+        }
+    }
+
+    #[test]
+    fn worker_threads_is_positive() {
+        assert!(worker_threads() >= 1);
+    }
+}

@@ -4,6 +4,7 @@ use super::{ContinuousProcess, EdgeFlow};
 use crate::error::CoreError;
 use crate::task::Speeds;
 use lb_graph::{AlphaScheme, DiffusionMatrix, Graph};
+use std::sync::Arc;
 
 /// The first-order diffusion process:
 ///
@@ -30,21 +31,26 @@ use lb_graph::{AlphaScheme, DiffusionMatrix, Graph};
 /// ```
 #[derive(Debug, Clone)]
 pub struct Fos {
-    graph: Graph,
+    graph: Arc<Graph>,
     matrix: DiffusionMatrix,
     speeds: Vec<f64>,
     name: String,
 }
 
 impl Fos {
-    /// Creates a FOS process on `graph` with the given `speeds` and `α`
-    /// scheme.
+    /// Creates a FOS process on `graph` (owned or shared via `Arc`) with the
+    /// given `speeds` and `α` scheme.
     ///
     /// # Errors
     ///
     /// Returns [`CoreError::Graph`] if the diffusion matrix cannot be built
     /// (mismatched speed vector, non-positive speeds).
-    pub fn new(graph: Graph, speeds: &Speeds, scheme: AlphaScheme) -> Result<Self, CoreError> {
+    pub fn new(
+        graph: impl Into<Arc<Graph>>,
+        speeds: &Speeds,
+        scheme: AlphaScheme,
+    ) -> Result<Self, CoreError> {
+        let graph = graph.into();
         let speeds_f64 = speeds.to_f64();
         let matrix = DiffusionMatrix::new(&graph, &speeds_f64, scheme)?;
         Ok(Fos {
@@ -70,20 +76,19 @@ impl ContinuousProcess for Fos {
         &self.graph
     }
 
+    fn shared_graph(&self) -> Arc<Graph> {
+        Arc::clone(&self.graph)
+    }
+
     fn speeds(&self) -> &[f64] {
         &self.speeds
     }
 
-    fn compute_flows(&mut self, _t: usize, x: &[f64]) -> Vec<EdgeFlow> {
-        self.graph
-            .edges()
-            .iter()
-            .enumerate()
-            .map(|(e, &(u, v))| {
-                let alpha = self.matrix.alpha(e);
-                EdgeFlow::new(alpha * x[u] / self.speeds[u], alpha * x[v] / self.speeds[v])
-            })
-            .collect()
+    fn compute_flows_into(&mut self, _t: usize, x: &[f64], out: &mut [EdgeFlow]) {
+        for (e, &(u, v)) in self.graph.edges().iter().enumerate() {
+            let alpha = self.matrix.alpha(e);
+            out[e] = EdgeFlow::new(alpha * x[u] / self.speeds[u], alpha * x[v] / self.speeds[v]);
+        }
     }
 }
 

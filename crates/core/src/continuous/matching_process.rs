@@ -17,20 +17,23 @@ use crate::task::Speeds;
 use lb_graph::{random_maximal_matching, Graph, Matching, PeriodicMatchings};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 
-fn matching_flows(
+/// Writes the makespan-equalising flows of `matching` into `out`
+/// (zero-allocation kernel shared by both matching models).
+fn matching_flows_into(
     graph: &Graph,
     speeds: &[f64],
     matching: &Matching,
     x: &[f64],
-) -> Vec<EdgeFlow> {
-    let mut flows = vec![EdgeFlow::default(); graph.edge_count()];
+    out: &mut [EdgeFlow],
+) {
+    out.fill(EdgeFlow::default());
     for &e in matching.edges() {
         let (u, v) = graph.edge_endpoints(e);
         let (su, sv) = (speeds[u], speeds[v]);
-        flows[e] = EdgeFlow::new(sv * x[u] / (su + sv), su * x[v] / (su + sv));
+        out[e] = EdgeFlow::new(sv * x[u] / (su + sv), su * x[v] / (su + sv));
     }
-    flows
 }
 
 /// The periodic-matching dimension-exchange process.
@@ -55,7 +58,7 @@ fn matching_flows(
 /// ```
 #[derive(Debug, Clone)]
 pub struct DimensionExchange {
-    graph: Graph,
+    graph: Arc<Graph>,
     speeds: Vec<f64>,
     matchings: PeriodicMatchings,
     name: String,
@@ -70,10 +73,11 @@ impl DimensionExchange {
     /// Returns [`CoreError::InvalidParameter`] if the matchings do not form a
     /// proper cover of the graph's edges or the speed vector length is wrong.
     pub fn new(
-        graph: Graph,
+        graph: impl Into<Arc<Graph>>,
         speeds: &Speeds,
         matchings: PeriodicMatchings,
     ) -> Result<Self, CoreError> {
+        let graph = graph.into();
         if speeds.len() != graph.node_count() {
             return Err(CoreError::invalid_parameter(format!(
                 "speeds length {} does not match node count {}",
@@ -101,7 +105,11 @@ impl DimensionExchange {
     ///
     /// Returns [`CoreError::InvalidParameter`] if the speed vector length is
     /// wrong.
-    pub fn with_greedy_coloring(graph: Graph, speeds: &Speeds) -> Result<Self, CoreError> {
+    pub fn with_greedy_coloring(
+        graph: impl Into<Arc<Graph>>,
+        speeds: &Speeds,
+    ) -> Result<Self, CoreError> {
+        let graph = graph.into();
         let matchings = PeriodicMatchings::greedy_edge_coloring(&graph);
         Self::new(graph, speeds, matchings)
     }
@@ -121,12 +129,22 @@ impl ContinuousProcess for DimensionExchange {
         &self.graph
     }
 
+    fn shared_graph(&self) -> Arc<Graph> {
+        Arc::clone(&self.graph)
+    }
+
     fn speeds(&self) -> &[f64] {
         &self.speeds
     }
 
-    fn compute_flows(&mut self, t: usize, x: &[f64]) -> Vec<EdgeFlow> {
-        matching_flows(&self.graph, &self.speeds, self.matchings.for_round(t), x)
+    fn compute_flows_into(&mut self, t: usize, x: &[f64], out: &mut [EdgeFlow]) {
+        matching_flows_into(
+            &self.graph,
+            &self.speeds,
+            self.matchings.for_round(t),
+            x,
+            out,
+        );
     }
 }
 
@@ -137,7 +155,7 @@ impl ContinuousProcess for DimensionExchange {
 /// discretization and its continuous twin) are reproducible.
 #[derive(Debug, Clone)]
 pub struct RandomMatching {
-    graph: Graph,
+    graph: Arc<Graph>,
     speeds: Vec<f64>,
     rng: StdRng,
     /// Matchings generated so far, by round; `compute_flows(t)` replays the
@@ -154,7 +172,12 @@ impl RandomMatching {
     ///
     /// Returns [`CoreError::InvalidParameter`] if the speed vector length is
     /// wrong.
-    pub fn new(graph: Graph, speeds: &Speeds, seed: u64) -> Result<Self, CoreError> {
+    pub fn new(
+        graph: impl Into<Arc<Graph>>,
+        speeds: &Speeds,
+        seed: u64,
+    ) -> Result<Self, CoreError> {
+        let graph = graph.into();
         if speeds.len() != graph.node_count() {
             return Err(CoreError::invalid_parameter(format!(
                 "speeds length {} does not match node count {}",
@@ -191,13 +214,20 @@ impl ContinuousProcess for RandomMatching {
         &self.graph
     }
 
+    fn shared_graph(&self) -> Arc<Graph> {
+        Arc::clone(&self.graph)
+    }
+
     fn speeds(&self) -> &[f64] {
         &self.speeds
     }
 
-    fn compute_flows(&mut self, t: usize, x: &[f64]) -> Vec<EdgeFlow> {
-        let matching = self.matching_for_round(t).clone();
-        matching_flows(&self.graph, &self.speeds, &matching, x)
+    fn compute_flows_into(&mut self, t: usize, x: &[f64], out: &mut [EdgeFlow]) {
+        // Extend the history first (the only mutable part), then read the
+        // round's matching by reference — the per-round clone the seed code
+        // paid here is gone.
+        self.matching_for_round(t);
+        matching_flows_into(&self.graph, &self.speeds, &self.history[t], x, out);
     }
 }
 

@@ -12,6 +12,16 @@
 //! * [`Sos`] — second-order diffusion,
 //! * [`DimensionExchange`] — periodic-matching dimension exchange,
 //! * [`RandomMatching`] — random-matching model.
+//!
+//! # Hot-path contract
+//!
+//! The per-round kernel is [`ContinuousProcess::compute_flows_into`], which
+//! writes into a caller-owned buffer. Implementations must not allocate in
+//! steady state (after any lazily initialised internal state has warmed up),
+//! so that [`ContinuousRunner::step`] — and with it the whole simulation
+//! round of the discretizers — runs without touching the heap. The
+//! allocating [`ContinuousProcess::compute_flows`] wrapper is retained for
+//! convenience and tests.
 
 mod fos;
 mod matching_process;
@@ -22,7 +32,7 @@ pub use matching_process::{DimensionExchange, RandomMatching};
 pub use sos::Sos;
 
 use lb_graph::Graph;
-use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Gross flows over one undirected edge `(u, v)` (canonical orientation,
 /// `u < v`) in a single round.
@@ -30,7 +40,7 @@ use serde::{Deserialize, Serialize};
 /// `forward` is the load sent from `u` to `v`; `backward` the load sent from
 /// `v` to `u`. The net transfer along the canonical orientation is
 /// [`EdgeFlow::net`].
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct EdgeFlow {
     /// Load sent from the smaller-indexed endpoint to the larger one.
     pub forward: f64,
@@ -53,10 +63,23 @@ impl EdgeFlow {
 /// A continuous neighbourhood load-balancing process.
 ///
 /// Implementations are driven by [`ContinuousRunner`], which owns the load
-/// vector, applies the flows returned by [`compute_flows`] and keeps the
+/// vector, applies the flows produced by [`compute_flows_into`] and keeps the
 /// cumulative per-edge flow `f^A_e(t)` that the discretizers imitate.
 ///
-/// [`compute_flows`]: ContinuousProcess::compute_flows
+/// # Implementing the buffer-reuse kernel
+///
+/// [`compute_flows_into`] receives `out` with exactly
+/// `self.graph().edge_count()` slots, indexed by canonical
+/// [`EdgeId`](lb_graph::EdgeId), and must overwrite **every** slot (stale
+/// contents from the previous round are visible otherwise). Implementations
+/// must not allocate per call in steady state — keep any history (e.g. SOS's
+/// previous flows) in pre-sized buffers owned by the process.
+///
+/// Topology is shared: processes hold an [`Arc<Graph>`] so twins, balancers
+/// and experiment configurations can reference one graph instance without
+/// deep copies.
+///
+/// [`compute_flows_into`]: ContinuousProcess::compute_flows_into
 pub trait ContinuousProcess {
     /// Short human-readable name, e.g. `"fos"` or `"sos(beta=1.8)"`.
     fn name(&self) -> &str;
@@ -64,17 +87,37 @@ pub trait ContinuousProcess {
     /// The graph the process operates on.
     fn graph(&self) -> &Graph;
 
+    /// A shared handle to the graph, for components (twins, discretizers)
+    /// that need to keep the topology alive without cloning it.
+    fn shared_graph(&self) -> Arc<Graph>;
+
     /// Node speeds as `f64` (length = node count).
     fn speeds(&self) -> &[f64];
 
     /// Computes the gross flows of round `t` for the load vector `x` (the
-    /// load at the *beginning* of round `t`). The returned vector is indexed
-    /// by canonical [`EdgeId`](lb_graph::EdgeId).
-    fn compute_flows(&mut self, t: usize, x: &[f64]) -> Vec<EdgeFlow>;
+    /// load at the *beginning* of round `t`) into `out`.
+    ///
+    /// `out` has length `self.graph().edge_count()`; every entry must be
+    /// overwritten. This is the zero-allocation hot-path kernel.
+    fn compute_flows_into(&mut self, t: usize, x: &[f64], out: &mut [EdgeFlow]);
+
+    /// Allocating convenience wrapper around
+    /// [`compute_flows_into`](ContinuousProcess::compute_flows_into),
+    /// retained for tests and exploratory code.
+    fn compute_flows(&mut self, t: usize, x: &[f64]) -> Vec<EdgeFlow> {
+        let mut out = vec![EdgeFlow::default(); self.graph().edge_count()];
+        self.compute_flows_into(t, x, &mut out);
+        out
+    }
 }
 
 /// Drives a [`ContinuousProcess`], maintaining its load vector and the
 /// cumulative net per-edge flows `f^A_e(t)`.
+///
+/// The runner owns a reusable flow buffer: a steady-state [`step`] performs
+/// no heap allocations (for processes whose kernel is allocation-free).
+///
+/// [`step`]: ContinuousRunner::step
 ///
 /// # Examples
 ///
@@ -99,6 +142,9 @@ pub struct ContinuousRunner<A: ContinuousProcess> {
     process: A,
     loads: Vec<f64>,
     cumulative_flow: Vec<f64>,
+    /// Reused per-round flow buffer (the "out" side of the double buffer;
+    /// `loads` is updated in place from it).
+    flow_buf: Vec<EdgeFlow>,
     round: usize,
     min_load_seen: f64,
 }
@@ -122,6 +168,7 @@ impl<A: ContinuousProcess> ContinuousRunner<A> {
             process,
             loads: initial,
             cumulative_flow: vec![0.0; m],
+            flow_buf: vec![EdgeFlow::default(); m],
             round: 0,
             min_load_seen,
         }
@@ -160,23 +207,31 @@ impl<A: ContinuousProcess> ContinuousRunner<A> {
         self.min_load_seen >= -tolerance
     }
 
-    /// Executes one round: computes the flows for the current round, applies
-    /// them to the load vector, and accumulates the per-edge totals. Returns
-    /// the flows of the executed round.
-    pub fn step(&mut self) -> Vec<EdgeFlow> {
-        let flows = self.process.compute_flows(self.round, &self.loads);
+    /// Executes one round: computes the flows for the current round into the
+    /// runner's reusable buffer, applies them to the load vector, and
+    /// accumulates the per-edge totals. Returns the flows of the executed
+    /// round (valid until the next `step`).
+    ///
+    /// This is the zero-allocation hot path: no heap allocation happens here
+    /// for processes with an allocation-free kernel.
+    pub fn step(&mut self) -> &[EdgeFlow] {
+        self.process
+            .compute_flows_into(self.round, &self.loads, &mut self.flow_buf);
         let graph = self.process.graph();
-        debug_assert_eq!(flows.len(), graph.edge_count());
+        debug_assert_eq!(self.flow_buf.len(), graph.edge_count());
         for (e, &(u, v)) in graph.edges().iter().enumerate() {
-            let net = flows[e].net();
+            let net = self.flow_buf[e].net();
             self.loads[u] -= net;
             self.loads[v] += net;
             self.cumulative_flow[e] += net;
         }
+        let mut round_min = f64::INFINITY;
+        for &x in &self.loads {
+            round_min = round_min.min(x);
+        }
         self.round += 1;
-        let round_min = self.loads.iter().copied().fold(f64::INFINITY, f64::min);
         self.min_load_seen = self.min_load_seen.min(round_min);
-        flows
+        &self.flow_buf
     }
 
     /// Executes `rounds` rounds.
@@ -191,15 +246,9 @@ impl<A: ContinuousProcess> ContinuousRunner<A> {
     /// `tolerance = 1`), or until `max_rounds` have elapsed. Returns the
     /// number of rounds executed by this call.
     pub fn run_until_balanced(&mut self, tolerance: f64, max_rounds: usize) -> usize {
-        let speeds = self.process.speeds().to_vec();
-        let total_speed: f64 = speeds.iter().sum();
-        let total_load: f64 = self.loads.iter().sum();
         let executed_start = self.round;
         for _ in 0..max_rounds {
-            let balanced = self.loads.iter().zip(&speeds).all(|(&x, &s)| {
-                (x - total_load * s / total_speed).abs() <= tolerance
-            });
-            if balanced {
+            if self.is_balanced(tolerance) {
                 break;
             }
             self.step();
@@ -260,6 +309,30 @@ mod tests {
         let f = EdgeFlow::new(2.5, 1.0);
         assert!((f.net() - 1.5).abs() < 1e-12);
         assert_eq!(EdgeFlow::default().net(), 0.0);
+    }
+
+    #[test]
+    fn compute_flows_shim_matches_kernel() {
+        let g = generators::torus(3, 3).unwrap();
+        let speeds = Speeds::uniform(9);
+        let x: Vec<f64> = (0..9).map(|i| (i * 5 % 7) as f64).collect();
+        let mut a = Fos::new(g.clone(), &speeds, AlphaScheme::MaxDegreePlusOne).unwrap();
+        let mut b = Fos::new(g, &speeds, AlphaScheme::MaxDegreePlusOne).unwrap();
+        let via_shim = a.compute_flows(0, &x);
+        let mut via_kernel = vec![EdgeFlow::new(9.9, 9.9); via_shim.len()];
+        b.compute_flows_into(0, &x, &mut via_kernel);
+        assert_eq!(via_shim, via_kernel, "kernel must overwrite every slot");
+    }
+
+    #[test]
+    fn shared_graph_is_one_allocation() {
+        let g = generators::cycle(5).unwrap();
+        let speeds = Speeds::uniform(5);
+        let fos = Fos::new(g, &speeds, AlphaScheme::MaxDegreePlusOne).unwrap();
+        let a = fos.shared_graph();
+        let b = fos.shared_graph();
+        assert!(Arc::ptr_eq(&a, &b), "both handles must share one graph");
+        assert!(std::ptr::eq(fos.graph(), a.as_ref()));
     }
 
     #[test]

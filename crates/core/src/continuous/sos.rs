@@ -5,6 +5,7 @@ use super::{ContinuousProcess, EdgeFlow};
 use crate::error::CoreError;
 use crate::task::Speeds;
 use lb_graph::{AlphaScheme, DiffusionMatrix, Graph, PowerIterationOptions};
+use std::sync::Arc;
 
 /// The second-order diffusion process:
 ///
@@ -23,24 +24,28 @@ use lb_graph::{AlphaScheme, DiffusionMatrix, Graph, PowerIterationOptions};
 /// [`ContinuousRunner::min_load_seen`]: super::ContinuousRunner::min_load_seen
 #[derive(Debug, Clone)]
 pub struct Sos {
-    graph: Graph,
+    graph: Arc<Graph>,
     matrix: DiffusionMatrix,
     speeds: Vec<f64>,
     beta: f64,
-    previous: Option<Vec<EdgeFlow>>,
+    /// Flows of the previous round, pre-sized to the edge count; only valid
+    /// once `has_previous` is set. Kept flat (not `Option<Vec>`) so the
+    /// kernel never allocates.
+    previous: Vec<EdgeFlow>,
+    has_previous: bool,
     name: String,
 }
 
 impl Sos {
     /// Creates an SOS process with an explicit relaxation parameter
-    /// `beta ∈ (0, 2]`.
+    /// `beta ∈ (0, 2]`. The graph may be owned or shared via `Arc`.
     ///
     /// # Errors
     ///
     /// Returns [`CoreError::InvalidParameter`] if `beta` is outside `(0, 2]`
     /// and [`CoreError::Graph`] if the diffusion matrix cannot be built.
     pub fn new(
-        graph: Graph,
+        graph: impl Into<Arc<Graph>>,
         speeds: &Speeds,
         scheme: AlphaScheme,
         beta: f64,
@@ -50,14 +55,17 @@ impl Sos {
                 "beta must be in (0, 2], got {beta}"
             )));
         }
+        let graph = graph.into();
         let speeds_f64 = speeds.to_f64();
         let matrix = DiffusionMatrix::new(&graph, &speeds_f64, scheme)?;
+        let m = graph.edge_count();
         Ok(Sos {
             graph,
             matrix,
             speeds: speeds_f64,
             beta,
-            previous: None,
+            previous: vec![EdgeFlow::default(); m],
+            has_previous: false,
             name: format!("sos(beta={beta:.3})"),
         })
     }
@@ -69,21 +77,27 @@ impl Sos {
     ///
     /// Returns [`CoreError::Graph`] if the diffusion matrix cannot be built.
     pub fn with_optimal_beta(
-        graph: Graph,
+        graph: impl Into<Arc<Graph>>,
         speeds: &Speeds,
         scheme: AlphaScheme,
     ) -> Result<Self, CoreError> {
+        let graph = graph.into();
         let speeds_f64 = speeds.to_f64();
         let matrix = DiffusionMatrix::new(&graph, &speeds_f64, scheme)?;
-        let lambda =
-            lb_graph::spectral::second_eigenvalue(&graph, &matrix, PowerIterationOptions::default());
+        let lambda = lb_graph::spectral::second_eigenvalue(
+            &graph,
+            &matrix,
+            PowerIterationOptions::default(),
+        );
         let beta = 2.0 / (1.0 + (1.0 - lambda * lambda).max(0.0).sqrt());
+        let m = graph.edge_count();
         Ok(Sos {
             graph,
             matrix,
             speeds: speeds_f64,
             beta,
-            previous: None,
+            previous: vec![EdgeFlow::default(); m],
+            has_previous: false,
             name: format!("sos(beta={beta:.3})"),
         })
     }
@@ -103,31 +117,30 @@ impl ContinuousProcess for Sos {
         &self.graph
     }
 
+    fn shared_graph(&self) -> Arc<Graph> {
+        Arc::clone(&self.graph)
+    }
+
     fn speeds(&self) -> &[f64] {
         &self.speeds
     }
 
-    fn compute_flows(&mut self, _t: usize, x: &[f64]) -> Vec<EdgeFlow> {
-        let flows: Vec<EdgeFlow> = self
-            .graph
-            .edges()
-            .iter()
-            .enumerate()
-            .map(|(e, &(u, v))| {
-                let alpha = self.matrix.alpha(e);
-                let fos_forward = alpha * x[u] / self.speeds[u];
-                let fos_backward = alpha * x[v] / self.speeds[v];
-                match &self.previous {
-                    None => EdgeFlow::new(fos_forward, fos_backward),
-                    Some(prev) => EdgeFlow::new(
-                        (self.beta - 1.0) * prev[e].forward + self.beta * fos_forward,
-                        (self.beta - 1.0) * prev[e].backward + self.beta * fos_backward,
-                    ),
-                }
-            })
-            .collect();
-        self.previous = Some(flows.clone());
-        flows
+    fn compute_flows_into(&mut self, _t: usize, x: &[f64], out: &mut [EdgeFlow]) {
+        for (e, &(u, v)) in self.graph.edges().iter().enumerate() {
+            let alpha = self.matrix.alpha(e);
+            let fos_forward = alpha * x[u] / self.speeds[u];
+            let fos_backward = alpha * x[v] / self.speeds[v];
+            out[e] = if self.has_previous {
+                EdgeFlow::new(
+                    (self.beta - 1.0) * self.previous[e].forward + self.beta * fos_forward,
+                    (self.beta - 1.0) * self.previous[e].backward + self.beta * fos_backward,
+                )
+            } else {
+                EdgeFlow::new(fos_forward, fos_backward)
+            };
+        }
+        self.previous.copy_from_slice(out);
+        self.has_previous = true;
     }
 }
 
@@ -169,7 +182,8 @@ mod tests {
         let n = 24;
         let g = generators::cycle(n).unwrap();
         let speeds = Speeds::uniform(n);
-        let sos = Sos::with_optimal_beta(g.clone(), &speeds, AlphaScheme::MaxDegreePlusOne).unwrap();
+        let sos =
+            Sos::with_optimal_beta(g.clone(), &speeds, AlphaScheme::MaxDegreePlusOne).unwrap();
         assert!(sos.beta() > 1.0 && sos.beta() <= 2.0);
 
         let mut initial = vec![0.0; n];

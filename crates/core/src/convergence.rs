@@ -123,7 +123,14 @@ mod tests {
         let g = generators::torus(4, 4).unwrap();
         let n = g.node_count();
         let speeds = Speeds::uniform(n);
-        let mk = || Fos::new(generators::torus(4, 4).unwrap(), &speeds, AlphaScheme::MaxDegreePlusOne).unwrap();
+        let mk = || {
+            Fos::new(
+                generators::torus(4, 4).unwrap(),
+                &speeds,
+                AlphaScheme::MaxDegreePlusOne,
+            )
+            .unwrap()
+        };
         let mut initial = vec![0.0; n];
         initial[0] = 1_000.0;
         let loose = continuous_balancing_time(mk(), initial.clone(), 2.0, 100_000);

@@ -14,11 +14,12 @@ use lb_graph::{AlphaScheme, DiffusionMatrix, Graph};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
+use std::sync::Arc;
 
 /// Shared state of all diffusion baselines.
 #[derive(Debug, Clone)]
 struct DiffusionState {
-    graph: Graph,
+    graph: Arc<Graph>,
     speeds: Speeds,
     speeds_f64: Vec<f64>,
     matrix: DiffusionMatrix,
@@ -28,7 +29,12 @@ struct DiffusionState {
 }
 
 impl DiffusionState {
-    fn new(graph: Graph, speeds: Speeds, initial: &InitialLoad) -> Result<Self, CoreError> {
+    fn new(
+        graph: impl Into<Arc<Graph>>,
+        speeds: Speeds,
+        initial: &InitialLoad,
+    ) -> Result<Self, CoreError> {
+        let graph = graph.into();
         if !initial.is_unit_weight() {
             return Err(CoreError::invalid_parameter(
                 "diffusion baselines are defined for unit-weight tokens",
@@ -132,7 +138,11 @@ impl RoundDownDiffusion {
     ///
     /// Returns [`CoreError::InvalidParameter`] for weighted tasks or
     /// mismatched dimensions.
-    pub fn new(graph: Graph, speeds: Speeds, initial: &InitialLoad) -> Result<Self, CoreError> {
+    pub fn new(
+        graph: impl Into<Arc<Graph>>,
+        speeds: Speeds,
+        initial: &InitialLoad,
+    ) -> Result<Self, CoreError> {
         Ok(RoundDownDiffusion {
             state: DiffusionState::new(graph, speeds, initial)?,
             name: "round_down_diffusion".to_string(),
@@ -173,7 +183,7 @@ impl RandomizedRoundingDiffusion {
     /// Returns [`CoreError::InvalidParameter`] for weighted tasks or
     /// mismatched dimensions.
     pub fn new(
-        graph: Graph,
+        graph: impl Into<Arc<Graph>>,
         speeds: Speeds,
         initial: &InitialLoad,
         seed: u64,
@@ -225,7 +235,12 @@ impl QuasirandomDiffusion {
     ///
     /// Returns [`CoreError::InvalidParameter`] for weighted tasks or
     /// mismatched dimensions.
-    pub fn new(graph: Graph, speeds: Speeds, initial: &InitialLoad) -> Result<Self, CoreError> {
+    pub fn new(
+        graph: impl Into<Arc<Graph>>,
+        speeds: Speeds,
+        initial: &InitialLoad,
+    ) -> Result<Self, CoreError> {
+        let graph = graph.into();
         let accumulated = vec![0.0; graph.edge_count() * 2];
         Ok(QuasirandomDiffusion {
             state: DiffusionState::new(graph, speeds, initial)?,
@@ -306,7 +321,7 @@ impl ExcessTokenDiffusion {
     /// Returns [`CoreError::InvalidParameter`] for weighted tasks or
     /// mismatched dimensions.
     pub fn new(
-        graph: Graph,
+        graph: impl Into<Arc<Graph>>,
         speeds: Speeds,
         initial: &InitialLoad,
         seed: u64,
@@ -321,7 +336,7 @@ impl ExcessTokenDiffusion {
     /// Returns [`CoreError::InvalidParameter`] for weighted tasks or
     /// mismatched dimensions.
     pub fn with_policy(
-        graph: Graph,
+        graph: impl Into<Arc<Graph>>,
         speeds: Speeds,
         initial: &InitialLoad,
         seed: u64,
@@ -349,7 +364,8 @@ impl ExcessTokenDiffusion {
             }
             let mut sent_floor_total: i64 = 0;
             let mut continuous_total = 0.0;
-            let neighbours: Vec<(usize, usize)> = self.state.graph.neighbors_with_edges(i).collect();
+            let neighbours: Vec<(usize, usize)> =
+                self.state.graph.neighbors_with_edges(i).collect();
             for &(j, e) in &neighbours {
                 let y = self.state.continuous_send(i, e);
                 continuous_total += y;
@@ -457,16 +473,10 @@ mod tests {
         use crate::task::{Task, TaskId};
         let g = generators::cycle(4).unwrap();
         let speeds = Speeds::uniform(4);
-        let weighted = InitialLoad::from_tasks(vec![
-            vec![Task::new(TaskId(0), 3)],
-            vec![],
-            vec![],
-            vec![],
-        ]);
+        let weighted =
+            InitialLoad::from_tasks(vec![vec![Task::new(TaskId(0), 3)], vec![], vec![], vec![]]);
         assert!(RoundDownDiffusion::new(g.clone(), speeds.clone(), &weighted).is_err());
-        assert!(
-            RandomizedRoundingDiffusion::new(g.clone(), speeds.clone(), &weighted, 0).is_err()
-        );
+        assert!(RandomizedRoundingDiffusion::new(g.clone(), speeds.clone(), &weighted, 0).is_err());
         assert!(QuasirandomDiffusion::new(g.clone(), speeds.clone(), &weighted).is_err());
         assert!(ExcessTokenDiffusion::new(g, speeds, &weighted, 0).is_err());
     }

@@ -8,6 +8,7 @@ use crate::task::Speeds;
 use lb_graph::{random_maximal_matching, Graph, Matching, PeriodicMatchings};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::Arc;
 
 /// How the per-round matching is chosen.
 #[derive(Debug, Clone)]
@@ -42,21 +43,28 @@ impl MatchingSchedule {
 #[derive(Debug, Clone)]
 enum ScheduleState {
     Periodic(PeriodicMatchings),
-    Random(StdRng),
+    /// The RNG plus a scratch matching reused across rounds, so resolving a
+    /// round's matching no longer clones (periodic) per round.
+    Random(StdRng, Matching),
 }
 
 impl ScheduleState {
     fn new(schedule: MatchingSchedule) -> Self {
         match schedule {
             MatchingSchedule::Periodic(pm) => ScheduleState::Periodic(pm),
-            MatchingSchedule::Random { seed } => ScheduleState::Random(StdRng::seed_from_u64(seed)),
+            MatchingSchedule::Random { seed } => {
+                ScheduleState::Random(StdRng::seed_from_u64(seed), Matching::default())
+            }
         }
     }
 
-    fn matching_for_round(&mut self, graph: &Graph, t: usize) -> Matching {
+    fn matching_for_round(&mut self, graph: &Graph, t: usize) -> &Matching {
         match self {
-            ScheduleState::Periodic(pm) => pm.for_round(t).clone(),
-            ScheduleState::Random(rng) => random_maximal_matching(graph, rng),
+            ScheduleState::Periodic(pm) => pm.for_round(t),
+            ScheduleState::Random(rng, scratch) => {
+                *scratch = random_maximal_matching(graph, rng);
+                scratch
+            }
         }
     }
 }
@@ -64,7 +72,7 @@ impl ScheduleState {
 /// Shared state of the matching-model baselines.
 #[derive(Debug, Clone)]
 struct MatchingState {
-    graph: Graph,
+    graph: Arc<Graph>,
     speeds: Speeds,
     loads: Vec<i64>,
     schedule: ScheduleState,
@@ -74,11 +82,12 @@ struct MatchingState {
 
 impl MatchingState {
     fn new(
-        graph: Graph,
+        graph: impl Into<Arc<Graph>>,
         speeds: Speeds,
         initial: &InitialLoad,
         schedule: MatchingSchedule,
     ) -> Result<Self, CoreError> {
+        let graph = graph.into();
         if !initial.is_unit_weight() {
             return Err(CoreError::invalid_parameter(
                 "matching baselines are defined for unit-weight tokens",
@@ -106,13 +115,6 @@ impl MatchingState {
             round: 0,
             min_load_seen,
         })
-    }
-
-    /// The signed continuous excess that node `u` should pass to node `v` so
-    /// that their makespans equalise (positive: `u` sends to `v`).
-    fn continuous_excess(&self, u: usize, v: usize) -> f64 {
-        let (su, sv) = (self.speeds.get(u) as f64, self.speeds.get(v) as f64);
-        (sv * self.loads[u] as f64 - su * self.loads[v] as f64) / (su + sv)
     }
 
     fn finish_round(&mut self) {
@@ -176,7 +178,7 @@ impl RoundDownMatching {
     /// Returns [`CoreError::InvalidParameter`] for weighted tasks, mismatched
     /// dimensions, or an improper periodic cover.
     pub fn new(
-        graph: Graph,
+        graph: impl Into<Arc<Graph>>,
         speeds: Speeds,
         initial: &InitialLoad,
         schedule: MatchingSchedule,
@@ -189,20 +191,28 @@ impl RoundDownMatching {
     }
 
     fn step_impl(&mut self) {
-        let matching = self
-            .state
-            .schedule
-            .matching_for_round(&self.state.graph, self.state.round);
+        // Destructure so the schedule borrow (which may hand back an
+        // internal reference) coexists with the load updates.
+        let MatchingState {
+            graph,
+            schedule,
+            loads,
+            speeds,
+            round,
+            ..
+        } = &mut self.state;
+        let matching = schedule.matching_for_round(graph, *round);
         for &e in matching.edges() {
-            let (u, v) = self.state.graph.edge_endpoints(e);
-            let excess = self.state.continuous_excess(u, v);
+            let (u, v) = graph.edge_endpoints(e);
+            let (su, sv) = (speeds.get(u) as f64, speeds.get(v) as f64);
+            let excess = (sv * loads[u] as f64 - su * loads[v] as f64) / (su + sv);
             let transfer = excess.abs().floor() as i64;
             if transfer == 0 {
                 continue;
             }
             let (from, to) = if excess > 0.0 { (u, v) } else { (v, u) };
-            self.state.loads[from] -= transfer;
-            self.state.loads[to] += transfer;
+            loads[from] -= transfer;
+            loads[to] += transfer;
         }
         self.state.finish_round();
     }
@@ -231,7 +241,7 @@ impl RandomizedRoundingMatching {
     /// Returns [`CoreError::InvalidParameter`] for weighted tasks, mismatched
     /// dimensions, or an improper periodic cover.
     pub fn new(
-        graph: Graph,
+        graph: impl Into<Arc<Graph>>,
         speeds: Speeds,
         initial: &InitialLoad,
         schedule: MatchingSchedule,
@@ -246,13 +256,19 @@ impl RandomizedRoundingMatching {
     }
 
     fn step_impl(&mut self) {
-        let matching = self
-            .state
-            .schedule
-            .matching_for_round(&self.state.graph, self.state.round);
+        let MatchingState {
+            graph,
+            schedule,
+            loads,
+            speeds,
+            round,
+            ..
+        } = &mut self.state;
+        let matching = schedule.matching_for_round(graph, *round);
         for &e in matching.edges() {
-            let (u, v) = self.state.graph.edge_endpoints(e);
-            let excess = self.state.continuous_excess(u, v);
+            let (u, v) = graph.edge_endpoints(e);
+            let (su, sv) = (speeds.get(u) as f64, speeds.get(v) as f64);
+            let excess = (sv * loads[u] as f64 - su * loads[v] as f64) / (su + sv);
             let magnitude = excess.abs();
             let floor = magnitude.floor();
             let frac = magnitude - floor;
@@ -262,8 +278,8 @@ impl RandomizedRoundingMatching {
                 continue;
             }
             let (from, to) = if excess > 0.0 { (u, v) } else { (v, u) };
-            self.state.loads[from] -= transfer;
-            self.state.loads[to] += transfer;
+            loads[from] -= transfer;
+            loads[to] += transfer;
         }
         self.state.finish_round();
     }
@@ -345,15 +361,12 @@ mod tests {
         use crate::task::{Task, TaskId};
         let g = generators::cycle(4).unwrap();
         let speeds = Speeds::uniform(4);
-        let weighted = InitialLoad::from_tasks(vec![
-            vec![Task::new(TaskId(0), 2)],
-            vec![],
-            vec![],
-            vec![],
-        ]);
+        let weighted =
+            InitialLoad::from_tasks(vec![vec![Task::new(TaskId(0), 2)], vec![], vec![], vec![]]);
         let schedule = MatchingSchedule::periodic_greedy(&g);
-        assert!(RoundDownMatching::new(g.clone(), speeds.clone(), &weighted, schedule.clone())
-            .is_err());
+        assert!(
+            RoundDownMatching::new(g.clone(), speeds.clone(), &weighted, schedule.clone()).is_err()
+        );
         let tokens = InitialLoad::single_source(5, 0, 10);
         assert!(RandomizedRoundingMatching::new(g, speeds, &tokens, schedule, 0).is_err());
     }

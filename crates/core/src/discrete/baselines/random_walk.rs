@@ -18,6 +18,7 @@ use crate::task::Speeds;
 use lb_graph::Graph;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::Arc;
 
 /// Two-phase random-walk fine balancer (tokens, uniform or heterogeneous
 /// speeds).
@@ -41,6 +42,8 @@ use rand::{Rng, SeedableRng};
 pub struct RandomWalkFineBalancer {
     /// Phase-1 engine (round-down diffusion).
     coarse: RoundDownDiffusion,
+    /// Shared topology handle (same `Arc` as the coarse engine's).
+    graph: Arc<Graph>,
     /// Rounds to spend in phase 1 before switching to fine balancing.
     phase1_rounds: usize,
     /// Per-node target load `round(W·s_i/S)` used by phase 2.
@@ -65,13 +68,14 @@ impl RandomWalkFineBalancer {
     /// Returns [`CoreError::InvalidParameter`] for weighted tasks or
     /// mismatched dimensions (propagated from the phase-1 process).
     pub fn new(
-        graph: Graph,
+        graph: impl Into<Arc<Graph>>,
         speeds: Speeds,
         initial: &InitialLoad,
         phase1_rounds: usize,
         seed: u64,
     ) -> Result<Self, CoreError> {
-        let coarse = RoundDownDiffusion::new(graph, speeds, initial)?;
+        let graph = graph.into();
+        let coarse = RoundDownDiffusion::new(Arc::clone(&graph), speeds, initial)?;
         let n = coarse.graph().node_count();
         // Speed-proportional targets, rounded; the leftover units stay as
         // permanent positive/negative tokens of magnitude O(n) in total and
@@ -79,12 +83,11 @@ impl RandomWalkFineBalancer {
         let total_weight = initial.total_weight() as f64;
         let total_speed = coarse.speeds().total() as f64;
         let targets: Vec<i64> = (0..n)
-            .map(|i| {
-                (total_weight * coarse.speeds().get(i) as f64 / total_speed).round() as i64
-            })
+            .map(|i| (total_weight * coarse.speeds().get(i) as f64 / total_speed).round() as i64)
             .collect();
         Ok(RandomWalkFineBalancer {
             coarse,
+            graph,
             phase1_rounds,
             targets,
             positive: vec![0; n],
@@ -125,7 +128,9 @@ impl RandomWalkFineBalancer {
     }
 
     fn walk_step(&mut self) {
-        let graph = self.coarse.graph().clone();
+        // Cheap Arc clone of the shared topology (the seed code deep-cloned
+        // the whole graph every fine-balancing round here).
+        let graph = Arc::clone(&self.graph);
         let n = graph.node_count();
         let mut new_positive = vec![0u64; n];
         let mut new_negative = vec![0u64; n];
@@ -216,7 +221,11 @@ mod tests {
     fn setup() -> (Graph, Speeds, InitialLoad) {
         let g = generators::hypercube(4).unwrap();
         let n = g.node_count();
-        (g, Speeds::uniform(n), InitialLoad::single_source(n, 0, 20 * n as u64))
+        (
+            g,
+            Speeds::uniform(n),
+            InitialLoad::single_source(n, 0, 20 * n as u64),
+        )
     }
 
     #[test]
@@ -268,21 +277,17 @@ mod tests {
     fn rejects_weighted_tasks() {
         use crate::task::{Task, TaskId};
         let g = generators::cycle(4).unwrap();
-        let weighted = InitialLoad::from_tasks(vec![
-            vec![Task::new(TaskId(0), 2)],
-            vec![],
-            vec![],
-            vec![],
-        ]);
-        assert!(
-            RandomWalkFineBalancer::new(g, Speeds::uniform(4), &weighted, 10, 0).is_err()
-        );
+        let weighted =
+            InitialLoad::from_tasks(vec![vec![Task::new(TaskId(0), 2)], vec![], vec![], vec![]]);
+        assert!(RandomWalkFineBalancer::new(g, Speeds::uniform(4), &weighted, 10, 0).is_err());
     }
 
     #[test]
     fn deterministic_per_seed() {
         let (g, speeds, initial) = setup();
-        let mk = |seed| RandomWalkFineBalancer::new(g.clone(), speeds.clone(), &initial, 40, seed).unwrap();
+        let mk = |seed| {
+            RandomWalkFineBalancer::new(g.clone(), speeds.clone(), &initial, 40, seed).unwrap()
+        };
         let mut a = mk(9);
         let mut b = mk(9);
         a.run(200);

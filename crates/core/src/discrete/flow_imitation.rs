@@ -11,53 +11,24 @@
 //! discrepancy is at most `2·d·w_max + 2`; if every node starts with load at
 //! least `d·w_max·s_i`, no dummy token is ever created and the same bound
 //! holds for the max-min discrepancy.
+//!
+//! # Hot path
+//!
+//! [`FlowImitation::step`] is allocation-free in steady state: per-node
+//! storage is a [`TaskQueue`] (O(1) FIFO pops, O(log k) heap pops instead of
+//! the O(k) scan + O(k) `Vec::remove` of the seed implementation), delivery
+//! buffers are owned by the struct and reused, and the topology is shared
+//! with the twin through one `Arc<Graph>`.
 
 use super::DiscreteBalancer;
 use crate::continuous::{ContinuousProcess, ContinuousRunner};
 use crate::error::CoreError;
 use crate::load::InitialLoad;
-use crate::task::{Speeds, Task, Weight};
+use crate::task::{Speeds, Task, TaskQueue, Weight};
 use lb_graph::{Graph, NodeId};
-use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
-/// Which task a sender picks when Algorithm 1 says "an arbitrary task".
-///
-/// The paper's bound holds for any choice; the experiments default to
-/// [`TaskPicker::Fifo`] and the ablation benchmark compares the three.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
-#[non_exhaustive]
-pub enum TaskPicker {
-    /// Oldest task first (insertion order).
-    #[default]
-    Fifo,
-    /// Heaviest task first.
-    LargestFirst,
-    /// Lightest task first.
-    SmallestFirst,
-}
-
-impl TaskPicker {
-    /// Picks the index of the next task to send from `tasks`, or `None` if
-    /// the list is empty.
-    fn pick(self, tasks: &[Task]) -> Option<usize> {
-        if tasks.is_empty() {
-            return None;
-        }
-        match self {
-            TaskPicker::Fifo => Some(0),
-            TaskPicker::LargestFirst => tasks
-                .iter()
-                .enumerate()
-                .max_by_key(|(_, t)| t.weight())
-                .map(|(i, _)| i),
-            TaskPicker::SmallestFirst => tasks
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, t)| t.weight())
-                .map(|(i, _)| i),
-        }
-    }
-}
+pub use crate::task::TaskPicker;
 
 /// Algorithm 1: the deterministic flow-imitation discretization of a
 /// continuous process `A`.
@@ -89,10 +60,11 @@ impl TaskPicker {
 #[derive(Debug, Clone)]
 pub struct FlowImitation<A: ContinuousProcess> {
     twin: ContinuousRunner<A>,
-    graph: Graph,
+    graph: Arc<Graph>,
     speeds: Speeds,
-    /// Real (workload) tasks currently held by each node.
-    tasks: Vec<Vec<Task>>,
+    /// Real (workload) tasks currently held by each node, with incremental
+    /// per-node weight totals.
+    queues: Vec<TaskQueue>,
     /// Unit-weight dummy load currently held by each node.
     dummy: Vec<u64>,
     /// Cumulative net discrete flow along each canonical edge orientation.
@@ -101,14 +73,20 @@ pub struct FlowImitation<A: ContinuousProcess> {
     picker: TaskPicker,
     round: usize,
     dummy_created: u64,
+    /// Total items (real tasks + dummy units) moved over edges so far.
+    items_sent: u64,
     name: String,
+    /// Reused per-round scratch: pending real-task deliveries.
+    pending_tasks: Vec<(NodeId, Task)>,
+    /// Reused per-round scratch: pending dummy deliveries per node.
+    pending_dummy: Vec<u64>,
 }
 
 impl<A: ContinuousProcess> FlowImitation<A> {
     /// Creates the discretization of `process` starting from `initial`.
     ///
     /// The continuous twin starts from the same load vector, as the paper
-    /// prescribes.
+    /// prescribes; the topology is shared with the twin (no graph clone).
     ///
     /// # Errors
     ///
@@ -120,7 +98,7 @@ impl<A: ContinuousProcess> FlowImitation<A> {
         speeds: Speeds,
         picker: TaskPicker,
     ) -> Result<Self, CoreError> {
-        let graph = process.graph().clone();
+        let graph = process.shared_graph();
         let n = graph.node_count();
         if initial.node_count() != n {
             return Err(CoreError::invalid_parameter(format!(
@@ -138,24 +116,38 @@ impl<A: ContinuousProcess> FlowImitation<A> {
         let name = format!("alg1({})", process.name());
         let twin = ContinuousRunner::new(process, initial.load_vector_f64());
         let m = graph.edge_count();
+        let queues = initial
+            .clone()
+            .into_tasks()
+            .into_iter()
+            .map(|tasks| TaskQueue::with_tasks(picker, tasks))
+            .collect();
         Ok(FlowImitation {
             twin,
             graph,
             speeds,
-            tasks: initial.clone().into_tasks(),
+            queues,
             dummy: vec![0; n],
             discrete_flow: vec![0; m],
             wmax,
             picker,
             round: 0,
             dummy_created: 0,
+            items_sent: 0,
             name,
+            pending_tasks: Vec::new(),
+            pending_dummy: vec![0; n],
         })
     }
 
     /// The maximum task weight `w_max` the discretization assumes.
     pub fn wmax(&self) -> Weight {
         self.wmax
+    }
+
+    /// The task-picking policy in use.
+    pub fn picker(&self) -> TaskPicker {
+        self.picker
     }
 
     /// The continuous twin being imitated.
@@ -168,21 +160,39 @@ impl<A: ContinuousProcess> FlowImitation<A> {
         self.dummy_created
     }
 
+    /// Total items (real tasks and dummy units) sent over edges so far.
+    pub fn items_sent(&self) -> u64 {
+        self.items_sent
+    }
+
     /// Per-node loads *excluding* dummy load (the real workload only).
+    ///
+    /// Each entry is O(1): the queues maintain their totals incrementally,
+    /// so sampling this inside an experiment loop costs O(n), not O(n·k).
     pub fn real_loads(&self) -> Vec<f64> {
-        self.tasks
+        self.queues
             .iter()
-            .map(|tasks| tasks.iter().map(|t| t.weight()).sum::<u64>() as f64)
+            .map(|queue| queue.total_weight() as f64)
             .collect()
     }
 
-    /// The tasks currently held by node `i` (dummy load not included).
+    /// A snapshot of the tasks currently held by node `i` (dummy load not
+    /// included), in unspecified order. Intended for inspection and tests.
     ///
     /// # Panics
     ///
     /// Panics if `i` is out of range.
-    pub fn tasks_of(&self, i: NodeId) -> &[Task] {
-        &self.tasks[i]
+    pub fn tasks_of(&self, i: NodeId) -> Vec<Task> {
+        self.queues[i].iter().copied().collect()
+    }
+
+    /// Number of tasks currently held by node `i` (dummy load not included).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn task_count_of(&self, i: NodeId) -> usize {
+        self.queues[i].len()
     }
 
     /// Maximum absolute per-edge deviation `|e_e(t)| = |f^A_e(t) − f^D_e(t)|`
@@ -196,29 +206,6 @@ impl<A: ContinuousProcess> FlowImitation<A> {
             .map(|(&fa, &fd)| (fa - fd as f64).abs())
             .fold(0.0, f64::max)
     }
-
-    /// Sends either one real task, one held dummy unit, or one freshly
-    /// generated dummy unit from `node`, and returns its weight. Real tasks
-    /// are preferred; the paper allows any choice since dummies behave like
-    /// normal tokens once created.
-    fn take_item(&mut self, node: NodeId) -> SentItem {
-        if let Some(idx) = self.picker.pick(&self.tasks[node]) {
-            let task = self.tasks[node].remove(idx);
-            return SentItem::Real(task);
-        }
-        if self.dummy[node] > 0 {
-            self.dummy[node] -= 1;
-            return SentItem::Dummy;
-        }
-        self.dummy_created += 1;
-        SentItem::Dummy
-    }
-}
-
-/// An item moved over an edge in one round.
-enum SentItem {
-    Real(Task),
-    Dummy,
 }
 
 impl<A: ContinuousProcess> DiscreteBalancer for FlowImitation<A> {
@@ -239,12 +226,10 @@ impl<A: ContinuousProcess> DiscreteBalancer for FlowImitation<A> {
     }
 
     fn loads(&self) -> Vec<f64> {
-        self.tasks
+        self.queues
             .iter()
             .zip(&self.dummy)
-            .map(|(tasks, &d)| {
-                (tasks.iter().map(|t| t.weight()).sum::<u64>() + d) as f64
-            })
+            .map(|(queue, &d)| (queue.total_weight() + d) as f64)
             .collect()
     }
 
@@ -256,22 +241,16 @@ impl<A: ContinuousProcess> DiscreteBalancer for FlowImitation<A> {
         // Advance the continuous twin so f^A now refers to the end of the
         // current round t.
         self.twin.step();
-        let continuous_flow = self.twin.cumulative_flows().to_vec();
 
         // Deliveries are applied after every edge has been processed so that
         // a node can only forward tasks it held at the beginning of the round
-        // (plus freshly generated dummies).
-        let mut deliveries: Vec<(NodeId, Task)> = Vec::new();
-        let mut dummy_deliveries: Vec<u64> = vec![0; self.graph.node_count()];
+        // (plus freshly generated dummies). Both buffers are struct-owned and
+        // reused across rounds.
+        debug_assert!(self.pending_tasks.is_empty());
+        self.pending_dummy.fill(0);
 
-        let edges: Vec<(usize, NodeId, NodeId)> = self
-            .graph
-            .edges()
-            .iter()
-            .enumerate()
-            .map(|(e, &(u, v))| (e, u, v))
-            .collect();
-        for (e, u, v) in edges {
+        let continuous_flow = self.twin.cumulative_flows();
+        for (e, &(u, v)) in self.graph.edges().iter().enumerate() {
             // Flow deficit along the canonical orientation.
             let deficit = continuous_flow[e] - self.discrete_flow[e] as f64;
             let (sender, receiver, magnitude, sign) = if deficit >= 0.0 {
@@ -284,25 +263,36 @@ impl<A: ContinuousProcess> DiscreteBalancer for FlowImitation<A> {
             // keeps the per-edge deviation in [0, w_max).
             let mut moved: u64 = 0;
             while magnitude - moved as f64 >= self.wmax as f64 {
-                let item = self.take_item(sender);
-                match item {
-                    SentItem::Real(task) => {
-                        moved += task.weight();
-                        deliveries.push((receiver, task));
+                // Prefer a real task; fall back to a held dummy, then the
+                // infinite source. Dummies behave like normal tokens once
+                // created, so any choice is admissible per the paper.
+                if let Some(task) = self.queues[sender].pop() {
+                    moved += task.weight();
+                    self.pending_tasks.push((receiver, task));
+                } else {
+                    if self.dummy[sender] > 0 {
+                        self.dummy[sender] -= 1;
+                    } else {
+                        self.dummy_created += 1;
                     }
-                    SentItem::Dummy => {
-                        moved += 1;
-                        dummy_deliveries[receiver] += 1;
-                    }
+                    moved += 1;
+                    self.pending_dummy[receiver] += 1;
                 }
+                self.items_sent += 1;
             }
             self.discrete_flow[e] += sign * moved as i64;
         }
 
-        for (receiver, task) in deliveries {
-            self.tasks[receiver].push(task);
+        // Apply deliveries. `mem::take` detaches the buffer so the borrow
+        // checker allows pushing into `queues`; clearing preserves capacity.
+        let mut pending_tasks = std::mem::take(&mut self.pending_tasks);
+        for &(receiver, task) in &pending_tasks {
+            self.queues[receiver].push(task);
         }
-        for (node, amount) in dummy_deliveries.into_iter().enumerate() {
+        pending_tasks.clear();
+        self.pending_tasks = pending_tasks;
+
+        for (node, amount) in self.pending_dummy.iter().enumerate() {
             self.dummy[node] += amount;
         }
         self.round += 1;
@@ -326,15 +316,22 @@ mod tests {
         let g = generators::torus(4, 4).unwrap();
         let speeds = Speeds::uniform(16);
         let initial = InitialLoad::single_source(16, 0, 160);
-        let mut alg1 =
-            FlowImitation::new(fos_on(g, &speeds), &initial, speeds.clone(), TaskPicker::Fifo)
-                .unwrap();
+        let mut alg1 = FlowImitation::new(
+            fos_on(g, &speeds),
+            &initial,
+            speeds.clone(),
+            TaskPicker::Fifo,
+        )
+        .unwrap();
         alg1.run(100);
         let total_real: f64 = alg1.real_loads().iter().sum();
         assert!((total_real - 160.0).abs() < 1e-9);
         // Task identities survive: exactly 160 distinct tasks exist.
-        let count: usize = (0..16).map(|i| alg1.tasks_of(i).len()).sum();
+        let count: usize = (0..16).map(|i| alg1.task_count_of(i)).sum();
         assert_eq!(count, 160);
+        let snapshot_count: usize = (0..16).map(|i| alg1.tasks_of(i).len()).sum();
+        assert_eq!(snapshot_count, 160);
+        assert!(alg1.items_sent() > 0);
     }
 
     #[test]
@@ -479,7 +476,8 @@ mod tests {
         assert!(metrics::max_avg_discrepancy(&alg1_de.loads(), &speeds) <= 2.0 * d + 2.0 + 1e-9);
 
         let rm = RandomMatching::new(g, &speeds, 42).unwrap();
-        let mut alg1_rm = FlowImitation::new(rm, &initial, speeds.clone(), TaskPicker::Fifo).unwrap();
+        let mut alg1_rm =
+            FlowImitation::new(rm, &initial, speeds.clone(), TaskPicker::Fifo).unwrap();
         alg1_rm.run(800);
         assert!(metrics::max_avg_discrepancy(&alg1_rm.loads(), &speeds) <= 2.0 * d + 2.0 + 1e-9);
     }
@@ -504,7 +502,11 @@ mod tests {
 
     #[test]
     fn picker_variants_all_satisfy_bound() {
-        for picker in [TaskPicker::Fifo, TaskPicker::LargestFirst, TaskPicker::SmallestFirst] {
+        for picker in [
+            TaskPicker::Fifo,
+            TaskPicker::LargestFirst,
+            TaskPicker::SmallestFirst,
+        ] {
             let g = generators::cycle(8).unwrap();
             let speeds = Speeds::uniform(8);
             let mut tasks = Vec::new();
@@ -522,6 +524,7 @@ mod tests {
             let fos = Fos::new(g, &speeds, AlphaScheme::MaxDegreePlusOne).unwrap();
             let mut alg1 = FlowImitation::new(fos, &initial, speeds.clone(), picker).unwrap();
             alg1.run(1_000);
+            assert_eq!(alg1.picker(), picker);
             let bound = 2.0 * 2.0 * 3.0 + 2.0;
             assert!(
                 metrics::max_avg_discrepancy(&alg1.loads(), &speeds) <= bound + 1e-9,
@@ -536,9 +539,7 @@ mod tests {
         let speeds = Speeds::uniform(4);
         let fos = fos_on(g, &speeds);
         let wrong_nodes = InitialLoad::single_source(5, 0, 10);
-        assert!(
-            FlowImitation::new(fos, &wrong_nodes, speeds.clone(), TaskPicker::Fifo).is_err()
-        );
+        assert!(FlowImitation::new(fos, &wrong_nodes, speeds.clone(), TaskPicker::Fifo).is_err());
 
         let g = generators::cycle(4).unwrap();
         let fos = fos_on(g, &speeds);
@@ -568,6 +569,19 @@ mod tests {
         assert!(
             real_max_avg <= 2.0 * d + 2.0 + 1e-9,
             "real max-avg = {real_max_avg}"
+        );
+    }
+
+    #[test]
+    fn twin_shares_the_graph_instance() {
+        let g = generators::torus(3, 3).unwrap();
+        let speeds = Speeds::uniform(9);
+        let initial = InitialLoad::single_source(9, 0, 18);
+        let fos = fos_on(g, &speeds);
+        let alg1 = FlowImitation::new(fos, &initial, speeds, TaskPicker::Fifo).unwrap();
+        assert!(
+            std::ptr::eq(alg1.graph(), alg1.continuous().process().graph()),
+            "discretizer and twin must share one Graph allocation"
         );
     }
 }

@@ -16,9 +16,10 @@ use crate::continuous::{ContinuousProcess, ContinuousRunner};
 use crate::error::CoreError;
 use crate::load::InitialLoad;
 use crate::task::Speeds;
-use lb_graph::{Graph, NodeId};
+use lb_graph::Graph;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::Arc;
 
 /// Algorithm 2: the randomized flow-imitation discretization of a continuous
 /// process `A`, for identical (unit-weight) tasks.
@@ -46,7 +47,7 @@ use rand::{Rng, SeedableRng};
 #[derive(Debug, Clone)]
 pub struct RandomizedImitation<A: ContinuousProcess> {
     twin: ContinuousRunner<A>,
-    graph: Graph,
+    graph: Arc<Graph>,
     speeds: Speeds,
     /// Real (workload) tokens held by each node.
     tokens: Vec<u64>,
@@ -58,6 +59,10 @@ pub struct RandomizedImitation<A: ContinuousProcess> {
     round: usize,
     dummy_created: u64,
     name: String,
+    /// Reused per-round scratch: pending real-token deliveries per node.
+    pending_real: Vec<u64>,
+    /// Reused per-round scratch: pending dummy deliveries per node.
+    pending_dummy: Vec<u64>,
 }
 
 impl<A: ContinuousProcess> RandomizedImitation<A> {
@@ -80,7 +85,7 @@ impl<A: ContinuousProcess> RandomizedImitation<A> {
                 "randomized flow imitation (Algorithm 2) requires unit-weight tasks",
             ));
         }
-        let graph = process.graph().clone();
+        let graph = process.shared_graph();
         let n = graph.node_count();
         if initial.node_count() != n {
             return Err(CoreError::invalid_parameter(format!(
@@ -108,6 +113,8 @@ impl<A: ContinuousProcess> RandomizedImitation<A> {
             round: 0,
             dummy_created: 0,
             name,
+            pending_real: vec![0; n],
+            pending_dummy: vec![0; n],
         })
     }
 
@@ -136,21 +143,6 @@ impl<A: ContinuousProcess> RandomizedImitation<A> {
             .zip(&self.discrete_flow)
             .map(|(&fa, &fd)| (fa - fd as f64).abs())
             .fold(0.0, f64::max)
-    }
-
-    /// Removes `amount` tokens from `node`, preferring real tokens, then held
-    /// dummies, then the infinite source. Returns `(real, dummy)` portions
-    /// actually drawn.
-    fn draw(&mut self, node: NodeId, amount: u64) -> (u64, u64) {
-        let real = amount.min(self.tokens[node]);
-        self.tokens[node] -= real;
-        let mut dummy = amount - real;
-        let from_held = dummy.min(self.dummy[node]);
-        self.dummy[node] -= from_held;
-        let generated = dummy - from_held;
-        self.dummy_created += generated;
-        dummy = from_held + generated;
-        (real, dummy)
     }
 }
 
@@ -185,21 +177,16 @@ impl<A: ContinuousProcess> DiscreteBalancer for RandomizedImitation<A> {
 
     fn step(&mut self) {
         self.twin.step();
-        let continuous_flow = self.twin.cumulative_flows().to_vec();
 
+        // Struct-owned delivery buffers: the steady-state round touches no
+        // heap. The twin's cumulative flows are read in place (the seed code
+        // copied them to a fresh Vec every round).
         let n = self.graph.node_count();
-        let mut real_deliveries = vec![0u64; n];
-        let mut dummy_deliveries = vec![0u64; n];
+        self.pending_real.fill(0);
+        self.pending_dummy.fill(0);
 
-        let edges: Vec<(usize, NodeId, NodeId)> = self
-            .graph
-            .edges()
-            .iter()
-            .enumerate()
-            .map(|(e, &(u, v))| (e, u, v))
-            .collect();
-        for (e, u, v) in edges {
-            let deficit = continuous_flow[e] - self.discrete_flow[e] as f64;
+        for (e, &(u, v)) in self.graph.edges().iter().enumerate() {
+            let deficit = self.twin.cumulative_flows()[e] - self.discrete_flow[e] as f64;
             if deficit == 0.0 {
                 continue;
             }
@@ -215,15 +202,23 @@ impl<A: ContinuousProcess> DiscreteBalancer for RandomizedImitation<A> {
             if send == 0 {
                 continue;
             }
-            let (real, dummy) = self.draw(sender, send);
-            real_deliveries[receiver] += real;
-            dummy_deliveries[receiver] += dummy;
+            // Inlined `draw` (a method call would conflict with the live
+            // borrow of the edge list): prefer real tokens, then held
+            // dummies, then the infinite source.
+            let real = send.min(self.tokens[sender]);
+            self.tokens[sender] -= real;
+            let dummy = send - real;
+            let from_held = dummy.min(self.dummy[sender]);
+            self.dummy[sender] -= from_held;
+            self.dummy_created += dummy - from_held;
+            self.pending_real[receiver] += real;
+            self.pending_dummy[receiver] += dummy;
             self.discrete_flow[e] += sign * send as i64;
         }
 
         for i in 0..n {
-            self.tokens[i] += real_deliveries[i];
-            self.dummy[i] += dummy_deliveries[i];
+            self.tokens[i] += self.pending_real[i];
+            self.dummy[i] += self.pending_dummy[i];
         }
         self.round += 1;
     }
@@ -254,12 +249,8 @@ mod tests {
         let g = generators::cycle(4).unwrap();
         let speeds = Speeds::uniform(4);
         let fos = fos_on(g, &speeds);
-        let weighted = InitialLoad::from_tasks(vec![
-            vec![Task::new(TaskId(0), 2)],
-            vec![],
-            vec![],
-            vec![],
-        ]);
+        let weighted =
+            InitialLoad::from_tasks(vec![vec![Task::new(TaskId(0), 2)], vec![], vec![], vec![]]);
         assert!(RandomizedImitation::new(fos, &weighted, speeds, 1).is_err());
     }
 
@@ -280,8 +271,7 @@ mod tests {
         let g = generators::hypercube(4).unwrap();
         let speeds = Speeds::uniform(16);
         let initial = padded_load(16, 8, 320);
-        let mut alg2 =
-            RandomizedImitation::new(fos_on(g, &speeds), &initial, speeds, 11).unwrap();
+        let mut alg2 = RandomizedImitation::new(fos_on(g, &speeds), &initial, speeds, 11).unwrap();
         for _ in 0..200 {
             alg2.step();
             assert!(

@@ -58,4 +58,4 @@ mod task;
 pub use error::CoreError;
 pub use load::InitialLoad;
 pub use metrics::MetricsSnapshot;
-pub use task::{Speeds, Task, TaskId, TaskOrigin, Weight};
+pub use task::{Speeds, Task, TaskId, TaskOrigin, TaskPicker, TaskQueue, Weight};

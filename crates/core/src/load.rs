@@ -1,7 +1,6 @@
 //! Initial load distributions and load-vector helpers.
 
 use crate::task::{Speeds, Task, TaskId, Weight};
-use serde::{Deserialize, Serialize};
 
 /// An assignment of indivisible tasks to nodes — the input of every discrete
 /// balancing process.
@@ -20,7 +19,7 @@ use serde::{Deserialize, Serialize};
 /// let load = InitialLoad::from_token_counts(vec![3, 1, 0, 2]);
 /// assert_eq!(load.total_weight(), 6);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct InitialLoad {
     tasks: Vec<Vec<Task>>,
 }
@@ -188,12 +187,7 @@ mod tests {
     #[test]
     fn token_ids_are_unique() {
         let load = InitialLoad::from_token_counts(vec![2, 3]);
-        let mut ids: Vec<u64> = load
-            .tasks
-            .iter()
-            .flatten()
-            .map(|t| t.id().0)
-            .collect();
+        let mut ids: Vec<u64> = load.tasks.iter().flatten().map(|t| t.id().0).collect();
         ids.sort_unstable();
         ids.dedup();
         assert_eq!(ids.len(), 5);

@@ -8,7 +8,6 @@
 //!   potential-function analyses referenced in Section 2.2.
 
 use crate::task::Speeds;
-use serde::{Deserialize, Serialize};
 
 /// Per-node makespans `x_i / s_i`.
 ///
@@ -16,7 +15,11 @@ use serde::{Deserialize, Serialize};
 ///
 /// Panics if `loads.len() != speeds.len()`.
 pub fn makespans(loads: &[f64], speeds: &Speeds) -> Vec<f64> {
-    assert_eq!(loads.len(), speeds.len(), "loads and speeds length mismatch");
+    assert_eq!(
+        loads.len(),
+        speeds.len(),
+        "loads and speeds length mismatch"
+    );
     loads
         .iter()
         .zip(speeds.as_slice())
@@ -38,7 +41,11 @@ pub fn max_makespan(loads: &[f64], speeds: &Speeds) -> f64 {
 ///
 /// Returns 0.0 for an empty network.
 pub fn balanced_makespan(loads: &[f64], speeds: &Speeds) -> f64 {
-    assert_eq!(loads.len(), speeds.len(), "loads and speeds length mismatch");
+    assert_eq!(
+        loads.len(),
+        speeds.len(),
+        "loads and speeds length mismatch"
+    );
     let total_speed = speeds.total();
     if total_speed == 0 {
         return 0.0;
@@ -72,7 +79,11 @@ pub fn max_avg_discrepancy(loads: &[f64], speeds: &Speeds) -> f64 {
 
 /// The quadratic potential `Φ = Σ_i (x_i − s_i·W/S)²`.
 pub fn potential(loads: &[f64], speeds: &Speeds) -> f64 {
-    assert_eq!(loads.len(), speeds.len(), "loads and speeds length mismatch");
+    assert_eq!(
+        loads.len(),
+        speeds.len(),
+        "loads and speeds length mismatch"
+    );
     let avg = balanced_makespan(loads, speeds);
     loads
         .iter()
@@ -85,7 +96,7 @@ pub fn potential(loads: &[f64], speeds: &Speeds) -> f64 {
 }
 
 /// A snapshot of all load-balance metrics at a single round.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MetricsSnapshot {
     /// Round index the snapshot was taken at (state at the *beginning* of
     /// this round).

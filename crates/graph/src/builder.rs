@@ -133,7 +133,10 @@ mod tests {
             b.add_edge(0, 5),
             Err(GraphError::NodeOutOfRange { node: 5, n: 2 })
         ));
-        assert!(matches!(b.add_edge(1, 1), Err(GraphError::SelfLoop { node: 1 })));
+        assert!(matches!(
+            b.add_edge(1, 1),
+            Err(GraphError::SelfLoop { node: 1 })
+        ));
     }
 
     #[test]

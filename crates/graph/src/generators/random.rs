@@ -50,7 +50,7 @@ pub fn random_regular(n: usize, d: usize, rng: &mut impl Rng) -> Result<Graph, G
             "degree {d} must be smaller than node count {n}"
         )));
     }
-    if (n * d) % 2 != 0 {
+    if !(n * d).is_multiple_of(2) {
         return Err(GraphError::invalid_parameter(format!(
             "n * d must be even, got n = {n}, d = {d}"
         )));
@@ -124,7 +124,10 @@ fn try_pairing(n: usize, d: usize, rng: &mut impl Rng) -> Option<Graph> {
             // Swap to (a, e) and (c, b); accept only if both are non-loops
             // and do not duplicate existing edges (best effort: the next
             // outer pass re-validates everything).
-            if !is_bad(a, e, &edge_set) && !is_bad(c, b, &edge_set) && canonical(a, e) != canonical(c, b) {
+            if !is_bad(a, e, &edge_set)
+                && !is_bad(c, b, &edge_set)
+                && canonical(a, e) != canonical(c, b)
+            {
                 pairs[idx] = (a, e);
                 pairs[other] = (c, b);
                 edge_set.insert(canonical(a, e));
@@ -155,11 +158,7 @@ fn try_pairing(n: usize, d: usize, rng: &mut impl Rng) -> Option<Graph> {
 /// Returns [`GraphError::InvalidParameter`] if `n < 2`, if `p` is not in
 /// `(0, 1]`, or if no connected sample was found after an internal retry
 /// limit (use a larger `p` in that case).
-pub fn erdos_renyi_connected(
-    n: usize,
-    p: f64,
-    rng: &mut impl Rng,
-) -> Result<Graph, GraphError> {
+pub fn erdos_renyi_connected(n: usize, p: f64, rng: &mut impl Rng) -> Result<Graph, GraphError> {
     if n < 2 {
         return Err(GraphError::invalid_parameter("G(n, p) requires n >= 2"));
     }

@@ -45,7 +45,9 @@ pub fn path(n: usize) -> Result<Graph, GraphError> {
 /// Returns [`GraphError::InvalidParameter`] if `n < 2`.
 pub fn complete(n: usize) -> Result<Graph, GraphError> {
     if n < 2 {
-        return Err(GraphError::invalid_parameter("complete graph requires n >= 2"));
+        return Err(GraphError::invalid_parameter(
+            "complete graph requires n >= 2",
+        ));
     }
     let mut builder = GraphBuilder::new(n);
     builder.set_name(format!("complete({n})"));
@@ -87,10 +89,14 @@ pub fn star(n: usize) -> Result<Graph, GraphError> {
 /// Returns [`GraphError::InvalidParameter`] if `depth == 0` or `depth >= 40`.
 pub fn binary_tree(depth: u32) -> Result<Graph, GraphError> {
     if depth == 0 {
-        return Err(GraphError::invalid_parameter("binary tree depth must be >= 1"));
+        return Err(GraphError::invalid_parameter(
+            "binary tree depth must be >= 1",
+        ));
     }
     if depth >= 40 {
-        return Err(GraphError::invalid_parameter("binary tree depth must be < 40"));
+        return Err(GraphError::invalid_parameter(
+            "binary tree depth must be < 40",
+        ));
     }
     let n = (1usize << (depth + 1)) - 1;
     let mut builder = GraphBuilder::new(n);

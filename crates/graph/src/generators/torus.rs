@@ -83,9 +83,7 @@ pub fn torus_multidim(sides: &[usize]) -> Result<Graph, GraphError> {
 /// Returns [`GraphError::InvalidParameter`] if either side is zero.
 pub fn grid(rows: usize, cols: usize) -> Result<Graph, GraphError> {
     if rows == 0 || cols == 0 {
-        return Err(GraphError::invalid_parameter(
-            "grid sides must be positive",
-        ));
+        return Err(GraphError::invalid_parameter("grid sides must be positive"));
     }
     let n = rows * cols;
     let mut builder = GraphBuilder::new(n);

@@ -6,7 +6,6 @@
 //! `Vec` indexed by [`EdgeId`].
 
 use crate::error::GraphError;
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use std::fmt;
 
@@ -37,7 +36,7 @@ pub type EdgeId = usize;
 /// assert!(g.is_connected());
 /// # Ok::<(), lb_graph::GraphError>(())
 /// ```
-#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq)]
 pub struct Graph {
     n: usize,
     /// CSR offsets, length `n + 1`.
@@ -230,10 +229,7 @@ impl Graph {
     /// # Panics
     ///
     /// Panics if `u >= self.node_count()`.
-    pub fn neighbors_with_edges(
-        &self,
-        u: NodeId,
-    ) -> impl Iterator<Item = (NodeId, EdgeId)> + '_ {
+    pub fn neighbors_with_edges(&self, u: NodeId) -> impl Iterator<Item = (NodeId, EdgeId)> + '_ {
         let range = self.offsets[u]..self.offsets[u + 1];
         self.adjacency[range.clone()]
             .iter()

@@ -29,8 +29,8 @@
 
 mod builder;
 mod error;
-mod graph;
 pub mod generators;
+mod graph;
 mod matching;
 mod matrix;
 pub mod spectral;

@@ -15,14 +15,13 @@
 
 use crate::error::GraphError;
 use crate::graph::{EdgeId, Graph, NodeId};
-use serde::{Deserialize, Serialize};
 
 /// Strategy for choosing the symmetric edge weights `α[i][j]`.
 ///
 /// Both schemes reduce to the standard literature choices for unit speeds and
 /// generalise to heterogeneous speeds by scaling with `min(s_i, s_j)`, which
 /// preserves symmetry and keeps every row sum strictly below `s_i`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 #[non_exhaustive]
 pub enum AlphaScheme {
     /// `α[i][j] = min(s_i, s_j) / (max(d_i, d_j) + 1)` — the common
@@ -68,7 +67,7 @@ impl AlphaScheme {
 /// assert!((next.iter().sum::<f64>() - 4.0).abs() < 1e-9);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DiffusionMatrix {
     n: usize,
     m: usize,
@@ -237,8 +236,16 @@ impl DiffusionMatrix {
     }
 
     fn debug_check(&self, graph: &Graph) {
-        debug_assert_eq!(graph.node_count(), self.n, "graph/matrix node count mismatch");
-        debug_assert_eq!(graph.edge_count(), self.m, "graph/matrix edge count mismatch");
+        debug_assert_eq!(
+            graph.node_count(),
+            self.n,
+            "graph/matrix node count mismatch"
+        );
+        debug_assert_eq!(
+            graph.edge_count(),
+            self.m,
+            "graph/matrix edge count mismatch"
+        );
     }
 }
 
@@ -322,15 +329,19 @@ mod tests {
     fn rejects_bad_speeds() {
         let g = generators::cycle(4).unwrap();
         assert!(DiffusionMatrix::new(&g, &[1.0; 3], AlphaScheme::MaxDegreePlusOne).is_err());
-        assert!(DiffusionMatrix::new(&g, &[1.0, 0.0, 1.0, 1.0], AlphaScheme::MaxDegreePlusOne).is_err());
+        assert!(
+            DiffusionMatrix::new(&g, &[1.0, 0.0, 1.0, 1.0], AlphaScheme::MaxDegreePlusOne).is_err()
+        );
         assert!(
             DiffusionMatrix::new(&g, &[1.0, -2.0, 1.0, 1.0], AlphaScheme::MaxDegreePlusOne)
                 .is_err()
         );
-        assert!(
-            DiffusionMatrix::new(&g, &[1.0, f64::NAN, 1.0, 1.0], AlphaScheme::MaxDegreePlusOne)
-                .is_err()
-        );
+        assert!(DiffusionMatrix::new(
+            &g,
+            &[1.0, f64::NAN, 1.0, 1.0],
+            AlphaScheme::MaxDegreePlusOne
+        )
+        .is_err());
     }
 
     #[test]

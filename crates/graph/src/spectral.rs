@@ -324,7 +324,10 @@ mod tests {
     fn single_node_graph_is_degenerate() {
         let g = Graph::from_edges(1, []).unwrap();
         let p = DiffusionMatrix::uniform(&g, AlphaScheme::MaxDegreePlusOne).unwrap();
-        assert_eq!(second_eigenvalue(&g, &p, PowerIterationOptions::default()), 0.0);
+        assert_eq!(
+            second_eigenvalue(&g, &p, PowerIterationOptions::default()),
+            0.0
+        );
         assert_eq!(laplacian_gap(&g, PowerIterationOptions::default()), 0.0);
     }
 }

@@ -54,9 +54,7 @@ impl TokenDistribution {
             TokenDistribution::AlmostBalanced => {
                 let base = total / n as u64;
                 let remainder = (total % n as u64) as usize;
-                let counts = (0..n)
-                    .map(|i| base + u64::from(i < remainder))
-                    .collect();
+                let counts = (0..n).map(|i| base + u64::from(i < remainder)).collect();
                 InitialLoad::from_token_counts(counts)
             }
             TokenDistribution::Geometric { ratio_percent } => {
@@ -219,7 +217,10 @@ mod tests {
             .map(|(i, _)| i)
             .collect();
         assert_eq!(loaded.len(), 1);
-        assert!(loaded[0] == 0 || loaded[0] == 9, "endpoint expected, got {loaded:?}");
+        assert!(
+            loaded[0] == 0 || loaded[0] == 9,
+            "endpoint expected, got {loaded:?}"
+        );
     }
 
     #[test]

@@ -201,9 +201,12 @@ mod tests {
         assert!(WeightModel::UniformRange { w_max: 7 }.label().contains('7'));
         assert!(SpeedModel::PowersOfTwo { classes: 4 }.label().contains('4'));
         assert_eq!(SpeedModel::Uniform.label(), "uniform");
-        assert!(WeightModel::Bimodal { w_max: 3, heavy_percent: 10 }
-            .label()
-            .contains("10%"));
+        assert!(WeightModel::Bimodal {
+            w_max: 3,
+            heavy_percent: 10
+        }
+        .label()
+        .contains("10%"));
     }
 
     #[test]

@@ -20,7 +20,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "side", "n", "T (FOS)", "alg1 max-min", "round-down max-min"
     );
     for side in [8usize, 12, 16, 24, 32] {
-        let graph = generators::torus(side, side)?;
+        let graph: std::sync::Arc<lb_graph::Graph> = generators::torus(side, side)?.into();
         let n = graph.node_count();
         let d = graph.max_degree() as u64;
         let speeds = Speeds::uniform(n);

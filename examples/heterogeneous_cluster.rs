@@ -30,7 +30,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let w_max = 8u64;
     let mut jobs_per_node = vec![0u64; n];
     jobs_per_node[0] = 2_000;
-    let burst = weighted_load(&jobs_per_node, WeightModel::UniformRange { w_max }, &mut rng);
+    let burst = weighted_load(
+        &jobs_per_node,
+        WeightModel::UniformRange { w_max },
+        &mut rng,
+    );
     // Every machine keeps a small local queue (d·w_max per speed unit) so the
     // max-min guarantee of Theorem 3(2) applies.
     let initial = pad_for_min_load(&burst, &speeds, d * w_max);
@@ -55,7 +59,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     while round < 3_000 {
         balancer.step();
         round += 1;
-        if round % 500 == 0 {
+        if round.is_multiple_of(500) {
             let m = balancer.metrics();
             println!(
                 "round {round:>5}: worst makespan = {:>8.1}, max-min discrepancy = {:>6.1}",

@@ -16,11 +16,12 @@ use lb_core::Speeds;
 use lb_graph::generators;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let graph = generators::random_regular(
+    let graph: std::sync::Arc<lb_graph::Graph> = generators::random_regular(
         256,
         4,
         &mut <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(7),
-    )?;
+    )?
+    .into();
     let n = graph.node_count();
     let d = graph.max_degree() as u64;
     let speeds = Speeds::uniform(n);

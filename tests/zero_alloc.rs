@@ -1,0 +1,127 @@
+//! Counting-allocator proof of the zero-allocation hot loop.
+//!
+//! Installs a global allocator that counts every `alloc`/`realloc`, warms an
+//! engine up (so lazily grown buffers — heaps, ring buffers, delivery
+//! scratch — reach their steady-state capacity), then demands that further
+//! rounds perform **no heap allocations at all**: the acceptance criterion
+//! of the buffer-reuse refactor.
+//!
+//! Everything runs inside a single `#[test]` so no concurrent test can
+//! pollute the counter.
+
+use lb_core::continuous::{ContinuousRunner, DimensionExchange, Fos};
+use lb_core::discrete::{DiscreteBalancer, FlowImitation, RandomizedImitation, TaskPicker};
+use lb_core::{InitialLoad, Speeds};
+use lb_graph::{generators, AlphaScheme, Graph};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAllocator;
+
+// SAFETY: delegates directly to the system allocator; the counter update has
+// no safety impact.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Runs `warmup` rounds, then asserts the next `measure` rounds allocate
+/// nothing.
+fn assert_zero_alloc_steady_state(
+    label: &str,
+    warmup: usize,
+    measure: usize,
+    step: &mut dyn FnMut(),
+) {
+    for _ in 0..warmup {
+        step();
+    }
+    let before = allocations();
+    for _ in 0..measure {
+        step();
+    }
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "{label}: {} allocation(s) in {measure} steady-state rounds",
+        after - before
+    );
+}
+
+fn workload(n: usize, d: u64) -> (Speeds, InitialLoad) {
+    let speeds = Speeds::uniform(n);
+    let mut counts = vec![d; n];
+    counts[0] += 8 * n as u64;
+    (speeds, InitialLoad::from_token_counts(counts))
+}
+
+#[test]
+fn steady_state_rounds_do_not_allocate() {
+    let graph: Arc<Graph> = Arc::new(generators::hypercube(8).expect("hypercube builds"));
+    let n = graph.node_count();
+    let d = graph.max_degree() as u64;
+    let (speeds, initial) = workload(n, d);
+
+    // Continuous runner with the FOS kernel.
+    let fos = Fos::new(Arc::clone(&graph), &speeds, AlphaScheme::MaxDegreePlusOne)
+        .expect("FOS constructs");
+    let mut runner = ContinuousRunner::new(fos, initial.load_vector_f64());
+    assert_zero_alloc_steady_state("continuous FOS runner", 50, 50, &mut || {
+        runner.step();
+    });
+
+    // Continuous runner with the dimension-exchange kernel (matching-based).
+    let de = DimensionExchange::with_greedy_coloring(Arc::clone(&graph), &speeds)
+        .expect("DE constructs");
+    let mut runner = ContinuousRunner::new(de, initial.load_vector_f64());
+    assert_zero_alloc_steady_state("continuous DE runner", 50, 50, &mut || {
+        runner.step();
+    });
+
+    // Algorithm 1 across all three task pickers (ring buffer + both heaps).
+    for picker in [
+        TaskPicker::Fifo,
+        TaskPicker::LargestFirst,
+        TaskPicker::SmallestFirst,
+    ] {
+        let fos = Fos::new(Arc::clone(&graph), &speeds, AlphaScheme::MaxDegreePlusOne)
+            .expect("FOS constructs");
+        let mut alg1 =
+            FlowImitation::new(fos, &initial, speeds.clone(), picker).expect("dimensions agree");
+        assert_zero_alloc_steady_state(
+            &format!("FlowImitation({picker:?})"),
+            400,
+            100,
+            &mut || alg1.step(),
+        );
+    }
+
+    // Algorithm 2 (randomized rounding).
+    let fos = Fos::new(Arc::clone(&graph), &speeds, AlphaScheme::MaxDegreePlusOne)
+        .expect("FOS constructs");
+    let mut alg2 =
+        RandomizedImitation::new(fos, &initial, speeds.clone(), 42).expect("dimensions agree");
+    assert_zero_alloc_steady_state("RandomizedImitation", 400, 100, &mut || alg2.step());
+}
