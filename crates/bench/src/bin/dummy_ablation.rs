@@ -1,6 +1,5 @@
-//! Experiment binary: regenerates the `dummy_ablation` artefact (see DESIGN.md).
+//! Legacy shim: `dummy_ablation` routes through the unified `lb` CLI dispatch.
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    lb_bench::experiments::dummy_ablation::run(quick).emit();
+    std::process::exit(lb_bench::cli::shim("dummy_ablation"));
 }

@@ -1,6 +1,5 @@
-//! Experiment binary: regenerates the `fos_vs_sos` artefact (see DESIGN.md).
+//! Legacy shim: `fos_vs_sos` routes through the unified `lb` CLI dispatch.
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    lb_bench::experiments::fos_vs_sos::run(quick).emit();
+    std::process::exit(lb_bench::cli::shim("fos_vs_sos"));
 }

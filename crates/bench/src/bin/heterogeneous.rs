@@ -1,6 +1,5 @@
-//! Experiment binary: regenerates the `heterogeneous` artefact (see DESIGN.md).
+//! Legacy shim: `heterogeneous` routes through the unified `lb` CLI dispatch.
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    lb_bench::experiments::heterogeneous::run(quick).emit();
+    std::process::exit(lb_bench::cli::shim("heterogeneous"));
 }

@@ -1,299 +1,5 @@
-//! Hot-path benchmark: measures the per-round cost of the optimised engine
-//! (buffer-reuse flow kernel + `TaskQueue` storage + shared graphs) against a
-//! faithful reimplementation of the seed engine's per-round semantics
-//! (per-round `Vec` allocations, `Vec<Task>` storage with O(k) scans and
-//! O(k) removals, cloned cumulative-flow snapshots), and writes the numbers
-//! to `BENCH_hotpath.json` so the performance trajectory is tracked from this
-//! change onward.
-//!
-//! Run with: `cargo run --release -p lb-bench --bin hotpath [-- --quick]`
-
-use lb_analysis::Json;
-use lb_bench::harness::{standard_initial_load, GraphClass};
-use lb_bench::parallel::{parallel_map, worker_threads};
-use lb_core::continuous::{ContinuousProcess, Fos};
-use lb_core::discrete::{DiscreteBalancer, FlowImitation, TaskPicker};
-use lb_core::{InitialLoad, Speeds, Task};
-use lb_graph::{AlphaScheme, Graph};
-use std::sync::Arc;
-use std::time::Instant;
-
-/// A faithful reimplementation of the seed engine's Algorithm 1 round:
-/// the continuous twin allocates a fresh flow vector per round (the
-/// allocating `compute_flows` path), the cumulative flows are snapshotted
-/// with `to_vec`, per-node storage is a `Vec<Task>` with an O(k) pick scan
-/// and an O(k) `remove`, and the edge list is collected into a fresh `Vec`
-/// each round — exactly the allocations and scans the optimised engine
-/// removed.
-struct SeedAlg1 {
-    process: Fos,
-    graph: Graph, // deep clone, as the seed constructor made
-    twin_loads: Vec<f64>,
-    cumulative_flow: Vec<f64>,
-    tasks: Vec<Vec<Task>>,
-    dummy: Vec<u64>,
-    discrete_flow: Vec<i64>,
-    wmax: u64,
-    picker: TaskPicker,
-    round: usize,
-    dummy_created: u64,
-    items_sent: u64,
-}
-
-impl SeedAlg1 {
-    fn new(process: Fos, initial: &InitialLoad, picker: TaskPicker) -> Self {
-        let graph = process.graph().clone();
-        let m = graph.edge_count();
-        let n = graph.node_count();
-        SeedAlg1 {
-            twin_loads: initial.load_vector_f64(),
-            cumulative_flow: vec![0.0; m],
-            tasks: initial.clone().into_tasks(),
-            dummy: vec![0; n],
-            discrete_flow: vec![0; m],
-            wmax: initial.max_weight(),
-            picker,
-            round: 0,
-            dummy_created: 0,
-            items_sent: 0,
-            process,
-            graph,
-        }
-    }
-
-    fn step(&mut self) {
-        // Twin advance through the allocating kernel wrapper.
-        let flows = self.process.compute_flows(self.round, &self.twin_loads);
-        for (e, &(u, v)) in self.graph.edges().iter().enumerate() {
-            let net = flows[e].net();
-            self.twin_loads[u] -= net;
-            self.twin_loads[v] += net;
-            self.cumulative_flow[e] += net;
-        }
-
-        let continuous_flow = self.cumulative_flow.to_vec();
-        let mut deliveries: Vec<(usize, Task)> = Vec::new();
-        let mut dummy_deliveries: Vec<u64> = vec![0; self.graph.node_count()];
-        let edges: Vec<(usize, usize, usize)> = self
-            .graph
-            .edges()
-            .iter()
-            .enumerate()
-            .map(|(e, &(u, v))| (e, u, v))
-            .collect();
-        for (e, u, v) in edges {
-            let deficit = continuous_flow[e] - self.discrete_flow[e] as f64;
-            let (sender, receiver, magnitude, sign) = if deficit >= 0.0 {
-                (u, v, deficit, 1i64)
-            } else {
-                (v, u, -deficit, -1i64)
-            };
-            let mut moved: u64 = 0;
-            while magnitude - moved as f64 >= self.wmax as f64 {
-                if let Some(idx) = self.picker.pick_reference(&self.tasks[sender]) {
-                    let task = self.tasks[sender].remove(idx);
-                    moved += task.weight();
-                    deliveries.push((receiver, task));
-                } else {
-                    if self.dummy[sender] > 0 {
-                        self.dummy[sender] -= 1;
-                    } else {
-                        self.dummy_created += 1;
-                    }
-                    moved += 1;
-                    dummy_deliveries[receiver] += 1;
-                }
-                self.items_sent += 1;
-            }
-            self.discrete_flow[e] += sign * moved as i64;
-        }
-        for (receiver, task) in deliveries {
-            self.tasks[receiver].push(task);
-        }
-        for (node, amount) in dummy_deliveries.into_iter().enumerate() {
-            self.dummy[node] += amount;
-        }
-        self.round += 1;
-    }
-
-    fn loads(&self) -> Vec<f64> {
-        self.tasks
-            .iter()
-            .zip(&self.dummy)
-            .map(|(tasks, &d)| (tasks.iter().map(|t| t.weight()).sum::<u64>() + d) as f64)
-            .collect()
-    }
-}
-
-struct EngineResult {
-    rounds: usize,
-    elapsed_secs: f64,
-    items_sent: u64,
-    final_loads: Vec<f64>,
-}
-
-impl EngineResult {
-    fn rounds_per_sec(&self) -> f64 {
-        self.rounds as f64 / self.elapsed_secs
-    }
-
-    fn ns_per_task_send(&self) -> f64 {
-        if self.items_sent == 0 {
-            return 0.0;
-        }
-        self.elapsed_secs * 1e9 / self.items_sent as f64
-    }
-
-    fn to_json(&self) -> Json {
-        Json::obj([
-            ("rounds", Json::from(self.rounds)),
-            ("elapsed_secs", Json::from(self.elapsed_secs)),
-            ("items_sent", Json::from(self.items_sent)),
-            ("rounds_per_sec", Json::from(self.rounds_per_sec())),
-            ("ns_per_task_send", Json::from(self.ns_per_task_send())),
-        ])
-    }
-}
-
-fn run_optimized(
-    graph: &Arc<Graph>,
-    speeds: &Speeds,
-    initial: &InitialLoad,
-    rounds: usize,
-) -> EngineResult {
-    let fos =
-        Fos::new(Arc::clone(graph), speeds, AlphaScheme::MaxDegreePlusOne).expect("FOS constructs");
-    let mut alg1 = FlowImitation::new(fos, initial, speeds.clone(), TaskPicker::Fifo)
-        .expect("dimensions agree");
-    let start = Instant::now();
-    alg1.run(rounds);
-    let elapsed_secs = start.elapsed().as_secs_f64();
-    EngineResult {
-        rounds,
-        elapsed_secs,
-        items_sent: alg1.items_sent(),
-        final_loads: alg1.loads(),
-    }
-}
-
-fn run_baseline(
-    graph: &Arc<Graph>,
-    speeds: &Speeds,
-    initial: &InitialLoad,
-    rounds: usize,
-) -> EngineResult {
-    let fos =
-        Fos::new(Arc::clone(graph), speeds, AlphaScheme::MaxDegreePlusOne).expect("FOS constructs");
-    let mut alg1 = SeedAlg1::new(fos, initial, TaskPicker::Fifo);
-    let start = Instant::now();
-    for _ in 0..rounds {
-        alg1.step();
-    }
-    let elapsed_secs = start.elapsed().as_secs_f64();
-    EngineResult {
-        rounds,
-        elapsed_secs,
-        items_sent: alg1.items_sent,
-        final_loads: alg1.loads(),
-    }
-}
-
-/// Peak resident set size of this process in kilobytes (Linux `VmHWM`),
-/// or 0 where unavailable.
-fn peak_rss_kb() -> u64 {
-    std::fs::read_to_string("/proc/self/status")
-        .ok()
-        .and_then(|status| {
-            status.lines().find_map(|line| {
-                line.strip_prefix("VmHWM:")
-                    .and_then(|rest| rest.trim().trim_end_matches(" kB").trim().parse().ok())
-            })
-        })
-        .unwrap_or(0)
-}
+//! Legacy shim: `hotpath` routes through the unified `lb` CLI dispatch.
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    // The acceptance configuration: the ~10k-node hypercube (rounded to the
-    // nearest power of two, 8192), single-source workload, FIFO picking.
-    let target_n = 10_000;
-    let (load_per_node, rounds, trials) = if quick { (2, 5, 1) } else { (4, 12, 3) };
-
-    let graph: Arc<Graph> = GraphClass::Hypercube
-        .build(target_n, 0)
-        .expect("hypercube builds")
-        .into();
-    let n = graph.node_count();
-    let d = graph.max_degree() as u64;
-    let speeds = Speeds::uniform(n);
-    let initial = standard_initial_load(n, load_per_node, d);
-
-    eprintln!(
-        "hotpath: {} (n = {n}, m = {}), {} tasks, {rounds} rounds, {trials} trial(s), {} worker thread(s)",
-        graph.name(),
-        graph.edge_count(),
-        initial.task_count(),
-        worker_threads(),
-    );
-
-    // Optimised-engine trials run in parallel (they are independent and the
-    // graph is shared); keep the fastest trial of each engine.
-    let trial_ids: Vec<usize> = (0..trials).collect();
-    let optimized = parallel_map(&trial_ids, |_| {
-        run_optimized(&graph, &speeds, &initial, rounds)
-    })
-    .into_iter()
-    .min_by(|a, b| a.elapsed_secs.total_cmp(&b.elapsed_secs))
-    .expect("at least one trial");
-    eprintln!(
-        "optimized: {:.1} rounds/sec, {:.0} ns/task-send",
-        optimized.rounds_per_sec(),
-        optimized.ns_per_task_send()
-    );
-
-    let baseline = (0..trials.min(2))
-        .map(|_| run_baseline(&graph, &speeds, &initial, rounds))
-        .min_by(|a, b| a.elapsed_secs.total_cmp(&b.elapsed_secs))
-        .expect("at least one trial");
-    eprintln!(
-        "baseline (seed semantics): {:.2} rounds/sec, {:.0} ns/task-send",
-        baseline.rounds_per_sec(),
-        baseline.ns_per_task_send()
-    );
-
-    // Both engines implement the same algorithm; their trajectories must
-    // agree exactly (FIFO picking is deterministic).
-    assert_eq!(
-        baseline.final_loads, optimized.final_loads,
-        "optimised engine diverged from seed semantics"
-    );
-
-    let speedup = optimized.rounds_per_sec() / baseline.rounds_per_sec();
-    eprintln!("speedup: {speedup:.1}x rounds/sec");
-
-    let report = Json::obj([
-        ("benchmark", Json::from("hotpath_alg1_fifo")),
-        (
-            "config",
-            Json::obj([
-                ("graph", Json::from(graph.name())),
-                ("nodes", Json::from(n)),
-                ("edges", Json::from(graph.edge_count())),
-                ("max_degree", Json::from(d)),
-                ("tasks", Json::from(initial.task_count())),
-                ("rounds", Json::from(rounds)),
-                ("picker", Json::from("fifo")),
-                ("quick", Json::from(quick)),
-                ("worker_threads", Json::from(worker_threads())),
-            ]),
-        ),
-        ("baseline_seed_semantics", baseline.to_json()),
-        ("optimized", optimized.to_json()),
-        ("speedup_rounds_per_sec", Json::from(speedup)),
-        ("peak_rss_kb", Json::from(peak_rss_kb())),
-    ]);
-    let path = "BENCH_hotpath.json";
-    std::fs::write(path, report.render_pretty()).expect("write BENCH_hotpath.json");
-    println!("{}", report.render_pretty());
-    eprintln!("(written to {path})");
+    std::process::exit(lb_bench::cli::shim("hotpath"));
 }

@@ -1,0 +1,6 @@
+//! The unified `lb` CLI: scenarios, experiments, benchmarks and the CI
+//! perf-regression gate. See `lb help` or [`lb_bench::cli`].
+
+fn main() {
+    std::process::exit(lb_bench::cli::main());
+}

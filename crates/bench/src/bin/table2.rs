@@ -1,6 +1,5 @@
-//! Experiment binary: regenerates the `table2` artefact (see DESIGN.md).
+//! Legacy shim: `table2` routes through the unified `lb` CLI dispatch.
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    lb_bench::experiments::table2::run(quick).emit();
+    std::process::exit(lb_bench::cli::shim("table2"));
 }

@@ -1,6 +1,5 @@
-//! Experiment binary: regenerates the `theorem3` artefact (see DESIGN.md).
+//! Legacy shim: `theorem3` routes through the unified `lb` CLI dispatch.
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    lb_bench::experiments::theorem3::run(quick).emit();
+    std::process::exit(lb_bench::cli::shim("theorem3"));
 }

@@ -1,6 +1,5 @@
-//! Experiment binary: regenerates the `theorem8` artefact (see DESIGN.md).
+//! Legacy shim: `theorem8` routes through the unified `lb` CLI dispatch.
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    lb_bench::experiments::theorem8::run(quick).emit();
+    std::process::exit(lb_bench::cli::shim("theorem8"));
 }

@@ -1,6 +1,5 @@
-//! Experiment binary: regenerates the `trajectory` artefact (see DESIGN.md).
+//! Legacy shim: `trajectory` routes through the unified `lb` CLI dispatch.
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    lb_bench::experiments::trajectory::run(quick).emit();
+    std::process::exit(lb_bench::cli::shim("trajectory"));
 }

@@ -1,0 +1,370 @@
+//! The unified `lb` command-line interface.
+//!
+//! One binary fronts every experiment and tool in the harness:
+//!
+//! ```text
+//! lb run <scenario.json> [--seed N] [--out PATH] [--quiet]
+//! lb table1|table2|theorem3|theorem8|trajectory|heterogeneous|
+//!    dummy_ablation|fos_vs_sos|dynamic_arrivals [--quick]
+//! lb hotpath [--quick]
+//! lb bench-check [--baseline PATH] [--current PATH] [--max-regression PCT]
+//! lb help
+//! ```
+//!
+//! The legacy per-experiment binaries (`table1`, `hotpath`, …) are thin
+//! shims over [`shim`], so one dispatch table owns all argument parsing.
+
+use crate::dynamic::run_scenario;
+use lb_analysis::Json;
+use lb_workloads::Scenario;
+use std::fs;
+
+/// Usage text printed by `lb help` and on argument errors.
+const USAGE: &str = "\
+lb — load-balancing experiment harness (PODC'12 flow imitation)
+
+USAGE:
+    lb <COMMAND> [OPTIONS]
+
+COMMANDS:
+    run <scenario.json>   Run a dynamic-workload scenario (see ROADMAP.md
+                          'Scenario spec'); prints the deterministic result
+                          JSON to stdout and streams samples to stderr.
+        --seed N          Override the scenario's seed.
+        --out PATH        Also write the result JSON to PATH.
+        --quiet           Suppress the per-sample stream on stderr.
+    table1, table2, theorem3, theorem8, trajectory, heterogeneous,
+    dummy_ablation, fos_vs_sos, dynamic_arrivals
+                          Regenerate one experiment artefact.
+        --quick           Reduced sizes/repeats (the CI configuration).
+    hotpath [--quick]     Hot-path benchmark; writes BENCH_hotpath.json.
+    bench-check           Compare BENCH_hotpath.json against the committed
+                          baseline; non-zero exit on regression.
+        --baseline PATH   Baseline file [default: BENCH_baseline.json].
+        --current PATH    Current file [default: BENCH_hotpath.json].
+        --max-regression PCT
+                          Allowed rounds_per_sec drop in percent [default:
+                          25, or env LB_BENCH_MAX_REGRESSION].
+    help                  Print this message.
+";
+
+/// Entry point for the `lb` binary: dispatches `std::env::args`, returning
+/// the process exit code.
+pub fn main() -> i32 {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    dispatch(&args)
+}
+
+/// Entry point for the legacy single-experiment binaries: runs `lb <name>`
+/// with the binary's own CLI arguments appended, so `table1 --quick`
+/// behaves exactly like `lb table1 --quick`.
+pub fn shim(name: &str) -> i32 {
+    let mut args = vec![name.to_string()];
+    args.extend(std::env::args().skip(1));
+    dispatch(&args)
+}
+
+/// Dispatches one parsed command line (without the program name). Returns
+/// the process exit code: 0 on success, 1 on runtime failure, 2 on usage
+/// errors.
+pub fn dispatch(args: &[String]) -> i32 {
+    let Some(command) = args.first() else {
+        eprint!("{USAGE}");
+        return 2;
+    };
+    let rest = &args[1..];
+    match command.as_str() {
+        "run" => cmd_run(rest),
+        "hotpath" => {
+            crate::hotpath::run(has_flag(rest, "--quick"));
+            0
+        }
+        "bench-check" => cmd_bench_check(rest),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            0
+        }
+        name => match experiment_by_name(name) {
+            Some(run) => {
+                run(has_flag(rest, "--quick")).emit();
+                0
+            }
+            None => {
+                eprintln!("error: unknown command {name:?}\n");
+                eprint!("{USAGE}");
+                2
+            }
+        },
+    }
+}
+
+/// The experiment registry: canonical names (and their hyphenated aliases)
+/// to `run(quick)` entry points.
+fn experiment_by_name(name: &str) -> Option<fn(bool) -> crate::experiments::ExperimentReport> {
+    use crate::experiments as e;
+    Some(match name.replace('-', "_").as_str() {
+        "table1" => e::table1::run,
+        "table2" => e::table2::run,
+        "theorem3" => e::theorem3::run,
+        "theorem8" => e::theorem8::run,
+        "trajectory" => e::trajectory::run,
+        "heterogeneous" => e::heterogeneous::run,
+        "dummy_ablation" => e::dummy_ablation::run,
+        "fos_vs_sos" => e::fos_vs_sos::run,
+        "dynamic_arrivals" => e::dynamic_arrivals::run,
+        _ => return None,
+    })
+}
+
+fn has_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+/// Extracts `--key VALUE` from `args`. Returns `Err` if the key is present
+/// without a value.
+fn opt_value<'a>(args: &'a [String], key: &str) -> Result<Option<&'a str>, String> {
+    match args.iter().position(|a| a == key) {
+        None => Ok(None),
+        Some(i) => args
+            .get(i + 1)
+            .map(|v| Some(v.as_str()))
+            .ok_or_else(|| format!("{key} requires a value")),
+    }
+}
+
+/// The first positional argument, skipping flags *and their values* — so
+/// `--seed 7 scenario.json` does not mistake `7` for the positional.
+fn positional<'a>(args: &'a [String], value_flags: &[&str]) -> Option<&'a str> {
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if value_flags.iter().any(|f| f == arg) {
+            iter.next(); // skip the flag's value
+        } else if !arg.starts_with("--") {
+            return Some(arg);
+        }
+    }
+    None
+}
+
+fn cmd_run(args: &[String]) -> i32 {
+    let result = (|| -> Result<(), String> {
+        let path = positional(args, &["--seed", "--out"])
+            .ok_or("run requires a scenario file (lb run <scenario.json>)")?;
+        let seed = opt_value(args, "--seed")?
+            .map(|v| v.parse::<u64>().map_err(|e| format!("--seed: {e}")))
+            .transpose()?;
+        let out = opt_value(args, "--out")?;
+        let quiet = has_flag(args, "--quiet");
+
+        let text = fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        let scenario = Scenario::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+        let outcome = run_scenario(&scenario, seed, |sample| {
+            if !quiet {
+                eprintln!(
+                    "round {:>6}: n = {}, max_min = {:.2}, max_avg = {:.2}, real = {}, \
+                     dummy = {}, arrived = {}, completed = {}",
+                    sample.round,
+                    sample.nodes,
+                    sample.max_min,
+                    sample.max_avg,
+                    sample.real_weight,
+                    sample.dummy_load,
+                    sample.arrived_weight,
+                    sample.completed_weight,
+                );
+            }
+        })?;
+        let rendered = outcome.to_json().render_pretty();
+        if let Some(out) = out {
+            fs::write(out, &rendered).map_err(|e| format!("writing {out}: {e}"))?;
+            eprintln!("(result written to {out})");
+        }
+        println!("{rendered}");
+        Ok(())
+    })();
+    match result {
+        Ok(()) => 0,
+        Err(err) => {
+            eprintln!("error: {err}");
+            1
+        }
+    }
+}
+
+/// Reads `optimized.rounds_per_sec` from a `BENCH_hotpath.json`-shaped
+/// document, falling back to a top-level `rounds_per_sec` (the trimmed
+/// baseline format).
+fn rounds_per_sec(doc: &Json, path: &str) -> Result<f64, String> {
+    doc.get("optimized")
+        .and_then(|o| o.get("rounds_per_sec"))
+        .or_else(|| doc.get("rounds_per_sec"))
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("{path}: no rounds_per_sec field"))
+}
+
+/// The perf-regression gate: compares the current hot-path throughput
+/// against the committed baseline and fails on a drop beyond the allowance.
+fn cmd_bench_check(args: &[String]) -> i32 {
+    let verdict = (|| -> Result<bool, String> {
+        let baseline_path = opt_value(args, "--baseline")?.unwrap_or("BENCH_baseline.json");
+        let current_path = opt_value(args, "--current")?.unwrap_or("BENCH_hotpath.json");
+        let max_regression: f64 = match opt_value(args, "--max-regression")? {
+            Some(v) => v.parse().map_err(|e| format!("--max-regression: {e}"))?,
+            None => match std::env::var("LB_BENCH_MAX_REGRESSION") {
+                Ok(v) => v
+                    .parse()
+                    .map_err(|e| format!("LB_BENCH_MAX_REGRESSION: {e}"))?,
+                Err(_) => 25.0,
+            },
+        };
+        if !(0.0..100.0).contains(&max_regression) {
+            return Err(format!(
+                "--max-regression must be in [0, 100), got {max_regression}"
+            ));
+        }
+
+        let read = |path: &str| -> Result<Json, String> {
+            let text = fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+            Json::parse(&text).map_err(|e| format!("{path}: {e}"))
+        };
+        let baseline = rounds_per_sec(&read(baseline_path)?, baseline_path)?;
+        let current = rounds_per_sec(&read(current_path)?, current_path)?;
+        if baseline <= 0.0 {
+            return Err(format!("{baseline_path}: rounds_per_sec must be positive"));
+        }
+
+        let floor = baseline * (1.0 - max_regression / 100.0);
+        let change = (current / baseline - 1.0) * 100.0;
+        println!(
+            "bench-check: baseline {baseline:.1} rounds/sec, current {current:.1} rounds/sec \
+             ({change:+.1}%), allowed regression {max_regression}% (floor {floor:.1})"
+        );
+        if current < floor {
+            println!(
+                "bench-check: FAIL — rounds_per_sec regressed more than {max_regression}% \
+                 below the committed baseline"
+            );
+            Ok(false)
+        } else {
+            println!("bench-check: OK");
+            Ok(true)
+        }
+    })();
+    match verdict {
+        Ok(true) => 0,
+        Ok(false) => 1,
+        Err(err) => {
+            eprintln!("error: {err}");
+            1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn unknown_commands_and_empty_args_are_usage_errors() {
+        assert_eq!(dispatch(&args(&["no_such_command"])), 2);
+        assert_eq!(dispatch(&[]), 2);
+        assert_eq!(dispatch(&args(&["help"])), 0);
+    }
+
+    #[test]
+    fn experiment_registry_knows_every_experiment() {
+        for name in [
+            "table1",
+            "table2",
+            "theorem3",
+            "theorem8",
+            "trajectory",
+            "heterogeneous",
+            "dummy_ablation",
+            "dummy-ablation",
+            "fos_vs_sos",
+            "fos-vs-sos",
+            "dynamic_arrivals",
+        ] {
+            assert!(experiment_by_name(name).is_some(), "{name} missing");
+        }
+        assert!(experiment_by_name("run").is_none());
+        assert!(experiment_by_name("hotpath").is_none());
+    }
+
+    #[test]
+    fn run_requires_a_scenario_file() {
+        assert_eq!(dispatch(&args(&["run"])), 1);
+        assert_eq!(dispatch(&args(&["run", "/no/such/file.json"])), 1);
+    }
+
+    #[test]
+    fn opt_value_parses_key_value_pairs() {
+        let a = args(&["--seed", "42", "--quiet"]);
+        assert_eq!(opt_value(&a, "--seed").unwrap(), Some("42"));
+        assert_eq!(opt_value(&a, "--out").unwrap(), None);
+        assert!(opt_value(&args(&["--seed"]), "--seed").is_err());
+        assert!(has_flag(&a, "--quiet"));
+        assert!(!has_flag(&a, "--loud"));
+    }
+
+    #[test]
+    fn positional_skips_flag_values_in_any_order() {
+        let flags = ["--seed", "--out"];
+        let a = args(&["--seed", "7", "scenario.json"]);
+        assert_eq!(positional(&a, &flags), Some("scenario.json"));
+        let a = args(&[
+            "--out",
+            "result.json",
+            "--quiet",
+            "scenario.json",
+            "--seed",
+            "1",
+        ]);
+        assert_eq!(positional(&a, &flags), Some("scenario.json"));
+        let a = args(&["scenario.json", "--seed", "7"]);
+        assert_eq!(positional(&a, &flags), Some("scenario.json"));
+        assert_eq!(positional(&args(&["--seed", "7"]), &flags), None);
+        assert_eq!(positional(&args(&["--quiet"]), &flags), None);
+    }
+
+    #[test]
+    fn bench_check_gates_on_regression() {
+        let dir = std::env::temp_dir().join("lb_bench_check_test");
+        fs::create_dir_all(&dir).unwrap();
+        let baseline = dir.join("baseline.json");
+        let current = dir.join("current.json");
+        fs::write(&baseline, r#"{"rounds_per_sec": 100.0}"#).unwrap();
+
+        // Within the allowance (25% by default): passes.
+        fs::write(&current, r#"{"optimized": {"rounds_per_sec": 80.0}}"#).unwrap();
+        let base_args = |extra: &[&str]| {
+            let mut v = args(&[
+                "bench-check",
+                "--baseline",
+                baseline.to_str().unwrap(),
+                "--current",
+                current.to_str().unwrap(),
+            ]);
+            v.extend(extra.iter().map(|s| s.to_string()));
+            v
+        };
+        assert_eq!(dispatch(&base_args(&[])), 0);
+
+        // A >25% drop fails.
+        fs::write(&current, r#"{"optimized": {"rounds_per_sec": 60.0}}"#).unwrap();
+        assert_eq!(dispatch(&base_args(&[])), 1);
+
+        // …unless the allowance is widened.
+        assert_eq!(dispatch(&base_args(&["--max-regression", "50"])), 0);
+
+        // Bad threshold and missing files are runtime errors.
+        assert_eq!(dispatch(&base_args(&["--max-regression", "150"])), 1);
+        fs::remove_file(&current).unwrap();
+        assert_eq!(dispatch(&base_args(&[])), 1);
+    }
+}

@@ -1,0 +1,481 @@
+//! Scenario driver: binds a [`Scenario`] spec to a dynamic flow-imitation
+//! engine and runs it, streaming per-round metric samples and producing a
+//! fully deterministic JSON result document.
+//!
+//! Everything downstream of the spec is seeded: graph construction, speed
+//! assignment, the initial distribution and the arrival stream all derive
+//! sub-seeds from one master seed, so the same scenario file and seed produce
+//! **bit-identical** result JSON across runs and machines (the document
+//! contains no timings). `tests/dynamic_scenarios.rs` pins this.
+
+use lb_analysis::Json;
+use lb_core::continuous::{Fos, Sos};
+use lb_core::discrete::{
+    DiscreteBalancer, DynamicBalancer, FlowImitation, RandomizedImitation, RoundEvents, TaskPicker,
+};
+use lb_core::{metrics, CoreError, InitialLoad, Speeds};
+use lb_graph::{AlphaScheme, Graph};
+use lb_workloads::{
+    pad_for_min_load, AlgorithmSpec, ChurnKind, ModelSpec, PadSpec, Scenario, ScenarioEvents,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+use crate::harness::GraphClass;
+
+/// Diffusion matrix scheme used by every scenario engine (the harness
+/// default).
+const SCHEME: AlphaScheme = AlphaScheme::MaxDegreePlusOne;
+
+/// Sub-seed offsets, so the master seed decorrelates its consumers.
+const GRAPH_SEED_OFFSET: u64 = 0x6EA9;
+const SPEEDS_SEED_OFFSET: u64 = 0x0059_EED5;
+const INITIAL_SEED_OFFSET: u64 = 0x1417;
+
+/// One sampled point of a scenario trajectory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundSample {
+    /// Completed rounds when the sample was taken (0 = initial state).
+    pub round: usize,
+    /// Node count at sample time (changes across resize churn).
+    pub nodes: usize,
+    /// Max-min makespan discrepancy (dummy load included, as in the paper).
+    pub max_min: f64,
+    /// Max-avg makespan discrepancy.
+    pub max_avg: f64,
+    /// Total real (workload) task weight in the system.
+    pub real_weight: f64,
+    /// Total dummy load in circulation.
+    pub dummy_load: u64,
+    /// Cumulative weight arrived via dynamic events.
+    pub arrived_weight: u64,
+    /// Cumulative weight completed via dynamic events.
+    pub completed_weight: u64,
+}
+
+impl RoundSample {
+    /// JSON form used in trajectory arrays.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("round", Json::from(self.round)),
+            ("nodes", Json::from(self.nodes)),
+            ("max_min", Json::from(self.max_min)),
+            ("max_avg", Json::from(self.max_avg)),
+            ("real_weight", Json::from(self.real_weight)),
+            ("dummy_load", Json::from(self.dummy_load)),
+            ("arrived_weight", Json::from(self.arrived_weight)),
+            ("completed_weight", Json::from(self.completed_weight)),
+        ])
+    }
+}
+
+/// The result of one scenario run.
+#[derive(Debug, Clone)]
+pub struct ScenarioOutcome {
+    /// The effective scenario (with the resolved seed).
+    pub scenario: Scenario,
+    /// Engine name, e.g. `"alg1(fos)"`.
+    pub engine: String,
+    /// Sampled trajectory (round 0, every `sample_every` rounds, final round).
+    pub trajectory: Vec<RoundSample>,
+    /// Total dummy load drawn from the infinite source over the run.
+    pub dummy_created: u64,
+}
+
+impl ScenarioOutcome {
+    /// The final sample.
+    pub fn last(&self) -> &RoundSample {
+        self.trajectory.last().expect("trajectory is never empty")
+    }
+
+    /// Renders the deterministic result document.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("scenario", self.scenario.to_json()),
+            ("engine", Json::from(self.engine.clone())),
+            (
+                "trajectory",
+                Json::Arr(self.trajectory.iter().map(RoundSample::to_json).collect()),
+            ),
+            (
+                "final",
+                Json::obj([
+                    ("sample", self.last().to_json()),
+                    ("dummy_created", Json::from(self.dummy_created)),
+                ]),
+            ),
+        ])
+    }
+}
+
+/// Resolves a scenario `topology.family` string to a harness graph class.
+///
+/// # Errors
+///
+/// Returns a message listing the known families for unknown names.
+pub fn family_class(family: &str) -> Result<GraphClass, String> {
+    match family {
+        "arbitrary" => Ok(GraphClass::Arbitrary),
+        "expander" => Ok(GraphClass::Expander),
+        "hypercube" => Ok(GraphClass::Hypercube),
+        "torus" => Ok(GraphClass::Torus),
+        "ring_of_cliques" => Ok(GraphClass::RingOfCliques),
+        "cycle" => Ok(GraphClass::Cycle),
+        other => Err(format!(
+            "unknown topology family {other:?} \
+             (want arbitrary|expander|hypercube|torus|ring_of_cliques|cycle)"
+        )),
+    }
+}
+
+/// The four concrete engines a scenario can request. The enum (rather than a
+/// `Box<dyn DynamicBalancer>`) exists because topology churn must rebuild the
+/// concrete continuous process type.
+enum Engine {
+    Alg1Fos(FlowImitation<Fos>),
+    Alg1Sos(FlowImitation<Sos>),
+    Alg2Fos(RandomizedImitation<Fos>),
+    Alg2Sos(RandomizedImitation<Sos>),
+}
+
+/// Applies `$body` to the engine inside any variant.
+macro_rules! with_engine {
+    ($self:expr, $e:ident => $body:expr) => {
+        match $self {
+            Engine::Alg1Fos($e) => $body,
+            Engine::Alg1Sos($e) => $body,
+            Engine::Alg2Fos($e) => $body,
+            Engine::Alg2Sos($e) => $body,
+        }
+    };
+}
+
+impl Engine {
+    fn build(
+        scenario: &Scenario,
+        graph: Arc<Graph>,
+        speeds: &Speeds,
+        initial: &InitialLoad,
+        seed: u64,
+    ) -> Result<Self, CoreError> {
+        Ok(match (scenario.algorithm, scenario.model) {
+            (AlgorithmSpec::Alg1, ModelSpec::Fos) => Engine::Alg1Fos(FlowImitation::new(
+                Fos::new(graph, speeds, SCHEME)?,
+                initial,
+                speeds.clone(),
+                TaskPicker::Fifo,
+            )?),
+            (AlgorithmSpec::Alg1, ModelSpec::Sos) => Engine::Alg1Sos(FlowImitation::new(
+                Sos::with_optimal_beta(graph, speeds, SCHEME)?,
+                initial,
+                speeds.clone(),
+                TaskPicker::Fifo,
+            )?),
+            (AlgorithmSpec::Alg2, ModelSpec::Fos) => Engine::Alg2Fos(RandomizedImitation::new(
+                Fos::new(graph, speeds, SCHEME)?,
+                initial,
+                speeds.clone(),
+                seed,
+            )?),
+            (AlgorithmSpec::Alg2, ModelSpec::Sos) => Engine::Alg2Sos(RandomizedImitation::new(
+                Sos::with_optimal_beta(graph, speeds, SCHEME)?,
+                initial,
+                speeds.clone(),
+                seed,
+            )?),
+        })
+    }
+
+    fn name(&self) -> &str {
+        with_engine!(self, e => e.name())
+    }
+
+    fn step(&mut self) {
+        with_engine!(self, e => e.step());
+    }
+
+    fn apply_events(&mut self, events: &RoundEvents) -> Result<(), CoreError> {
+        with_engine!(self, e => e.apply_events(events).map(|_| ()))
+    }
+
+    fn loads(&self) -> Vec<f64> {
+        with_engine!(self, e => e.loads())
+    }
+
+    fn real_loads(&self) -> Vec<f64> {
+        with_engine!(self, e => e.real_loads())
+    }
+
+    fn dummy_load(&self) -> u64 {
+        with_engine!(self, e => e.dummy_load())
+    }
+
+    fn dummy_created(&self) -> u64 {
+        with_engine!(self, e => e.dummy_created())
+    }
+
+    fn speeds(&self) -> &Speeds {
+        with_engine!(self, e => e.speeds())
+    }
+
+    fn node_count(&self) -> usize {
+        with_engine!(self, e => e.graph().node_count())
+    }
+
+    fn arrived_weight(&self) -> u64 {
+        with_engine!(self, e => DynamicBalancer::arrived_weight(e))
+    }
+
+    fn completed_weight(&self) -> u64 {
+        with_engine!(self, e => DynamicBalancer::completed_weight(e))
+    }
+
+    /// Rebuilds the continuous process on `graph` and swaps it in (topology
+    /// churn). `speeds` must already follow the carry-over rule (truncate /
+    /// pad with unit speeds), matching what `replace_topology` re-derives.
+    fn replace_topology(&mut self, graph: Arc<Graph>, speeds: &Speeds) -> Result<(), CoreError> {
+        match self {
+            Engine::Alg1Fos(e) => e.replace_topology(Fos::new(graph, speeds, SCHEME)?),
+            Engine::Alg1Sos(e) => {
+                e.replace_topology(Sos::with_optimal_beta(graph, speeds, SCHEME)?)
+            }
+            Engine::Alg2Fos(e) => e.replace_topology(Fos::new(graph, speeds, SCHEME)?),
+            Engine::Alg2Sos(e) => {
+                e.replace_topology(Sos::with_optimal_beta(graph, speeds, SCHEME)?)
+            }
+        }
+    }
+}
+
+/// Speeds after churn: entries carry over index-by-index, removed nodes drop
+/// theirs, new nodes get the unit speed (the engine's carry-over rule).
+fn carried_speeds(current: &Speeds, n: usize) -> Speeds {
+    let mut values = current.as_slice().to_vec();
+    values.resize(n, 1);
+    Speeds::new(values).expect("carried speeds stay positive")
+}
+
+/// Runs `scenario`, calling `on_sample` for every recorded trajectory point
+/// (round 0, every `sample_every` rounds, and the final round).
+///
+/// `seed_override` replaces the spec's seed (the CLI's `--seed`); the
+/// effective seed is recorded in the outcome.
+///
+/// # Errors
+///
+/// Returns a message for invalid specs, unknown families, graph-construction
+/// failures and engine errors (e.g. alg2 with weighted arrivals).
+pub fn run_scenario(
+    scenario: &Scenario,
+    seed_override: Option<u64>,
+    mut on_sample: impl FnMut(&RoundSample),
+) -> Result<ScenarioOutcome, String> {
+    let mut scenario = scenario.clone();
+    if let Some(seed) = seed_override {
+        scenario.seed = seed;
+    }
+    scenario.validate()?;
+    let seed = scenario.seed;
+
+    let class = family_class(&scenario.topology.family)?;
+    let graph: Arc<Graph> = class
+        .build(
+            scenario.topology.target_n,
+            seed.wrapping_add(GRAPH_SEED_OFFSET),
+        )
+        .map_err(|err| format!("building {}: {err}", scenario.topology.family))?
+        .into();
+    let n = graph.node_count();
+
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(SPEEDS_SEED_OFFSET));
+    let speeds = scenario.speeds.to_model().generate(n, &mut rng);
+
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(INITIAL_SEED_OFFSET));
+    let total_tokens = scenario.initial.tokens_per_node * n as u64;
+    let unpadded = scenario
+        .initial
+        .distribution
+        .generate(n, total_tokens, &mut rng);
+    let pad = match scenario.initial.pad {
+        PadSpec::Tokens(t) => t,
+        PadSpec::Degree => {
+            graph.max_degree() as u64 * unpadded.max_weight().max(scenario.arrivals.max_weight())
+        }
+    };
+    let initial = pad_for_min_load(&unpadded, &speeds, pad);
+    let first_task_id = initial.task_count() as u64;
+
+    let mut engine = Engine::build(&scenario, Arc::clone(&graph), &speeds, &initial, seed)
+        .map_err(|err| err.to_string())?;
+    let mut stream = ScenarioEvents::new(&scenario, &speeds, first_task_id);
+    let mut events = RoundEvents::default();
+
+    let sample_of = |engine: &Engine, round: usize| -> RoundSample {
+        let loads = engine.loads();
+        let speeds = engine.speeds();
+        RoundSample {
+            round,
+            nodes: engine.node_count(),
+            max_min: metrics::max_min_discrepancy(&loads, speeds),
+            max_avg: metrics::max_avg_discrepancy(&loads, speeds),
+            real_weight: engine.real_loads().iter().sum(),
+            dummy_load: engine.dummy_load(),
+            arrived_weight: engine.arrived_weight(),
+            completed_weight: engine.completed_weight(),
+        }
+    };
+
+    let mut trajectory = Vec::new();
+    let mut record = |engine: &Engine, round: usize, trajectory: &mut Vec<RoundSample>| {
+        let sample = sample_of(engine, round);
+        on_sample(&sample);
+        trajectory.push(sample);
+    };
+    record(&engine, 0, &mut trajectory);
+
+    let mut churn_idx = 0;
+    for round in 0..scenario.rounds {
+        while churn_idx < scenario.churn.len() && scenario.churn[churn_idx].round == round {
+            let event = scenario.churn[churn_idx];
+            churn_idx += 1;
+            let (target_n, graph_seed) = match event.kind {
+                ChurnKind::Rewire { seed } => (engine.node_count(), seed),
+                ChurnKind::Resize { target_n, seed } => (target_n, seed),
+            };
+            let new_graph: Arc<Graph> = class
+                .build(target_n, graph_seed)
+                .map_err(|err| format!("churn at round {round}: {err}"))?
+                .into();
+            let new_speeds = carried_speeds(engine.speeds(), new_graph.node_count());
+            engine
+                .replace_topology(new_graph, &new_speeds)
+                .map_err(|err| format!("churn at round {round}: {err}"))?;
+            stream.set_topology(engine.speeds());
+        }
+        stream.fill_round(round, &mut events);
+        if !events.is_empty() {
+            engine
+                .apply_events(&events)
+                .map_err(|err| format!("events at round {round}: {err}"))?;
+        }
+        engine.step();
+        let done = round + 1;
+        if done % scenario.sample_every == 0 || done == scenario.rounds {
+            record(&engine, done, &mut trajectory);
+        }
+    }
+
+    Ok(ScenarioOutcome {
+        engine: engine.name().to_string(),
+        scenario,
+        trajectory,
+        dummy_created: engine.dummy_created(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lb_workloads::{
+        ArrivalSpec, ChurnEvent, InitialSpec, ServiceSpec, SpeedSpec, TokenDistribution,
+        TopologySpec,
+    };
+
+    fn poisson_scenario() -> Scenario {
+        Scenario {
+            name: "driver_test".into(),
+            seed: 5,
+            rounds: 60,
+            sample_every: 20,
+            algorithm: AlgorithmSpec::Alg1,
+            model: ModelSpec::Fos,
+            topology: TopologySpec {
+                family: "torus".into(),
+                target_n: 36,
+            },
+            speeds: SpeedSpec::Uniform,
+            initial: InitialSpec {
+                distribution: TokenDistribution::SingleSource { source: 0 },
+                tokens_per_node: 6,
+                pad: PadSpec::Degree,
+            },
+            arrivals: ArrivalSpec::Poisson {
+                rate_per_node: 0.5,
+                max_weight: 1,
+            },
+            completions: ServiceSpec::Uniform {
+                weight_per_speed: 1,
+            },
+            churn: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn trajectory_samples_first_and_last_rounds() {
+        let outcome = run_scenario(&poisson_scenario(), None, |_| {}).unwrap();
+        assert_eq!(outcome.trajectory[0].round, 0);
+        assert_eq!(outcome.last().round, 60);
+        // 0, 20, 40, 60.
+        assert_eq!(outcome.trajectory.len(), 4);
+        assert_eq!(outcome.engine, "alg1(fos)");
+        assert!(outcome.last().arrived_weight > 0);
+        assert!(outcome.last().completed_weight > 0);
+    }
+
+    #[test]
+    fn same_seed_bit_identical_different_seed_differs() {
+        let scenario = poisson_scenario();
+        let a = run_scenario(&scenario, None, |_| {}).unwrap();
+        let b = run_scenario(&scenario, None, |_| {}).unwrap();
+        assert_eq!(a.trajectory, b.trajectory);
+        assert_eq!(a.to_json().render_pretty(), b.to_json().render_pretty());
+        let c = run_scenario(&scenario, Some(99), |_| {}).unwrap();
+        assert_eq!(c.scenario.seed, 99);
+        assert_ne!(a.trajectory, c.trajectory);
+    }
+
+    #[test]
+    fn streaming_callback_sees_every_sample() {
+        let mut streamed = Vec::new();
+        let outcome =
+            run_scenario(&poisson_scenario(), None, |s| streamed.push(s.clone())).unwrap();
+        assert_eq!(streamed, outcome.trajectory);
+    }
+
+    #[test]
+    fn churn_resize_changes_node_count_mid_run() {
+        let mut scenario = poisson_scenario();
+        scenario.churn = vec![ChurnEvent {
+            round: 30,
+            kind: ChurnKind::Resize {
+                target_n: 16,
+                seed: 3,
+            },
+        }];
+        let outcome = run_scenario(&scenario, None, |_| {}).unwrap();
+        assert_eq!(outcome.trajectory[1].nodes, 36, "before churn");
+        assert_eq!(outcome.last().nodes, 16, "after churn");
+    }
+
+    #[test]
+    fn alg2_sos_engine_runs() {
+        let mut scenario = poisson_scenario();
+        scenario.algorithm = AlgorithmSpec::Alg2;
+        scenario.model = ModelSpec::Sos;
+        let outcome = run_scenario(&scenario, None, |_| {}).unwrap();
+        assert!(
+            outcome.engine.starts_with("alg2(sos"),
+            "engine was {}",
+            outcome.engine
+        );
+    }
+
+    #[test]
+    fn unknown_family_is_reported() {
+        let mut scenario = poisson_scenario();
+        scenario.topology.family = "smallworld".into();
+        let err = run_scenario(&scenario, None, |_| {}).unwrap_err();
+        assert!(err.contains("smallworld"));
+    }
+}

@@ -7,6 +7,7 @@
 //! full configuration and write the JSON record used by EXPERIMENTS.md.
 
 pub mod dummy_ablation;
+pub mod dynamic_arrivals;
 pub mod fos_vs_sos;
 pub mod heterogeneous;
 pub mod table1;
@@ -67,6 +68,7 @@ mod tests {
             ("heterogeneous", heterogeneous::run(true)),
             ("dummy_ablation", dummy_ablation::run(true)),
             ("fos_vs_sos", fos_vs_sos::run(true)),
+            ("dynamic_arrivals", dynamic_arrivals::run(true)),
         ];
         for (name, report) in reports {
             assert!(!report.markdown.is_empty(), "{name} produced no markdown");

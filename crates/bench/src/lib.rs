@@ -9,15 +9,25 @@
 //!   uniform way to build and run any combination of them.
 //! * [`experiments`] — one module per reproduced artefact (see the
 //!   per-experiment index in DESIGN.md); each has a `run(quick)` entry point.
+//! * [`dynamic`] — the scenario driver: binds a JSON
+//!   [`Scenario`](lb_workloads::Scenario) (arrivals, completions, churn) to a
+//!   dynamic flow-imitation engine with deterministic, streamable results.
+//! * [`cli`] — the unified `lb` binary: `lb run <scenario.json>`,
+//!   `lb table1 … lb dynamic_arrivals [--quick]`, `lb hotpath`, and the CI
+//!   perf-regression gate `lb bench-check`.
+//! * [`hotpath`] — the engine-vs-seed-semantics throughput benchmark behind
+//!   `BENCH_hotpath.json`.
 //!
-//! Experiment binaries (`cargo run -p lb-bench --release --bin <name>`):
-//! `table1`, `table2`, `theorem3`, `theorem8`, `trajectory`, `heterogeneous`,
-//! `dummy_ablation`, `fos_vs_sos`. Criterion benches with the same names
-//! exercise reduced configurations under `cargo bench`.
+//! The legacy per-experiment binaries (`cargo run -p lb-bench --release
+//! --bin <name>`) are thin shims over the `lb` dispatch. Criterion benches
+//! with the same names exercise reduced configurations under `cargo bench`.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod cli;
+pub mod dynamic;
 pub mod experiments;
 pub mod harness;
+pub mod hotpath;
 pub mod parallel;

@@ -241,6 +241,30 @@ impl<A: ContinuousProcess> ContinuousRunner<A> {
         }
     }
 
+    /// Adds `delta` load units to node `i` between rounds (negative values
+    /// remove load).
+    ///
+    /// This is the twin-side half of a dynamic-workload event: when a task
+    /// arrives at (or completes on) a node of the discrete process, the twin
+    /// receives the same load change so both processes keep balancing the
+    /// same workload. Cumulative flows are untouched — the imitation ledger
+    /// stays valid because the processes are additive (Definition 3), so the
+    /// flows of "old load + injected load" are the sums of the flows each
+    /// part would generate on its own.
+    ///
+    /// Removing more load than the node currently holds may drive the twin's
+    /// entry negative; diffusion processes are well defined on arbitrary
+    /// reals, and [`min_load_seen`](ContinuousRunner::min_load_seen) records
+    /// the dip.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn adjust_load(&mut self, i: usize, delta: f64) {
+        self.loads[i] += delta;
+        self.min_load_seen = self.min_load_seen.min(self.loads[i]);
+    }
+
     /// Runs until every node load is within `tolerance` of its balanced
     /// value `W·s_i/S` (the paper's balancing-time condition with
     /// `tolerance = 1`), or until `max_rounds` have elapsed. Returns the

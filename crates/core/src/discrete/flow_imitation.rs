@@ -20,6 +20,7 @@
 //! buffers are owned by the struct and reused, and the topology is shared
 //! with the twin through one `Arc<Graph>`.
 
+use super::dynamic::{DynamicBalancer, EventReport, RoundEvents};
 use super::DiscreteBalancer;
 use crate::continuous::{ContinuousProcess, ContinuousRunner};
 use crate::error::CoreError;
@@ -80,6 +81,10 @@ pub struct FlowImitation<A: ContinuousProcess> {
     pending_tasks: Vec<(NodeId, Task)>,
     /// Reused per-round scratch: pending dummy deliveries per node.
     pending_dummy: Vec<u64>,
+    /// Total weight injected by dynamic arrival events.
+    arrived_weight: u64,
+    /// Total weight drained by dynamic completion events.
+    completed_weight: u64,
 }
 
 impl<A: ContinuousProcess> FlowImitation<A> {
@@ -137,7 +142,72 @@ impl<A: ContinuousProcess> FlowImitation<A> {
             name,
             pending_tasks: Vec::new(),
             pending_dummy: vec![0; n],
+            arrived_weight: 0,
+            completed_weight: 0,
         })
+    }
+
+    /// Replaces the topology (and the continuous twin) mid-run: the
+    /// churn-event half of a dynamic scenario.
+    ///
+    /// `process` is a freshly built continuous process on the new graph. Per-
+    /// node task queues and dummy holdings carry over index-by-index; if the
+    /// new graph is smaller, the tasks of removed nodes are re-queued on node
+    /// 0 (the deterministic "orphan adoption" rule); if it is larger, the new
+    /// nodes start empty. The twin restarts from the *current* discrete load
+    /// vector and both flow ledgers reset to zero — imitation begins a fresh
+    /// epoch on the new topology, so the Observation 4 deviation bound holds
+    /// per epoch.
+    ///
+    /// This allocates freely; it is an event-time operation, not part of the
+    /// steady-state hot loop.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] if the new graph is empty.
+    pub fn replace_topology(&mut self, process: A) -> Result<(), CoreError> {
+        let graph = process.shared_graph();
+        let n = graph.node_count();
+        if n == 0 {
+            return Err(CoreError::invalid_parameter(
+                "cannot replace topology with an empty graph",
+            ));
+        }
+        // Orphaned tasks and dummies (nodes beyond the new n) move to node 0.
+        while self.queues.len() > n {
+            let mut orphan = self.queues.pop().expect("len checked above");
+            while let Some(task) = orphan.pop() {
+                self.queues[0].push(task);
+            }
+            let dummies = self.dummy.pop().expect("dummy tracks queues");
+            self.dummy[0] += dummies;
+        }
+        while self.queues.len() < n {
+            self.queues.push(TaskQueue::new(self.picker));
+            self.dummy.push(0);
+        }
+        // Speeds follow the same carry-over rule: truncate or pad with the
+        // unit speed.
+        let mut speed_values = self.speeds.as_slice().to_vec();
+        speed_values.resize(n, 1);
+        self.speeds = Speeds::new(speed_values).expect("carried speeds stay positive");
+        // The twin restarts from the current discrete loads (real + dummy),
+        // and both cumulative-flow ledgers reset together.
+        let x0: Vec<f64> = self
+            .queues
+            .iter()
+            .zip(&self.dummy)
+            .map(|(queue, &d)| (queue.total_weight() + d) as f64)
+            .collect();
+        self.name = format!("alg1({})", process.name());
+        self.twin = ContinuousRunner::new(process, x0);
+        self.graph = graph;
+        self.discrete_flow.clear();
+        self.discrete_flow.resize(self.graph.edge_count(), 0);
+        self.pending_tasks.clear();
+        self.pending_dummy.clear();
+        self.pending_dummy.resize(n, 0);
+        Ok(())
     }
 
     /// The maximum task weight `w_max` the discretization assumes.
@@ -296,6 +366,61 @@ impl<A: ContinuousProcess> DiscreteBalancer for FlowImitation<A> {
             self.dummy[node] += amount;
         }
         self.round += 1;
+    }
+}
+
+impl<A: ContinuousProcess> DynamicBalancer for FlowImitation<A> {
+    fn apply_events(&mut self, events: &RoundEvents) -> Result<EventReport, CoreError> {
+        let n = self.graph.node_count();
+        let mut report = EventReport::default();
+        // Completions first: finished work leaves both the queues and the
+        // twin. Whole tasks only, in pick order, while the budget lasts.
+        for &(node, budget) in &events.completions {
+            if node >= n {
+                return Err(CoreError::invalid_parameter(format!(
+                    "completion on node {node}, graph has {n} nodes"
+                )));
+            }
+            let mut remaining = budget;
+            while let Some(task) = self.queues[node].peek() {
+                let w = task.weight();
+                if w > remaining {
+                    break;
+                }
+                self.queues[node].pop();
+                remaining -= w;
+                report.completed_tasks += 1;
+                report.completed_weight += w;
+                self.twin.adjust_load(node, -(w as f64));
+            }
+        }
+        // Arrivals: new work lands on a queue and on the twin; w_max tracks
+        // the heaviest task ever seen so the imitation floor rule stays
+        // conservative.
+        for &(node, task) in &events.arrivals {
+            if node >= n {
+                return Err(CoreError::invalid_parameter(format!(
+                    "arrival on node {node}, graph has {n} nodes"
+                )));
+            }
+            let w = task.weight();
+            self.wmax = self.wmax.max(w);
+            self.queues[node].push(task);
+            self.twin.adjust_load(node, w as f64);
+            report.arrived_tasks += 1;
+            report.arrived_weight += w;
+        }
+        self.arrived_weight += report.arrived_weight;
+        self.completed_weight += report.completed_weight;
+        Ok(report)
+    }
+
+    fn completed_weight(&self) -> u64 {
+        self.completed_weight
+    }
+
+    fn arrived_weight(&self) -> u64 {
+        self.arrived_weight
     }
 }
 

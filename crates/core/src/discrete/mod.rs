@@ -12,12 +12,17 @@
 //!   excess-token diffusion, plus their matching-model counterparts.
 //!
 //! All of them implement [`DiscreteBalancer`], so experiments can drive them
-//! uniformly.
+//! uniformly. The paper's two transformations additionally implement
+//! [`DynamicBalancer`] ([`dynamic`]): task arrivals and completions can be
+//! applied between rounds, opening the sustained-load workload class beyond
+//! the paper's static-drain setting.
 
 pub mod baselines;
+pub mod dynamic;
 mod flow_imitation;
 mod randomized_imitation;
 
+pub use dynamic::{DynamicBalancer, EventReport, RoundEvents};
 pub use flow_imitation::{FlowImitation, TaskPicker};
 pub use randomized_imitation::RandomizedImitation;
 

@@ -11,6 +11,7 @@
 //! `(d/4 + Θ(√(d·log n)))·s_i` per node the max-min discrepancy is
 //! `O(√(d·log n))` w.h.p.
 
+use super::dynamic::{DynamicBalancer, EventReport, RoundEvents};
 use super::DiscreteBalancer;
 use crate::continuous::{ContinuousProcess, ContinuousRunner};
 use crate::error::CoreError;
@@ -63,6 +64,10 @@ pub struct RandomizedImitation<A: ContinuousProcess> {
     pending_real: Vec<u64>,
     /// Reused per-round scratch: pending dummy deliveries per node.
     pending_dummy: Vec<u64>,
+    /// Total weight injected by dynamic arrival events.
+    arrived_weight: u64,
+    /// Total weight drained by dynamic completion events.
+    completed_weight: u64,
 }
 
 impl<A: ContinuousProcess> RandomizedImitation<A> {
@@ -115,7 +120,56 @@ impl<A: ContinuousProcess> RandomizedImitation<A> {
             name,
             pending_real: vec![0; n],
             pending_dummy: vec![0; n],
+            arrived_weight: 0,
+            completed_weight: 0,
         })
+    }
+
+    /// Replaces the topology (and the continuous twin) mid-run: the
+    /// churn-event half of a dynamic scenario. Same carry-over rules as
+    /// `FlowImitation::replace_topology`: per-node token counts carry over
+    /// index-by-index, removed nodes bequeath their tokens to node 0, new
+    /// nodes start empty, and the twin restarts from the current discrete
+    /// load vector with both flow ledgers reset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] if the new graph is empty.
+    pub fn replace_topology(&mut self, process: A) -> Result<(), CoreError> {
+        let graph = process.shared_graph();
+        let n = graph.node_count();
+        if n == 0 {
+            return Err(CoreError::invalid_parameter(
+                "cannot replace topology with an empty graph",
+            ));
+        }
+        while self.tokens.len() > n {
+            let orphan_tokens = self.tokens.pop().expect("len checked above");
+            self.tokens[0] += orphan_tokens;
+            let orphan_dummy = self.dummy.pop().expect("dummy tracks tokens");
+            self.dummy[0] += orphan_dummy;
+        }
+        self.tokens.resize(n, 0);
+        self.dummy.resize(n, 0);
+        let mut speed_values = self.speeds.as_slice().to_vec();
+        speed_values.resize(n, 1);
+        self.speeds = Speeds::new(speed_values).expect("carried speeds stay positive");
+        let x0: Vec<f64> = self
+            .tokens
+            .iter()
+            .zip(&self.dummy)
+            .map(|(&t, &d)| (t + d) as f64)
+            .collect();
+        self.name = format!("alg2({})", process.name());
+        self.twin = ContinuousRunner::new(process, x0);
+        self.graph = graph;
+        self.discrete_flow.clear();
+        self.discrete_flow.resize(self.graph.edge_count(), 0);
+        self.pending_real.clear();
+        self.pending_real.resize(n, 0);
+        self.pending_dummy.clear();
+        self.pending_dummy.resize(n, 0);
+        Ok(())
     }
 
     /// The continuous twin being imitated.
@@ -221,6 +275,56 @@ impl<A: ContinuousProcess> DiscreteBalancer for RandomizedImitation<A> {
             self.dummy[i] += self.pending_dummy[i];
         }
         self.round += 1;
+    }
+}
+
+impl<A: ContinuousProcess> DynamicBalancer for RandomizedImitation<A> {
+    fn apply_events(&mut self, events: &RoundEvents) -> Result<EventReport, CoreError> {
+        let n = self.graph.node_count();
+        let mut report = EventReport::default();
+        // Completions first; tokens are interchangeable, so a budget simply
+        // drains up to that many units.
+        for &(node, budget) in &events.completions {
+            if node >= n {
+                return Err(CoreError::invalid_parameter(format!(
+                    "completion on node {node}, graph has {n} nodes"
+                )));
+            }
+            let take = budget.min(self.tokens[node]);
+            self.tokens[node] -= take;
+            self.twin.adjust_load(node, -(take as f64));
+            report.completed_tasks += take;
+            report.completed_weight += take;
+        }
+        // Arrivals must be unit-weight: Algorithm 2 is defined for identical
+        // tasks only.
+        for &(node, task) in &events.arrivals {
+            if node >= n {
+                return Err(CoreError::invalid_parameter(format!(
+                    "arrival on node {node}, graph has {n} nodes"
+                )));
+            }
+            if task.weight() != 1 {
+                return Err(CoreError::invalid_parameter(
+                    "randomized flow imitation (Algorithm 2) accepts unit-weight arrivals only",
+                ));
+            }
+            self.tokens[node] += 1;
+            self.twin.adjust_load(node, 1.0);
+            report.arrived_tasks += 1;
+            report.arrived_weight += 1;
+        }
+        self.arrived_weight += report.arrived_weight;
+        self.completed_weight += report.completed_weight;
+        Ok(report)
+    }
+
+    fn completed_weight(&self) -> u64 {
+        self.completed_weight
+    }
+
+    fn arrived_weight(&self) -> u64 {
+        self.arrived_weight
     }
 }
 

@@ -12,7 +12,9 @@
 //! * [`discrete`] — the paper's two flow-imitation transformations
 //!   (Algorithm 1: [`discrete::FlowImitation`], Algorithm 2:
 //!   [`discrete::RandomizedImitation`]) plus the prior-work baselines they
-//!   are compared against.
+//!   are compared against, and the dynamic-workload extension
+//!   ([`discrete::dynamic`]): per-round task arrivals, completions and
+//!   topology churn.
 //! * [`metrics`] — makespan, max-min / max-avg discrepancy and the quadratic
 //!   potential.
 //! * [`convergence`] — measuring the continuous balancing time `T`.

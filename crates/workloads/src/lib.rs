@@ -2,9 +2,12 @@
 //!
 //! Workload generators for the load-balancing experiments: initial token
 //! distributions ([`TokenDistribution`]), weighted workloads
-//! ([`WeightModel`], [`weighted_load`]), node speed profiles ([`SpeedModel`])
-//! and the sufficient-initial-load padding of Theorems 3(2)/8(2)
-//! ([`pad_for_min_load`]).
+//! ([`WeightModel`], [`weighted_load`]), node speed profiles ([`SpeedModel`]),
+//! the sufficient-initial-load padding of Theorems 3(2)/8(2)
+//! ([`pad_for_min_load`]), and dynamic-workload scenarios ([`scenario`]):
+//! a JSON-serialisable [`Scenario`] spec describing per-round task arrivals,
+//! completions and topology churn, with a deterministic event stream
+//! ([`ScenarioEvents`]).
 //!
 //! ```
 //! use lb_workloads::{TokenDistribution, SpeedModel};
@@ -21,7 +24,12 @@
 #![warn(rust_2018_idioms)]
 
 mod distributions;
+pub mod scenario;
 mod weights;
 
 pub use distributions::{corner_source, pad_for_min_load, TokenDistribution};
+pub use scenario::{
+    AlgorithmSpec, ArrivalSpec, ChurnEvent, ChurnKind, InitialSpec, ModelSpec, PadSpec, Scenario,
+    ScenarioEvents, ServiceSpec, SpeedSpec, TopologySpec,
+};
 pub use weights::{weighted_load, SpeedModel, WeightModel};

@@ -1,0 +1,141 @@
+//! End-to-end determinism of the dynamic scenario subsystem: the same
+//! scenario JSON and seed must produce **bit-identical** trajectories and
+//! result documents — the reproducibility contract of `lb run` (acceptance
+//! criterion of the dynamic-workload PR).
+
+use lb_bench::dynamic::{run_scenario, RoundSample};
+use lb_workloads::{
+    AlgorithmSpec, ArrivalSpec, ChurnEvent, ChurnKind, InitialSpec, ModelSpec, PadSpec, Scenario,
+    ServiceSpec, SpeedSpec, TokenDistribution, TopologySpec,
+};
+
+fn example_path() -> String {
+    format!(
+        "{}/../../examples/scenario_poisson.json",
+        env!("CARGO_MANIFEST_DIR")
+    )
+}
+
+fn load_example() -> Scenario {
+    let text = std::fs::read_to_string(example_path()).expect("example scenario file exists");
+    Scenario::parse(&text).expect("example scenario parses")
+}
+
+#[test]
+fn example_scenario_round_trips_through_json() {
+    let scenario = load_example();
+    let rendered = scenario.render_pretty();
+    let reparsed = Scenario::parse(&rendered).expect("re-parses");
+    assert_eq!(reparsed, scenario);
+}
+
+#[test]
+fn example_scenario_is_bit_identical_across_runs() {
+    // `lb run examples/scenario_poisson.json --seed 42` twice: the rendered
+    // result documents must agree byte for byte.
+    let scenario = load_example();
+    let a = run_scenario(&scenario, Some(42), |_| {}).expect("runs");
+    let b = run_scenario(&scenario, Some(42), |_| {}).expect("runs");
+    assert_eq!(
+        a.to_json().render_pretty(),
+        b.to_json().render_pretty(),
+        "result JSON must be bit-identical for a fixed seed"
+    );
+    // And it is a real dynamic run: work arrived and completed.
+    assert!(a.last().arrived_weight > 0);
+    assert!(a.last().completed_weight > 0);
+    assert_eq!(a.last().round, scenario.rounds);
+}
+
+#[test]
+fn trajectories_differ_across_seeds() {
+    let scenario = load_example();
+    let a = run_scenario(&scenario, Some(1), |_| {}).expect("runs");
+    let b = run_scenario(&scenario, Some(2), |_| {}).expect("runs");
+    assert_ne!(a.trajectory, b.trajectory);
+}
+
+fn churny_scenario(algorithm: AlgorithmSpec) -> Scenario {
+    Scenario {
+        name: "churny".into(),
+        seed: 11,
+        rounds: 120,
+        sample_every: 15,
+        algorithm,
+        model: ModelSpec::Fos,
+        topology: TopologySpec {
+            family: "expander".into(),
+            target_n: 64,
+        },
+        speeds: SpeedSpec::Uniform,
+        initial: InitialSpec {
+            distribution: TokenDistribution::UniformRandom,
+            tokens_per_node: 6,
+            pad: PadSpec::Degree,
+        },
+        arrivals: ArrivalSpec::Bursty {
+            period: 25,
+            burst: 40,
+            max_weight: 1,
+        },
+        completions: ServiceSpec::Uniform {
+            weight_per_speed: 1,
+        },
+        churn: vec![
+            ChurnEvent {
+                round: 40,
+                kind: ChurnKind::Rewire { seed: 3 },
+            },
+            ChurnEvent {
+                round: 80,
+                kind: ChurnKind::Resize {
+                    target_n: 48,
+                    seed: 4,
+                },
+            },
+        ],
+    }
+}
+
+#[test]
+fn churn_scenarios_are_deterministic_for_both_algorithms() {
+    for algorithm in [AlgorithmSpec::Alg1, AlgorithmSpec::Alg2] {
+        let scenario = churny_scenario(algorithm);
+        let a = run_scenario(&scenario, None, |_| {}).expect("runs");
+        let b = run_scenario(&scenario, None, |_| {}).expect("runs");
+        assert_eq!(a.trajectory, b.trajectory, "{algorithm:?}");
+        // The resize took effect.
+        assert_eq!(a.last().nodes, 48, "{algorithm:?}");
+    }
+}
+
+#[test]
+fn streamed_samples_match_the_recorded_trajectory() {
+    let scenario = load_example();
+    let mut streamed: Vec<RoundSample> = Vec::new();
+    let outcome = run_scenario(&scenario, Some(42), |s| streamed.push(s.clone())).expect("runs");
+    assert_eq!(streamed, outcome.trajectory);
+    // Samples: round 0, every 24 rounds, and the final round.
+    assert_eq!(streamed[0].round, 0);
+    assert_eq!(streamed.last().unwrap().round, scenario.rounds);
+}
+
+#[test]
+fn sustained_load_keeps_discrepancy_in_the_od_regime() {
+    // The headline property the dynamic workload class demonstrates: with
+    // arrivals balanced by service capacity, the discrepancy does not drift
+    // upward over time even though the workload never drains.
+    let scenario = load_example();
+    let outcome = run_scenario(&scenario, Some(42), |_| {}).expect("runs");
+    let d = 8.0; // hypercube(256) has degree 8
+    for sample in &outcome.trajectory {
+        if sample.round >= scenario.rounds / 2 {
+            assert!(
+                sample.max_min <= 8.0 * d,
+                "round {}: max_min {} left the O(d) regime",
+                sample.round,
+                sample.max_min
+            );
+        }
+    }
+}

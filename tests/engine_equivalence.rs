@@ -11,6 +11,7 @@
 //! processes and all three task pickers — plus conservation-of-load
 //! invariants.
 
+use lb_bench::hotpath::SeedAlg1 as ReferenceAlg1;
 use lb_core::continuous::{
     ContinuousProcess, ContinuousRunner, DimensionExchange, Fos, RandomMatching, Sos,
 };
@@ -78,104 +79,6 @@ fn build_model(model: Model, graph: &Arc<Graph>, speeds: &Speeds) -> BoxedProces
             Box::new(RandomMatching::new(Arc::clone(graph), speeds, seed).unwrap())
         }
     })
-}
-
-/// Seed-semantics Algorithm 1: allocating kernel wrapper for the twin,
-/// `Vec<Task>` per-node storage with `pick_reference` + `remove`, fresh
-/// per-round buffers.
-struct ReferenceAlg1<A: ContinuousProcess> {
-    process: A,
-    twin_loads: Vec<f64>,
-    cumulative_flow: Vec<f64>,
-    tasks: Vec<Vec<Task>>,
-    dummy: Vec<u64>,
-    discrete_flow: Vec<i64>,
-    wmax: u64,
-    picker: TaskPicker,
-    round: usize,
-    dummy_created: u64,
-}
-
-impl<A: ContinuousProcess> ReferenceAlg1<A> {
-    fn new(process: A, initial: &InitialLoad, picker: TaskPicker) -> Self {
-        let m = process.graph().edge_count();
-        let n = process.graph().node_count();
-        ReferenceAlg1 {
-            twin_loads: initial.load_vector_f64(),
-            cumulative_flow: vec![0.0; m],
-            tasks: initial.clone().into_tasks(),
-            dummy: vec![0; n],
-            discrete_flow: vec![0; m],
-            wmax: initial.max_weight(),
-            picker,
-            round: 0,
-            dummy_created: 0,
-            process,
-        }
-    }
-
-    fn step(&mut self) {
-        let flows = self.process.compute_flows(self.round, &self.twin_loads);
-        let edges: Vec<(usize, usize)> = self.process.graph().edges().to_vec();
-        for (e, &(u, v)) in edges.iter().enumerate() {
-            let net = flows[e].net();
-            self.twin_loads[u] -= net;
-            self.twin_loads[v] += net;
-            self.cumulative_flow[e] += net;
-        }
-
-        let continuous_flow = self.cumulative_flow.clone();
-        let mut deliveries: Vec<(usize, Task)> = Vec::new();
-        let n = self.process.graph().node_count();
-        let mut dummy_deliveries = vec![0u64; n];
-        for (e, &(u, v)) in edges.iter().enumerate() {
-            let deficit = continuous_flow[e] - self.discrete_flow[e] as f64;
-            let (sender, receiver, magnitude, sign) = if deficit >= 0.0 {
-                (u, v, deficit, 1i64)
-            } else {
-                (v, u, -deficit, -1i64)
-            };
-            let mut moved: u64 = 0;
-            while magnitude - moved as f64 >= self.wmax as f64 {
-                if let Some(idx) = self.picker.pick_reference(&self.tasks[sender]) {
-                    let task = self.tasks[sender].remove(idx);
-                    moved += task.weight();
-                    deliveries.push((receiver, task));
-                } else {
-                    if self.dummy[sender] > 0 {
-                        self.dummy[sender] -= 1;
-                    } else {
-                        self.dummy_created += 1;
-                    }
-                    moved += 1;
-                    dummy_deliveries[receiver] += 1;
-                }
-            }
-            self.discrete_flow[e] += sign * moved as i64;
-        }
-        for (receiver, task) in deliveries {
-            self.tasks[receiver].push(task);
-        }
-        for (node, amount) in dummy_deliveries.into_iter().enumerate() {
-            self.dummy[node] += amount;
-        }
-        self.round += 1;
-    }
-
-    fn loads(&self) -> Vec<f64> {
-        self.tasks
-            .iter()
-            .zip(&self.dummy)
-            .map(|(tasks, &d)| (tasks.iter().map(|t| t.weight()).sum::<u64>() + d) as f64)
-            .collect()
-    }
-
-    fn real_loads(&self) -> Vec<f64> {
-        self.tasks
-            .iter()
-            .map(|tasks| tasks.iter().map(|t| t.weight()).sum::<u64>() as f64)
-            .collect()
-    }
 }
 
 /// Seed-semantics Algorithm 2: allocating twin, cloned flow snapshot, fresh
@@ -355,13 +258,13 @@ proptest! {
                     );
                     prop_assert_eq!(
                         optimized.continuous().cumulative_flows(),
-                        &reference.cumulative_flow[..],
+                        reference.cumulative_flows(),
                         "cumulative flows diverged: {:?} {:?} round {}",
                         model,
                         picker,
                         round
                     );
-                    prop_assert_eq!(optimized.dummy_created(), reference.dummy_created);
+                    prop_assert_eq!(optimized.dummy_created(), reference.dummy_created());
                 }
             }
         }

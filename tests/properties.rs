@@ -9,7 +9,7 @@
 
 use lb_core::continuous::{ContinuousProcess, ContinuousRunner, Fos};
 use lb_core::discrete::{DiscreteBalancer, FlowImitation, RandomizedImitation, TaskPicker};
-use lb_core::{metrics, InitialLoad, Speeds};
+use lb_core::{metrics, InitialLoad, Speeds, Task, TaskId, TaskQueue};
 use lb_graph::{generators, AlphaScheme, DiffusionMatrix, Graph};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -163,6 +163,53 @@ proptest! {
         let mut alg2 = RandomizedImitation::new(fos, &initial, speeds, seed).unwrap();
         alg2.run(40);
         prop_assert!((alg2.real_loads().iter().sum::<f64>() - total).abs() < 1e-9);
+    }
+
+    /// `TaskQueue` under churn: with tasks inserted mid-run (as dynamic
+    /// arrivals do), every pop still matches the reference semantics of
+    /// `TaskPicker::pick_reference` — including tie-breaking — and the
+    /// incremental weight total never drifts, for all three policies.
+    #[test]
+    fn task_queue_pops_match_reference_under_churn(seed in any::<u64>()) {
+        for policy in [
+            TaskPicker::Fifo,
+            TaskPicker::LargestFirst,
+            TaskPicker::SmallestFirst,
+        ] {
+            use rand::Rng;
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut queue = TaskQueue::new(policy);
+            let mut reference: Vec<Task> = Vec::new();
+            let mut next_id = 0u64;
+            for step in 0..300 {
+                if rng.gen_bool(0.55) {
+                    // Mid-run insert: a freshly arriving task with a random
+                    // weight (tie-heavy on purpose: only 4 distinct values).
+                    let t = Task::new(TaskId(next_id), rng.gen_range(1..=4));
+                    next_id += 1;
+                    queue.push(t);
+                    reference.push(t);
+                } else {
+                    let expected = policy
+                        .pick_reference(&reference)
+                        .map(|i| reference.remove(i));
+                    prop_assert_eq!(queue.pop(), expected, "policy {:?} step {}", policy, step);
+                }
+                prop_assert_eq!(
+                    queue.total_weight(),
+                    reference.iter().map(|t| t.weight()).sum::<u64>()
+                );
+                prop_assert_eq!(queue.len(), reference.len());
+            }
+            // Drain: the suffix order must also agree.
+            while let Some(popped) = queue.pop() {
+                let expected = policy
+                    .pick_reference(&reference)
+                    .map(|i| reference.remove(i));
+                prop_assert_eq!(Some(popped), expected, "drain under policy {:?}", policy);
+            }
+            prop_assert!(reference.is_empty());
+        }
     }
 
     /// Theorem 3 bound, property-style: with the d·w_max padding, after

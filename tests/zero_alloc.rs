@@ -10,8 +10,10 @@
 //! pollute the counter.
 
 use lb_core::continuous::{ContinuousRunner, DimensionExchange, Fos};
-use lb_core::discrete::{DiscreteBalancer, FlowImitation, RandomizedImitation, TaskPicker};
-use lb_core::{InitialLoad, Speeds};
+use lb_core::discrete::{
+    DiscreteBalancer, DynamicBalancer, FlowImitation, RandomizedImitation, RoundEvents, TaskPicker,
+};
+use lb_core::{InitialLoad, Speeds, Task, TaskId};
 use lb_graph::{generators, AlphaScheme, Graph};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -124,4 +126,52 @@ fn steady_state_rounds_do_not_allocate() {
     let mut alg2 =
         RandomizedImitation::new(fos, &initial, speeds.clone(), 42).expect("dimensions agree");
     assert_zero_alloc_steady_state("RandomizedImitation", 400, 100, &mut || alg2.step());
+
+    // Dynamic workloads: with arrivals and completions applied between
+    // rounds, the *step itself* must still allocate nothing. Only event
+    // application (queue growth, delivery of new tasks) may touch the heap —
+    // the contract of `DynamicBalancer::apply_events`.
+    let fos = Fos::new(Arc::clone(&graph), &speeds, AlphaScheme::MaxDegreePlusOne)
+        .expect("FOS constructs");
+    let mut alg1 = FlowImitation::new(fos, &initial, speeds.clone(), TaskPicker::Fifo)
+        .expect("dimensions agree");
+    let mut events = RoundEvents::default();
+    let mut next_id = initial.task_count() as u64;
+    let mut dynamic_round = |alg1: &mut FlowImitation<Fos>, round: usize, measured: bool| {
+        // A deterministic arrival/completion mix: 4 unit tasks arrive on
+        // rotating nodes, 4 units complete elsewhere — sustained load with a
+        // steady total, no RNG needed.
+        events.clear();
+        for k in 0..4u64 {
+            events
+                .completions
+                .push(((round * 13 + 7 * k as usize) % n, 1));
+        }
+        for k in 0..4u64 {
+            let task = Task::new(TaskId(next_id), 1);
+            next_id += 1;
+            events.arrivals.push(((round * 31 + k as usize) % n, task));
+        }
+        alg1.apply_events(&events).expect("events apply");
+        if measured {
+            let before = allocations();
+            alg1.step();
+            let after = allocations();
+            assert_eq!(
+                after - before,
+                0,
+                "FlowImitation step allocated under dynamic arrivals (round {round})"
+            );
+        } else {
+            alg1.step();
+        }
+    };
+    for round in 0..400 {
+        dynamic_round(&mut alg1, round, false);
+    }
+    for round in 400..500 {
+        dynamic_round(&mut alg1, round, true);
+    }
+    assert!(alg1.arrived_weight() >= 4 * 500);
+    assert!(alg1.completed_weight() > 0);
 }
