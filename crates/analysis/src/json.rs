@@ -5,6 +5,12 @@
 //! records and the `BENCH_hotpath.json` perf artefact are produced and read
 //! through this module instead. It supports the full JSON grammar except for
 //! exotic number forms (`NaN`/`Infinity` are rejected on write).
+//!
+//! Numbers written without a fraction or exponent are kept **exact** in a
+//! dedicated [`Json::Int`] variant ([`i128`], covering all of `i64` and
+//! `u64`), so 64-bit scenario seeds round-trip bit for bit instead of being
+//! rounded through `f64`. Fractional and exponent forms, and integers beyond
+//! `i128`, stay in [`Json::Num`].
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -16,8 +22,12 @@ pub enum Json {
     Null,
     /// `true` / `false`.
     Bool(bool),
-    /// Any JSON number (stored as `f64`).
+    /// A JSON number with a fraction or exponent part (stored as `f64`), or
+    /// an integer too large for [`Json::Int`].
     Num(f64),
+    /// An integer literal, stored exactly. `i128` covers the full `i64` and
+    /// `u64` ranges, so 64-bit seeds survive a round trip unchanged.
+    Int(i128),
     /// A string.
     Str(String),
     /// An array.
@@ -40,18 +50,27 @@ impl Json {
         }
     }
 
-    /// The value as `f64`, if it is a number.
+    /// The value as `f64`, if it is a number (exact integers convert, with
+    /// the usual `f64` rounding beyond 2⁵³).
     pub fn as_f64(&self) -> Option<f64> {
         match self {
             Json::Num(x) => Some(*x),
+            Json::Int(v) => Some(*v as f64),
             _ => None,
         }
     }
 
-    /// The value as `u64`, if it is a non-negative integral number.
+    /// The value as `u64`, if it is a non-negative integer representable
+    /// exactly.
+    ///
+    /// [`Json::Num`] values qualify only below 2⁵³ (where `f64` is exact);
+    /// larger float-typed integers are rejected rather than silently rounded
+    /// or saturated — exact 64-bit values arrive as [`Json::Int`].
     pub fn as_u64(&self) -> Option<u64> {
+        const F64_EXACT: f64 = 9_007_199_254_740_992.0; // 2^53, itself exact
         match self {
-            Json::Num(x) if *x >= 0.0 && x.fract() == 0.0 => Some(*x as u64),
+            Json::Int(v) => u64::try_from(*v).ok(),
+            Json::Num(x) if *x >= 0.0 && *x <= F64_EXACT && x.fract() == 0.0 => Some(*x as u64),
             _ => None,
         }
     }
@@ -104,6 +123,9 @@ impl Json {
             Json::Null => out.push_str("null"),
             Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
             Json::Num(x) => write_number(out, *x),
+            Json::Int(v) => {
+                let _ = write!(out, "{v}");
+            }
             Json::Str(s) => write_string(out, s),
             Json::Arr(items) if items.is_empty() => out.push_str("[]"),
             Json::Arr(items) => {
@@ -171,13 +193,19 @@ impl From<f64> for Json {
 
 impl From<u64> for Json {
     fn from(x: u64) -> Json {
-        Json::Num(x as f64)
+        Json::Int(x as i128)
+    }
+}
+
+impl From<i64> for Json {
+    fn from(x: i64) -> Json {
+        Json::Int(x as i128)
     }
 }
 
 impl From<usize> for Json {
     fn from(x: usize) -> Json {
-        Json::Num(x as f64)
+        Json::Int(x as i128)
     }
 }
 
@@ -381,6 +409,14 @@ impl Parser<'_> {
             self.pos += 1;
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii digits");
+        // Integer literals (no fraction, no exponent) are stored exactly so
+        // values like 64-bit seeds survive parsing; only if the literal
+        // overflows `i128` does it fall back to the rounding `f64` path.
+        if !text.bytes().any(|b| matches!(b, b'.' | b'e' | b'E')) {
+            if let Ok(v) = text.parse::<i128>() {
+                return Ok(Json::Int(v));
+            }
+        }
         text.parse::<f64>()
             .map(Json::Num)
             .map_err(|e| format!("bad number {text:?}: {e}"))
@@ -530,5 +566,49 @@ mod tests {
     fn integers_render_without_fraction() {
         assert_eq!(Json::from(5u64).render(), "5");
         assert_eq!(Json::from(2.5).render(), "2.5");
+    }
+
+    #[test]
+    fn integers_above_2_pow_53_are_exact() {
+        // The motivating bug: a 64-bit seed above 2^53 used to be parsed as
+        // f64 and silently rounded to the nearest representable integer.
+        for &seed in &[
+            (1u64 << 53) + 1,
+            u64::MAX,
+            u64::MAX - 1,
+            i64::MAX as u64 + 1,
+        ] {
+            let text = Json::from(seed).render();
+            assert_eq!(text, seed.to_string());
+            let parsed = Json::parse(&text).unwrap();
+            assert_eq!(parsed, Json::Int(seed as i128));
+            assert_eq!(parsed.as_u64(), Some(seed), "u64 round trip for {seed}");
+        }
+        // Negative integers parse exactly too, and refuse the u64 view.
+        let neg = Json::parse("-9223372036854775808").unwrap();
+        assert_eq!(neg, Json::Int(i64::MIN as i128));
+        assert_eq!(neg.as_u64(), None);
+        assert_eq!(neg.as_f64(), Some(i64::MIN as f64));
+    }
+
+    #[test]
+    fn float_typed_integers_above_2_pow_53_are_rejected_not_rounded() {
+        // Exponent forms stay f64-typed; beyond 2^53 they are no longer
+        // exact, so `as_u64` refuses them instead of saturating.
+        let small = Json::parse("1e10").unwrap();
+        assert_eq!(small.as_u64(), Some(10_000_000_000));
+        // The boundary 2^53 itself is exactly representable and accepted;
+        // the next float-typed integer above it is not.
+        let boundary = Json::parse("9.007199254740992e15").unwrap();
+        assert_eq!(boundary.as_u64(), Some(1u64 << 53));
+        let above = Json::parse("9.007199254740994e15").unwrap();
+        assert_eq!(above.as_u64(), None);
+        let big = Json::parse("1e300").unwrap();
+        assert_eq!(big.as_u64(), None);
+        assert!(big.as_f64().is_some());
+        // An integer literal too large even for i128 falls back to f64.
+        let huge = Json::parse(&"9".repeat(60)).unwrap();
+        assert!(matches!(huge, Json::Num(_)));
+        assert_eq!(huge.as_u64(), None);
     }
 }

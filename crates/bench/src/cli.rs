@@ -3,13 +3,16 @@
 //! One binary fronts every experiment and tool in the harness:
 //!
 //! ```text
-//! lb run <scenario.json> [--seed N] [--out PATH] [--quiet]
+//! lb run <scenario.json> [--seed N] [--shards N] [--out PATH] [--quiet]
 //! lb table1|table2|theorem3|theorem8|trajectory|heterogeneous|
 //!    dummy_ablation|fos_vs_sos|dynamic_arrivals [--quick]
-//! lb hotpath [--quick]
+//! lb hotpath [--quick] [--shards N]
 //! lb bench-check [--baseline PATH] [--current PATH] [--max-regression PCT]
 //! lb help
 //! ```
+//!
+//! `LB_BENCH_SHARDS` is the environment fallback for `--shards` on both
+//! `run` and `hotpath`.
 //!
 //! The legacy per-experiment binaries (`table1`, `hotpath`, …) are thin
 //! shims over [`shim`], so one dispatch table owns all argument parsing.
@@ -31,6 +34,9 @@ COMMANDS:
                           'Scenario spec'); prints the deterministic result
                           JSON to stdout and streams samples to stderr.
         --seed N          Override the scenario's seed.
+        --shards N        Override the scenario's shard count (intra-instance
+                          parallelism; results are bit-identical for every N).
+                          Env fallback: LB_BENCH_SHARDS.
         --out PATH        Also write the result JSON to PATH.
         --quiet           Suppress the per-sample stream on stderr.
     table1, table2, theorem3, theorem8, trajectory, heterogeneous,
@@ -38,6 +44,9 @@ COMMANDS:
                           Regenerate one experiment artefact.
         --quick           Reduced sizes/repeats (the CI configuration).
     hotpath [--quick]     Hot-path benchmark; writes BENCH_hotpath.json.
+        --shards N        Shard count for the sharded large-instance entry
+                          [default: min(cores, 8), at least 2; env
+                          LB_BENCH_SHARDS]. Explicit values are used verbatim.
     bench-check           Compare BENCH_hotpath.json against the committed
                           baseline; non-zero exit on regression.
         --baseline PATH   Baseline file [default: BENCH_baseline.json].
@@ -75,10 +84,16 @@ pub fn dispatch(args: &[String]) -> i32 {
     let rest = &args[1..];
     match command.as_str() {
         "run" => cmd_run(rest),
-        "hotpath" => {
-            crate::hotpath::run(has_flag(rest, "--quick"));
-            0
-        }
+        "hotpath" => match shards_option(rest) {
+            Ok(shards) => {
+                crate::hotpath::run(has_flag(rest, "--quick"), shards);
+                0
+            }
+            Err(err) => {
+                eprintln!("error: {err}");
+                1
+            }
+        },
         "bench-check" => cmd_bench_check(rest),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
@@ -120,6 +135,30 @@ fn has_flag(args: &[String], flag: &str) -> bool {
     args.iter().any(|a| a == flag)
 }
 
+/// `--shards N`, falling back to the `LB_BENCH_SHARDS` environment variable;
+/// `None` when neither is set. Explicit values are range-checked here so
+/// both consumers (`run`, `hotpath`) fail fast with a clear message instead
+/// of silently adjusting or aborting in `thread::spawn`.
+fn shards_option(args: &[String]) -> Result<Option<usize>, String> {
+    let parse = |source: &str, v: &str| -> Result<usize, String> {
+        let shards: usize = v.parse().map_err(|e| format!("{source}: {e}"))?;
+        if shards == 0 || shards > lb_workloads::MAX_SHARDS {
+            return Err(format!(
+                "{source}: shard count must be in 1..={}, got {shards}",
+                lb_workloads::MAX_SHARDS
+            ));
+        }
+        Ok(shards)
+    };
+    if let Some(v) = opt_value(args, "--shards")? {
+        return parse("--shards", v).map(Some);
+    }
+    match std::env::var("LB_BENCH_SHARDS") {
+        Ok(v) => parse("LB_BENCH_SHARDS", &v).map(Some),
+        Err(_) => Ok(None),
+    }
+}
+
 /// Extracts `--key VALUE` from `args`. Returns `Err` if the key is present
 /// without a value.
 fn opt_value<'a>(args: &'a [String], key: &str) -> Result<Option<&'a str>, String> {
@@ -148,17 +187,18 @@ fn positional<'a>(args: &'a [String], value_flags: &[&str]) -> Option<&'a str> {
 
 fn cmd_run(args: &[String]) -> i32 {
     let result = (|| -> Result<(), String> {
-        let path = positional(args, &["--seed", "--out"])
+        let path = positional(args, &["--seed", "--shards", "--out"])
             .ok_or("run requires a scenario file (lb run <scenario.json>)")?;
         let seed = opt_value(args, "--seed")?
             .map(|v| v.parse::<u64>().map_err(|e| format!("--seed: {e}")))
             .transpose()?;
+        let shards = shards_option(args)?;
         let out = opt_value(args, "--out")?;
         let quiet = has_flag(args, "--quiet");
 
         let text = fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
         let scenario = Scenario::parse(&text).map_err(|e| format!("{path}: {e}"))?;
-        let outcome = run_scenario(&scenario, seed, |sample| {
+        let outcome = run_scenario(&scenario, seed, shards, |sample| {
             if !quiet {
                 eprintln!(
                     "round {:>6}: n = {}, max_min = {:.2}, max_avg = {:.2}, real = {}, \
@@ -202,6 +242,15 @@ fn rounds_per_sec(doc: &Json, path: &str) -> Result<f64, String> {
         .ok_or_else(|| format!("{path}: no rounds_per_sec field"))
 }
 
+/// Reads the sharded large-instance throughput (`large.sharded.rounds_per_sec`)
+/// from a hotpath/baseline document, if present.
+fn sharded_rounds_per_sec(doc: &Json) -> Option<f64> {
+    doc.get("large")?
+        .get("sharded")?
+        .get("rounds_per_sec")?
+        .as_f64()
+}
+
 /// The perf-regression gate: compares the current hot-path throughput
 /// against the committed baseline and fails on a drop beyond the allowance.
 fn cmd_bench_check(args: &[String]) -> i32 {
@@ -227,28 +276,47 @@ fn cmd_bench_check(args: &[String]) -> i32 {
             let text = fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
             Json::parse(&text).map_err(|e| format!("{path}: {e}"))
         };
-        let baseline = rounds_per_sec(&read(baseline_path)?, baseline_path)?;
-        let current = rounds_per_sec(&read(current_path)?, current_path)?;
+        let baseline_doc = read(baseline_path)?;
+        let current_doc = read(current_path)?;
+        let baseline = rounds_per_sec(&baseline_doc, baseline_path)?;
+        let current = rounds_per_sec(&current_doc, current_path)?;
         if baseline <= 0.0 {
             return Err(format!("{baseline_path}: rounds_per_sec must be positive"));
         }
 
-        let floor = baseline * (1.0 - max_regression / 100.0);
-        let change = (current / baseline - 1.0) * 100.0;
-        println!(
-            "bench-check: baseline {baseline:.1} rounds/sec, current {current:.1} rounds/sec \
-             ({change:+.1}%), allowed regression {max_regression}% (floor {floor:.1})"
-        );
-        if current < floor {
+        let gate = |label: &str, baseline: f64, current: f64| -> bool {
+            let floor = baseline * (1.0 - max_regression / 100.0);
+            let change = (current / baseline - 1.0) * 100.0;
             println!(
-                "bench-check: FAIL — rounds_per_sec regressed more than {max_regression}% \
-                 below the committed baseline"
+                "bench-check [{label}]: baseline {baseline:.1} rounds/sec, current \
+                 {current:.1} rounds/sec ({change:+.1}%), allowed regression \
+                 {max_regression}% (floor {floor:.1})"
             );
-            Ok(false)
-        } else {
-            println!("bench-check: OK");
-            Ok(true)
+            if current < floor {
+                println!(
+                    "bench-check [{label}]: FAIL — rounds_per_sec regressed more than \
+                     {max_regression}% below the committed baseline"
+                );
+                false
+            } else {
+                println!("bench-check [{label}]: OK");
+                true
+            }
+        };
+
+        let mut ok = gate("hotpath", baseline, current);
+        // The sharded large-instance entry is gated whenever the committed
+        // baseline carries one (re-baseline deliberately to change it).
+        match sharded_rounds_per_sec(&baseline_doc) {
+            Some(sharded_baseline) if sharded_baseline > 0.0 => {
+                let sharded_current = sharded_rounds_per_sec(&current_doc).ok_or_else(|| {
+                    format!("{current_path}: no large.sharded.rounds_per_sec field")
+                })?;
+                ok &= gate("sharded", sharded_baseline, sharded_current);
+            }
+            _ => println!("bench-check [sharded]: no baseline entry, skipped"),
         }
+        Ok(ok)
     })();
     match verdict {
         Ok(true) => 0,
@@ -300,6 +368,23 @@ mod tests {
     fn run_requires_a_scenario_file() {
         assert_eq!(dispatch(&args(&["run"])), 1);
         assert_eq!(dispatch(&args(&["run", "/no/such/file.json"])), 1);
+    }
+
+    #[test]
+    fn shards_option_rejects_out_of_range_values() {
+        assert_eq!(
+            shards_option(&args(&["--shards", "4"])).unwrap(),
+            Some(4),
+            "in-range value honoured verbatim"
+        );
+        assert!(shards_option(&args(&["--shards", "0"])).is_err());
+        assert!(shards_option(&args(&["--shards", "1000000"])).is_err());
+        assert!(shards_option(&args(&["--shards", "many"])).is_err());
+        assert_eq!(
+            shards_option(&args(&["--shards", "1"])).unwrap(),
+            Some(1),
+            "1 is valid: it measures the sequential path through the executor"
+        );
     }
 
     #[test]
@@ -366,5 +451,55 @@ mod tests {
         assert_eq!(dispatch(&base_args(&["--max-regression", "150"])), 1);
         fs::remove_file(&current).unwrap();
         assert_eq!(dispatch(&base_args(&[])), 1);
+    }
+
+    #[test]
+    fn bench_check_gates_the_sharded_entry() {
+        let dir = std::env::temp_dir().join("lb_bench_check_sharded_test");
+        fs::create_dir_all(&dir).unwrap();
+        let baseline = dir.join("baseline.json");
+        let current = dir.join("current.json");
+        let base_args = || {
+            args(&[
+                "bench-check",
+                "--baseline",
+                baseline.to_str().unwrap(),
+                "--current",
+                current.to_str().unwrap(),
+            ])
+        };
+
+        // Baseline with a sharded entry: the current file must carry one too
+        // and stay above the floor.
+        fs::write(
+            &baseline,
+            r#"{"rounds_per_sec": 100.0, "large": {"sharded": {"rounds_per_sec": 50.0}}}"#,
+        )
+        .unwrap();
+        fs::write(
+            &current,
+            r#"{"optimized": {"rounds_per_sec": 100.0},
+               "large": {"sharded": {"rounds_per_sec": 45.0}}}"#,
+        )
+        .unwrap();
+        assert_eq!(dispatch(&base_args()), 0, "within the allowance");
+
+        // A >25% sharded drop fails even when the main entry is healthy.
+        fs::write(
+            &current,
+            r#"{"optimized": {"rounds_per_sec": 100.0},
+               "large": {"sharded": {"rounds_per_sec": 30.0}}}"#,
+        )
+        .unwrap();
+        assert_eq!(dispatch(&base_args()), 1, "sharded regression fails");
+
+        // A current file without a sharded entry is an error when the
+        // baseline carries one…
+        fs::write(&current, r#"{"optimized": {"rounds_per_sec": 100.0}}"#).unwrap();
+        assert_eq!(dispatch(&base_args()), 1, "missing sharded entry");
+
+        // …but a baseline without one simply skips the sharded gate.
+        fs::write(&baseline, r#"{"rounds_per_sec": 100.0}"#).unwrap();
+        assert_eq!(dispatch(&base_args()), 0, "no baseline entry, skipped");
     }
 }

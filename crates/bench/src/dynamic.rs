@@ -13,7 +13,7 @@ use lb_core::continuous::{Fos, Sos};
 use lb_core::discrete::{
     DiscreteBalancer, DynamicBalancer, FlowImitation, RandomizedImitation, RoundEvents, TaskPicker,
 };
-use lb_core::{metrics, CoreError, InitialLoad, Speeds};
+use lb_core::{metrics, CoreError, InitialLoad, ShardedExecutor, Speeds};
 use lb_graph::{AlphaScheme, Graph};
 use lb_workloads::{
     pad_for_min_load, AlgorithmSpec, ChurnKind, ModelSpec, PadSpec, Scenario, ScenarioEvents,
@@ -191,8 +191,13 @@ impl Engine {
         with_engine!(self, e => e.name())
     }
 
-    fn step(&mut self) {
-        with_engine!(self, e => e.step());
+    /// One round: sequential, or sharded across the executor's workers.
+    /// Trajectories are bit-identical either way (the sharding contract).
+    fn step(&mut self, exec: Option<&mut ShardedExecutor>) {
+        match exec {
+            Some(exec) => with_engine!(self, e => e.step_sharded(exec)),
+            None => with_engine!(self, e => e.step()),
+        }
     }
 
     fn apply_events(&mut self, events: &RoundEvents) -> Result<(), CoreError> {
@@ -259,8 +264,11 @@ fn carried_speeds(current: &Speeds, n: usize) -> Speeds {
 /// Runs `scenario`, calling `on_sample` for every recorded trajectory point
 /// (round 0, every `sample_every` rounds, and the final round).
 ///
-/// `seed_override` replaces the spec's seed (the CLI's `--seed`); the
-/// effective seed is recorded in the outcome.
+/// `seed_override` replaces the spec's seed (the CLI's `--seed`) and
+/// `shards_override` its shard count (the CLI's `--shards` /
+/// `LB_BENCH_SHARDS`); the effective values are recorded in the outcome.
+/// Shard count never changes the result — only wall-clock time — so the
+/// result document stays bit-identical across machines and shard settings.
 ///
 /// # Errors
 ///
@@ -269,11 +277,15 @@ fn carried_speeds(current: &Speeds, n: usize) -> Speeds {
 pub fn run_scenario(
     scenario: &Scenario,
     seed_override: Option<u64>,
+    shards_override: Option<usize>,
     mut on_sample: impl FnMut(&RoundSample),
 ) -> Result<ScenarioOutcome, String> {
     let mut scenario = scenario.clone();
     if let Some(seed) = seed_override {
         scenario.seed = seed;
+    }
+    if let Some(shards) = shards_override {
+        scenario.shards = shards;
     }
     scenario.validate()?;
     let seed = scenario.seed;
@@ -310,6 +322,9 @@ pub fn run_scenario(
         .map_err(|err| err.to_string())?;
     let mut stream = ScenarioEvents::new(&scenario, &speeds, first_task_id);
     let mut events = RoundEvents::default();
+    // One executor for the whole run; it rebinds itself across churn. A
+    // single shard means plain sequential stepping, no worker threads.
+    let mut executor = (scenario.shards > 1).then(|| ShardedExecutor::new(scenario.shards));
 
     let sample_of = |engine: &Engine, round: usize| -> RoundSample {
         let loads = engine.loads();
@@ -359,7 +374,7 @@ pub fn run_scenario(
                 .apply_events(&events)
                 .map_err(|err| format!("events at round {round}: {err}"))?;
         }
-        engine.step();
+        engine.step(executor.as_mut());
         let done = round + 1;
         if done % scenario.sample_every == 0 || done == scenario.rounds {
             record(&engine, done, &mut trajectory);
@@ -408,12 +423,13 @@ mod tests {
                 weight_per_speed: 1,
             },
             churn: Vec::new(),
+            shards: 1,
         }
     }
 
     #[test]
     fn trajectory_samples_first_and_last_rounds() {
-        let outcome = run_scenario(&poisson_scenario(), None, |_| {}).unwrap();
+        let outcome = run_scenario(&poisson_scenario(), None, None, |_| {}).unwrap();
         assert_eq!(outcome.trajectory[0].round, 0);
         assert_eq!(outcome.last().round, 60);
         // 0, 20, 40, 60.
@@ -426,11 +442,11 @@ mod tests {
     #[test]
     fn same_seed_bit_identical_different_seed_differs() {
         let scenario = poisson_scenario();
-        let a = run_scenario(&scenario, None, |_| {}).unwrap();
-        let b = run_scenario(&scenario, None, |_| {}).unwrap();
+        let a = run_scenario(&scenario, None, None, |_| {}).unwrap();
+        let b = run_scenario(&scenario, None, None, |_| {}).unwrap();
         assert_eq!(a.trajectory, b.trajectory);
         assert_eq!(a.to_json().render_pretty(), b.to_json().render_pretty());
-        let c = run_scenario(&scenario, Some(99), |_| {}).unwrap();
+        let c = run_scenario(&scenario, Some(99), None, |_| {}).unwrap();
         assert_eq!(c.scenario.seed, 99);
         assert_ne!(a.trajectory, c.trajectory);
     }
@@ -438,8 +454,10 @@ mod tests {
     #[test]
     fn streaming_callback_sees_every_sample() {
         let mut streamed = Vec::new();
-        let outcome =
-            run_scenario(&poisson_scenario(), None, |s| streamed.push(s.clone())).unwrap();
+        let outcome = run_scenario(&poisson_scenario(), None, None, |s| {
+            streamed.push(s.clone())
+        })
+        .unwrap();
         assert_eq!(streamed, outcome.trajectory);
     }
 
@@ -453,9 +471,46 @@ mod tests {
                 seed: 3,
             },
         }];
-        let outcome = run_scenario(&scenario, None, |_| {}).unwrap();
+        let outcome = run_scenario(&scenario, None, None, |_| {}).unwrap();
         assert_eq!(outcome.trajectory[1].nodes, 36, "before churn");
         assert_eq!(outcome.last().nodes, 16, "after churn");
+    }
+
+    #[test]
+    fn shard_override_never_changes_the_trajectory() {
+        // The driver-level face of the sharding contract: the same scenario
+        // and seed produce identical trajectories for every shard count,
+        // across all four engine combos (and churn), including via the
+        // `--shards` override path.
+        for (algorithm, model) in [
+            (AlgorithmSpec::Alg1, ModelSpec::Fos),
+            (AlgorithmSpec::Alg1, ModelSpec::Sos),
+            (AlgorithmSpec::Alg2, ModelSpec::Fos),
+            (AlgorithmSpec::Alg2, ModelSpec::Sos),
+        ] {
+            let mut scenario = poisson_scenario();
+            scenario.algorithm = algorithm;
+            scenario.model = model;
+            scenario.churn = vec![ChurnEvent {
+                round: 30,
+                kind: ChurnKind::Rewire { seed: 9 },
+            }];
+            let sequential = run_scenario(&scenario, None, None, |_| {}).unwrap();
+            for shards in [2, 5] {
+                let sharded = run_scenario(&scenario, None, Some(shards), |_| {}).unwrap();
+                assert_eq!(
+                    sequential.trajectory, sharded.trajectory,
+                    "{algorithm:?}/{model:?} shards={shards}"
+                );
+                assert_eq!(sharded.scenario.shards, shards, "override recorded");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_shard_override_is_rejected() {
+        let err = run_scenario(&poisson_scenario(), None, Some(0), |_| {}).unwrap_err();
+        assert!(err.contains("shards"), "{err}");
     }
 
     #[test]
@@ -463,7 +518,7 @@ mod tests {
         let mut scenario = poisson_scenario();
         scenario.algorithm = AlgorithmSpec::Alg2;
         scenario.model = ModelSpec::Sos;
-        let outcome = run_scenario(&scenario, None, |_| {}).unwrap();
+        let outcome = run_scenario(&scenario, None, None, |_| {}).unwrap();
         assert!(
             outcome.engine.starts_with("alg2(sos"),
             "engine was {}",
@@ -475,7 +530,7 @@ mod tests {
     fn unknown_family_is_reported() {
         let mut scenario = poisson_scenario();
         scenario.topology.family = "smallworld".into();
-        let err = run_scenario(&scenario, None, |_| {}).unwrap_err();
+        let err = run_scenario(&scenario, None, None, |_| {}).unwrap_err();
         assert!(err.contains("smallworld"));
     }
 }

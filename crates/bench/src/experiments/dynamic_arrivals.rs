@@ -139,9 +139,10 @@ pub fn run(quick: bool) -> ExperimentReport {
                 arrivals: workload.arrivals,
                 completions: workload.completions,
                 churn: workload.churn.clone(),
+                shards: 1,
             };
-            let outcome =
-                run_scenario(&scenario, None, |_| {}).expect("experiment scenarios are valid");
+            let outcome = run_scenario(&scenario, None, None, |_| {})
+                .expect("experiment scenarios are valid");
             finals.push(outcome.last().max_min);
             final_avgs.push(outcome.last().max_avg);
             peaks.push(steady_peak(&outcome.trajectory, rounds));

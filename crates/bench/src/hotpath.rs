@@ -14,7 +14,7 @@ use crate::parallel::worker_threads;
 use lb_analysis::Json;
 use lb_core::continuous::{ContinuousProcess, Fos};
 use lb_core::discrete::{DiscreteBalancer, FlowImitation, TaskPicker};
-use lb_core::{InitialLoad, Speeds, Task};
+use lb_core::{InitialLoad, ShardedExecutor, Speeds, Task};
 use lb_graph::{AlphaScheme, Graph};
 use std::sync::Arc;
 use std::time::Instant;
@@ -210,6 +210,38 @@ fn run_optimized(
     }
 }
 
+/// Times the same engine stepping through a [`ShardedExecutor`] with
+/// `shards` shards. The executor's worker threads and shard plan are built
+/// before the clock starts (a long-running simulation amortises them); the
+/// per-shard task outboxes warm up during the first timed rounds, exactly
+/// as the sequential engine's delivery scratch does — both measurements
+/// include the same class of first-round growth.
+fn run_sharded(
+    graph: &Arc<Graph>,
+    speeds: &Speeds,
+    initial: &InitialLoad,
+    rounds: usize,
+    shards: usize,
+) -> EngineResult {
+    let fos =
+        Fos::new(Arc::clone(graph), speeds, AlphaScheme::MaxDegreePlusOne).expect("FOS constructs");
+    let mut alg1 = FlowImitation::new(fos, initial, speeds.clone(), TaskPicker::Fifo)
+        .expect("dimensions agree");
+    let mut exec = ShardedExecutor::new(shards);
+    exec.bind(graph);
+    let start = Instant::now();
+    for _ in 0..rounds {
+        alg1.step_sharded(&mut exec);
+    }
+    let elapsed_secs = start.elapsed().as_secs_f64();
+    EngineResult {
+        rounds,
+        elapsed_secs,
+        items_sent: alg1.items_sent(),
+        final_loads: alg1.loads(),
+    }
+}
+
 fn run_baseline(
     graph: &Arc<Graph>,
     speeds: &Speeds,
@@ -248,11 +280,17 @@ fn peak_rss_kb() -> u64 {
 
 /// Runs the hot-path benchmark and writes `BENCH_hotpath.json`.
 ///
+/// `shards` sets the shard count of the sharded large-instance entry;
+/// explicit values are used verbatim (the CLI range-checks them), and the
+/// default is `min(cores, 8)` with a floor of 2 so the sharded path is
+/// always exercised even on a single-core host.
+///
 /// # Panics
 ///
 /// Panics if the optimised engine's trajectory diverges from the seed
-/// semantics, or if the artefact cannot be written.
-pub fn run(quick: bool) {
+/// semantics, if the sharded engine diverges from the sequential one, or if
+/// the artefact cannot be written.
+pub fn run(quick: bool, shards: Option<usize>) {
     // The acceptance configuration: the ~10k-node hypercube (rounded to the
     // nearest power of two, 8192), single-source workload, FIFO picking.
     let target_n = 10_000;
@@ -310,6 +348,72 @@ pub fn run(quick: bool) {
     let speedup = optimized.rounds_per_sec() / baseline.rounds_per_sec();
     eprintln!("speedup: {speedup:.1}x rounds/sec");
 
+    // The sharded large-instance entry: a hypercube with n ≥ 10⁵ nodes —
+    // the regime where a single instance's serial O(m) round is the wall —
+    // stepped sequentially and through a ShardedExecutor. Trajectories must
+    // agree bit for bit; the throughput ratio is the intra-instance scaling
+    // headline that `lb bench-check` gates. An explicit `--shards` /
+    // `LB_BENCH_SHARDS` value is honoured verbatim (the CLI validates the
+    // range); only the default is derived from the core count.
+    let shards = shards.unwrap_or_else(|| worker_threads().clamp(2, 8));
+    let large_graph: Arc<Graph> = GraphClass::Hypercube
+        .build(100_000, 0)
+        .expect("large hypercube builds")
+        .into();
+    let large_n = large_graph.node_count();
+    let large_d = large_graph.max_degree() as u64;
+    let large_speeds = Speeds::uniform(large_n);
+    let large_initial = standard_initial_load(large_n, if quick { 1 } else { 2 }, large_d);
+    let large_rounds = if quick { 3 } else { 8 };
+    eprintln!(
+        "large: {} (n = {large_n}, m = {}), {} tasks, {large_rounds} rounds, {shards} shard(s)",
+        large_graph.name(),
+        large_graph.edge_count(),
+        large_initial.task_count(),
+    );
+
+    // Trials interleave the two engines so slow drift in machine load or
+    // clock frequency biases neither side; the fastest trial of each is kept.
+    let mut sequential_trials = Vec::new();
+    let mut sharded_trials = Vec::new();
+    for _ in 0..trials.max(2) {
+        sequential_trials.push(run_optimized(
+            &large_graph,
+            &large_speeds,
+            &large_initial,
+            large_rounds,
+        ));
+        sharded_trials.push(run_sharded(
+            &large_graph,
+            &large_speeds,
+            &large_initial,
+            large_rounds,
+            shards,
+        ));
+    }
+    let sequential_large = sequential_trials
+        .into_iter()
+        .min_by(|a, b| a.elapsed_secs.total_cmp(&b.elapsed_secs))
+        .expect("at least one trial");
+    eprintln!(
+        "large sequential: {:.1} rounds/sec",
+        sequential_large.rounds_per_sec()
+    );
+    let sharded_large = sharded_trials
+        .into_iter()
+        .min_by(|a, b| a.elapsed_secs.total_cmp(&b.elapsed_secs))
+        .expect("at least one trial");
+    eprintln!(
+        "large sharded ({shards} shards): {:.1} rounds/sec",
+        sharded_large.rounds_per_sec()
+    );
+    assert_eq!(
+        sequential_large.final_loads, sharded_large.final_loads,
+        "sharded engine diverged from the sequential engine"
+    );
+    let sharded_speedup = sharded_large.rounds_per_sec() / sequential_large.rounds_per_sec();
+    eprintln!("large sharded speedup: {sharded_speedup:.2}x rounds/sec");
+
     let report = Json::obj([
         ("benchmark", Json::from("hotpath_alg1_fifo")),
         (
@@ -329,6 +433,25 @@ pub fn run(quick: bool) {
         ("baseline_seed_semantics", baseline.to_json()),
         ("optimized", optimized.to_json()),
         ("speedup_rounds_per_sec", Json::from(speedup)),
+        (
+            "large",
+            Json::obj([
+                (
+                    "config",
+                    Json::obj([
+                        ("graph", Json::from(large_graph.name())),
+                        ("nodes", Json::from(large_n)),
+                        ("edges", Json::from(large_graph.edge_count())),
+                        ("tasks", Json::from(large_initial.task_count())),
+                        ("rounds", Json::from(large_rounds)),
+                        ("shards", Json::from(shards)),
+                    ]),
+                ),
+                ("sequential", sequential_large.to_json()),
+                ("sharded", sharded_large.to_json()),
+                ("speedup_rounds_per_sec", Json::from(sharded_speedup)),
+            ]),
+        ),
         ("peak_rss_kb", Json::from(peak_rss_kb())),
     ]);
     let path = "BENCH_hotpath.json";

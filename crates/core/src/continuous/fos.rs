@@ -84,10 +84,25 @@ impl ContinuousProcess for Fos {
         &self.speeds
     }
 
-    fn compute_flows_into(&mut self, _t: usize, x: &[f64], out: &mut [EdgeFlow]) {
-        for (e, &(u, v)) in self.graph.edges().iter().enumerate() {
-            let alpha = self.matrix.alpha(e);
-            out[e] = EdgeFlow::new(alpha * x[u] / self.speeds[u], alpha * x[v] / self.speeds[v]);
+    fn compute_flows_into(&mut self, t: usize, x: &[f64], out: &mut [EdgeFlow]) {
+        self.compute_flows_range(t, x, 0..self.graph.edge_count(), out);
+    }
+
+    fn supports_sharding(&self) -> bool {
+        true
+    }
+
+    fn compute_flows_range(
+        &self,
+        _t: usize,
+        x: &[f64],
+        edges: std::ops::Range<usize>,
+        out: &mut [EdgeFlow],
+    ) {
+        let start = edges.start;
+        for (k, &(u, v)) in self.graph.edges()[edges].iter().enumerate() {
+            let alpha = self.matrix.alpha(start + k);
+            out[k] = EdgeFlow::new(alpha * x[u] / self.speeds[u], alpha * x[v] / self.speeds[v]);
         }
     }
 }

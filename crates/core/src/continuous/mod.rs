@@ -109,6 +109,38 @@ pub trait ContinuousProcess {
         self.compute_flows_into(t, x, &mut out);
         out
     }
+
+    /// Whether this process implements the sharded kernel protocol
+    /// ([`compute_flows_range`](ContinuousProcess::compute_flows_range) /
+    /// [`commit_flows`](ContinuousProcess::commit_flows)). Processes that do
+    /// not (the matching-based models) fall back to a sequential twin step
+    /// inside a sharded round.
+    fn supports_sharding(&self) -> bool {
+        false
+    }
+
+    /// Sharded kernel: computes the round-`t` flows of the canonical edge
+    /// range `edges` into `out` (`out.len() == edges.len()`), **reading**
+    /// process state only — shard workers call this concurrently on disjoint
+    /// ranges. Must produce values bit-identical to
+    /// [`compute_flows_into`](ContinuousProcess::compute_flows_into) over
+    /// the same edges. Only called when
+    /// [`supports_sharding`](ContinuousProcess::supports_sharding) is true.
+    fn compute_flows_range(
+        &self,
+        _t: usize,
+        _x: &[f64],
+        _edges: std::ops::Range<usize>,
+        _out: &mut [EdgeFlow],
+    ) {
+        unreachable!("process does not support the sharded kernel protocol")
+    }
+
+    /// Commits the complete flow vector of round `t` after a sharded
+    /// compute: the mutable half of the sharded kernel protocol (e.g. SOS
+    /// stores `flows` as its previous-round history here). Called once per
+    /// round, sequentially. The default is a no-op for memoryless kernels.
+    fn commit_flows(&mut self, _t: usize, _flows: &[EdgeFlow]) {}
 }
 
 /// Drives a [`ContinuousProcess`], maintaining its load vector and the
@@ -239,6 +271,88 @@ impl<A: ContinuousProcess> ContinuousRunner<A> {
         for _ in 0..rounds {
             self.step();
         }
+    }
+
+    /// Sharded [`step`](ContinuousRunner::step): the flow computation and
+    /// the load/ledger application each run in parallel across the
+    /// executor's shards, **bit-identically** to the sequential step — every
+    /// load entry receives the same floating-point operations in the same
+    /// (CSR incident-edge, i.e. canonical edge) order, just from its own
+    /// shard's worker.
+    ///
+    /// Falls back to the sequential step when the process does not implement
+    /// the sharded kernel protocol or the executor has a single shard.
+    /// Steady-state calls on an unchanged topology do not allocate.
+    pub fn step_sharded(&mut self, exec: &mut crate::shard::ShardedExecutor) -> &[EdgeFlow]
+    where
+        A: Sync,
+    {
+        exec.ensure_plan(&self.process.shared_graph());
+        if !self.process.supports_sharding() || exec.shard_count() == 1 {
+            return self.step();
+        }
+        let t = self.round;
+        // Phase A (parallel): kernel over disjoint canonical edge ranges.
+        {
+            let process = &self.process;
+            let loads = &self.loads[..];
+            let flow = crate::shard::SharedSliceMut::new(&mut self.flow_buf);
+            let (pool, plan, _) = exec.split();
+            pool.run(|s| {
+                let range = plan.edge_range(s);
+                if range.is_empty() {
+                    return;
+                }
+                // SAFETY: edge ranges are disjoint across shards.
+                let out = unsafe { flow.range_mut(range.clone()) };
+                process.compute_flows_range(t, loads, range, out);
+            });
+        }
+        self.process.commit_flows(t, &self.flow_buf);
+        // Phase B (parallel): apply flows to own loads (CSR incident order ==
+        // canonical edge order, so the f64 op sequence per load entry matches
+        // the sequential step exactly) and accumulate own edge ledgers.
+        {
+            let graph = self.process.graph();
+            let flows = &self.flow_buf[..];
+            let loads = crate::shard::SharedSliceMut::new(&mut self.loads);
+            let cumulative = crate::shard::SharedSliceMut::new(&mut self.cumulative_flow);
+            let (pool, plan, scratch) = exec.split();
+            pool.run(|s| {
+                // SAFETY: scratch cell, node range and edge range all belong
+                // to shard `s` alone.
+                let scratch = unsafe { &mut *scratch[s].get() };
+                let nodes = plan.node_range(s);
+                let loads_s = unsafe { loads.range_mut(nodes.clone()) };
+                for (k, i) in nodes.clone().enumerate() {
+                    for (neighbor, e) in graph.neighbors_with_edges(i) {
+                        let net = flows[e].net();
+                        if i < neighbor {
+                            loads_s[k] -= net;
+                        } else {
+                            loads_s[k] += net;
+                        }
+                    }
+                }
+                let edges = plan.edge_range(s);
+                let cumulative_s = unsafe { cumulative.range_mut(edges.clone()) };
+                for (k, e) in edges.enumerate() {
+                    cumulative_s[k] += flows[e].net();
+                }
+                let mut min = f64::INFINITY;
+                for &x in loads_s.iter() {
+                    min = min.min(x);
+                }
+                scratch.min_load = min;
+            });
+        }
+        self.round += 1;
+        let mut round_min = f64::INFINITY;
+        for scratch in exec.shard_results() {
+            round_min = round_min.min(scratch.min_load);
+        }
+        self.min_load_seen = self.min_load_seen.min(round_min);
+        &self.flow_buf
     }
 
     /// Adds `delta` load units to node `i` between rounds (negative values

@@ -125,12 +125,29 @@ impl ContinuousProcess for Sos {
         &self.speeds
     }
 
-    fn compute_flows_into(&mut self, _t: usize, x: &[f64], out: &mut [EdgeFlow]) {
-        for (e, &(u, v)) in self.graph.edges().iter().enumerate() {
+    fn compute_flows_into(&mut self, t: usize, x: &[f64], out: &mut [EdgeFlow]) {
+        self.compute_flows_range(t, x, 0..self.graph.edge_count(), out);
+        self.commit_flows(t, out);
+    }
+
+    fn supports_sharding(&self) -> bool {
+        true
+    }
+
+    fn compute_flows_range(
+        &self,
+        _t: usize,
+        x: &[f64],
+        edges: std::ops::Range<usize>,
+        out: &mut [EdgeFlow],
+    ) {
+        let start = edges.start;
+        for (k, &(u, v)) in self.graph.edges()[edges].iter().enumerate() {
+            let e = start + k;
             let alpha = self.matrix.alpha(e);
             let fos_forward = alpha * x[u] / self.speeds[u];
             let fos_backward = alpha * x[v] / self.speeds[v];
-            out[e] = if self.has_previous {
+            out[k] = if self.has_previous {
                 EdgeFlow::new(
                     (self.beta - 1.0) * self.previous[e].forward + self.beta * fos_forward,
                     (self.beta - 1.0) * self.previous[e].backward + self.beta * fos_backward,
@@ -139,7 +156,12 @@ impl ContinuousProcess for Sos {
                 EdgeFlow::new(fos_forward, fos_backward)
             };
         }
-        self.previous.copy_from_slice(out);
+    }
+
+    /// SOS is the stateful kernel: the committed flows become the
+    /// `y(t−1)` history the next round's relaxation reads.
+    fn commit_flows(&mut self, _t: usize, flows: &[EdgeFlow]) {
+        self.previous.copy_from_slice(flows);
         self.has_previous = true;
     }
 }

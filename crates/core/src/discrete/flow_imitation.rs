@@ -276,6 +276,116 @@ impl<A: ContinuousProcess> FlowImitation<A> {
             .map(|(&fa, &fd)| (fa - fd as f64).abs())
             .fold(0.0, f64::max)
     }
+
+    /// Sharded [`step`](DiscreteBalancer::step): the twin advances through
+    /// [`ContinuousRunner::step_sharded`], then each shard worker forwards
+    /// tasks over the edges whose **sender** lies in its node range (so all
+    /// pops from one queue happen on one thread, in canonical edge order —
+    /// exactly the sequential pop sequence), appending deliveries to
+    /// per-shard outboxes. The apply phase drains the outboxes with task
+    /// deliveries merged back into global edge order, making the whole round
+    /// **bit-identical** to [`step`](DiscreteBalancer::step) for every shard
+    /// count.
+    ///
+    /// The executor rebinds itself to the engine's current topology (plan
+    /// rebuild after [`replace_topology`](FlowImitation::replace_topology)
+    /// happens on the next sharded step). Steady-state calls on an unchanged
+    /// topology do not allocate once the outboxes have warmed up.
+    pub fn step_sharded(&mut self, exec: &mut crate::shard::ShardedExecutor)
+    where
+        A: Sync,
+    {
+        exec.ensure_plan(&self.graph);
+        if exec.shard_count() == 1 {
+            self.step();
+            return;
+        }
+        self.twin.step_sharded(exec);
+
+        let wmax = self.wmax as f64;
+        {
+            let continuous_flow = self.twin.cumulative_flows();
+            let discrete_flow = &self.discrete_flow[..];
+            let graph = &*self.graph;
+            let queues = crate::shard::SharedSliceMut::new(&mut self.queues);
+            let dummy = crate::shard::SharedSliceMut::new(&mut self.dummy);
+            let (pool, plan, scratch) = exec.split();
+            pool.run(|s| {
+                // SAFETY: scratch cell and node range belong to shard `s`
+                // alone; node ranges partition `0..n`.
+                let scratch = unsafe { &mut *scratch[s].get() };
+                scratch.task_out.clear();
+                scratch.dummy_out.clear();
+                scratch.flow_out.clear();
+                scratch.items_sent = 0;
+                scratch.dummy_created = 0;
+                let nodes = plan.node_range(s);
+                if nodes.is_empty() {
+                    return;
+                }
+                let lo = nodes.start;
+                let queues_s = unsafe { queues.range_mut(nodes.clone()) };
+                let dummy_s = unsafe { dummy.range_mut(nodes.clone()) };
+                let edges = graph.edges();
+                for &e in plan.incident(s) {
+                    let (u, v) = edges[e];
+                    let deficit = continuous_flow[e] - discrete_flow[e] as f64;
+                    let (sender, receiver, magnitude, sign) = if deficit >= 0.0 {
+                        (u, v, deficit, 1i64)
+                    } else {
+                        (v, u, -deficit, -1i64)
+                    };
+                    // Exactly one of the (up to two) shards incident to this
+                    // edge owns the sender and processes it.
+                    if !nodes.contains(&sender) {
+                        continue;
+                    }
+                    let mut moved: u64 = 0;
+                    let mut dummy_moved: u64 = 0;
+                    while magnitude - moved as f64 >= wmax {
+                        if let Some(task) = queues_s[sender - lo].pop() {
+                            moved += task.weight();
+                            scratch.task_out.push((e, receiver, task));
+                        } else {
+                            if dummy_s[sender - lo] > 0 {
+                                dummy_s[sender - lo] -= 1;
+                            } else {
+                                scratch.dummy_created += 1;
+                            }
+                            moved += 1;
+                            dummy_moved += 1;
+                        }
+                        scratch.items_sent += 1;
+                    }
+                    if dummy_moved > 0 {
+                        scratch.dummy_out.push((receiver, dummy_moved));
+                    }
+                    if moved > 0 {
+                        scratch.flow_out.push((e, sign * moved as i64));
+                    }
+                }
+            });
+        }
+        // Apply phase: task deliveries in global edge order (the order the
+        // sequential engine filled `pending_tasks` in), then the additive
+        // effects, whose order cannot be observed.
+        exec.drain_merged_tasks(|receiver, task| self.queues[receiver].push(task));
+        let mut items_sent = 0;
+        let mut dummy_created = 0;
+        for scratch in exec.shard_results() {
+            for &(e, delta) in &scratch.flow_out {
+                self.discrete_flow[e] += delta;
+            }
+            for &(receiver, amount) in &scratch.dummy_out {
+                self.dummy[receiver] += amount;
+            }
+            items_sent += scratch.items_sent;
+            dummy_created += scratch.dummy_created;
+        }
+        self.items_sent += items_sent;
+        self.dummy_created += dummy_created;
+        self.round += 1;
+    }
 }
 
 impl<A: ContinuousProcess> DiscreteBalancer for FlowImitation<A> {

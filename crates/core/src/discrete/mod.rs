@@ -24,7 +24,7 @@ mod randomized_imitation;
 
 pub use dynamic::{DynamicBalancer, EventReport, RoundEvents};
 pub use flow_imitation::{FlowImitation, TaskPicker};
-pub use randomized_imitation::RandomizedImitation;
+pub use randomized_imitation::{edge_rounding_rng, RandomizedImitation};
 
 use crate::metrics::MetricsSnapshot;
 use crate::task::Speeds;

@@ -6,6 +6,16 @@
 //! probability equal to its fractional part, down otherwise. Only unit-weight
 //! tokens are supported.
 //!
+//! Each rounding decision draws from an independent sub-RNG derived from the
+//! master seed and the `(round, edge)` coordinates
+//! ([`edge_rounding_rng`]) rather than consuming one sequential stream.
+//! The rounding indicators stay independent across edges and rounds (all the
+//! Chernoff-style analysis of Theorem 8 needs), every trajectory remains
+//! deterministic per seed, and — because no draw depends on how many draws
+//! other edges made — sharded execution
+//! ([`RandomizedImitation::step_sharded`]) is bit-identical to sequential
+//! execution for every shard count.
+//!
 //! Guarantees (Theorem 8): at the continuous balancing time the max-avg
 //! discrepancy is `d/4 + O(√(d·log n))` w.h.p.; with initial load at least
 //! `(d/4 + Θ(√(d·log n)))·s_i` per node the max-min discrepancy is
@@ -19,8 +29,24 @@ use crate::load::InitialLoad;
 use crate::task::Speeds;
 use lb_graph::Graph;
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 use std::sync::Arc;
+
+/// The sub-RNG deciding whether edge `edge`'s fractional deficit rounds up
+/// in round `round`, derived from the master `seed` the same way the
+/// scenario stream derives its sub-seeds: a SplitMix-style combination of
+/// the coordinates feeding the seeding expansion.
+///
+/// Deriving per `(round, edge)` instead of consuming one stream edge-by-edge
+/// makes the draw independent of every other edge's draw, which is what lets
+/// shard workers round their edges concurrently while staying bit-identical
+/// to the sequential engine for any shard count.
+pub fn edge_rounding_rng(seed: u64, round: usize, edge: usize) -> StdRng {
+    let mixed = seed
+        ^ (round as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ (edge as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+    StdRng::seed_from_u64(mixed)
+}
 
 /// Algorithm 2: the randomized flow-imitation discretization of a continuous
 /// process `A`, for identical (unit-weight) tasks.
@@ -56,7 +82,9 @@ pub struct RandomizedImitation<A: ContinuousProcess> {
     dummy: Vec<u64>,
     /// Cumulative net discrete flow along each canonical edge orientation.
     discrete_flow: Vec<i64>,
-    rng: StdRng,
+    /// Master seed; every rounding decision derives its own sub-RNG from it
+    /// (see [`edge_rounding_rng`]).
+    seed: u64,
     round: usize,
     dummy_created: u64,
     name: String,
@@ -114,7 +142,7 @@ impl<A: ContinuousProcess> RandomizedImitation<A> {
             tokens: initial.load_vector(),
             dummy: vec![0; n],
             discrete_flow: vec![0; m],
-            rng: StdRng::seed_from_u64(seed),
+            seed,
             round: 0,
             dummy_created: 0,
             name,
@@ -198,6 +226,107 @@ impl<A: ContinuousProcess> RandomizedImitation<A> {
             .map(|(&fa, &fd)| (fa - fd as f64).abs())
             .fold(0.0, f64::max)
     }
+
+    /// Sharded [`step`](DiscreteBalancer::step): the twin advances through
+    /// [`ContinuousRunner::step_sharded`], then each shard worker rounds and
+    /// sends over the edges whose **sender** lies in its node range, with
+    /// every rounding decision drawn from its own `(seed, round, edge)`
+    /// sub-RNG ([`edge_rounding_rng`]) — so the draws, and therefore the
+    /// trajectory, are **bit-identical** to the sequential step for every
+    /// shard count. Token/dummy deliveries and ledger deltas are additive
+    /// and applied from the per-shard outboxes afterwards.
+    ///
+    /// Steady-state calls on an unchanged topology do not allocate; after
+    /// [`replace_topology`](RandomizedImitation::replace_topology) the
+    /// executor rebinds on the next sharded step.
+    pub fn step_sharded(&mut self, exec: &mut crate::shard::ShardedExecutor)
+    where
+        A: Sync,
+    {
+        exec.ensure_plan(&self.graph);
+        if exec.shard_count() == 1 {
+            self.step();
+            return;
+        }
+        self.twin.step_sharded(exec);
+
+        let seed = self.seed;
+        let round = self.round;
+        {
+            let continuous_flow = self.twin.cumulative_flows();
+            let discrete_flow = &self.discrete_flow[..];
+            let graph = &*self.graph;
+            let tokens = crate::shard::SharedSliceMut::new(&mut self.tokens);
+            let dummy = crate::shard::SharedSliceMut::new(&mut self.dummy);
+            let (pool, plan, scratch) = exec.split();
+            pool.run(|s| {
+                // SAFETY: scratch cell and node range belong to shard `s`
+                // alone; node ranges partition `0..n`.
+                let scratch = unsafe { &mut *scratch[s].get() };
+                scratch.alg2_out.clear();
+                scratch.dummy_created = 0;
+                let nodes = plan.node_range(s);
+                if nodes.is_empty() {
+                    return;
+                }
+                let lo = nodes.start;
+                let tokens_s = unsafe { tokens.range_mut(nodes.clone()) };
+                let dummy_s = unsafe { dummy.range_mut(nodes.clone()) };
+                let edges = graph.edges();
+                for &e in plan.incident(s) {
+                    let (u, v) = edges[e];
+                    let deficit = continuous_flow[e] - discrete_flow[e] as f64;
+                    if deficit == 0.0 {
+                        continue;
+                    }
+                    let (sender, receiver, magnitude, sign) = if deficit > 0.0 {
+                        (u, v, deficit, 1i64)
+                    } else {
+                        (v, u, -deficit, -1i64)
+                    };
+                    if !nodes.contains(&sender) {
+                        continue;
+                    }
+                    let floor = magnitude.floor();
+                    let fraction = magnitude - floor;
+                    let round_up = fraction > 0.0 && {
+                        use rand::Rng;
+                        edge_rounding_rng(seed, round, e).gen_bool(fraction.min(1.0))
+                    };
+                    let send = floor as u64 + u64::from(round_up);
+                    if send == 0 {
+                        continue;
+                    }
+                    let real = send.min(tokens_s[sender - lo]);
+                    tokens_s[sender - lo] -= real;
+                    let dummy_sent = send - real;
+                    let from_held = dummy_sent.min(dummy_s[sender - lo]);
+                    dummy_s[sender - lo] -= from_held;
+                    scratch.dummy_created += dummy_sent - from_held;
+                    scratch.alg2_out.push(crate::shard::Alg2Send {
+                        edge: e,
+                        receiver,
+                        real,
+                        dummy: dummy_sent,
+                        delta: sign * send as i64,
+                    });
+                }
+            });
+        }
+        // Apply phase: all effects are additive counts, so outbox order
+        // cannot be observed.
+        let mut dummy_created = 0;
+        for scratch in exec.shard_results() {
+            for send in &scratch.alg2_out {
+                self.tokens[send.receiver] += send.real;
+                self.dummy[send.receiver] += send.dummy;
+                self.discrete_flow[send.edge] += send.delta;
+            }
+            dummy_created += scratch.dummy_created;
+        }
+        self.dummy_created += dummy_created;
+        self.round += 1;
+    }
 }
 
 impl<A: ContinuousProcess> DiscreteBalancer for RandomizedImitation<A> {
@@ -251,7 +380,10 @@ impl<A: ContinuousProcess> DiscreteBalancer for RandomizedImitation<A> {
             };
             let floor = magnitude.floor();
             let fraction = magnitude - floor;
-            let round_up = fraction > 0.0 && self.rng.gen_bool(fraction.min(1.0));
+            let round_up = fraction > 0.0 && {
+                use rand::Rng;
+                edge_rounding_rng(self.seed, self.round, e).gen_bool(fraction.min(1.0))
+            };
             let send = floor as u64 + u64::from(round_up);
             if send == 0 {
                 continue;

@@ -18,6 +18,10 @@
 //! * [`metrics`] — makespan, max-min / max-avg discrepancy and the quadratic
 //!   potential.
 //! * [`convergence`] — measuring the continuous balancing time `T`.
+//! * [`shard`] — intra-instance parallelism: a [`ShardedExecutor`] splits a
+//!   single simulation's per-round `O(m)` work across contiguous node-range
+//!   shards on persistent worker threads, bit-identically to the sequential
+//!   engine.
 //!
 //! ## Quick example
 //!
@@ -55,9 +59,11 @@ pub mod discrete;
 mod error;
 mod load;
 pub mod metrics;
+pub mod shard;
 mod task;
 
 pub use error::CoreError;
 pub use load::InitialLoad;
 pub use metrics::MetricsSnapshot;
+pub use shard::ShardedExecutor;
 pub use task::{Speeds, Task, TaskId, TaskOrigin, TaskPicker, TaskQueue, Weight};

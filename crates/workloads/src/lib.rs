@@ -30,6 +30,6 @@ mod weights;
 pub use distributions::{corner_source, pad_for_min_load, TokenDistribution};
 pub use scenario::{
     AlgorithmSpec, ArrivalSpec, ChurnEvent, ChurnKind, InitialSpec, ModelSpec, PadSpec, Scenario,
-    ScenarioEvents, ServiceSpec, SpeedSpec, TopologySpec,
+    ScenarioEvents, ServiceSpec, SpeedSpec, TopologySpec, MAX_SHARDS,
 };
 pub use weights::{weighted_load, SpeedModel, WeightModel};

@@ -226,6 +226,11 @@ pub enum ChurnKind {
     },
 }
 
+/// Upper bound on a scenario's `shards`: every shard beyond the first is a
+/// persistent OS thread, so an absurd count must be a validation error, not
+/// a `thread::spawn` resource-exhaustion abort mid-run.
+pub const MAX_SHARDS: usize = 256;
+
 /// A complete dynamic-workload scenario.
 ///
 /// See the module docs for the JSON schema; [`Scenario::parse`] /
@@ -257,6 +262,10 @@ pub struct Scenario {
     pub completions: ServiceSpec,
     /// Scheduled topology churn, sorted by round.
     pub churn: Vec<ChurnEvent>,
+    /// Intra-instance parallelism: how many node-range shards the engine
+    /// splits each round across (1 = sequential). Trajectories are
+    /// bit-identical for every shard count; this only trades wall-clock time.
+    pub shards: usize,
 }
 
 impl Scenario {
@@ -274,6 +283,16 @@ impl Scenario {
         }
         if self.sample_every == 0 {
             return Err("sample_every must be positive".into());
+        }
+        if self.shards == 0 {
+            return Err("shards must be at least 1".into());
+        }
+        if self.shards > MAX_SHARDS {
+            return Err(format!(
+                "shards is {}, above the maximum of {MAX_SHARDS} (each shard beyond the \
+                 first is an OS thread)",
+                self.shards
+            ));
         }
         if self.topology.target_n < 2 {
             return Err("topology.target_n must be at least 2".into());
@@ -431,6 +450,7 @@ impl Scenario {
             ("seed", Json::from(self.seed)),
             ("rounds", Json::from(self.rounds)),
             ("sample_every", Json::from(self.sample_every)),
+            ("shards", Json::from(self.shards)),
             ("algorithm", Json::from(self.algorithm.as_str())),
             ("model", Json::from(self.model.as_str())),
             (
@@ -456,8 +476,8 @@ impl Scenario {
     }
 
     /// Builds a scenario from its JSON representation. Optional sections
-    /// (`speeds`, `arrivals`, `completions`, `churn`) default to uniform
-    /// speeds, no arrivals, no completions and no churn.
+    /// (`speeds`, `arrivals`, `completions`, `churn`, `shards`) default to
+    /// uniform speeds, no arrivals, no completions, no churn and one shard.
     ///
     /// # Errors
     ///
@@ -473,6 +493,11 @@ impl Scenario {
             obj.get(key)
                 .and_then(Json::as_u64)
                 .ok_or_else(|| format!("missing or non-integer field {key:?}"))
+        };
+        let u32_field = |obj: &Json, key: &str| -> Result<u32, String> {
+            let value = u64_field(obj, key)?;
+            u32::try_from(value)
+                .map_err(|_| format!("field {key:?} is {value}, out of range (max {})", u32::MAX))
         };
         let usize_field = |obj: &Json, key: &str| -> Result<usize, String> {
             obj.get(key)
@@ -500,7 +525,7 @@ impl Scenario {
                     s_max: u64_field(spec, "s_max")?,
                 },
                 "powers_of_two" => SpeedSpec::PowersOfTwo {
-                    classes: u64_field(spec, "classes")? as u32,
+                    classes: u32_field(spec, "classes")?,
                 },
                 other => return Err(format!("unknown speeds.model {other:?}")),
             },
@@ -519,7 +544,7 @@ impl Scenario {
             "uniform_random" => TokenDistribution::UniformRandom,
             "almost_balanced" => TokenDistribution::AlmostBalanced,
             "geometric" => TokenDistribution::Geometric {
-                ratio_percent: u64_field(dist_spec, "ratio_percent")? as u32,
+                ratio_percent: u32_field(dist_spec, "ratio_percent")?,
             },
             other => return Err(format!("unknown initial.distribution.model {other:?}")),
         };
@@ -587,6 +612,10 @@ impl Scenario {
             seed: u64_field(json, "seed")?,
             rounds: usize_field(json, "rounds")?,
             sample_every: usize_field(json, "sample_every")?,
+            shards: match json.get("shards") {
+                None => 1,
+                Some(_) => usize_field(json, "shards")?,
+            },
             algorithm: AlgorithmSpec::parse(&str_field(json, "algorithm")?)?,
             model: ModelSpec::parse(&str_field(json, "model")?)?,
             topology: TopologySpec {
@@ -776,6 +805,7 @@ mod tests {
                     },
                 },
             ],
+            shards: 1,
         }
     }
 
@@ -801,6 +831,107 @@ mod tests {
         assert_eq!(scenario.completions, ServiceSpec::None);
         assert!(scenario.churn.is_empty());
         assert_eq!(scenario.initial.pad, PadSpec::Tokens(0));
+        assert_eq!(scenario.shards, 1, "shards defaults to sequential");
+    }
+
+    #[test]
+    fn big_seeds_round_trip_exactly() {
+        // Seeds above 2^53 used to be rounded through f64 by the JSON layer;
+        // the exact integer path must preserve every u64 bit for bit.
+        for seed in [(1u64 << 53) + 1, u64::MAX, 0xDEAD_BEEF_DEAD_BEEF] {
+            let scenario = Scenario {
+                seed,
+                ..sample_scenario()
+            };
+            let parsed = Scenario::parse(&scenario.render_pretty()).expect("round-trips");
+            assert_eq!(parsed.seed, seed, "seed {seed} must survive a round trip");
+            assert_eq!(parsed, scenario);
+        }
+    }
+
+    #[test]
+    fn out_of_range_u32_fields_are_parse_errors() {
+        // `classes` and `ratio_percent` are u32 in the spec types; values
+        // beyond u32::MAX used to truncate silently through `as u32`.
+        let mut scenario = sample_scenario();
+        scenario.churn.clear();
+        let base = scenario.render_pretty();
+
+        let too_many_classes = base.replace(
+            r#""model": "powers_of_two",
+    "classes": 2"#,
+            r#""model": "powers_of_two",
+    "classes": 4294967296"#,
+        );
+        assert_ne!(too_many_classes, base, "replacement must hit the document");
+        let err = Scenario::parse(&too_many_classes).expect_err("rejects 2^32 classes");
+        assert!(
+            err.contains("classes") && err.contains("out of range"),
+            "{err}"
+        );
+
+        let geometric = base.replace(
+            r#""model": "single_source",
+      "source": 3"#,
+            r#""model": "geometric",
+      "ratio_percent": 4294967297"#,
+        );
+        assert_ne!(geometric, base, "replacement must hit the document");
+        let err = Scenario::parse(&geometric).expect_err("rejects out-of-range ratio_percent");
+        assert!(
+            err.contains("ratio_percent") && err.contains("out of range"),
+            "{err}"
+        );
+
+        // In-range values still parse.
+        let ok = base.replace(
+            r#""model": "single_source",
+      "source": 3"#,
+            r#""model": "geometric",
+      "ratio_percent": 55"#,
+        );
+        let parsed = Scenario::parse(&ok).expect("in-range ratio_percent parses");
+        assert_eq!(
+            parsed.initial.distribution,
+            TokenDistribution::Geometric { ratio_percent: 55 }
+        );
+    }
+
+    #[test]
+    fn zero_period_bursts_are_rejected() {
+        // `period: 0` would make `(round + 1).is_multiple_of(0)` never true:
+        // the burst silently never fires. Validation must reject it instead.
+        let mut s = sample_scenario();
+        s.arrivals = ArrivalSpec::Bursty {
+            period: 0,
+            burst: 10,
+            max_weight: 1,
+        };
+        let err = s.validate().expect_err("zero period rejected");
+        assert!(err.contains("period"), "{err}");
+        // And the parse entry point applies validation too.
+        let text = s.render_pretty();
+        assert!(Scenario::parse(&text).is_err(), "parse validates period");
+    }
+
+    #[test]
+    fn out_of_range_shards_are_rejected() {
+        let mut s = sample_scenario();
+        s.shards = 0;
+        let err = s.validate().expect_err("zero shards rejected");
+        assert!(err.contains("shards"), "{err}");
+        // Every shard beyond the first is an OS thread: absurd counts must
+        // fail validation instead of aborting in `thread::spawn`.
+        let mut s = sample_scenario();
+        s.shards = MAX_SHARDS + 1;
+        let err = s.validate().expect_err("oversized shards rejected");
+        assert!(err.contains("maximum"), "{err}");
+        let mut s = sample_scenario();
+        s.shards = MAX_SHARDS;
+        s.validate().expect("maximum shard count is allowed");
+        s.shards = 7;
+        let parsed = Scenario::parse(&s.render_pretty()).expect("shards round-trip");
+        assert_eq!(parsed.shards, 7);
     }
 
     #[test]

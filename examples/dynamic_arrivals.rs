@@ -47,13 +47,14 @@ fn main() -> Result<(), String> {
             round: 150,
             kind: ChurnKind::Rewire { seed: 7 },
         }],
+        shards: 1,
     };
 
     println!(
         "{:<8} {:>8} {:>10} {:>12} {:>10}",
         "round", "max-min", "real", "arrived", "dummy"
     );
-    let outcome = run_scenario(&scenario, None, |s| {
+    let outcome = run_scenario(&scenario, None, None, |s| {
         println!(
             "{:<8} {:>8.2} {:>10.0} {:>12} {:>10}",
             s.round, s.max_min, s.real_weight, s.arrived_weight, s.dummy_load

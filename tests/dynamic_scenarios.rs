@@ -34,8 +34,8 @@ fn example_scenario_is_bit_identical_across_runs() {
     // `lb run examples/scenario_poisson.json --seed 42` twice: the rendered
     // result documents must agree byte for byte.
     let scenario = load_example();
-    let a = run_scenario(&scenario, Some(42), |_| {}).expect("runs");
-    let b = run_scenario(&scenario, Some(42), |_| {}).expect("runs");
+    let a = run_scenario(&scenario, Some(42), None, |_| {}).expect("runs");
+    let b = run_scenario(&scenario, Some(42), None, |_| {}).expect("runs");
     assert_eq!(
         a.to_json().render_pretty(),
         b.to_json().render_pretty(),
@@ -50,8 +50,8 @@ fn example_scenario_is_bit_identical_across_runs() {
 #[test]
 fn trajectories_differ_across_seeds() {
     let scenario = load_example();
-    let a = run_scenario(&scenario, Some(1), |_| {}).expect("runs");
-    let b = run_scenario(&scenario, Some(2), |_| {}).expect("runs");
+    let a = run_scenario(&scenario, Some(1), None, |_| {}).expect("runs");
+    let b = run_scenario(&scenario, Some(2), None, |_| {}).expect("runs");
     assert_ne!(a.trajectory, b.trajectory);
 }
 
@@ -94,6 +94,7 @@ fn churny_scenario(algorithm: AlgorithmSpec) -> Scenario {
                 },
             },
         ],
+        shards: 1,
     }
 }
 
@@ -101,8 +102,8 @@ fn churny_scenario(algorithm: AlgorithmSpec) -> Scenario {
 fn churn_scenarios_are_deterministic_for_both_algorithms() {
     for algorithm in [AlgorithmSpec::Alg1, AlgorithmSpec::Alg2] {
         let scenario = churny_scenario(algorithm);
-        let a = run_scenario(&scenario, None, |_| {}).expect("runs");
-        let b = run_scenario(&scenario, None, |_| {}).expect("runs");
+        let a = run_scenario(&scenario, None, None, |_| {}).expect("runs");
+        let b = run_scenario(&scenario, None, None, |_| {}).expect("runs");
         assert_eq!(a.trajectory, b.trajectory, "{algorithm:?}");
         // The resize took effect.
         assert_eq!(a.last().nodes, 48, "{algorithm:?}");
@@ -113,7 +114,8 @@ fn churn_scenarios_are_deterministic_for_both_algorithms() {
 fn streamed_samples_match_the_recorded_trajectory() {
     let scenario = load_example();
     let mut streamed: Vec<RoundSample> = Vec::new();
-    let outcome = run_scenario(&scenario, Some(42), |s| streamed.push(s.clone())).expect("runs");
+    let outcome =
+        run_scenario(&scenario, Some(42), None, |s| streamed.push(s.clone())).expect("runs");
     assert_eq!(streamed, outcome.trajectory);
     // Samples: round 0, every 24 rounds, and the final round.
     assert_eq!(streamed[0].round, 0);
@@ -126,7 +128,7 @@ fn sustained_load_keeps_discrepancy_in_the_od_regime() {
     // arrivals balanced by service capacity, the discrepancy does not drift
     // upward over time even though the workload never drains.
     let scenario = load_example();
-    let outcome = run_scenario(&scenario, Some(42), |_| {}).expect("runs");
+    let outcome = run_scenario(&scenario, Some(42), None, |_| {}).expect("runs");
     let d = 8.0; // hypercube(256) has degree 8
     for sample in &outcome.trajectory {
         if sample.round >= scenario.rounds / 2 {

@@ -82,7 +82,9 @@ fn build_model(model: Model, graph: &Arc<Graph>, speeds: &Speeds) -> BoxedProces
 }
 
 /// Seed-semantics Algorithm 2: allocating twin, cloned flow snapshot, fresh
-/// delivery buffers, same RNG stream as the optimised engine.
+/// delivery buffers, and the same per-`(seed, round, edge)` rounding sub-RNG
+/// derivation as the optimised engine (`edge_rounding_rng`), so both sides
+/// make identical rounding decisions.
 struct ReferenceAlg2<A: ContinuousProcess> {
     process: A,
     twin_loads: Vec<f64>,
@@ -90,7 +92,7 @@ struct ReferenceAlg2<A: ContinuousProcess> {
     tokens: Vec<u64>,
     dummy: Vec<u64>,
     discrete_flow: Vec<i64>,
-    rng: StdRng,
+    seed: u64,
     round: usize,
     dummy_created: u64,
 }
@@ -105,7 +107,7 @@ impl<A: ContinuousProcess> ReferenceAlg2<A> {
             tokens: initial.load_vector(),
             dummy: vec![0; n],
             discrete_flow: vec![0; m],
-            rng: StdRng::seed_from_u64(seed),
+            seed,
             round: 0,
             dummy_created: 0,
             process,
@@ -137,7 +139,9 @@ impl<A: ContinuousProcess> ReferenceAlg2<A> {
             };
             let floor = magnitude.floor();
             let fraction = magnitude - floor;
-            let round_up = fraction > 0.0 && self.rng.gen_bool(fraction.min(1.0));
+            let round_up = fraction > 0.0
+                && lb_core::discrete::edge_rounding_rng(self.seed, self.round, e)
+                    .gen_bool(fraction.min(1.0));
             let send = floor as u64 + u64::from(round_up);
             if send == 0 {
                 continue;

@@ -266,3 +266,76 @@ fn twin_matches_standalone_continuous_run() {
     }
     assert_eq!(standalone.process().name(), "fos");
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Shard-count invariance: for any graph, workload and seed, running the
+    /// engine with 1, 2 or 7 shards produces exactly the same loads as the
+    /// sequential engine at every round — sharding trades wall-clock time
+    /// only, never results.
+    #[test]
+    fn shard_count_never_changes_the_trajectory(graph in small_graph(), seed in any::<u64>()) {
+        use lb_core::ShardedExecutor;
+        let graph = std::sync::Arc::new(graph);
+        let n = graph.node_count();
+        let speeds = Speeds::uniform(n);
+        let mut counts = vec![3u64; n];
+        counts[seed as usize % n] += 8 * n as u64;
+        let initial = InitialLoad::from_token_counts(counts);
+
+        let mk_alg1 = || {
+            let fos = Fos::new(
+                std::sync::Arc::clone(&graph),
+                &speeds,
+                AlphaScheme::MaxDegreePlusOne,
+            )
+            .unwrap();
+            FlowImitation::new(fos, &initial, speeds.clone(), TaskPicker::Fifo).unwrap()
+        };
+        let mk_alg2 = || {
+            let fos = Fos::new(
+                std::sync::Arc::clone(&graph),
+                &speeds,
+                AlphaScheme::MaxDegreePlusOne,
+            )
+            .unwrap();
+            RandomizedImitation::new(fos, &initial, speeds.clone(), seed).unwrap()
+        };
+
+        let mut seq1 = mk_alg1();
+        let mut seq2 = mk_alg2();
+        let mut sharded1: Vec<_> = [1usize, 2, 7]
+            .iter()
+            .map(|&s| (mk_alg1(), ShardedExecutor::new(s)))
+            .collect();
+        let mut sharded2: Vec<_> = [1usize, 2, 7]
+            .iter()
+            .map(|&s| (mk_alg2(), ShardedExecutor::new(s)))
+            .collect();
+        for round in 0..40 {
+            seq1.step();
+            seq2.step();
+            for (engine, exec) in &mut sharded1 {
+                engine.step_sharded(exec);
+                prop_assert_eq!(
+                    seq1.loads(),
+                    engine.loads(),
+                    "alg1 shards={} round {}",
+                    exec.shard_count(),
+                    round
+                );
+            }
+            for (engine, exec) in &mut sharded2 {
+                engine.step_sharded(exec);
+                prop_assert_eq!(
+                    seq2.loads(),
+                    engine.loads(),
+                    "alg2 shards={} round {}",
+                    exec.shard_count(),
+                    round
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,356 @@
+//! Sequential ≡ sharded: the acceptance suite of the sharded engine.
+//!
+//! For every engine combination (Algorithm 1/2 × FOS/SOS twin) a sequential
+//! engine and a sharded clone are driven through the same rounds — including
+//! dynamic arrivals, completions and topology churn — and must produce
+//! **bit-identical** trajectories: per-node loads, real loads, twin
+//! cumulative flows and infinite-source counters, every round.
+//!
+//! The shard count is taken from `LB_BENCH_SHARDS` when set (the CI job runs
+//! with `LB_BENCH_SHARDS=4`); otherwise both a small and a prime shard count
+//! are exercised, plus an oversharded (more shards than nodes) case.
+
+use lb_core::continuous::{ContinuousRunner, DimensionExchange, Fos, Sos};
+use lb_core::discrete::{
+    DiscreteBalancer, DynamicBalancer, FlowImitation, RandomizedImitation, RoundEvents, TaskPicker,
+};
+use lb_core::{InitialLoad, ShardedExecutor, Speeds, Task, TaskId};
+use lb_graph::{generators, AlphaScheme, Graph};
+use std::sync::Arc;
+
+/// Shard counts to exercise: the `LB_BENCH_SHARDS` override, or {2, 5}.
+fn shard_counts() -> Vec<usize> {
+    match std::env::var("LB_BENCH_SHARDS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        Some(s) => vec![s],
+        None => vec![2, 5],
+    }
+}
+
+fn fos(graph: &Arc<Graph>, speeds: &Speeds) -> Fos {
+    Fos::new(Arc::clone(graph), speeds, AlphaScheme::MaxDegreePlusOne).unwrap()
+}
+
+fn sos(graph: &Arc<Graph>, speeds: &Speeds) -> Sos {
+    Sos::new(
+        Arc::clone(graph),
+        speeds,
+        AlphaScheme::MaxDegreePlusOne,
+        1.6,
+    )
+    .unwrap()
+}
+
+/// A deterministic weighted workload (unit weights for `unit_only`).
+fn workload(n: usize, unit_only: bool) -> InitialLoad {
+    let mut tasks: Vec<Vec<Task>> = Vec::with_capacity(n);
+    let mut id = 0u64;
+    for i in 0..n {
+        let count = (i * 7 + 3) % 13 + if i == 0 { 40 } else { 2 };
+        let mut node_tasks = Vec::new();
+        for k in 0..count {
+            let weight = if unit_only { 1 } else { (k % 3 + 1) as u64 };
+            node_tasks.push(Task::new(TaskId(id), weight));
+            id += 1;
+        }
+        tasks.push(node_tasks);
+    }
+    InitialLoad::from_tasks(tasks)
+}
+
+/// A deterministic per-round arrival/completion mix (no RNG: both engines
+/// must receive byte-identical event batches).
+fn fill_events(events: &mut RoundEvents, round: usize, n: usize, next_id: &mut u64, wmax: u64) {
+    events.clear();
+    for k in 0..3usize {
+        events.completions.push(((round * 13 + 7 * k) % n, 2));
+    }
+    for k in 0..3u64 {
+        let weight = if wmax <= 1 { 1 } else { k % wmax + 1 };
+        let task = Task::new(TaskId(*next_id), weight);
+        *next_id += 1;
+        events.arrivals.push(((round * 31 + k as usize) % n, task));
+    }
+}
+
+/// Drives `sequential` (plain steps) and `sharded` (sharded steps) through
+/// `rounds` rounds with events, asserting bit-identical state every round.
+macro_rules! drive_pair {
+    ($sequential:expr, $sharded:expr, $exec:expr, $rounds:expr, $wmax:expr, $label:expr) => {{
+        let mut events = RoundEvents::default();
+        let mut next_id = 1_000_000u64;
+        let mut next_id_sharded = 1_000_000u64;
+        for round in 0..$rounds {
+            let n = $sequential.graph().node_count();
+            fill_events(&mut events, round, n, &mut next_id, $wmax);
+            $sequential.apply_events(&events).unwrap();
+            fill_events(&mut events, round, n, &mut next_id_sharded, $wmax);
+            $sharded.apply_events(&events).unwrap();
+            $sequential.step();
+            $sharded.step_sharded($exec);
+            assert_eq!(
+                $sequential.loads(),
+                $sharded.loads(),
+                "{}: loads diverged at round {round}",
+                $label
+            );
+            assert_eq!(
+                $sequential.real_loads(),
+                $sharded.real_loads(),
+                "{}: real loads diverged at round {round}",
+                $label
+            );
+            assert_eq!(
+                $sequential.continuous().cumulative_flows(),
+                $sharded.continuous().cumulative_flows(),
+                "{}: twin cumulative flows diverged at round {round}",
+                $label
+            );
+            assert_eq!(
+                $sequential.dummy_created(),
+                $sharded.dummy_created(),
+                "{}: dummy counters diverged at round {round}",
+                $label
+            );
+        }
+    }};
+}
+
+#[test]
+fn alg1_fos_sharded_matches_sequential_under_events() {
+    for shards in shard_counts() {
+        let graph: Arc<Graph> = Arc::new(generators::torus(6, 6).unwrap());
+        let speeds = Speeds::uniform(36);
+        let initial = workload(36, false);
+        for picker in [TaskPicker::Fifo, TaskPicker::LargestFirst] {
+            let mut sequential =
+                FlowImitation::new(fos(&graph, &speeds), &initial, speeds.clone(), picker).unwrap();
+            let mut sharded = sequential.clone();
+            let mut exec = ShardedExecutor::new(shards);
+            drive_pair!(
+                sequential,
+                sharded,
+                &mut exec,
+                60,
+                3,
+                format!("alg1(fos) {picker:?} shards={shards}")
+            );
+        }
+    }
+}
+
+#[test]
+fn alg1_sos_sharded_matches_sequential_under_events() {
+    for shards in shard_counts() {
+        let graph: Arc<Graph> = Arc::new(generators::hypercube(5).unwrap());
+        let speeds = Speeds::uniform(32);
+        let initial = workload(32, false);
+        let mut sequential = FlowImitation::new(
+            sos(&graph, &speeds),
+            &initial,
+            speeds.clone(),
+            TaskPicker::Fifo,
+        )
+        .unwrap();
+        let mut sharded = sequential.clone();
+        let mut exec = ShardedExecutor::new(shards);
+        drive_pair!(
+            sequential,
+            sharded,
+            &mut exec,
+            60,
+            3,
+            format!("alg1(sos) shards={shards}")
+        );
+    }
+}
+
+#[test]
+fn alg2_fos_sharded_matches_sequential_under_events() {
+    for shards in shard_counts() {
+        let graph: Arc<Graph> = Arc::new(generators::torus(6, 6).unwrap());
+        let speeds = Speeds::uniform(36);
+        let initial = workload(36, true);
+        let mut sequential =
+            RandomizedImitation::new(fos(&graph, &speeds), &initial, speeds.clone(), 0xA5A5)
+                .unwrap();
+        let mut sharded = sequential.clone();
+        let mut exec = ShardedExecutor::new(shards);
+        drive_pair!(
+            sequential,
+            sharded,
+            &mut exec,
+            60,
+            1,
+            format!("alg2(fos) shards={shards}")
+        );
+    }
+}
+
+#[test]
+fn alg2_sos_sharded_matches_sequential_under_events() {
+    for shards in shard_counts() {
+        let graph: Arc<Graph> = Arc::new(generators::hypercube(5).unwrap());
+        let speeds = Speeds::uniform(32);
+        let initial = workload(32, true);
+        let mut sequential =
+            RandomizedImitation::new(sos(&graph, &speeds), &initial, speeds.clone(), 0x5A5A)
+                .unwrap();
+        let mut sharded = sequential.clone();
+        let mut exec = ShardedExecutor::new(shards);
+        drive_pair!(
+            sequential,
+            sharded,
+            &mut exec,
+            60,
+            1,
+            format!("alg2(sos) shards={shards}")
+        );
+    }
+}
+
+#[test]
+fn sharded_equivalence_survives_topology_churn() {
+    // Rewire (same size, new Arc) and resize (orphan adoption on node 0)
+    // mid-run: the executor must rebind its plan and stay bit-identical.
+    for shards in shard_counts() {
+        let graph: Arc<Graph> = Arc::new(generators::torus(6, 6).unwrap());
+        let speeds = Speeds::uniform(36);
+        let initial = workload(36, false);
+        let mut sequential = FlowImitation::new(
+            fos(&graph, &speeds),
+            &initial,
+            speeds.clone(),
+            TaskPicker::Fifo,
+        )
+        .unwrap();
+        let mut sharded = sequential.clone();
+        let mut exec = ShardedExecutor::new(shards);
+        let label = format!("alg1(fos) churn shards={shards}");
+        drive_pair!(sequential, sharded, &mut exec, 25, 3, label);
+
+        // Rewire: rebuild the same family (fresh Arc ⇒ fresh shard plan).
+        let rewired: Arc<Graph> = Arc::new(generators::torus(6, 6).unwrap());
+        let carried = Speeds::uniform(36);
+        sequential
+            .replace_topology(fos(&rewired, &carried))
+            .unwrap();
+        sharded.replace_topology(fos(&rewired, &carried)).unwrap();
+        drive_pair!(sequential, sharded, &mut exec, 25, 3, label);
+
+        // Resize: shrink to 5×5 (orphans re-queue on node 0), then continue.
+        let smaller: Arc<Graph> = Arc::new(generators::torus(5, 5).unwrap());
+        let carried = Speeds::uniform(25);
+        sequential
+            .replace_topology(fos(&smaller, &carried))
+            .unwrap();
+        sharded.replace_topology(fos(&smaller, &carried)).unwrap();
+        drive_pair!(sequential, sharded, &mut exec, 25, 3, label);
+    }
+
+    // Algorithm 2 under the same churn schedule.
+    for shards in shard_counts() {
+        let graph: Arc<Graph> = Arc::new(generators::torus(6, 6).unwrap());
+        let speeds = Speeds::uniform(36);
+        let initial = workload(36, true);
+        let mut sequential =
+            RandomizedImitation::new(fos(&graph, &speeds), &initial, speeds.clone(), 77).unwrap();
+        let mut sharded = sequential.clone();
+        let mut exec = ShardedExecutor::new(shards);
+        let label = format!("alg2(fos) churn shards={shards}");
+        drive_pair!(sequential, sharded, &mut exec, 25, 1, label);
+        let smaller: Arc<Graph> = Arc::new(generators::torus(5, 5).unwrap());
+        let carried = Speeds::uniform(25);
+        sequential
+            .replace_topology(fos(&smaller, &carried))
+            .unwrap();
+        sharded.replace_topology(fos(&smaller, &carried)).unwrap();
+        drive_pair!(sequential, sharded, &mut exec, 25, 1, label);
+    }
+}
+
+#[test]
+fn more_shards_than_nodes_still_bit_identical() {
+    // Empty shards must behave as no-ops.
+    let graph: Arc<Graph> = Arc::new(generators::cycle(9).unwrap());
+    let speeds = Speeds::uniform(9);
+    let initial = InitialLoad::single_source(9, 0, 90);
+    let mut sequential = FlowImitation::new(
+        fos(&graph, &speeds),
+        &initial,
+        speeds.clone(),
+        TaskPicker::Fifo,
+    )
+    .unwrap();
+    let mut sharded = sequential.clone();
+    let mut exec = ShardedExecutor::new(64);
+    for round in 0..80 {
+        sequential.step();
+        sharded.step_sharded(&mut exec);
+        assert_eq!(sequential.loads(), sharded.loads(), "round {round}");
+    }
+}
+
+#[test]
+fn continuous_runner_sharded_matches_sequential() {
+    // The twin alone, FOS and SOS kernels: loads, cumulative flows and the
+    // negative-load watermark all stay bit-identical.
+    let graph: Arc<Graph> = Arc::new(generators::torus(7, 5).unwrap());
+    let n = graph.node_count();
+    let speeds = Speeds::uniform(n);
+    let initial: Vec<f64> = (0..n).map(|i| ((i * 13) % 17) as f64).collect();
+    for shards in shard_counts() {
+        let mut seq_fos = ContinuousRunner::new(fos(&graph, &speeds), initial.clone());
+        let mut shd_fos = ContinuousRunner::new(fos(&graph, &speeds), initial.clone());
+        let mut seq_sos = ContinuousRunner::new(sos(&graph, &speeds), initial.clone());
+        let mut shd_sos = ContinuousRunner::new(sos(&graph, &speeds), initial.clone());
+        let mut exec_fos = ShardedExecutor::new(shards);
+        let mut exec_sos = ShardedExecutor::new(shards);
+        for round in 0..100 {
+            seq_fos.step();
+            shd_fos.step_sharded(&mut exec_fos);
+            seq_sos.step();
+            shd_sos.step_sharded(&mut exec_sos);
+            assert_eq!(seq_fos.loads(), shd_fos.loads(), "fos round {round}");
+            assert_eq!(seq_sos.loads(), shd_sos.loads(), "sos round {round}");
+            assert_eq!(
+                seq_fos.cumulative_flows(),
+                shd_fos.cumulative_flows(),
+                "fos flows round {round}"
+            );
+            assert_eq!(
+                seq_sos.cumulative_flows(),
+                shd_sos.cumulative_flows(),
+                "sos flows round {round}"
+            );
+        }
+        assert_eq!(seq_sos.min_load_seen(), shd_sos.min_load_seen());
+    }
+}
+
+#[test]
+fn matching_processes_fall_back_to_sequential_twin() {
+    // DimensionExchange does not implement the sharded kernel protocol; a
+    // sharded discrete step must still work (twin steps sequentially) and
+    // match the fully sequential engine.
+    let graph: Arc<Graph> = Arc::new(generators::hypercube(4).unwrap());
+    let speeds = Speeds::uniform(16);
+    let initial = workload(16, false);
+    let de = DimensionExchange::with_greedy_coloring(Arc::clone(&graph), &speeds).unwrap();
+    let mut sequential =
+        FlowImitation::new(de, &initial, speeds.clone(), TaskPicker::Fifo).unwrap();
+    let mut sharded = sequential.clone();
+    let mut exec = ShardedExecutor::new(3);
+    for round in 0..60 {
+        sequential.step();
+        sharded.step_sharded(&mut exec);
+        assert_eq!(sequential.loads(), sharded.loads(), "round {round}");
+        assert_eq!(
+            sequential.dummy_created(),
+            sharded.dummy_created(),
+            "round {round}"
+        );
+    }
+}

@@ -13,7 +13,7 @@ use lb_core::continuous::{ContinuousRunner, DimensionExchange, Fos};
 use lb_core::discrete::{
     DiscreteBalancer, DynamicBalancer, FlowImitation, RandomizedImitation, RoundEvents, TaskPicker,
 };
-use lb_core::{InitialLoad, Speeds, Task, TaskId};
+use lb_core::{InitialLoad, ShardedExecutor, Speeds, Task, TaskId};
 use lb_graph::{generators, AlphaScheme, Graph};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -174,4 +174,26 @@ fn steady_state_rounds_do_not_allocate() {
     }
     assert!(alg1.arrived_weight() >= 4 * 500);
     assert!(alg1.completed_weight() > 0);
+
+    // Sharded rounds (shards > 1): the persistent worker pool, pre-sized
+    // shard plan and warmed outboxes must keep `step_sharded` heap-free too.
+    // Workers also count against the global allocator, so this covers the
+    // whole two-phase round, not just the coordinating thread.
+    let fos = Fos::new(Arc::clone(&graph), &speeds, AlphaScheme::MaxDegreePlusOne)
+        .expect("FOS constructs");
+    let mut alg1 = FlowImitation::new(fos, &initial, speeds.clone(), TaskPicker::Fifo)
+        .expect("dimensions agree");
+    let mut exec = ShardedExecutor::new(3);
+    assert_zero_alloc_steady_state("FlowImitation sharded(3)", 400, 100, &mut || {
+        alg1.step_sharded(&mut exec)
+    });
+
+    let fos = Fos::new(Arc::clone(&graph), &speeds, AlphaScheme::MaxDegreePlusOne)
+        .expect("FOS constructs");
+    let mut alg2 =
+        RandomizedImitation::new(fos, &initial, speeds.clone(), 42).expect("dimensions agree");
+    let mut exec = ShardedExecutor::new(3);
+    assert_zero_alloc_steady_state("RandomizedImitation sharded(3)", 400, 100, &mut || {
+        alg2.step_sharded(&mut exec)
+    });
 }
