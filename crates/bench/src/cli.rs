@@ -3,7 +3,9 @@
 //! One binary fronts every experiment and tool in the harness:
 //!
 //! ```text
-//! lb run <scenario.json> [--seed N] [--shards N] [--out PATH] [--quiet]
+//! lb run <scenario.json> [--seed N] [--shards N] [--producer MODE]
+//!        [--record PATH] [--out PATH] [--quiet]
+//! lb replay <trace.jsonl> [--shards N] [--out PATH] [--quiet]
 //! lb table1|table2|theorem3|theorem8|trajectory|heterogeneous|
 //!    dummy_ablation|fos_vs_sos|dynamic_arrivals [--quick]
 //! lb hotpath [--quick] [--shards N]
@@ -11,16 +13,24 @@
 //! lb help
 //! ```
 //!
-//! `LB_BENCH_SHARDS` is the environment fallback for `--shards` on both
-//! `run` and `hotpath`.
+//! `LB_BENCH_SHARDS` is the environment fallback for `--shards` on `run`,
+//! `replay` and `hotpath`.
+//!
+//! Argument parsing is strict: unknown subcommands, unknown options and
+//! malformed values exit with status 2 and the usage message — a typo like
+//! `--shard 4` fails loudly instead of silently running sequentially.
 //!
 //! The legacy per-experiment binaries (`table1`, `hotpath`, …) are thin
 //! shims over [`shim`], so one dispatch table owns all argument parsing.
 
-use crate::dynamic::run_scenario;
+use crate::dynamic::{
+    replay_trace, run_scenario_with, Producer, RoundSample, RunOptions, ScenarioOutcome,
+    DEFAULT_CHANNEL_CAPACITY,
+};
 use lb_analysis::Json;
-use lb_workloads::Scenario;
+use lb_workloads::{Scenario, Trace};
 use std::fs;
+use std::path::PathBuf;
 
 /// Usage text printed by `lb help` and on argument errors.
 const USAGE: &str = "\
@@ -37,6 +47,20 @@ COMMANDS:
         --shards N        Override the scenario's shard count (intra-instance
                           parallelism; results are bit-identical for every N).
                           Env fallback: LB_BENCH_SHARDS.
+        --producer MODE   How events reach the engine: 'scenario' (inline,
+                          the default) or 'channel' (async ingestion — a
+                          producer thread streams batches through the bounded
+                          SPSC channel). Results are bit-identical either way.
+        --record PATH     Record the applied event stream as a replayable
+                          line-delimited JSON trace (see ROADMAP.md 'Async
+                          ingestion'). Recording never perturbs the run.
+        --out PATH        Also write the result JSON to PATH.
+        --quiet           Suppress the per-sample stream on stderr.
+    replay <trace.jsonl>  Replay a recorded trace through the async ingestion
+                          channel; emits result JSON byte-identical to the
+                          recorded run's (the trace pins the seed).
+        --shards N        Override the recorded shard count (results are
+                          bit-identical for every N). Env: LB_BENCH_SHARDS.
         --out PATH        Also write the result JSON to PATH.
         --quiet           Suppress the per-sample stream on stderr.
     table1, table2, theorem3, theorem8, trajectory, heterogeneous,
@@ -52,9 +76,11 @@ COMMANDS:
         --baseline PATH   Baseline file [default: BENCH_baseline.json].
         --current PATH    Current file [default: BENCH_hotpath.json].
         --max-regression PCT
-                          Allowed rounds_per_sec drop in percent [default:
+                          Allowed throughput drop in percent [default:
                           25, or env LB_BENCH_MAX_REGRESSION].
     help                  Print this message.
+
+Unknown commands, unknown options and malformed values exit with status 2.
 ";
 
 /// Entry point for the `lb` binary: dispatches `std::env::args`, returning
@@ -73,6 +99,75 @@ pub fn shim(name: &str) -> i32 {
     dispatch(&args)
 }
 
+/// Prints a usage error and returns the usage exit code (2).
+fn usage_error(msg: &str) -> i32 {
+    eprintln!("error: {msg}\n");
+    eprint!("{USAGE}");
+    2
+}
+
+/// Strictly parsed arguments of one subcommand: every option must be
+/// declared, every value present, and at most `max_positionals` positional
+/// arguments are accepted.
+struct Parsed<'a> {
+    values: Vec<(&'static str, &'a str)>,
+    flags: Vec<&'static str>,
+    positionals: Vec<&'a str>,
+}
+
+impl<'a> Parsed<'a> {
+    /// The last value given for `flag`, if any.
+    fn value(&self, flag: &str) -> Option<&'a str> {
+        self.values
+            .iter()
+            .rev()
+            .find(|(f, _)| *f == flag)
+            .map(|&(_, v)| v)
+    }
+
+    /// Whether the boolean `flag` was given.
+    fn has(&self, flag: &str) -> bool {
+        self.flags.contains(&flag)
+    }
+}
+
+/// Parses `args` against the declared option lists. Unknown options,
+/// missing option values and surplus positionals are errors — the strict
+/// core behind every subcommand, so typos fail with a usage message instead
+/// of being silently ignored.
+fn parse_args<'a>(
+    args: &'a [String],
+    value_flags: &'static [&'static str],
+    bool_flags: &'static [&'static str],
+    max_positionals: usize,
+) -> Result<Parsed<'a>, String> {
+    let mut parsed = Parsed {
+        values: Vec::new(),
+        flags: Vec::new(),
+        positionals: Vec::new(),
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if let Some(&flag) = value_flags.iter().find(|&&f| f == arg) {
+            let value = iter
+                .next()
+                .ok_or_else(|| format!("{flag} requires a value"))?;
+            parsed.values.push((flag, value));
+        } else if let Some(&flag) = bool_flags.iter().find(|&&f| f == arg) {
+            if !parsed.flags.contains(&flag) {
+                parsed.flags.push(flag);
+            }
+        } else if arg.starts_with('-') && arg.len() > 1 {
+            return Err(format!("unknown option {arg:?}"));
+        } else if parsed.positionals.len() == max_positionals {
+            return Err(format!("unexpected argument {arg:?}"));
+        } else {
+            parsed.positionals.push(arg);
+        }
+    }
+    Ok(parsed)
+}
+
 /// Dispatches one parsed command line (without the program name). Returns
 /// the process exit code: 0 on success, 1 on runtime failure, 2 on usage
 /// errors.
@@ -84,16 +179,20 @@ pub fn dispatch(args: &[String]) -> i32 {
     let rest = &args[1..];
     match command.as_str() {
         "run" => cmd_run(rest),
-        "hotpath" => match shards_option(rest) {
-            Ok(shards) => {
-                crate::hotpath::run(has_flag(rest, "--quick"), shards);
-                0
+        "replay" => cmd_replay(rest),
+        "hotpath" => {
+            let parsed = match parse_args(rest, &["--shards"], &["--quick"], 0) {
+                Ok(parsed) => parsed,
+                Err(err) => return usage_error(&err),
+            };
+            match shards_option(parsed.value("--shards")) {
+                Ok(shards) => {
+                    crate::hotpath::run(parsed.has("--quick"), shards);
+                    0
+                }
+                Err(err) => usage_error(&err),
             }
-            Err(err) => {
-                eprintln!("error: {err}");
-                1
-            }
-        },
+        }
         "bench-check" => cmd_bench_check(rest),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
@@ -101,14 +200,14 @@ pub fn dispatch(args: &[String]) -> i32 {
         }
         name => match experiment_by_name(name) {
             Some(run) => {
-                run(has_flag(rest, "--quick")).emit();
+                let parsed = match parse_args(rest, &[], &["--quick"], 0) {
+                    Ok(parsed) => parsed,
+                    Err(err) => return usage_error(&err),
+                };
+                run(parsed.has("--quick")).emit();
                 0
             }
-            None => {
-                eprintln!("error: unknown command {name:?}\n");
-                eprint!("{USAGE}");
-                2
-            }
+            None => usage_error(&format!("unknown command {name:?}")),
         },
     }
 }
@@ -131,15 +230,12 @@ fn experiment_by_name(name: &str) -> Option<fn(bool) -> crate::experiments::Expe
     })
 }
 
-fn has_flag(args: &[String], flag: &str) -> bool {
-    args.iter().any(|a| a == flag)
-}
-
-/// `--shards N`, falling back to the `LB_BENCH_SHARDS` environment variable;
-/// `None` when neither is set. Explicit values are range-checked here so
-/// both consumers (`run`, `hotpath`) fail fast with a clear message instead
-/// of silently adjusting or aborting in `thread::spawn`.
-fn shards_option(args: &[String]) -> Result<Option<usize>, String> {
+/// Resolves the shard count from an explicit `--shards` value, falling back
+/// to the `LB_BENCH_SHARDS` environment variable; `None` when neither is
+/// set. Values are range-checked here so every consumer fails fast with a
+/// clear message instead of silently adjusting or aborting in
+/// `thread::spawn`.
+fn shards_option(explicit: Option<&str>) -> Result<Option<usize>, String> {
     let parse = |source: &str, v: &str| -> Result<usize, String> {
         let shards: usize = v.parse().map_err(|e| format!("{source}: {e}"))?;
         if shards == 0 || shards > lb_workloads::MAX_SHARDS {
@@ -150,7 +246,7 @@ fn shards_option(args: &[String]) -> Result<Option<usize>, String> {
         }
         Ok(shards)
     };
-    if let Some(v) = opt_value(args, "--shards")? {
+    if let Some(v) = explicit {
         return parse("--shards", v).map(Some);
     }
     match std::env::var("LB_BENCH_SHARDS") {
@@ -159,68 +255,123 @@ fn shards_option(args: &[String]) -> Result<Option<usize>, String> {
     }
 }
 
-/// Extracts `--key VALUE` from `args`. Returns `Err` if the key is present
-/// without a value.
-fn opt_value<'a>(args: &'a [String], key: &str) -> Result<Option<&'a str>, String> {
-    match args.iter().position(|a| a == key) {
-        None => Ok(None),
-        Some(i) => args
-            .get(i + 1)
-            .map(|v| Some(v.as_str()))
-            .ok_or_else(|| format!("{key} requires a value")),
-    }
+/// The per-sample stderr stream shared by `run` and `replay`.
+fn stream_sample(sample: &RoundSample) {
+    eprintln!(
+        "round {:>6}: n = {}, max_min = {:.2}, max_avg = {:.2}, real = {}, \
+         dummy = {}, arrived = {}, completed = {}",
+        sample.round,
+        sample.nodes,
+        sample.max_min,
+        sample.max_avg,
+        sample.real_weight,
+        sample.dummy_load,
+        sample.arrived_weight,
+        sample.completed_weight,
+    );
 }
 
-/// The first positional argument, skipping flags *and their values* — so
-/// `--seed 7 scenario.json` does not mistake `7` for the positional.
-fn positional<'a>(args: &'a [String], value_flags: &[&str]) -> Option<&'a str> {
-    let mut iter = args.iter();
-    while let Some(arg) = iter.next() {
-        if value_flags.iter().any(|f| f == arg) {
-            iter.next(); // skip the flag's value
-        } else if !arg.starts_with("--") {
-            return Some(arg);
-        }
+/// Prints (and optionally writes) the deterministic result document.
+fn emit_outcome(outcome: &ScenarioOutcome, out: Option<&str>) -> Result<(), String> {
+    let rendered = outcome.to_json().render_pretty();
+    if let Some(out) = out {
+        fs::write(out, &rendered).map_err(|e| format!("writing {out}: {e}"))?;
+        eprintln!("(result written to {out})");
     }
-    None
+    println!("{rendered}");
+    Ok(())
 }
 
 fn cmd_run(args: &[String]) -> i32 {
-    let result = (|| -> Result<(), String> {
-        let path = positional(args, &["--seed", "--shards", "--out"])
-            .ok_or("run requires a scenario file (lb run <scenario.json>)")?;
-        let seed = opt_value(args, "--seed")?
-            .map(|v| v.parse::<u64>().map_err(|e| format!("--seed: {e}")))
-            .transpose()?;
-        let shards = shards_option(args)?;
-        let out = opt_value(args, "--out")?;
-        let quiet = has_flag(args, "--quiet");
+    let parsed = match parse_args(
+        args,
+        &["--seed", "--shards", "--out", "--record", "--producer"],
+        &["--quiet"],
+        1,
+    ) {
+        Ok(parsed) => parsed,
+        Err(err) => return usage_error(&err),
+    };
+    let Some(path) = parsed.positionals.first().copied() else {
+        return usage_error("run requires a scenario file (lb run <scenario.json>)");
+    };
+    let seed = match parsed
+        .value("--seed")
+        .map(|v| v.parse::<u64>().map_err(|e| format!("--seed: {e}")))
+        .transpose()
+    {
+        Ok(seed) => seed,
+        Err(err) => return usage_error(&err),
+    };
+    let shards = match shards_option(parsed.value("--shards")) {
+        Ok(shards) => shards,
+        Err(err) => return usage_error(&err),
+    };
+    let producer = match parsed.value("--producer") {
+        None | Some("scenario") => Producer::Scenario,
+        Some("channel") => Producer::Channel {
+            capacity: DEFAULT_CHANNEL_CAPACITY,
+        },
+        Some(other) => {
+            return usage_error(&format!(
+                "--producer: unknown mode {other:?} (want scenario|channel)"
+            ))
+        }
+    };
+    let options = RunOptions {
+        seed,
+        shards,
+        producer,
+        record: parsed.value("--record").map(PathBuf::from),
+    };
+    let quiet = parsed.has("--quiet");
 
+    let result = (|| -> Result<(), String> {
         let text = fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
         let scenario = Scenario::parse(&text).map_err(|e| format!("{path}: {e}"))?;
-        let outcome = run_scenario(&scenario, seed, shards, |sample| {
+        let outcome = run_scenario_with(&scenario, &options, |sample| {
             if !quiet {
-                eprintln!(
-                    "round {:>6}: n = {}, max_min = {:.2}, max_avg = {:.2}, real = {}, \
-                     dummy = {}, arrived = {}, completed = {}",
-                    sample.round,
-                    sample.nodes,
-                    sample.max_min,
-                    sample.max_avg,
-                    sample.real_weight,
-                    sample.dummy_load,
-                    sample.arrived_weight,
-                    sample.completed_weight,
-                );
+                stream_sample(sample);
             }
         })?;
-        let rendered = outcome.to_json().render_pretty();
-        if let Some(out) = out {
-            fs::write(out, &rendered).map_err(|e| format!("writing {out}: {e}"))?;
-            eprintln!("(result written to {out})");
+        if let Some(trace) = &options.record {
+            eprintln!("(event trace recorded to {})", trace.display());
         }
-        println!("{rendered}");
-        Ok(())
+        emit_outcome(&outcome, parsed.value("--out"))
+    })();
+    match result {
+        Ok(()) => 0,
+        Err(err) => {
+            eprintln!("error: {err}");
+            1
+        }
+    }
+}
+
+fn cmd_replay(args: &[String]) -> i32 {
+    let parsed = match parse_args(args, &["--shards", "--out"], &["--quiet"], 1) {
+        Ok(parsed) => parsed,
+        Err(err) => return usage_error(&err),
+    };
+    let Some(path) = parsed.positionals.first().copied() else {
+        return usage_error("replay requires a trace file (lb replay <trace.jsonl>)");
+    };
+    let shards = match shards_option(parsed.value("--shards")) {
+        Ok(shards) => shards,
+        Err(err) => return usage_error(&err),
+    };
+    let quiet = parsed.has("--quiet");
+
+    let result = (|| -> Result<(), String> {
+        let trace = Trace::load(path)?;
+        let (recorded_rounds, recorded_events) = (trace.rounds.len(), trace.event_count());
+        let outcome = replay_trace(trace, shards, |sample| {
+            if !quiet {
+                stream_sample(sample);
+            }
+        })?;
+        eprintln!("(replayed {recorded_rounds} recorded round(s), {recorded_events} event(s))");
+        emit_outcome(&outcome, parsed.value("--out"))
     })();
     match result {
         Ok(()) => 0,
@@ -251,13 +402,31 @@ fn sharded_rounds_per_sec(doc: &Json) -> Option<f64> {
         .as_f64()
 }
 
+/// Reads the channel-ingestion throughput (`ingest.channel.events_per_sec`)
+/// from a hotpath/baseline document, if present.
+fn ingest_events_per_sec(doc: &Json) -> Option<f64> {
+    doc.get("ingest")?
+        .get("channel")?
+        .get("events_per_sec")?
+        .as_f64()
+}
+
 /// The perf-regression gate: compares the current hot-path throughput
 /// against the committed baseline and fails on a drop beyond the allowance.
 fn cmd_bench_check(args: &[String]) -> i32 {
+    let parsed = match parse_args(
+        args,
+        &["--baseline", "--current", "--max-regression"],
+        &[],
+        0,
+    ) {
+        Ok(parsed) => parsed,
+        Err(err) => return usage_error(&err),
+    };
     let verdict = (|| -> Result<bool, String> {
-        let baseline_path = opt_value(args, "--baseline")?.unwrap_or("BENCH_baseline.json");
-        let current_path = opt_value(args, "--current")?.unwrap_or("BENCH_hotpath.json");
-        let max_regression: f64 = match opt_value(args, "--max-regression")? {
+        let baseline_path = parsed.value("--baseline").unwrap_or("BENCH_baseline.json");
+        let current_path = parsed.value("--current").unwrap_or("BENCH_hotpath.json");
+        let max_regression: f64 = match parsed.value("--max-regression") {
             Some(v) => v.parse().map_err(|e| format!("--max-regression: {e}"))?,
             None => match std::env::var("LB_BENCH_MAX_REGRESSION") {
                 Ok(v) => v
@@ -284,17 +453,17 @@ fn cmd_bench_check(args: &[String]) -> i32 {
             return Err(format!("{baseline_path}: rounds_per_sec must be positive"));
         }
 
-        let gate = |label: &str, baseline: f64, current: f64| -> bool {
+        let gate = |label: &str, unit: &str, baseline: f64, current: f64| -> bool {
             let floor = baseline * (1.0 - max_regression / 100.0);
             let change = (current / baseline - 1.0) * 100.0;
             println!(
-                "bench-check [{label}]: baseline {baseline:.1} rounds/sec, current \
-                 {current:.1} rounds/sec ({change:+.1}%), allowed regression \
+                "bench-check [{label}]: baseline {baseline:.1} {unit}, current \
+                 {current:.1} {unit} ({change:+.1}%), allowed regression \
                  {max_regression}% (floor {floor:.1})"
             );
             if current < floor {
                 println!(
-                    "bench-check [{label}]: FAIL — rounds_per_sec regressed more than \
+                    "bench-check [{label}]: FAIL — {unit} regressed more than \
                      {max_regression}% below the committed baseline"
                 );
                 false
@@ -304,17 +473,27 @@ fn cmd_bench_check(args: &[String]) -> i32 {
             }
         };
 
-        let mut ok = gate("hotpath", baseline, current);
-        // The sharded large-instance entry is gated whenever the committed
-        // baseline carries one (re-baseline deliberately to change it).
+        let mut ok = gate("hotpath", "rounds/sec", baseline, current);
+        // The sharded large-instance and channel-ingestion entries are gated
+        // whenever the committed baseline carries them (re-baseline
+        // deliberately to change them).
         match sharded_rounds_per_sec(&baseline_doc) {
             Some(sharded_baseline) if sharded_baseline > 0.0 => {
                 let sharded_current = sharded_rounds_per_sec(&current_doc).ok_or_else(|| {
                     format!("{current_path}: no large.sharded.rounds_per_sec field")
                 })?;
-                ok &= gate("sharded", sharded_baseline, sharded_current);
+                ok &= gate("sharded", "rounds/sec", sharded_baseline, sharded_current);
             }
             _ => println!("bench-check [sharded]: no baseline entry, skipped"),
+        }
+        match ingest_events_per_sec(&baseline_doc) {
+            Some(ingest_baseline) if ingest_baseline > 0.0 => {
+                let ingest_current = ingest_events_per_sec(&current_doc).ok_or_else(|| {
+                    format!("{current_path}: no ingest.channel.events_per_sec field")
+                })?;
+                ok &= gate("ingest", "events/sec", ingest_baseline, ingest_current);
+            }
+            _ => println!("bench-check [ingest]: no baseline entry, skipped"),
         }
         Ok(ok)
     })();
@@ -344,6 +523,24 @@ mod tests {
     }
 
     #[test]
+    fn unknown_options_are_usage_errors() {
+        // The motivating bug: `--shard` (typo for `--shards`) used to be
+        // silently ignored, running sequentially. Every subcommand must
+        // reject unknown options with exit code 2.
+        assert_eq!(dispatch(&args(&["run", "s.json", "--shard", "4"])), 2);
+        assert_eq!(dispatch(&args(&["run", "s.json", "--sharded"])), 2);
+        assert_eq!(dispatch(&args(&["replay", "t.jsonl", "--sed", "1"])), 2);
+        assert_eq!(dispatch(&args(&["hotpath", "--fast"])), 2);
+        assert_eq!(dispatch(&args(&["table1", "--quik"])), 2);
+        assert_eq!(dispatch(&args(&["bench-check", "--basline", "x"])), 2);
+        // Surplus positionals are rejected too.
+        assert_eq!(dispatch(&args(&["run", "a.json", "b.json"])), 2);
+        assert_eq!(dispatch(&args(&["table1", "extra"])), 2);
+        // Value options require a value.
+        assert_eq!(dispatch(&args(&["run", "s.json", "--seed"])), 2);
+    }
+
+    #[test]
     fn experiment_registry_knows_every_experiment() {
         for name in [
             "table1",
@@ -361,60 +558,82 @@ mod tests {
             assert!(experiment_by_name(name).is_some(), "{name} missing");
         }
         assert!(experiment_by_name("run").is_none());
+        assert!(experiment_by_name("replay").is_none());
         assert!(experiment_by_name("hotpath").is_none());
     }
 
     #[test]
-    fn run_requires_a_scenario_file() {
-        assert_eq!(dispatch(&args(&["run"])), 1);
+    fn run_and_replay_require_their_input_file() {
+        // A missing positional is a usage error (2); an unreadable file is a
+        // runtime error (1).
+        assert_eq!(dispatch(&args(&["run"])), 2);
         assert_eq!(dispatch(&args(&["run", "/no/such/file.json"])), 1);
+        assert_eq!(dispatch(&args(&["replay"])), 2);
+        assert_eq!(dispatch(&args(&["replay", "/no/such/trace.jsonl"])), 1);
+    }
+
+    #[test]
+    fn bad_option_values_are_usage_errors() {
+        assert_eq!(dispatch(&args(&["run", "s.json", "--seed", "abc"])), 2);
+        assert_eq!(dispatch(&args(&["run", "s.json", "--shards", "0"])), 2);
+        assert_eq!(
+            dispatch(&args(&["run", "s.json", "--producer", "satellite"])),
+            2
+        );
+        assert_eq!(dispatch(&args(&["replay", "t.jsonl", "--shards", "x"])), 2);
     }
 
     #[test]
     fn shards_option_rejects_out_of_range_values() {
         assert_eq!(
-            shards_option(&args(&["--shards", "4"])).unwrap(),
+            shards_option(Some("4")).unwrap(),
             Some(4),
             "in-range value honoured verbatim"
         );
-        assert!(shards_option(&args(&["--shards", "0"])).is_err());
-        assert!(shards_option(&args(&["--shards", "1000000"])).is_err());
-        assert!(shards_option(&args(&["--shards", "many"])).is_err());
+        assert!(shards_option(Some("0")).is_err());
+        assert!(shards_option(Some("1000000")).is_err());
+        assert!(shards_option(Some("many")).is_err());
         assert_eq!(
-            shards_option(&args(&["--shards", "1"])).unwrap(),
+            shards_option(Some("1")).unwrap(),
             Some(1),
             "1 is valid: it measures the sequential path through the executor"
         );
     }
 
     #[test]
-    fn opt_value_parses_key_value_pairs() {
-        let a = args(&["--seed", "42", "--quiet"]);
-        assert_eq!(opt_value(&a, "--seed").unwrap(), Some("42"));
-        assert_eq!(opt_value(&a, "--out").unwrap(), None);
-        assert!(opt_value(&args(&["--seed"]), "--seed").is_err());
-        assert!(has_flag(&a, "--quiet"));
-        assert!(!has_flag(&a, "--loud"));
+    fn parse_args_handles_values_flags_and_positionals() {
+        let a = args(&["--seed", "42", "scenario.json", "--quiet"]);
+        let parsed = parse_args(&a, &["--seed", "--out"], &["--quiet"], 1).unwrap();
+        assert_eq!(parsed.value("--seed"), Some("42"));
+        assert_eq!(parsed.value("--out"), None);
+        assert!(parsed.has("--quiet"));
+        assert!(!parsed.has("--loud"));
+        assert_eq!(parsed.positionals, vec!["scenario.json"]);
+
+        // Positionals are found regardless of position relative to options.
+        let a = args(&["--out", "r.json", "--quiet", "s.json", "--seed", "1"]);
+        let parsed = parse_args(&a, &["--seed", "--out"], &["--quiet"], 1).unwrap();
+        assert_eq!(parsed.positionals, vec!["s.json"]);
+
+        // Repeated value options: the last one wins.
+        let a = args(&["--seed", "1", "--seed", "2"]);
+        let parsed = parse_args(&a, &["--seed"], &[], 0).unwrap();
+        assert_eq!(parsed.value("--seed"), Some("2"));
+
+        // Error cases: unknown option, missing value, surplus positional.
+        assert!(parse_args(&args(&["--nope"]), &["--seed"], &[], 1).is_err());
+        assert!(parse_args(&args(&["--seed"]), &["--seed"], &[], 0).is_err());
+        assert!(parse_args(&args(&["a", "b"]), &[], &[], 1).is_err());
     }
 
     #[test]
-    fn positional_skips_flag_values_in_any_order() {
-        let flags = ["--seed", "--out"];
-        let a = args(&["--seed", "7", "scenario.json"]);
-        assert_eq!(positional(&a, &flags), Some("scenario.json"));
-        let a = args(&[
-            "--out",
-            "result.json",
-            "--quiet",
-            "scenario.json",
-            "--seed",
-            "1",
-        ]);
-        assert_eq!(positional(&a, &flags), Some("scenario.json"));
-        let a = args(&["scenario.json", "--seed", "7"]);
-        assert_eq!(positional(&a, &flags), Some("scenario.json"));
-        assert_eq!(positional(&args(&["--seed", "7"]), &flags), None);
-        assert_eq!(positional(&args(&["--quiet"]), &flags), None);
+    fn run_rejects_a_seed_override_on_no_file_before_reading() {
+        // Usage validation happens before any I/O: a bad --seed fails with 2
+        // even though the scenario file does not exist.
+        assert_eq!(
+            dispatch(&args(&["run", "/no/such.json", "--seed", "NaN"])),
+            2
+        );
     }
 
     #[test]
@@ -499,6 +718,56 @@ mod tests {
         assert_eq!(dispatch(&base_args()), 1, "missing sharded entry");
 
         // …but a baseline without one simply skips the sharded gate.
+        fs::write(&baseline, r#"{"rounds_per_sec": 100.0}"#).unwrap();
+        assert_eq!(dispatch(&base_args()), 0, "no baseline entry, skipped");
+    }
+
+    #[test]
+    fn bench_check_gates_the_ingest_entry() {
+        let dir = std::env::temp_dir().join("lb_bench_check_ingest_test");
+        fs::create_dir_all(&dir).unwrap();
+        let baseline = dir.join("baseline.json");
+        let current = dir.join("current.json");
+        let base_args = || {
+            args(&[
+                "bench-check",
+                "--baseline",
+                baseline.to_str().unwrap(),
+                "--current",
+                current.to_str().unwrap(),
+            ])
+        };
+
+        fs::write(
+            &baseline,
+            r#"{"rounds_per_sec": 100.0,
+               "ingest": {"channel": {"events_per_sec": 1000000.0}}}"#,
+        )
+        .unwrap();
+
+        // Above the floor: passes.
+        fs::write(
+            &current,
+            r#"{"optimized": {"rounds_per_sec": 100.0},
+               "ingest": {"channel": {"events_per_sec": 900000.0}}}"#,
+        )
+        .unwrap();
+        assert_eq!(dispatch(&base_args()), 0, "within the allowance");
+
+        // A >25% ingestion drop fails even when the hot path is healthy.
+        fs::write(
+            &current,
+            r#"{"optimized": {"rounds_per_sec": 100.0},
+               "ingest": {"channel": {"events_per_sec": 500000.0}}}"#,
+        )
+        .unwrap();
+        assert_eq!(dispatch(&base_args()), 1, "ingest regression fails");
+
+        // Gated baselines demand the entry in the current file.
+        fs::write(&current, r#"{"optimized": {"rounds_per_sec": 100.0}}"#).unwrap();
+        assert_eq!(dispatch(&base_args()), 1, "missing ingest entry");
+
+        // No baseline entry: the ingest gate is skipped.
         fs::write(&baseline, r#"{"rounds_per_sec": 100.0}"#).unwrap();
         assert_eq!(dispatch(&base_args()), 0, "no baseline entry, skipped");
     }

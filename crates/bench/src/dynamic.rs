@@ -7,20 +7,36 @@
 //! sub-seeds from one master seed, so the same scenario file and seed produce
 //! **bit-identical** result JSON across runs and machines (the document
 //! contains no timings). `tests/dynamic_scenarios.rs` pins this.
+//!
+//! Events can reach the engine three ways, all bit-identical for the same
+//! scenario and seed (`tests/ingest_equivalence.rs`):
+//!
+//! * **sync** ([`Producer::Scenario`]) — the driver materialises each
+//!   round's batch inline from the scenario's event stream;
+//! * **channel** ([`Producer::Channel`]) — a producer thread streams the
+//!   same batches through the bounded SPSC channel of [`lb_core::ingest`];
+//! * **trace replay** ([`replay_trace`]) — the batches come from a recorded
+//!   trace file ([`lb_workloads::trace`]) through the channel.
+//!
+//! Any run can be recorded ([`RunOptions::record`]) and replayed later.
 
 use lb_analysis::Json;
 use lb_core::continuous::{Fos, Sos};
 use lb_core::discrete::{
     DiscreteBalancer, DynamicBalancer, FlowImitation, RandomizedImitation, RoundEvents, TaskPicker,
 };
+use lb_core::ingest::{self, IngestSession};
 use lb_core::{metrics, CoreError, InitialLoad, ShardedExecutor, Speeds};
 use lb_graph::{AlphaScheme, Graph};
 use lb_workloads::{
     pad_for_min_load, AlgorithmSpec, ChurnKind, ModelSpec, PadSpec, Scenario, ScenarioEvents,
+    Trace, TraceWriter,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::path::PathBuf;
 use std::sync::Arc;
+use std::thread::JoinHandle;
 
 use crate::harness::GraphClass;
 
@@ -261,14 +277,182 @@ fn carried_speeds(current: &Speeds, n: usize) -> Speeds {
     Speeds::new(values).expect("carried speeds stay positive")
 }
 
+/// How a run's events reach the engine. Both modes apply the same batches at
+/// the same round boundaries, so trajectories are bit-identical either way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Producer {
+    /// The synchronous path: the driver materialises each round's batch
+    /// inline from the scenario's event stream (the default).
+    #[default]
+    Scenario,
+    /// The async ingestion path: a producer thread generates the same
+    /// stream and feeds it through a bounded SPSC channel
+    /// ([`lb_core::ingest`]); the driver drains one round's batch between
+    /// rounds.
+    Channel {
+        /// Maximum in-flight batches (how far the producer may run ahead).
+        capacity: usize,
+    },
+}
+
+/// Default channel capacity for [`Producer::Channel`] and [`replay_trace`].
+pub const DEFAULT_CHANNEL_CAPACITY: usize = 32;
+
+/// Options for [`run_scenario_with`].
+#[derive(Debug, Clone, Default)]
+pub struct RunOptions {
+    /// Replaces the spec's seed (the CLI's `--seed`); the effective value is
+    /// recorded in the outcome.
+    pub seed: Option<u64>,
+    /// Replaces the spec's shard count (the CLI's `--shards` /
+    /// `LB_BENCH_SHARDS`). Shard count never changes the result — only
+    /// wall-clock time.
+    pub shards: Option<usize>,
+    /// How events reach the engine.
+    pub producer: Producer,
+    /// Record the applied event stream to this trace file
+    /// ([`lb_workloads::trace`]); the trace embeds the effective scenario
+    /// and replays bit-identically via [`replay_trace`]. Recording never
+    /// perturbs the run itself.
+    pub record: Option<PathBuf>,
+}
+
+/// Where the driver's per-round batches come from.
+enum EventSource {
+    /// Inline generation from the scenario stream.
+    Sync(ScenarioEvents),
+    /// A producer thread on the other end of the ingest channel.
+    Channel {
+        session: IngestSession,
+        producer: Option<JoinHandle<()>>,
+    },
+}
+
+impl EventSource {
+    /// Fills `out` with the batch for `round` (empty when the round has no
+    /// events).
+    fn fill_round(&mut self, round: usize, out: &mut RoundEvents) -> Result<(), String> {
+        match self {
+            EventSource::Sync(stream) => {
+                stream.fill_round(round, out);
+                Ok(())
+            }
+            EventSource::Channel { session, .. } => session
+                .fill_round(round as u64, out)
+                .map_err(|err| err.to_string()),
+        }
+    }
+
+    /// Propagates topology churn to the source. Only the inline stream needs
+    /// telling — channel producers follow a precomputed speeds schedule.
+    fn set_topology(&mut self, speeds: &Speeds) {
+        if let EventSource::Sync(stream) = self {
+            stream.set_topology(speeds);
+        }
+    }
+
+    /// Tears the source down, joining the producer thread (its send fails as
+    /// soon as the session drops, so this never blocks on a full queue).
+    fn finish(self) -> Result<(), String> {
+        if let EventSource::Channel { session, producer } = self {
+            drop(session);
+            if let Some(handle) = producer {
+                handle
+                    .join()
+                    .map_err(|_| "ingest producer thread panicked".to_string())?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The churn plan, precomputed once per run: for every churn event, the
+/// rebuilt topology and the speeds the engine will carry on it. The driver
+/// consumes the graphs — each churn graph is built exactly once, whichever
+/// producer mode runs — and a channel producer follows the speeds without
+/// hearing back from the engine thread. (Graph generators are seeded per
+/// event, so building up front is bit-identical to building lazily.)
+fn churn_schedule(
+    class: GraphClass,
+    scenario: &Scenario,
+    initial: &Speeds,
+) -> Result<Vec<(usize, Arc<Graph>, Speeds)>, String> {
+    let mut schedule = Vec::with_capacity(scenario.churn.len());
+    let mut current = initial.clone();
+    for event in &scenario.churn {
+        let (target_n, seed) = match event.kind {
+            // Rewire keeps the current size; the speeds length tracks the
+            // engine's node count exactly.
+            ChurnKind::Rewire { seed } => (current.len(), seed),
+            ChurnKind::Resize { target_n, seed } => (target_n, seed),
+        };
+        let graph: Arc<Graph> = class
+            .build(target_n, seed)
+            .map_err(|err| format!("churn at round {}: {err}", event.round))?
+            .into();
+        current = carried_speeds(&current, graph.node_count());
+        schedule.push((event.round, graph, current.clone()));
+    }
+    Ok(schedule)
+}
+
+/// Spawns the producer thread for [`Producer::Channel`]: generates the
+/// scenario's event stream round by round and sends each non-empty batch
+/// through the channel, recycling drained buffers so steady-state production
+/// allocates nothing.
+fn spawn_scenario_producer(
+    mut stream: ScenarioEvents,
+    schedule: Vec<(usize, Speeds)>,
+    rounds: usize,
+    capacity: usize,
+) -> (IngestSession, JoinHandle<()>) {
+    let (mut tx, rx) = ingest::bounded(capacity);
+    let handle = std::thread::spawn(move || {
+        let mut schedule = schedule.into_iter().peekable();
+        let mut spare: Option<RoundEvents> = None;
+        for round in 0..rounds {
+            while schedule.peek().is_some_and(|(r, _)| *r == round) {
+                let (_, speeds) = schedule.next().expect("peeked entry");
+                stream.set_topology(&speeds);
+            }
+            let mut batch = spare.take().unwrap_or_else(|| tx.buffer());
+            stream.fill_round(round, &mut batch);
+            if batch.is_empty() {
+                spare = Some(batch);
+            } else if tx.send(round as u64, batch).is_err() {
+                return; // consumer hung up; the driver reports its own error
+            }
+        }
+    });
+    (IngestSession::new(rx), handle)
+}
+
+/// Spawns the producer thread for [`replay_trace`]: feeds the recorded round
+/// batches through the channel in order.
+fn spawn_trace_producer(
+    rounds: Vec<lb_workloads::TraceRound>,
+    capacity: usize,
+) -> (IngestSession, JoinHandle<()>) {
+    let (mut tx, rx) = ingest::bounded(capacity);
+    let handle = std::thread::spawn(move || {
+        for record in rounds {
+            let mut batch = tx.buffer();
+            record.fill(&mut batch);
+            if batch.is_empty() {
+                continue; // writers skip empty batches, but tolerate them
+            }
+            if tx.send(record.round, batch).is_err() {
+                return;
+            }
+        }
+    });
+    (IngestSession::new(rx), handle)
+}
+
 /// Runs `scenario`, calling `on_sample` for every recorded trajectory point
-/// (round 0, every `sample_every` rounds, and the final round).
-///
-/// `seed_override` replaces the spec's seed (the CLI's `--seed`) and
-/// `shards_override` its shard count (the CLI's `--shards` /
-/// `LB_BENCH_SHARDS`); the effective values are recorded in the outcome.
-/// Shard count never changes the result — only wall-clock time — so the
-/// result document stays bit-identical across machines and shard settings.
+/// (round 0, every `sample_every` rounds, and the final round). Equivalent
+/// to [`run_scenario_with`] with default [`RunOptions`] plus the given
+/// overrides.
 ///
 /// # Errors
 ///
@@ -278,16 +462,82 @@ pub fn run_scenario(
     scenario: &Scenario,
     seed_override: Option<u64>,
     shards_override: Option<usize>,
-    mut on_sample: impl FnMut(&RoundSample),
+    on_sample: impl FnMut(&RoundSample),
+) -> Result<ScenarioOutcome, String> {
+    run_scenario_with(
+        scenario,
+        &RunOptions {
+            seed: seed_override,
+            shards: shards_override,
+            ..RunOptions::default()
+        },
+        on_sample,
+    )
+}
+
+/// Runs `scenario` under `options`: seed/shard overrides, the sync or
+/// channel event path, and optional trace recording. The effective scenario
+/// (overrides applied) is recorded in the outcome, and — for the same
+/// scenario and seed — the result document is bit-identical across machines,
+/// shard counts and producer modes.
+///
+/// # Errors
+///
+/// Returns a message for invalid specs, unknown families,
+/// graph-construction failures, engine errors and trace-file I/O failures.
+pub fn run_scenario_with(
+    scenario: &Scenario,
+    options: &RunOptions,
+    on_sample: impl FnMut(&RoundSample),
 ) -> Result<ScenarioOutcome, String> {
     let mut scenario = scenario.clone();
-    if let Some(seed) = seed_override {
+    if let Some(seed) = options.seed {
         scenario.seed = seed;
     }
+    if let Some(shards) = options.shards {
+        scenario.shards = shards;
+    }
+    scenario.validate()?;
+    execute(scenario, None, options, on_sample)
+}
+
+/// Replays a recorded trace through the async ingestion channel: the
+/// embedded scenario rebuilds the graph, speeds and initial load, and the
+/// recorded batches drive the engine instead of the scenario's generator.
+/// For a trace recorded from the same scenario and seed, the result document
+/// is byte-identical to the original run's.
+///
+/// `shards_override` replaces the embedded shard count (shard count never
+/// changes the result). The trace pins the seed — there is deliberately no
+/// seed override, since the recorded task ids and the initial load both
+/// derive from it. The trace is consumed: its recorded rounds move to the
+/// producer thread without copying (clone first to replay again).
+///
+/// # Errors
+///
+/// Returns a message for invalid embedded scenarios and engine errors.
+pub fn replay_trace(
+    trace: Trace,
+    shards_override: Option<usize>,
+    on_sample: impl FnMut(&RoundSample),
+) -> Result<ScenarioOutcome, String> {
+    let mut scenario = trace.scenario.clone();
     if let Some(shards) = shards_override {
         scenario.shards = shards;
     }
     scenario.validate()?;
+    execute(scenario, Some(trace), &RunOptions::default(), on_sample)
+}
+
+/// The shared driver loop behind [`run_scenario_with`] and [`replay_trace`]:
+/// `scenario` is already effective (overrides applied, validated); `replay`
+/// selects trace batches over the scenario's own stream.
+fn execute(
+    scenario: Scenario,
+    replay: Option<Trace>,
+    options: &RunOptions,
+    mut on_sample: impl FnMut(&RoundSample),
+) -> Result<ScenarioOutcome, String> {
     let seed = scenario.seed;
 
     let class = family_class(&scenario.topology.family)?;
@@ -320,7 +570,41 @@ pub fn run_scenario(
 
     let mut engine = Engine::build(&scenario, Arc::clone(&graph), &speeds, &initial, seed)
         .map_err(|err| err.to_string())?;
-    let mut stream = ScenarioEvents::new(&scenario, &speeds, first_task_id);
+    // One plan for every churn event, built up front: the driver swaps in
+    // the prebuilt graphs, and a channel producer follows the speeds.
+    let schedule = churn_schedule(class, &scenario, &speeds)?;
+    let mut source = match replay {
+        Some(trace) => {
+            let (session, handle) = spawn_trace_producer(trace.rounds, DEFAULT_CHANNEL_CAPACITY);
+            EventSource::Channel {
+                session,
+                producer: Some(handle),
+            }
+        }
+        None => {
+            let stream = ScenarioEvents::new(&scenario, &speeds, first_task_id);
+            match options.producer {
+                Producer::Scenario => EventSource::Sync(stream),
+                Producer::Channel { capacity } => {
+                    let speeds_schedule = schedule
+                        .iter()
+                        .map(|(round, _, speeds)| (*round, speeds.clone()))
+                        .collect();
+                    let (session, handle) =
+                        spawn_scenario_producer(stream, speeds_schedule, scenario.rounds, capacity);
+                    EventSource::Channel {
+                        session,
+                        producer: Some(handle),
+                    }
+                }
+            }
+        }
+    };
+    let mut writer = options
+        .record
+        .as_ref()
+        .map(|path| TraceWriter::create(path, &scenario))
+        .transpose()?;
     let mut events = RoundEvents::default();
     // One executor for the whole run; it rebinds itself across churn. A
     // single shard means plain sequential stepping, no worker threads.
@@ -349,26 +633,19 @@ pub fn run_scenario(
     };
     record(&engine, 0, &mut trajectory);
 
-    let mut churn_idx = 0;
+    let mut churn = schedule.into_iter().peekable();
     for round in 0..scenario.rounds {
-        while churn_idx < scenario.churn.len() && scenario.churn[churn_idx].round == round {
-            let event = scenario.churn[churn_idx];
-            churn_idx += 1;
-            let (target_n, graph_seed) = match event.kind {
-                ChurnKind::Rewire { seed } => (engine.node_count(), seed),
-                ChurnKind::Resize { target_n, seed } => (target_n, seed),
-            };
-            let new_graph: Arc<Graph> = class
-                .build(target_n, graph_seed)
-                .map_err(|err| format!("churn at round {round}: {err}"))?
-                .into();
-            let new_speeds = carried_speeds(engine.speeds(), new_graph.node_count());
+        while churn.peek().is_some_and(|(r, _, _)| *r == round) {
+            let (_, new_graph, new_speeds) = churn.next().expect("peeked entry");
             engine
                 .replace_topology(new_graph, &new_speeds)
                 .map_err(|err| format!("churn at round {round}: {err}"))?;
-            stream.set_topology(engine.speeds());
+            source.set_topology(engine.speeds());
         }
-        stream.fill_round(round, &mut events);
+        source.fill_round(round, &mut events)?;
+        if let Some(writer) = writer.as_mut() {
+            writer.record_round(round as u64, &events)?;
+        }
         if !events.is_empty() {
             engine
                 .apply_events(&events)
@@ -379,6 +656,10 @@ pub fn run_scenario(
         if done % scenario.sample_every == 0 || done == scenario.rounds {
             record(&engine, done, &mut trajectory);
         }
+    }
+    source.finish()?;
+    if let Some(writer) = writer {
+        writer.finish()?;
     }
 
     Ok(ScenarioOutcome {
@@ -511,6 +792,106 @@ mod tests {
     fn zero_shard_override_is_rejected() {
         let err = run_scenario(&poisson_scenario(), None, Some(0), |_| {}).unwrap_err();
         assert!(err.contains("shards"), "{err}");
+    }
+
+    #[test]
+    fn channel_producer_matches_sync_bit_for_bit() {
+        // The ingestion contract at driver level: the same scenario and seed
+        // produce byte-identical result JSON whether events are generated
+        // inline or streamed through the SPSC channel — including across
+        // churn, which the channel producer follows via its precomputed
+        // speeds schedule.
+        let mut scenario = poisson_scenario();
+        scenario.churn = vec![
+            ChurnEvent {
+                round: 20,
+                kind: ChurnKind::Rewire { seed: 9 },
+            },
+            ChurnEvent {
+                round: 40,
+                kind: ChurnKind::Resize {
+                    target_n: 16,
+                    seed: 3,
+                },
+            },
+        ];
+        let sync = run_scenario(&scenario, None, None, |_| {}).unwrap();
+        for capacity in [1, 4] {
+            let channel = run_scenario_with(
+                &scenario,
+                &RunOptions {
+                    producer: Producer::Channel { capacity },
+                    ..RunOptions::default()
+                },
+                |_| {},
+            )
+            .unwrap();
+            assert_eq!(
+                sync.to_json().render_pretty(),
+                channel.to_json().render_pretty(),
+                "capacity {capacity}"
+            );
+        }
+    }
+
+    #[test]
+    fn recorded_traces_replay_byte_identically() {
+        let mut scenario = poisson_scenario();
+        scenario.churn = vec![ChurnEvent {
+            round: 30,
+            kind: ChurnKind::Rewire { seed: 5 },
+        }];
+        let path = std::env::temp_dir().join("lb_dynamic_record_replay.trace.jsonl");
+        let recorded = run_scenario_with(
+            &scenario,
+            &RunOptions {
+                seed: Some(11),
+                record: Some(path.clone()),
+                ..RunOptions::default()
+            },
+            |_| {},
+        )
+        .unwrap();
+
+        // Recording never perturbs the run.
+        let plain = run_scenario(&scenario, Some(11), None, |_| {}).unwrap();
+        assert_eq!(
+            plain.to_json().render_pretty(),
+            recorded.to_json().render_pretty()
+        );
+
+        // Replay reproduces the run byte for byte, and a shard override only
+        // changes the recorded shard count, never the trajectory.
+        let trace = lb_workloads::Trace::load(&path).unwrap();
+        assert_eq!(trace.scenario.seed, 11, "header carries the effective seed");
+        let replayed = replay_trace(trace.clone(), None, |_| {}).unwrap();
+        assert_eq!(
+            recorded.to_json().render_pretty(),
+            replayed.to_json().render_pretty()
+        );
+        let sharded = replay_trace(trace, Some(3), |_| {}).unwrap();
+        assert_eq!(sharded.scenario.shards, 3);
+        assert_eq!(recorded.trajectory, sharded.trajectory);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn replay_rejects_invalid_shard_overrides() {
+        let scenario = poisson_scenario();
+        let path = std::env::temp_dir().join("lb_dynamic_replay_shards.trace.jsonl");
+        run_scenario_with(
+            &scenario,
+            &RunOptions {
+                record: Some(path.clone()),
+                ..RunOptions::default()
+            },
+            |_| {},
+        )
+        .unwrap();
+        let trace = lb_workloads::Trace::load(&path).unwrap();
+        let err = replay_trace(trace, Some(0), |_| {}).unwrap_err();
+        assert!(err.contains("shards"), "{err}");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

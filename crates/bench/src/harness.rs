@@ -138,13 +138,13 @@ pub enum Discretizer {
     Alg1,
     /// Algorithm 2 — randomized flow imitation (this paper).
     Alg2,
-    /// Round-down (Rabani et al. [37] / Muthukrishnan et al. [34]).
+    /// Round-down (Rabani et al. \[37\] / Muthukrishnan et al. \[34\]).
     RoundDown,
-    /// Per-edge randomized rounding (Friedrich et al. [26] / [24]).
+    /// Per-edge randomized rounding (Friedrich et al. \[26\] / \[24\]).
     RandomizedRounding,
-    /// Deterministic accumulated-error rounding (Friedrich et al. [26]).
+    /// Deterministic accumulated-error rounding (Friedrich et al. \[26\]).
     Quasirandom,
-    /// Excess-token randomized diffusion (Berenbrink et al. [9]).
+    /// Excess-token randomized diffusion (Berenbrink et al. \[9\]).
     ExcessToken,
 }
 

@@ -13,8 +13,8 @@ use crate::harness::{standard_initial_load, GraphClass};
 use crate::parallel::worker_threads;
 use lb_analysis::Json;
 use lb_core::continuous::{ContinuousProcess, Fos};
-use lb_core::discrete::{DiscreteBalancer, FlowImitation, TaskPicker};
-use lb_core::{InitialLoad, ShardedExecutor, Speeds, Task};
+use lb_core::discrete::{DiscreteBalancer, FlowImitation, RoundEvents, TaskPicker};
+use lb_core::{ingest, InitialLoad, ShardedExecutor, Speeds, Task, TaskId};
 use lb_graph::{AlphaScheme, Graph};
 use std::sync::Arc;
 use std::time::Instant;
@@ -264,6 +264,163 @@ fn run_baseline(
     }
 }
 
+/// Events per batch in the ingestion benchmark (half completions, half
+/// arrivals — the shape of a sustained-load round).
+const INGEST_BATCH: usize = 128;
+
+/// Channel capacity of the ingestion benchmark (how far the producer may run
+/// ahead of the consumer).
+const INGEST_CAPACITY: usize = 64;
+
+/// Fills `out` with round `round`'s deterministic benchmark batch.
+fn fill_ingest_batch(out: &mut RoundEvents, round: usize, n: usize, next_id: &mut u64) {
+    out.clear();
+    for k in 0..INGEST_BATCH / 2 {
+        out.completions.push(((round + 7 * k) % n, 1));
+    }
+    for k in 0..INGEST_BATCH / 2 {
+        let task = Task::new(TaskId(*next_id), 1 + (k as u64 & 1));
+        *next_id += 1;
+        out.arrivals.push(((round + 13 * k) % n, task));
+    }
+}
+
+/// Folds a batch into a checksum, standing in for event application — keeps
+/// the comparison about delivery cost, and defeats dead-code elimination.
+fn consume_ingest_batch(events: &RoundEvents) -> u64 {
+    let mut sum = 0u64;
+    for &(node, weight) in &events.completions {
+        sum += node as u64 + weight;
+    }
+    for &(node, task) in &events.arrivals {
+        sum += node as u64 + task.weight();
+    }
+    sum
+}
+
+struct IngestResult {
+    elapsed_secs: f64,
+    events: u64,
+    checksum: u64,
+}
+
+impl IngestResult {
+    fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.elapsed_secs
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("events", Json::from(self.events)),
+            ("elapsed_secs", Json::from(self.elapsed_secs)),
+            ("events_per_sec", Json::from(self.events_per_sec())),
+        ])
+    }
+}
+
+/// The synchronous reference: generate and consume each batch inline, the
+/// way the sync scenario driver feeds the engine.
+fn run_ingest_sync(rounds: usize, n: usize) -> IngestResult {
+    let mut events = RoundEvents::default();
+    let mut next_id = 0u64;
+    let mut checksum = 0u64;
+    let start = Instant::now();
+    for round in 0..rounds {
+        fill_ingest_batch(&mut events, round, n, &mut next_id);
+        checksum = checksum.wrapping_add(consume_ingest_batch(&events));
+    }
+    IngestResult {
+        elapsed_secs: start.elapsed().as_secs_f64(),
+        events: (rounds * INGEST_BATCH) as u64,
+        checksum,
+    }
+}
+
+/// The channel path: a producer thread generates the same batches and sends
+/// them through the bounded SPSC channel; the consumer drains and recycles.
+/// The timed window covers producer spawn through join — the full cost of
+/// standing up and draining the ingestion pipeline.
+fn run_ingest_channel(rounds: usize, n: usize) -> IngestResult {
+    let start = Instant::now();
+    let (mut tx, mut rx) = ingest::bounded(INGEST_CAPACITY);
+    let producer = std::thread::spawn(move || {
+        let mut next_id = 0u64;
+        for round in 0..rounds {
+            let mut batch = tx.buffer();
+            fill_ingest_batch(&mut batch, round, n, &mut next_id);
+            if tx.send(round as u64, batch).is_err() {
+                return;
+            }
+        }
+    });
+    let mut checksum = 0u64;
+    while let Some((_, events)) = rx.recv() {
+        checksum = checksum.wrapping_add(consume_ingest_batch(&events));
+        rx.recycle(events);
+    }
+    producer.join().expect("ingest producer finishes");
+    IngestResult {
+        elapsed_secs: start.elapsed().as_secs_f64(),
+        events: (rounds * INGEST_BATCH) as u64,
+        checksum,
+    }
+}
+
+/// Benchmarks event throughput through the async ingestion channel against
+/// inline generation, returning the `ingest` entry of `BENCH_hotpath.json`.
+/// The channel entry is gated by `lb bench-check` when the committed
+/// baseline carries an `ingest.channel.events_per_sec` floor.
+fn run_ingest_bench(quick: bool) -> Json {
+    let rounds = if quick { 5_000 } else { 40_000 };
+    let trials = if quick { 2 } else { 3 };
+    // `n` is node-index space only — no engine in the loop. Trials
+    // interleave the two paths so machine-load drift biases neither.
+    let n = 8_192;
+    let mut sync_trials = Vec::new();
+    let mut channel_trials = Vec::new();
+    for _ in 0..trials {
+        sync_trials.push(run_ingest_sync(rounds, n));
+        channel_trials.push(run_ingest_channel(rounds, n));
+    }
+    assert!(
+        sync_trials
+            .iter()
+            .chain(&channel_trials)
+            .all(|r| r.checksum == sync_trials[0].checksum),
+        "ingestion paths consumed different event streams"
+    );
+    let sync = sync_trials
+        .into_iter()
+        .min_by(|a, b| a.elapsed_secs.total_cmp(&b.elapsed_secs))
+        .expect("at least one trial");
+    let channel = channel_trials
+        .into_iter()
+        .min_by(|a, b| a.elapsed_secs.total_cmp(&b.elapsed_secs))
+        .expect("at least one trial");
+    eprintln!(
+        "ingest: sync {:.0} events/sec, channel {:.0} events/sec ({:.2}x channel overhead)",
+        sync.events_per_sec(),
+        channel.events_per_sec(),
+        sync.events_per_sec() / channel.events_per_sec(),
+    );
+    Json::obj([
+        (
+            "config",
+            Json::obj([
+                ("batch", Json::from(INGEST_BATCH)),
+                ("rounds", Json::from(rounds)),
+                ("capacity", Json::from(INGEST_CAPACITY)),
+            ]),
+        ),
+        ("sync", sync.to_json()),
+        ("channel", channel.to_json()),
+        (
+            "overhead_ratio",
+            Json::from(sync.events_per_sec() / channel.events_per_sec()),
+        ),
+    ])
+}
+
 /// Peak resident set size of this process in kilobytes (Linux `VmHWM`),
 /// or 0 where unavailable.
 fn peak_rss_kb() -> u64 {
@@ -414,6 +571,10 @@ pub fn run(quick: bool, shards: Option<usize>) {
     let sharded_speedup = sharded_large.rounds_per_sec() / sequential_large.rounds_per_sec();
     eprintln!("large sharded speedup: {sharded_speedup:.2}x rounds/sec");
 
+    // The ingestion entry: event throughput through the async SPSC channel
+    // vs inline generation (no engine in the loop — this isolates delivery).
+    let ingest = run_ingest_bench(quick);
+
     let report = Json::obj([
         ("benchmark", Json::from("hotpath_alg1_fifo")),
         (
@@ -452,6 +613,7 @@ pub fn run(quick: bool, shards: Option<usize>) {
                 ("speedup_rounds_per_sec", Json::from(sharded_speedup)),
             ]),
         ),
+        ("ingest", ingest),
         ("peak_rss_kb", Json::from(peak_rss_kb())),
     ]);
     let path = "BENCH_hotpath.json";

@@ -8,8 +8,7 @@
 //! * [`RoundEvents`] — one round's batch of arrivals and per-node completion
 //!   budgets, with reusable internal buffers;
 //! * [`DynamicBalancer`] — the object-safe extension of
-//!   [`DiscreteBalancer`](super::DiscreteBalancer) that applies such a batch
-//!   between rounds.
+//!   [`DiscreteBalancer`] that applies such a batch between rounds.
 //!
 //! # Contract with the zero-allocation hot loop
 //!

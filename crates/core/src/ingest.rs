@@ -1,0 +1,502 @@
+//! Async event ingestion: a bounded SPSC channel feeding [`RoundEvents`]
+//! batches from an external producer thread into a [`DynamicBalancer`].
+//!
+//! The synchronous scenario path materialises each round's events in the
+//! driver loop itself. This module decouples the two halves so a producer —
+//! a trace replayer, a live traffic front-end, a scenario generator running
+//! ahead — can fill batches on its own thread while the engine consumes them
+//! between rounds:
+//!
+//! ```text
+//! producer thread                         engine (consumer) thread
+//! ───────────────                         ────────────────────────
+//! buffer()  ── recycled RoundEvents ◄──┐
+//! fill batch for round r               │
+//! send(r, batch)  ──► bounded queue ──►│ IngestSession::apply_round(r)
+//! (blocks when full)                   │   · applies the batch between
+//!                                      │     rounds, then recycles it
+//!                                      └── · engine.step() stays zero-alloc
+//! ```
+//!
+//! # Protocol
+//!
+//! Batches are tagged with the round they belong to. The producer sends them
+//! in **strictly increasing round order** and may skip rounds with no events
+//! (empty batches are legal but pointless). The consumer asks for one round
+//! at a time, in order; a batch tagged with an earlier round than the one
+//! being asked for is a protocol violation and reported as an error. When
+//! the producer hangs up, every remaining round simply has no events — a
+//! trace shorter than the run is not an error.
+//!
+//! # Contract with the zero-allocation hot loop
+//!
+//! The channel recycles batch buffers: the consumer returns drained
+//! [`RoundEvents`] to a spare pool the producer draws from via
+//! [`EventProducer::buffer`]. Once every buffer in circulation has grown to
+//! the working batch size, a steady-state round — receive, apply, recycle,
+//! step — performs **no heap allocations on either thread**: the queue and
+//! spare pool are pre-sized rings, and blocking uses condvars, not
+//! allocation. Only the event application itself may touch the heap (queues
+//! growing under net load), exactly as on the synchronous path;
+//! `tests/zero_alloc.rs` pins both sides with a counting global allocator.
+//!
+//! # Determinism
+//!
+//! The channel changes *where* batches are produced, never *what* they
+//! contain or *when* they are applied: [`IngestSession::apply_round`] applies
+//! the batch for round `r` before round `r` executes, exactly where the
+//! synchronous driver applies it. For the same event stream the sync path
+//! and the channel path are therefore bit-identical
+//! (`tests/ingest_equivalence.rs`).
+
+use crate::discrete::{DynamicBalancer, EventReport, RoundEvents};
+use crate::error::CoreError;
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// The producer half of the channel hung up mid-`send` because the consumer
+/// was dropped; the batch was discarded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Disconnected;
+
+impl std::fmt::Display for Disconnected {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ingest channel disconnected: the consumer was dropped")
+    }
+}
+
+impl std::error::Error for Disconnected {}
+
+/// Shared channel state behind one mutex: the bounded batch queue, the spare
+/// (recycled) buffer pool, and the hang-up flags.
+struct State {
+    /// In-flight batches, oldest first, tagged with their round.
+    queue: VecDeque<(u64, RoundEvents)>,
+    /// Drained buffers waiting to be reused by the producer.
+    spare: Vec<RoundEvents>,
+    /// The producer was dropped; no further batches will arrive.
+    producer_gone: bool,
+    /// The consumer was dropped; sends can never be observed.
+    consumer_gone: bool,
+}
+
+struct Shared {
+    capacity: usize,
+    state: Mutex<State>,
+    /// Signalled when the queue shrinks or the consumer hangs up.
+    not_full: Condvar,
+    /// Signalled when the queue grows or the producer hangs up.
+    not_empty: Condvar,
+}
+
+/// Creates a bounded single-producer single-consumer channel of round-tagged
+/// [`RoundEvents`] batches holding at most `capacity` in-flight batches
+/// (clamped to at least 1). See the [module docs](self) for the protocol.
+pub fn bounded(capacity: usize) -> (EventProducer, EventConsumer) {
+    let capacity = capacity.max(1);
+    let shared = Arc::new(Shared {
+        capacity,
+        state: Mutex::new(State {
+            queue: VecDeque::with_capacity(capacity),
+            // One spare per queue slot plus one in each party's hands.
+            spare: Vec::with_capacity(capacity + 2),
+            producer_gone: false,
+            consumer_gone: false,
+        }),
+        not_full: Condvar::new(),
+        not_empty: Condvar::new(),
+    });
+    (
+        EventProducer {
+            shared: Arc::clone(&shared),
+            last_round: None,
+        },
+        EventConsumer { shared },
+    )
+}
+
+/// The sending half: owned by the producer thread.
+///
+/// Dropping the producer closes the channel; the consumer then sees the end
+/// of the stream once the queue drains.
+pub struct EventProducer {
+    shared: Arc<Shared>,
+    last_round: Option<u64>,
+}
+
+impl EventProducer {
+    /// Returns a cleared batch buffer, reusing a recycled one when available
+    /// so steady-state production allocates nothing.
+    pub fn buffer(&mut self) -> RoundEvents {
+        let mut events = {
+            let mut state = self.shared.state.lock().expect("ingest lock");
+            state.spare.pop().unwrap_or_default()
+        };
+        events.clear();
+        events
+    }
+
+    /// Sends the batch for `round`, blocking while the queue is full.
+    ///
+    /// Rounds must be strictly increasing across calls; rounds with no events
+    /// may simply be skipped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Disconnected`] (discarding the batch) if the consumer was
+    /// dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `round` does not exceed the previously sent round — that is
+    /// a producer bug, not a runtime condition.
+    pub fn send(&mut self, round: u64, events: RoundEvents) -> Result<(), Disconnected> {
+        if let Some(last) = self.last_round {
+            assert!(
+                round > last,
+                "ingest protocol violation: batch for round {round} sent after round {last}"
+            );
+        }
+        let mut state = self.shared.state.lock().expect("ingest lock");
+        loop {
+            if state.consumer_gone {
+                return Err(Disconnected);
+            }
+            if state.queue.len() < self.shared.capacity {
+                state.queue.push_back((round, events));
+                self.last_round = Some(round);
+                drop(state);
+                self.shared.not_empty.notify_one();
+                return Ok(());
+            }
+            state = self.shared.not_full.wait(state).expect("ingest lock");
+        }
+    }
+}
+
+impl Drop for EventProducer {
+    fn drop(&mut self) {
+        let mut state = self.shared.state.lock().expect("ingest lock");
+        state.producer_gone = true;
+        drop(state);
+        self.shared.not_empty.notify_all();
+    }
+}
+
+/// The receiving half: owned by the engine thread, usually wrapped in an
+/// [`IngestSession`].
+pub struct EventConsumer {
+    shared: Arc<Shared>,
+}
+
+impl EventConsumer {
+    /// Receives the next batch, blocking while the queue is empty and the
+    /// producer is alive. Returns `None` once the producer hung up and the
+    /// queue drained — the end of the stream.
+    pub fn recv(&mut self) -> Option<(u64, RoundEvents)> {
+        let mut state = self.shared.state.lock().expect("ingest lock");
+        loop {
+            if let Some(batch) = state.queue.pop_front() {
+                drop(state);
+                self.shared.not_full.notify_one();
+                return Some(batch);
+            }
+            if state.producer_gone {
+                return None;
+            }
+            state = self.shared.not_empty.wait(state).expect("ingest lock");
+        }
+    }
+
+    /// Returns a drained buffer to the spare pool for the producer to reuse.
+    /// Buffers beyond the pool's capacity are simply dropped.
+    pub fn recycle(&mut self, mut events: RoundEvents) {
+        events.clear();
+        let mut state = self.shared.state.lock().expect("ingest lock");
+        if state.spare.len() < state.spare.capacity() {
+            state.spare.push(events);
+        }
+    }
+}
+
+impl Drop for EventConsumer {
+    fn drop(&mut self) {
+        let mut state = self.shared.state.lock().expect("ingest lock");
+        state.consumer_gone = true;
+        drop(state);
+        self.shared.not_full.notify_all();
+    }
+}
+
+/// Consumer-side round sequencer: pulls round-tagged batches off an
+/// [`EventConsumer`] and hands each one to the engine **between** rounds,
+/// holding batches for future rounds until their round comes up.
+pub struct IngestSession {
+    consumer: EventConsumer,
+    /// A received batch whose round has not come up yet.
+    pending: Option<(u64, RoundEvents)>,
+    /// The stream ended (producer gone, queue drained).
+    ended: bool,
+    report: EventReport,
+}
+
+impl IngestSession {
+    /// Wraps the consumer half of a [`bounded`] channel.
+    pub fn new(consumer: EventConsumer) -> Self {
+        IngestSession {
+            consumer,
+            pending: None,
+            ended: false,
+            report: EventReport::default(),
+        }
+    }
+
+    /// Takes the batch tagged `round` off the channel, if there is one:
+    /// `Some` with the batch, `None` when this round has no events (the next
+    /// batch is tagged later, or the stream ended).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] if the next batch is tagged
+    /// with an earlier round — the producer violated the ordering protocol.
+    fn take_round(&mut self, round: u64) -> Result<Option<RoundEvents>, CoreError> {
+        if self.pending.is_none() && !self.ended {
+            match self.consumer.recv() {
+                Some(batch) => self.pending = Some(batch),
+                None => self.ended = true,
+            }
+        }
+        match &self.pending {
+            Some((tag, _)) if *tag < round => Err(CoreError::invalid_parameter(format!(
+                "ingest protocol violation: batch for round {tag} arrived while \
+                 applying round {round}"
+            ))),
+            Some((tag, _)) if *tag == round => {
+                let (_, events) = self.pending.take().expect("pending batch");
+                Ok(Some(events))
+            }
+            _ => Ok(None),
+        }
+    }
+
+    /// Copies the events for `round` into `out` (cleared first); `out` stays
+    /// empty when the round has no batch. Allocation-free once `out` has
+    /// grown to the working batch size. Use this when the driver needs to
+    /// observe the batch (e.g. to record it to a trace) before applying it;
+    /// otherwise [`apply_round`](IngestSession::apply_round) avoids the copy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] on an out-of-order batch.
+    pub fn fill_round(&mut self, round: u64, out: &mut RoundEvents) -> Result<(), CoreError> {
+        out.clear();
+        if let Some(events) = self.take_round(round)? {
+            out.arrivals.clone_from(&events.arrivals);
+            out.completions.clone_from(&events.completions);
+            self.consumer.recycle(events);
+        }
+        Ok(())
+    }
+
+    /// Applies the batch for `round` (if any) to `engine` and recycles the
+    /// buffer. Call between rounds, before `round` executes — the same point
+    /// the synchronous driver applies events, so both paths are
+    /// bit-identical.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] on an out-of-order batch or
+    /// when the engine rejects an event (unknown node, weighted arrival on
+    /// Algorithm 2).
+    pub fn apply_round(
+        &mut self,
+        round: u64,
+        engine: &mut dyn DynamicBalancer,
+    ) -> Result<EventReport, CoreError> {
+        let Some(events) = self.take_round(round)? else {
+            return Ok(EventReport::default());
+        };
+        let result = if events.is_empty() {
+            Ok(EventReport::default())
+        } else {
+            engine.apply_events(&events)
+        };
+        self.consumer.recycle(events);
+        let report = result?;
+        self.report.absorb(report);
+        Ok(report)
+    }
+
+    /// Totals across every batch applied through
+    /// [`apply_round`](IngestSession::apply_round).
+    pub fn report(&self) -> EventReport {
+        self.report
+    }
+
+    /// Whether the producer hung up and every sent batch has been consumed.
+    pub fn ended(&self) -> bool {
+        self.ended && self.pending.is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::continuous::Fos;
+    use crate::discrete::{DiscreteBalancer, FlowImitation, TaskPicker};
+    use crate::load::InitialLoad;
+    use crate::task::{Speeds, Task, TaskId};
+    use lb_graph::{generators, AlphaScheme};
+    use std::thread;
+
+    fn engine() -> FlowImitation<Fos> {
+        let g = generators::torus(4, 4).unwrap();
+        let speeds = Speeds::uniform(16);
+        let initial = InitialLoad::single_source(16, 0, 64);
+        let fos = Fos::new(g, &speeds, AlphaScheme::MaxDegreePlusOne).unwrap();
+        FlowImitation::new(fos, &initial, speeds, TaskPicker::Fifo).unwrap()
+    }
+
+    #[test]
+    fn batches_cross_the_channel_in_order() {
+        let (mut tx, mut rx) = bounded(2);
+        let handle = thread::spawn(move || {
+            for round in [0u64, 2, 5] {
+                let mut batch = tx.buffer();
+                batch.arrivals.push((0, Task::new(TaskId(round), 1)));
+                tx.send(round, batch).unwrap();
+            }
+        });
+        for expect in [0u64, 2, 5] {
+            let (round, events) = rx.recv().expect("batch arrives");
+            assert_eq!(round, expect);
+            assert_eq!(events.arrivals.len(), 1);
+            rx.recycle(events);
+        }
+        assert!(rx.recv().is_none(), "stream ends after the producer drops");
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn recycled_buffers_flow_back_to_the_producer() {
+        let (mut tx, mut rx) = bounded(1);
+        let mut batch = tx.buffer();
+        batch.arrivals.push((0, Task::new(TaskId(0), 1)));
+        batch.arrivals.push((1, Task::new(TaskId(1), 1)));
+        tx.send(0, batch).unwrap();
+        let (_, events) = rx.recv().unwrap();
+        let ptr = events.arrivals.as_ptr();
+        let capacity = events.arrivals.capacity();
+        rx.recycle(events);
+        let reused = tx.buffer();
+        assert!(reused.is_empty(), "recycled buffers come back cleared");
+        assert_eq!(reused.arrivals.capacity(), capacity);
+        assert_eq!(reused.arrivals.as_ptr(), ptr, "same heap buffer reused");
+    }
+
+    #[test]
+    fn send_fails_once_the_consumer_hangs_up() {
+        let (mut tx, rx) = bounded(1);
+        drop(rx);
+        let batch = tx.buffer();
+        assert_eq!(tx.send(0, batch), Err(Disconnected));
+    }
+
+    #[test]
+    #[should_panic(expected = "protocol violation")]
+    fn non_increasing_rounds_panic_in_the_producer() {
+        let (mut tx, _rx) = bounded(4);
+        let batch = tx.buffer();
+        tx.send(3, batch).unwrap();
+        let batch = tx.buffer();
+        let _ = tx.send(3, batch);
+    }
+
+    #[test]
+    fn session_applies_batches_between_rounds() {
+        let (mut tx, rx) = bounded(4);
+        let handle = thread::spawn(move || {
+            // Rounds 1 and 3 carry events; rounds 0 and 2 are skipped.
+            for round in [1u64, 3] {
+                let mut batch = tx.buffer();
+                batch
+                    .arrivals
+                    .push((3, Task::new(TaskId(1_000 + round), 1)));
+                tx.send(round, batch).unwrap();
+            }
+        });
+        let mut session = IngestSession::new(rx);
+        let mut alg1 = engine();
+        for round in 0..6u64 {
+            let report = session.apply_round(round, &mut alg1).unwrap();
+            let expect = u64::from(round == 1 || round == 3);
+            assert_eq!(report.arrived_tasks, expect, "round {round}");
+            alg1.step();
+        }
+        assert_eq!(session.report().arrived_tasks, 2);
+        assert_eq!(session.report().arrived_weight, 2);
+        assert!(session.ended(), "stream fully drained");
+        assert_eq!(alg1.arrived_weight(), 2);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn session_reports_out_of_order_batches() {
+        let (mut tx, rx) = bounded(4);
+        let batch = tx.buffer();
+        tx.send(0, batch).unwrap();
+        drop(tx);
+        let mut session = IngestSession::new(rx);
+        let mut alg1 = engine();
+        // Asking for round 2 while the batch for round 0 is pending is a
+        // protocol violation on the consumer side.
+        let err = session.apply_round(2, &mut alg1).unwrap_err();
+        assert!(err.to_string().contains("protocol violation"), "{err}");
+    }
+
+    #[test]
+    fn fill_round_copies_and_recycles() {
+        let (mut tx, rx) = bounded(4);
+        let mut batch = tx.buffer();
+        batch.arrivals.push((2, Task::new(TaskId(9), 1)));
+        batch.completions.push((0, 3));
+        tx.send(4, batch).unwrap();
+        drop(tx);
+        let mut session = IngestSession::new(rx);
+        let mut out = RoundEvents::default();
+        out.arrivals.push((0, Task::new(TaskId(0), 1))); // stale content
+        session.fill_round(3, &mut out).unwrap();
+        assert!(out.is_empty(), "round 3 has no batch; out is cleared");
+        session.fill_round(4, &mut out).unwrap();
+        assert_eq!(out.arrivals.len(), 1);
+        assert_eq!(out.completions, vec![(0, 3)]);
+        session.fill_round(5, &mut out).unwrap();
+        assert!(out.is_empty());
+        assert!(session.ended());
+    }
+
+    #[test]
+    fn bounded_queue_blocks_the_producer() {
+        // With capacity 1 the producer cannot run ahead: after the consumer
+        // takes the first batch, at most two more fit through before the
+        // producer finishes. The join proves the producer unblocks.
+        let (mut tx, mut rx) = bounded(1);
+        let handle = thread::spawn(move || {
+            for round in 0..32u64 {
+                let batch = tx.buffer();
+                if tx.send(round, batch).is_err() {
+                    return round;
+                }
+            }
+            32
+        });
+        let mut seen = 0;
+        while let Some((round, events)) = rx.recv() {
+            assert_eq!(round, seen, "rounds arrive in order");
+            seen += 1;
+            rx.recycle(events);
+        }
+        assert_eq!(seen, 32);
+        assert_eq!(handle.join().unwrap(), 32);
+    }
+}

@@ -22,6 +22,10 @@
 //!   single simulation's per-round `O(m)` work across contiguous node-range
 //!   shards on persistent worker threads, bit-identically to the sequential
 //!   engine.
+//! * [`ingest`] — async event ingestion: a bounded SPSC channel feeding
+//!   round-tagged [`discrete::RoundEvents`] batches from an external producer
+//!   thread (trace replay, live traffic) into a
+//!   [`discrete::DynamicBalancer`], bit-identically to the synchronous path.
 //!
 //! ## Quick example
 //!
@@ -57,6 +61,7 @@ pub mod continuous;
 pub mod convergence;
 pub mod discrete;
 mod error;
+pub mod ingest;
 mod load;
 pub mod metrics;
 pub mod shard;

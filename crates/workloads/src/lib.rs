@@ -7,7 +7,9 @@
 //! ([`pad_for_min_load`]), and dynamic-workload scenarios ([`scenario`]):
 //! a JSON-serialisable [`Scenario`] spec describing per-round task arrivals,
 //! completions and topology churn, with a deterministic event stream
-//! ([`ScenarioEvents`]).
+//! ([`ScenarioEvents`]). The [`trace`] module records any run's event stream
+//! to a line-delimited JSON file ([`TraceWriter`]) and reads it back
+//! ([`Trace`]) for bit-identical replay.
 //!
 //! ```
 //! use lb_workloads::{TokenDistribution, SpeedModel};
@@ -25,6 +27,7 @@
 
 mod distributions;
 pub mod scenario;
+pub mod trace;
 mod weights;
 
 pub use distributions::{corner_source, pad_for_min_load, TokenDistribution};
@@ -32,4 +35,5 @@ pub use scenario::{
     AlgorithmSpec, ArrivalSpec, ChurnEvent, ChurnKind, InitialSpec, ModelSpec, PadSpec, Scenario,
     ScenarioEvents, ServiceSpec, SpeedSpec, TopologySpec, MAX_SHARDS,
 };
+pub use trace::{Trace, TraceRound, TraceWriter, TRACE_VERSION};
 pub use weights::{weighted_load, SpeedModel, WeightModel};

@@ -9,9 +9,9 @@
 //! The JSON schema is documented in ROADMAP.md (`## Scenario spec`), with a
 //! runnable example at `examples/scenario_poisson.json`.
 //!
-//! The spec layer is engine-agnostic: it produces
-//! [`RoundEvents`](lb_core::discrete::RoundEvents) batches and leaves graph
-//! construction and engine choice to the driver (`lb-bench`'s `lb run`).
+//! The spec layer is engine-agnostic: it produces [`RoundEvents`] batches
+//! and leaves graph construction and engine choice to the driver
+//! (`lb-bench`'s `lb run`).
 
 use lb_analysis::Json;
 use lb_core::discrete::RoundEvents;

@@ -13,6 +13,7 @@ use lb_core::continuous::{ContinuousRunner, DimensionExchange, Fos};
 use lb_core::discrete::{
     DiscreteBalancer, DynamicBalancer, FlowImitation, RandomizedImitation, RoundEvents, TaskPicker,
 };
+use lb_core::ingest::{self, IngestSession};
 use lb_core::{InitialLoad, ShardedExecutor, Speeds, Task, TaskId};
 use lb_graph::{generators, AlphaScheme, Graph};
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -196,4 +197,53 @@ fn steady_state_rounds_do_not_allocate() {
     assert_zero_alloc_steady_state("RandomizedImitation sharded(3)", 400, 100, &mut || {
         alg2.step_sharded(&mut exec)
     });
+
+    // Channel ingestion: a producer thread streams deterministic batches
+    // through the bounded SPSC channel while the engine drains one batch
+    // between rounds. The allocator counter is global, so the measured
+    // window covers BOTH threads: once buffers circulate (the producer draws
+    // recycled ones via `buffer()`), a steady-state round — produce, send,
+    // receive, apply, recycle, step — must allocate nothing anywhere. The
+    // producer sends more batches than the measured run consumes, so it is
+    // parked on the bounded queue (not exiting) when measurement ends.
+    let fos = Fos::new(Arc::clone(&graph), &speeds, AlphaScheme::MaxDegreePlusOne)
+        .expect("FOS constructs");
+    let mut alg1 = FlowImitation::new(fos, &initial, speeds.clone(), TaskPicker::Fifo)
+        .expect("dimensions agree");
+    let (mut tx, rx) = ingest::bounded(8);
+    let nodes = n;
+    let mut next_id = initial.task_count() as u64;
+    let producer = std::thread::spawn(move || {
+        for round in 0..700u64 {
+            let mut batch = tx.buffer();
+            for k in 0..4u64 {
+                batch
+                    .completions
+                    .push(((round as usize * 13 + 7 * k as usize) % nodes, 1));
+            }
+            for k in 0..4u64 {
+                let task = Task::new(TaskId(next_id), 1);
+                next_id += 1;
+                batch
+                    .arrivals
+                    .push(((round as usize * 31 + k as usize) % nodes, task));
+            }
+            if tx.send(round, batch).is_err() {
+                return; // consumer done; the test is over
+            }
+        }
+    });
+    let mut session = IngestSession::new(rx);
+    let mut round = 0u64;
+    assert_zero_alloc_steady_state("FlowImitation channel ingestion", 400, 100, &mut || {
+        session
+            .apply_round(round, &mut alg1)
+            .expect("batch applies");
+        round += 1;
+        alg1.step();
+    });
+    assert_eq!(session.report().arrived_tasks, 4 * 500);
+    assert!(alg1.completed_weight() > 0);
+    drop(session); // hang up; the blocked producer's next send fails
+    producer.join().expect("producer exits cleanly");
 }
