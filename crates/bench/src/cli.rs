@@ -4,8 +4,10 @@
 //!
 //! ```text
 //! lb run <scenario.json> [--seed N] [--shards N] [--producer MODE]
-//!        [--record PATH] [--out PATH] [--quiet]
-//! lb replay <trace.jsonl> [--shards N] [--out PATH] [--quiet]
+//!        [--record PATH] [--ingest-stats PATH] [--out PATH] [--quiet]
+//! lb replay <trace.jsonl | -> [--follow] [--idle-timeout-ms N] [--shards N]
+//!        [--ingest-stats PATH] [--out PATH] [--quiet]
+//! lb serve-trace <trace.jsonl> [--out PATH] [--delay-ms N]
 //! lb table1|table2|theorem3|theorem8|trajectory|heterogeneous|
 //!    dummy_ablation|fos_vs_sos|dynamic_arrivals [--quick]
 //! lb hotpath [--quick] [--shards N]
@@ -24,13 +26,15 @@
 //! shims over [`shim`], so one dispatch table owns all argument parsing.
 
 use crate::dynamic::{
-    replay_trace, run_scenario_with, Producer, RoundSample, RunOptions, ScenarioOutcome,
-    DEFAULT_CHANNEL_CAPACITY,
+    replay_source, replay_trace, run_scenario_with, Producer, RoundSample, RunOptions,
+    ScenarioOutcome, DEFAULT_CHANNEL_CAPACITY, MAX_MERGE_FEEDS,
 };
 use lb_analysis::Json;
-use lb_workloads::{Scenario, Trace};
+use lb_workloads::{ReadSource, Scenario, Trace, TraceSource};
 use std::fs;
+use std::io::Write;
 use std::path::PathBuf;
+use std::time::Duration;
 
 /// Usage text printed by `lb help` and on argument errors.
 const USAGE: &str = "\
@@ -48,21 +52,49 @@ COMMANDS:
                           parallelism; results are bit-identical for every N).
                           Env fallback: LB_BENCH_SHARDS.
         --producer MODE   How events reach the engine: 'scenario' (inline,
-                          the default) or 'channel' (async ingestion — a
+                          the default), 'channel' (async ingestion — a
                           producer thread streams batches through the bounded
-                          SPSC channel). Results are bit-identical either way.
+                          SPSC channel) or 'merge:N' (N producer threads,
+                          k-way merged back into round order). Results are
+                          bit-identical in every mode.
         --record PATH     Record the applied event stream as a replayable
                           line-delimited JSON trace (see ROADMAP.md 'Async
                           ingestion'). Recording never perturbs the run.
+        --ingest-stats PATH
+                          Write the ingestion report (per-feed batch/event
+                          totals, blocked sends/nanos, high-water depth) as
+                          JSON to PATH. Kept out of the result document
+                          because the counters are timing-dependent.
         --out PATH        Also write the result JSON to PATH.
         --quiet           Suppress the per-sample stream on stderr.
-    replay <trace.jsonl>  Replay a recorded trace through the async ingestion
+    replay <trace.jsonl | ->
+                          Replay a recorded trace through the async ingestion
                           channel; emits result JSON byte-identical to the
-                          recorded run's (the trace pins the seed).
+                          recorded run's (the trace pins the seed). '-' reads
+                          a framed trace stream from stdin (pipe a
+                          'lb serve-trace' into it for end-to-end testing).
+        --follow          Tail the trace file as it grows instead of loading
+                          it up front; only the 'end' record ends the run
+                          cleanly (see --idle-timeout-ms).
+        --idle-timeout-ms N
+                          With --follow: how long the tail may see no growth
+                          before the trace is declared stalled/truncated
+                          [default: 10000].
         --shards N        Override the recorded shard count (results are
                           bit-identical for every N). Env: LB_BENCH_SHARDS.
+        --ingest-stats PATH
+                          Write the ingestion report as JSON to PATH.
         --out PATH        Also write the result JSON to PATH.
         --quiet           Suppress the per-sample stream on stderr.
+    serve-trace <trace.jsonl>
+                          Drip a recorded trace's lines to stdout (or --out),
+                          flushing per line — a test traffic source for
+                          'lb replay -' pipes and 'lb replay --follow' tails.
+                          Lines are served verbatim, without validation, so
+                          fault cases can be staged deliberately.
+        --out PATH        Append-serve into PATH (created/truncated first)
+                          instead of stdout.
+        --delay-ms N      Sleep N milliseconds between lines [default: 0].
     table1, table2, theorem3, theorem8, trajectory, heterogeneous,
     dummy_ablation, fos_vs_sos, dynamic_arrivals
                           Regenerate one experiment artefact.
@@ -180,6 +212,7 @@ pub fn dispatch(args: &[String]) -> i32 {
     match command.as_str() {
         "run" => cmd_run(rest),
         "replay" => cmd_replay(rest),
+        "serve-trace" | "serve_trace" => cmd_serve_trace(rest),
         "hotpath" => {
             let parsed = match parse_args(rest, &["--shards"], &["--quick"], 0) {
                 Ok(parsed) => parsed,
@@ -282,10 +315,62 @@ fn emit_outcome(outcome: &ScenarioOutcome, out: Option<&str>) -> Result<(), Stri
     Ok(())
 }
 
+/// Writes the ingestion report (`--ingest-stats`). Sync runs produce an
+/// empty report so the artefact shape is uniform across producer modes.
+fn emit_ingest_stats(outcome: &ScenarioOutcome, path: &str) -> Result<(), String> {
+    let stats = outcome.ingest.clone().unwrap_or_else(|| {
+        Json::obj([
+            ("producer", Json::from("scenario")),
+            ("feeds", Json::Arr(Vec::new())),
+        ])
+    });
+    fs::write(path, stats.render_pretty()).map_err(|e| format!("writing {path}: {e}"))?;
+    eprintln!("(ingest stats written to {path})");
+    Ok(())
+}
+
+/// Parses a `--producer` mode: `scenario`, `channel`, or `merge:<feeds>`.
+fn producer_option(value: Option<&str>) -> Result<Producer, String> {
+    match value {
+        None | Some("scenario") => Ok(Producer::Scenario),
+        Some("channel") => Ok(Producer::Channel {
+            capacity: DEFAULT_CHANNEL_CAPACITY,
+        }),
+        Some(mode) => {
+            if let Some(feeds) = mode.strip_prefix("merge:") {
+                let feeds: usize = feeds
+                    .parse()
+                    .map_err(|e| format!("--producer merge: {e}"))?;
+                if feeds == 0 || feeds > MAX_MERGE_FEEDS {
+                    return Err(format!(
+                        "--producer merge: feed count must be in 1..={MAX_MERGE_FEEDS}, \
+                         got {feeds}"
+                    ));
+                }
+                Ok(Producer::Merge {
+                    feeds,
+                    capacity: DEFAULT_CHANNEL_CAPACITY,
+                })
+            } else {
+                Err(format!(
+                    "--producer: unknown mode {mode:?} (want scenario|channel|merge:<feeds>)"
+                ))
+            }
+        }
+    }
+}
+
 fn cmd_run(args: &[String]) -> i32 {
     let parsed = match parse_args(
         args,
-        &["--seed", "--shards", "--out", "--record", "--producer"],
+        &[
+            "--seed",
+            "--shards",
+            "--out",
+            "--record",
+            "--producer",
+            "--ingest-stats",
+        ],
         &["--quiet"],
         1,
     ) {
@@ -307,16 +392,9 @@ fn cmd_run(args: &[String]) -> i32 {
         Ok(shards) => shards,
         Err(err) => return usage_error(&err),
     };
-    let producer = match parsed.value("--producer") {
-        None | Some("scenario") => Producer::Scenario,
-        Some("channel") => Producer::Channel {
-            capacity: DEFAULT_CHANNEL_CAPACITY,
-        },
-        Some(other) => {
-            return usage_error(&format!(
-                "--producer: unknown mode {other:?} (want scenario|channel)"
-            ))
-        }
+    let producer = match producer_option(parsed.value("--producer")) {
+        Ok(producer) => producer,
+        Err(err) => return usage_error(&err),
     };
     let options = RunOptions {
         seed,
@@ -337,6 +415,9 @@ fn cmd_run(args: &[String]) -> i32 {
         if let Some(trace) = &options.record {
             eprintln!("(event trace recorded to {})", trace.display());
         }
+        if let Some(stats_path) = parsed.value("--ingest-stats") {
+            emit_ingest_stats(&outcome, stats_path)?;
+        }
         emit_outcome(&outcome, parsed.value("--out"))
     })();
     match result {
@@ -349,32 +430,126 @@ fn cmd_run(args: &[String]) -> i32 {
 }
 
 fn cmd_replay(args: &[String]) -> i32 {
-    let parsed = match parse_args(args, &["--shards", "--out"], &["--quiet"], 1) {
+    let parsed = match parse_args(
+        args,
+        &["--shards", "--out", "--ingest-stats", "--idle-timeout-ms"],
+        &["--quiet", "--follow"],
+        1,
+    ) {
         Ok(parsed) => parsed,
         Err(err) => return usage_error(&err),
     };
     let Some(path) = parsed.positionals.first().copied() else {
-        return usage_error("replay requires a trace file (lb replay <trace.jsonl>)");
+        return usage_error("replay requires a trace file (lb replay <trace.jsonl | ->)");
     };
     let shards = match shards_option(parsed.value("--shards")) {
         Ok(shards) => shards,
         Err(err) => return usage_error(&err),
     };
+    let follow = parsed.has("--follow");
+    let idle_timeout = match parsed.value("--idle-timeout-ms") {
+        Some(_) if !follow => {
+            return usage_error("--idle-timeout-ms only applies with --follow");
+        }
+        Some(v) => match v.parse::<u64>() {
+            Ok(ms) => Duration::from_millis(ms),
+            Err(e) => return usage_error(&format!("--idle-timeout-ms: {e}")),
+        },
+        None => Duration::from_millis(10_000),
+    };
+    if follow && path == "-" {
+        return usage_error("--follow tails a file; it cannot follow stdin ('-')");
+    }
     let quiet = parsed.has("--quiet");
 
     let result = (|| -> Result<(), String> {
-        let trace = Trace::load(path)?;
-        let (recorded_rounds, recorded_events) = (trace.rounds.len(), trace.event_count());
-        let outcome = replay_trace(trace, shards, |sample| {
+        let on_sample = |sample: &RoundSample| {
             if !quiet {
                 stream_sample(sample);
             }
-        })?;
-        eprintln!("(replayed {recorded_rounds} recorded round(s), {recorded_events} event(s))");
+        };
+        let outcome = if path == "-" {
+            // A framed byte stream on stdin (e.g. `lb serve-trace | lb
+            // replay -`): records are parsed incrementally as they arrive.
+            let source = ReadSource::new(std::io::stdin())?;
+            replay_source(Box::new(source), shards, on_sample)?
+        } else if follow {
+            // Tail the file as it grows; the end record is the clean exit.
+            let source = TraceSource::open_with(
+                path,
+                idle_timeout,
+                lb_workloads::source::DEFAULT_POLL_INTERVAL,
+            )?;
+            replay_source(Box::new(source), shards, on_sample)?
+        } else {
+            let trace = Trace::load(path)?;
+            let (recorded_rounds, recorded_events) = (trace.rounds.len(), trace.event_count());
+            let outcome = replay_trace(trace, shards, on_sample)?;
+            eprintln!("(replayed {recorded_rounds} recorded round(s), {recorded_events} event(s))");
+            outcome
+        };
+        if let Some(stats_path) = parsed.value("--ingest-stats") {
+            emit_ingest_stats(&outcome, stats_path)?;
+        }
         emit_outcome(&outcome, parsed.value("--out"))
     })();
     match result {
         Ok(()) => 0,
+        Err(err) => {
+            eprintln!("error: {err}");
+            1
+        }
+    }
+}
+
+/// Drips a recorded trace's lines to stdout or a file, flushing per line —
+/// the test traffic source behind the `merge-ingestion` CI job's pipe and
+/// file-tail runs. Lines are served verbatim (no validation) so fault cases
+/// can be staged deliberately.
+fn cmd_serve_trace(args: &[String]) -> i32 {
+    let parsed = match parse_args(args, &["--out", "--delay-ms"], &[], 1) {
+        Ok(parsed) => parsed,
+        Err(err) => return usage_error(&err),
+    };
+    let Some(path) = parsed.positionals.first().copied() else {
+        return usage_error("serve-trace requires a trace file (lb serve-trace <trace.jsonl>)");
+    };
+    let delay = match parsed.value("--delay-ms") {
+        Some(v) => match v.parse::<u64>() {
+            Ok(ms) => Duration::from_millis(ms),
+            Err(e) => return usage_error(&format!("--delay-ms: {e}")),
+        },
+        None => Duration::ZERO,
+    };
+
+    let result = (|| -> Result<usize, String> {
+        // Stream line by line: serving a multi-gigabyte trace must not
+        // stage the whole file in memory first.
+        let file = fs::File::open(path).map_err(|e| format!("reading {path}: {e}"))?;
+        let reader = std::io::BufReader::new(file);
+        let mut out: Box<dyn Write> = match parsed.value("--out") {
+            Some(target) => {
+                Box::new(fs::File::create(target).map_err(|e| format!("creating {target}: {e}"))?)
+            }
+            None => Box::new(std::io::stdout()),
+        };
+        let mut served = 0usize;
+        for line in std::io::BufRead::lines(reader) {
+            let line = line.map_err(|e| format!("reading {path}: {e}"))?;
+            writeln!(out, "{line}").map_err(|e| format!("serving trace: {e}"))?;
+            out.flush().map_err(|e| format!("serving trace: {e}"))?;
+            served += 1;
+            if !delay.is_zero() {
+                std::thread::sleep(delay);
+            }
+        }
+        Ok(served)
+    })();
+    match result {
+        Ok(served) => {
+            eprintln!("(served {served} line(s))");
+            0
+        }
         Err(err) => {
             eprintln!("error: {err}");
             1
@@ -407,6 +582,15 @@ fn sharded_rounds_per_sec(doc: &Json) -> Option<f64> {
 fn ingest_events_per_sec(doc: &Json) -> Option<f64> {
     doc.get("ingest")?
         .get("channel")?
+        .get("events_per_sec")?
+        .as_f64()
+}
+
+/// Reads the merge-stage throughput (`ingest.merge.events_per_sec`) from a
+/// hotpath/baseline document, if present.
+fn merge_events_per_sec(doc: &Json) -> Option<f64> {
+    doc.get("ingest")?
+        .get("merge")?
         .get("events_per_sec")?
         .as_f64()
 }
@@ -495,6 +679,15 @@ fn cmd_bench_check(args: &[String]) -> i32 {
             }
             _ => println!("bench-check [ingest]: no baseline entry, skipped"),
         }
+        match merge_events_per_sec(&baseline_doc) {
+            Some(merge_baseline) if merge_baseline > 0.0 => {
+                let merge_current = merge_events_per_sec(&current_doc).ok_or_else(|| {
+                    format!("{current_path}: no ingest.merge.events_per_sec field")
+                })?;
+                ok &= gate("merge", "events/sec", merge_baseline, merge_current);
+            }
+            _ => println!("bench-check [merge]: no baseline entry, skipped"),
+        }
         Ok(ok)
     })();
     match verdict {
@@ -581,6 +774,94 @@ mod tests {
             2
         );
         assert_eq!(dispatch(&args(&["replay", "t.jsonl", "--shards", "x"])), 2);
+    }
+
+    #[test]
+    fn producer_option_parses_merge_specs() {
+        assert_eq!(producer_option(None).unwrap(), Producer::Scenario);
+        assert_eq!(
+            producer_option(Some("scenario")).unwrap(),
+            Producer::Scenario
+        );
+        assert!(matches!(
+            producer_option(Some("channel")).unwrap(),
+            Producer::Channel { .. }
+        ));
+        assert_eq!(
+            producer_option(Some("merge:3")).unwrap(),
+            Producer::Merge {
+                feeds: 3,
+                capacity: DEFAULT_CHANNEL_CAPACITY
+            }
+        );
+        assert!(producer_option(Some("merge:0")).is_err());
+        assert!(producer_option(Some("merge:65")).is_err());
+        assert!(producer_option(Some("merge:lots")).is_err());
+        assert!(producer_option(Some("merge")).is_err());
+        // And through the dispatch layer they are usage errors.
+        assert_eq!(
+            dispatch(&args(&["run", "s.json", "--producer", "merge:0"])),
+            2
+        );
+        assert_eq!(
+            dispatch(&args(&["run", "s.json", "--producer", "merge:x"])),
+            2
+        );
+    }
+
+    #[test]
+    fn replay_stream_flags_are_validated() {
+        // --idle-timeout-ms without --follow, --follow on stdin, and a bad
+        // timeout value are all usage errors before any I/O happens.
+        assert_eq!(
+            dispatch(&args(&["replay", "t.jsonl", "--idle-timeout-ms", "50"])),
+            2
+        );
+        assert_eq!(dispatch(&args(&["replay", "-", "--follow"])), 2);
+        assert_eq!(
+            dispatch(&args(&[
+                "replay",
+                "t.jsonl",
+                "--follow",
+                "--idle-timeout-ms",
+                "soon"
+            ])),
+            2
+        );
+        // Unknown options stay rejected on the grown surface.
+        assert_eq!(dispatch(&args(&["replay", "t.jsonl", "--tail"])), 2);
+    }
+
+    #[test]
+    fn serve_trace_requires_its_input() {
+        assert_eq!(dispatch(&args(&["serve-trace"])), 2);
+        assert_eq!(dispatch(&args(&["serve-trace", "/no/such.jsonl"])), 1);
+        assert_eq!(dispatch(&args(&["serve-trace", "a", "b"])), 2);
+        assert_eq!(
+            dispatch(&args(&["serve-trace", "t.jsonl", "--delay-ms", "soon"])),
+            2
+        );
+    }
+
+    #[test]
+    fn serve_trace_drips_lines_verbatim() {
+        let dir = std::env::temp_dir().join("lb_serve_trace_test");
+        fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("trace.jsonl");
+        let out = dir.join("served.jsonl");
+        fs::write(&trace, "{\"kind\":\"header\"}\nnot json at all\n").unwrap();
+        let code = dispatch(&args(&[
+            "serve-trace",
+            trace.to_str().unwrap(),
+            "--out",
+            out.to_str().unwrap(),
+        ]));
+        assert_eq!(code, 0);
+        assert_eq!(
+            fs::read_to_string(&out).unwrap(),
+            "{\"kind\":\"header\"}\nnot json at all\n",
+            "lines are served verbatim, without validation"
+        );
     }
 
     #[test]
@@ -768,6 +1049,56 @@ mod tests {
         assert_eq!(dispatch(&base_args()), 1, "missing ingest entry");
 
         // No baseline entry: the ingest gate is skipped.
+        fs::write(&baseline, r#"{"rounds_per_sec": 100.0}"#).unwrap();
+        assert_eq!(dispatch(&base_args()), 0, "no baseline entry, skipped");
+    }
+
+    #[test]
+    fn bench_check_gates_the_merge_entry() {
+        let dir = std::env::temp_dir().join("lb_bench_check_merge_test");
+        fs::create_dir_all(&dir).unwrap();
+        let baseline = dir.join("baseline.json");
+        let current = dir.join("current.json");
+        let base_args = || {
+            args(&[
+                "bench-check",
+                "--baseline",
+                baseline.to_str().unwrap(),
+                "--current",
+                current.to_str().unwrap(),
+            ])
+        };
+
+        fs::write(
+            &baseline,
+            r#"{"rounds_per_sec": 100.0,
+               "ingest": {"merge": {"events_per_sec": 1000000.0}}}"#,
+        )
+        .unwrap();
+
+        // Above the floor: passes.
+        fs::write(
+            &current,
+            r#"{"optimized": {"rounds_per_sec": 100.0},
+               "ingest": {"merge": {"events_per_sec": 900000.0}}}"#,
+        )
+        .unwrap();
+        assert_eq!(dispatch(&base_args()), 0, "within the allowance");
+
+        // A >25% merge-stage drop fails even when the hot path is healthy.
+        fs::write(
+            &current,
+            r#"{"optimized": {"rounds_per_sec": 100.0},
+               "ingest": {"merge": {"events_per_sec": 500000.0}}}"#,
+        )
+        .unwrap();
+        assert_eq!(dispatch(&base_args()), 1, "merge regression fails");
+
+        // Gated baselines demand the entry in the current file.
+        fs::write(&current, r#"{"optimized": {"rounds_per_sec": 100.0}}"#).unwrap();
+        assert_eq!(dispatch(&base_args()), 1, "missing merge entry");
+
+        // No baseline entry: the merge gate is skipped.
         fs::write(&baseline, r#"{"rounds_per_sec": 100.0}"#).unwrap();
         assert_eq!(dispatch(&base_args()), 0, "no baseline entry, skipped");
     }

@@ -8,29 +8,41 @@
 //! **bit-identical** result JSON across runs and machines (the document
 //! contains no timings). `tests/dynamic_scenarios.rs` pins this.
 //!
-//! Events can reach the engine three ways, all bit-identical for the same
-//! scenario and seed (`tests/ingest_equivalence.rs`):
+//! Events can reach the engine five ways, all bit-identical for the same
+//! scenario and seed (`tests/ingest_equivalence.rs`,
+//! `tests/merge_equivalence.rs`):
 //!
 //! * **sync** ([`Producer::Scenario`]) — the driver materialises each
 //!   round's batch inline from the scenario's event stream;
 //! * **channel** ([`Producer::Channel`]) — a producer thread streams the
 //!   same batches through the bounded SPSC channel of [`lb_core::ingest`];
+//! * **merge** ([`Producer::Merge`]) — N producer threads each stream a
+//!   contiguous per-round slice of the same batches over their own channel,
+//!   k-way merged back into round order by [`lb_core::ingest::merge`];
 //! * **trace replay** ([`replay_trace`]) — the batches come from a recorded
-//!   trace file ([`lb_workloads::trace`]) through the channel.
+//!   trace file ([`lb_workloads::trace`]) through the channel;
+//! * **byte-stream replay** ([`replay_source`]) — the batches are parsed
+//!   incrementally from a live byte stream ([`lb_workloads::source`]: a
+//!   growing file tail or any pipe/socket reader) on the producer thread.
 //!
 //! Any run can be recorded ([`RunOptions::record`]) and replayed later.
+//! Channel-fed runs additionally report backpressure metrics (blocked
+//! sends/duration per feed, high-water depth) through
+//! [`ScenarioOutcome::ingest`] — out of band, because those counters are
+//! timing-dependent while the result document is pinned byte-identical.
 
 use lb_analysis::Json;
 use lb_core::continuous::{Fos, Sos};
 use lb_core::discrete::{
     DiscreteBalancer, DynamicBalancer, FlowImitation, RandomizedImitation, RoundEvents, TaskPicker,
 };
-use lb_core::ingest::{self, IngestSession};
+use lb_core::ingest::merge::MergeSession;
+use lb_core::ingest::{self, ChannelMetrics, IngestSession};
 use lb_core::{metrics, CoreError, InitialLoad, ShardedExecutor, Speeds};
 use lb_graph::{AlphaScheme, Graph};
 use lb_workloads::{
-    pad_for_min_load, AlgorithmSpec, ChurnKind, ModelSpec, PadSpec, Scenario, ScenarioEvents,
-    Trace, TraceWriter,
+    pad_for_min_load, AlgorithmSpec, ChurnKind, ModelSpec, PadSpec, RoundSource, Scenario,
+    ScenarioEvents, Trace, TraceWriter,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -97,6 +109,13 @@ pub struct ScenarioOutcome {
     pub trajectory: Vec<RoundSample>,
     /// Total dummy load drawn from the infinite source over the run.
     pub dummy_created: u64,
+    /// Ingestion report for channel-fed runs (`None` on the sync path):
+    /// per-feed batch/event totals and backpressure metrics. Deliberately
+    /// **not** part of [`to_json`](ScenarioOutcome::to_json) — the counters
+    /// are timing-dependent, while the result document is pinned
+    /// byte-identical across producer modes; emit this out of band (stderr,
+    /// `--ingest-stats`).
+    pub ingest: Option<Json>,
 }
 
 impl ScenarioOutcome {
@@ -293,10 +312,26 @@ pub enum Producer {
         /// Maximum in-flight batches (how far the producer may run ahead).
         capacity: usize,
     },
+    /// The multi-producer path: `feeds` producer threads each generate the
+    /// stream and send a contiguous per-round slice of every batch over
+    /// their own bounded channel; the consumer side k-way merges the slices
+    /// back into one round-ordered stream ([`lb_core::ingest::merge`]).
+    /// Coalescing in feed index order reconstructs each batch exactly, so
+    /// results stay byte-identical to the sync path.
+    Merge {
+        /// Number of producer feeds (1..=[`MAX_MERGE_FEEDS`]).
+        feeds: usize,
+        /// Per-feed channel capacity.
+        capacity: usize,
+    },
 }
 
 /// Default channel capacity for [`Producer::Channel`] and [`replay_trace`].
 pub const DEFAULT_CHANNEL_CAPACITY: usize = 32;
+
+/// Upper bound on [`Producer::Merge`] feeds: each feed is an OS thread, so
+/// an absurd count must be a validation error, not a `thread::spawn` abort.
+pub const MAX_MERGE_FEEDS: usize = 64;
 
 /// Options for [`run_scenario_with`].
 #[derive(Debug, Clone, Default)]
@@ -317,6 +352,25 @@ pub struct RunOptions {
     pub record: Option<PathBuf>,
 }
 
+/// The JSON form of one feed's ingestion stats.
+fn feed_stats_json(
+    feed: usize,
+    batches: u64,
+    events: u64,
+    drained: bool,
+    channel: ChannelMetrics,
+) -> Json {
+    Json::obj([
+        ("feed", Json::from(feed)),
+        ("batches", Json::from(batches)),
+        ("events", Json::from(events)),
+        ("drained", Json::from(drained)),
+        ("blocked_sends", Json::from(channel.blocked_sends)),
+        ("blocked_nanos", Json::from(channel.blocked_nanos)),
+        ("high_water", Json::from(channel.high_water)),
+    ])
+}
+
 /// Where the driver's per-round batches come from.
 enum EventSource {
     /// Inline generation from the scenario stream.
@@ -324,7 +378,12 @@ enum EventSource {
     /// A producer thread on the other end of the ingest channel.
     Channel {
         session: IngestSession,
-        producer: Option<JoinHandle<()>>,
+        producer: Option<JoinHandle<Result<(), String>>>,
+    },
+    /// N producer threads, k-way merged on the consumer side.
+    Merge {
+        session: MergeSession,
+        producers: Vec<JoinHandle<Result<(), String>>>,
     },
 }
 
@@ -340,6 +399,9 @@ impl EventSource {
             EventSource::Channel { session, .. } => session
                 .fill_round(round as u64, out)
                 .map_err(|err| err.to_string()),
+            EventSource::Merge { session, .. } => session
+                .fill_round(round as u64, out)
+                .map_err(|err| err.to_string()),
         }
     }
 
@@ -351,18 +413,73 @@ impl EventSource {
         }
     }
 
-    /// Tears the source down, joining the producer thread (its send fails as
-    /// soon as the session drops, so this never blocks on a full queue).
-    fn finish(self) -> Result<(), String> {
-        if let EventSource::Channel { session, producer } = self {
-            drop(session);
-            if let Some(handle) = producer {
-                handle
-                    .join()
-                    .map_err(|_| "ingest producer thread panicked".to_string())?;
+    /// Joins one producer thread: a panic becomes a typed error (the panic
+    /// already released the channel via `Drop`, so the run itself degraded
+    /// to an event-free remainder instead of deadlocking), and a producer's
+    /// own error — e.g. a torn trace tail — propagates verbatim.
+    fn join_producer(handle: JoinHandle<Result<(), String>>) -> Result<(), String> {
+        handle
+            .join()
+            .map_err(|_| "ingest producer thread panicked".to_string())?
+    }
+
+    /// Tears the source down: snapshots the ingestion stats, drops the
+    /// consumer side (any still-blocked producer send fails immediately, so
+    /// this never blocks on a full queue), then joins every producer thread
+    /// and propagates the first failure.
+    fn finish(self) -> Result<Option<Json>, String> {
+        match self {
+            EventSource::Sync(_) => Ok(None),
+            EventSource::Channel { session, producer } => {
+                let stats = Json::obj([
+                    ("producer", Json::from("channel")),
+                    (
+                        "feeds",
+                        Json::Arr(vec![feed_stats_json(
+                            0,
+                            session.batches(),
+                            session.events(),
+                            session.ended(),
+                            session.metrics(),
+                        )]),
+                    ),
+                ]);
+                drop(session);
+                producer.map(Self::join_producer).transpose()?;
+                Ok(Some(stats))
+            }
+            EventSource::Merge { session, producers } => {
+                let feeds = session
+                    .feed_reports()
+                    .into_iter()
+                    .enumerate()
+                    .map(|(feed, report)| {
+                        feed_stats_json(
+                            feed,
+                            report.batches,
+                            report.events,
+                            report.drained,
+                            report.channel,
+                        )
+                    })
+                    .collect();
+                let stats = Json::obj([
+                    ("producer", Json::from("merge")),
+                    ("feeds", Json::Arr(feeds)),
+                ]);
+                drop(session);
+                let mut failure = None;
+                for handle in producers {
+                    if let Err(err) = Self::join_producer(handle) {
+                        failure.get_or_insert(err);
+                    }
+                }
+                match failure {
+                    Some(err) => Err(err),
+                    None => Ok(Some(stats)),
+                }
             }
         }
-        Ok(())
     }
 }
 
@@ -405,7 +522,7 @@ fn spawn_scenario_producer(
     schedule: Vec<(usize, Speeds)>,
     rounds: usize,
     capacity: usize,
-) -> (IngestSession, JoinHandle<()>) {
+) -> (IngestSession, JoinHandle<Result<(), String>>) {
     let (mut tx, rx) = ingest::bounded(capacity);
     let handle = std::thread::spawn(move || {
         let mut schedule = schedule.into_iter().peekable();
@@ -420,11 +537,70 @@ fn spawn_scenario_producer(
             if batch.is_empty() {
                 spare = Some(batch);
             } else if tx.send(round as u64, batch).is_err() {
-                return; // consumer hung up; the driver reports its own error
+                return Ok(()); // consumer hung up; the driver reports its own error
             }
         }
+        Ok(())
     });
     (IngestSession::new(rx), handle)
+}
+
+/// The contiguous slice of a `len`-element event list that feed `feed` of
+/// `feeds` carries. Concatenating the slices in feed index order — exactly
+/// what the merge stage's coalescing does — reconstructs the original list.
+/// (`pub(crate)`: the hotpath merge benchmark partitions with the same
+/// formula so it measures the production path's shape.)
+pub(crate) fn feed_slice(len: usize, feed: usize, feeds: usize) -> std::ops::Range<usize> {
+    (len * feed / feeds)..(len * (feed + 1) / feeds)
+}
+
+/// Spawns the producer threads for [`Producer::Merge`]: every feed runs the
+/// full (deterministic) scenario stream and sends only its contiguous slice
+/// of each round's batch over its own channel — no cross-thread coordination
+/// on the producer side at all. Empty slices are skipped, so a feed can go
+/// whole rounds without sending.
+fn spawn_merge_producers(
+    stream: ScenarioEvents,
+    schedule: Vec<(usize, Speeds)>,
+    rounds: usize,
+    feeds: usize,
+    capacity: usize,
+) -> (MergeSession, Vec<JoinHandle<Result<(), String>>>) {
+    let mut consumers = Vec::with_capacity(feeds);
+    let mut handles = Vec::with_capacity(feeds);
+    for feed in 0..feeds {
+        let (mut tx, rx) = ingest::bounded(capacity);
+        consumers.push(rx);
+        let mut stream = stream.clone();
+        let schedule = schedule.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut schedule = schedule.into_iter().peekable();
+            let mut full = RoundEvents::default();
+            let mut spare: Option<RoundEvents> = None;
+            for round in 0..rounds {
+                while schedule.peek().is_some_and(|(r, _)| *r == round) {
+                    let (_, speeds) = schedule.next().expect("peeked entry");
+                    stream.set_topology(&speeds);
+                }
+                stream.fill_round(round, &mut full);
+                let mut batch = spare.take().unwrap_or_else(|| tx.buffer());
+                batch.clear();
+                batch.completions.extend_from_slice(
+                    &full.completions[feed_slice(full.completions.len(), feed, feeds)],
+                );
+                batch.arrivals.extend_from_slice(
+                    &full.arrivals[feed_slice(full.arrivals.len(), feed, feeds)],
+                );
+                if batch.is_empty() {
+                    spare = Some(batch);
+                } else if tx.send(round as u64, batch).is_err() {
+                    return Ok(()); // consumer hung up; the driver reports it
+                }
+            }
+            Ok(())
+        }));
+    }
+    (MergeSession::new(consumers), handles)
 }
 
 /// Spawns the producer thread for [`replay_trace`]: feeds the recorded round
@@ -432,7 +608,7 @@ fn spawn_scenario_producer(
 fn spawn_trace_producer(
     rounds: Vec<lb_workloads::TraceRound>,
     capacity: usize,
-) -> (IngestSession, JoinHandle<()>) {
+) -> (IngestSession, JoinHandle<Result<(), String>>) {
     let (mut tx, rx) = ingest::bounded(capacity);
     let handle = std::thread::spawn(move || {
         for record in rounds {
@@ -442,7 +618,44 @@ fn spawn_trace_producer(
                 continue; // writers skip empty batches, but tolerate them
             }
             if tx.send(record.round, batch).is_err() {
-                return;
+                return Ok(());
+            }
+        }
+        Ok(())
+    });
+    (IngestSession::new(rx), handle)
+}
+
+/// Spawns the producer thread for [`replay_source`]: pulls round batches off
+/// a live byte-stream source ([`lb_workloads::source`]) and feeds them
+/// through the channel, recycling drained buffers. A source error — a torn
+/// trace tail, a stalled writer, malformed records — ends production early
+/// (the engine sees an event-free remainder and the run completes) and then
+/// surfaces as the run's error when the driver joins the thread.
+fn spawn_source_producer(
+    mut source: Box<dyn RoundSource>,
+    capacity: usize,
+) -> (IngestSession, JoinHandle<Result<(), String>>) {
+    let (mut tx, rx) = ingest::bounded(capacity);
+    let handle = std::thread::spawn(move || {
+        let mut spare: Option<RoundEvents> = None;
+        loop {
+            // Deliberately no `tx.is_disconnected()` fast-exit here: the
+            // engine finishing first must not mask a source fault — a torn
+            // tail discovered after the last consumed round still has to
+            // surface as this run's error (tests/ingest_faults.rs), and the
+            // source's own idle timeout already bounds how long a stalled
+            // tail can hold the join.
+            let mut batch = spare.take().unwrap_or_else(|| tx.buffer());
+            match source.next_round(&mut batch)? {
+                Some(round) => {
+                    if batch.is_empty() {
+                        spare = Some(batch); // recorded empty rounds are legal
+                    } else if tx.send(round, batch).is_err() {
+                        return Ok(());
+                    }
+                }
+                None => return Ok(()),
             }
         }
     });
@@ -498,7 +711,7 @@ pub fn run_scenario_with(
         scenario.shards = shards;
     }
     scenario.validate()?;
-    execute(scenario, None, options, on_sample)
+    execute(scenario, Feed::Generate, options, on_sample)
 }
 
 /// Replays a recorded trace through the async ingestion channel: the
@@ -526,15 +739,69 @@ pub fn replay_trace(
         scenario.shards = shards;
     }
     scenario.validate()?;
-    execute(scenario, Some(trace), &RunOptions::default(), on_sample)
+    execute(
+        scenario,
+        Feed::Trace(Box::new(trace)),
+        &RunOptions::default(),
+        on_sample,
+    )
 }
 
-/// The shared driver loop behind [`run_scenario_with`] and [`replay_trace`]:
-/// `scenario` is already effective (overrides applied, validated); `replay`
-/// selects trace batches over the scenario's own stream.
+/// Replays a live byte stream through the async ingestion channel: the
+/// source's header embeds the effective scenario, and its round records
+/// drive the engine as they arrive — from a growing trace file
+/// ([`lb_workloads::TraceSource`]) or any framed reader
+/// ([`lb_workloads::ReadSource`]: pipes, sockets, stdin). For a stream
+/// carrying a trace recorded from the same scenario and seed, the result
+/// document is byte-identical to the recorded run's.
+///
+/// The source runs on the producer thread; a source failure (torn tail,
+/// stalled writer, malformed record) ends production early — the engine
+/// finishes the remaining rounds event-free — and surfaces as this
+/// function's error, never as a deadlock.
+///
+/// # Errors
+///
+/// Returns a message for invalid embedded scenarios, engine errors and
+/// source/stream failures.
+pub fn replay_source(
+    source: Box<dyn RoundSource>,
+    shards_override: Option<usize>,
+    on_sample: impl FnMut(&RoundSample),
+) -> Result<ScenarioOutcome, String> {
+    let mut scenario = source.scenario().clone();
+    if let Some(shards) = shards_override {
+        scenario.shards = shards;
+    }
+    scenario.validate()?;
+    execute(
+        scenario,
+        Feed::Source(source),
+        &RunOptions::default(),
+        on_sample,
+    )
+}
+
+/// What drives a run's event stream (internal face of the public entry
+/// points).
+enum Feed {
+    /// The scenario's own generator, inline or behind channels per
+    /// [`RunOptions::producer`].
+    Generate,
+    /// A fully parsed recorded trace (boxed: traces dwarf the other
+    /// variants).
+    Trace(Box<Trace>),
+    /// A live byte-stream source, parsed on the producer thread.
+    Source(Box<dyn RoundSource>),
+}
+
+/// The shared driver loop behind [`run_scenario_with`], [`replay_trace`]
+/// and [`replay_source`]: `scenario` is already effective (overrides
+/// applied, validated); `feed` selects where the per-round batches come
+/// from.
 fn execute(
     scenario: Scenario,
-    replay: Option<Trace>,
+    feed: Feed,
     options: &RunOptions,
     mut on_sample: impl FnMut(&RoundSample),
 ) -> Result<ScenarioOutcome, String> {
@@ -573,29 +840,57 @@ fn execute(
     // One plan for every churn event, built up front: the driver swaps in
     // the prebuilt graphs, and a channel producer follows the speeds.
     let schedule = churn_schedule(class, &scenario, &speeds)?;
-    let mut source = match replay {
-        Some(trace) => {
+    let mut source = match feed {
+        Feed::Trace(trace) => {
             let (session, handle) = spawn_trace_producer(trace.rounds, DEFAULT_CHANNEL_CAPACITY);
             EventSource::Channel {
                 session,
                 producer: Some(handle),
             }
         }
-        None => {
+        Feed::Source(stream_source) => {
+            let (session, handle) = spawn_source_producer(stream_source, DEFAULT_CHANNEL_CAPACITY);
+            EventSource::Channel {
+                session,
+                producer: Some(handle),
+            }
+        }
+        Feed::Generate => {
             let stream = ScenarioEvents::new(&scenario, &speeds, first_task_id);
+            let speeds_schedule = || {
+                schedule
+                    .iter()
+                    .map(|(round, _, speeds)| (*round, speeds.clone()))
+                    .collect()
+            };
             match options.producer {
                 Producer::Scenario => EventSource::Sync(stream),
                 Producer::Channel { capacity } => {
-                    let speeds_schedule = schedule
-                        .iter()
-                        .map(|(round, _, speeds)| (*round, speeds.clone()))
-                        .collect();
-                    let (session, handle) =
-                        spawn_scenario_producer(stream, speeds_schedule, scenario.rounds, capacity);
+                    let (session, handle) = spawn_scenario_producer(
+                        stream,
+                        speeds_schedule(),
+                        scenario.rounds,
+                        capacity,
+                    );
                     EventSource::Channel {
                         session,
                         producer: Some(handle),
                     }
+                }
+                Producer::Merge { feeds, capacity } => {
+                    if feeds == 0 || feeds > MAX_MERGE_FEEDS {
+                        return Err(format!(
+                            "merge feeds must be in 1..={MAX_MERGE_FEEDS}, got {feeds}"
+                        ));
+                    }
+                    let (session, producers) = spawn_merge_producers(
+                        stream,
+                        speeds_schedule(),
+                        scenario.rounds,
+                        feeds,
+                        capacity,
+                    );
+                    EventSource::Merge { session, producers }
                 }
             }
         }
@@ -657,7 +952,7 @@ fn execute(
             record(&engine, done, &mut trajectory);
         }
     }
-    source.finish()?;
+    let ingest = source.finish()?;
     if let Some(writer) = writer {
         writer.finish()?;
     }
@@ -667,6 +962,7 @@ fn execute(
         scenario,
         trajectory,
         dummy_created: engine.dummy_created(),
+        ingest,
     })
 }
 
@@ -832,6 +1128,97 @@ mod tests {
                 "capacity {capacity}"
             );
         }
+    }
+
+    #[test]
+    fn merge_producer_matches_sync_bit_for_bit() {
+        // The multi-producer contract at driver level: N feeds each sending
+        // a contiguous slice of every batch, k-way merged back, produce
+        // byte-identical result JSON — including across churn.
+        let mut scenario = poisson_scenario();
+        scenario.churn = vec![ChurnEvent {
+            round: 30,
+            kind: ChurnKind::Rewire { seed: 9 },
+        }];
+        let sync = run_scenario(&scenario, None, None, |_| {}).unwrap();
+        assert!(sync.ingest.is_none(), "sync runs carry no ingest report");
+        for feeds in [1usize, 2, 4] {
+            let merged = run_scenario_with(
+                &scenario,
+                &RunOptions {
+                    producer: Producer::Merge { feeds, capacity: 2 },
+                    ..RunOptions::default()
+                },
+                |_| {},
+            )
+            .unwrap();
+            assert_eq!(
+                sync.to_json().render_pretty(),
+                merged.to_json().render_pretty(),
+                "feeds {feeds}"
+            );
+            let stats = merged.ingest.expect("merged runs report ingest stats");
+            assert_eq!(stats.get("producer").and_then(Json::as_str), Some("merge"));
+            let reported = stats.get("feeds").and_then(Json::as_array).unwrap();
+            assert_eq!(reported.len(), feeds);
+            let events: u64 = reported
+                .iter()
+                .map(|f| f.get("events").and_then(Json::as_u64).unwrap())
+                .sum();
+            assert!(events > 0, "the feeds carried the stream");
+        }
+    }
+
+    #[test]
+    fn merge_rejects_out_of_range_feed_counts() {
+        for feeds in [0usize, super::MAX_MERGE_FEEDS + 1] {
+            let err = run_scenario_with(
+                &poisson_scenario(),
+                &RunOptions {
+                    producer: Producer::Merge { feeds, capacity: 2 },
+                    ..RunOptions::default()
+                },
+                |_| {},
+            )
+            .unwrap_err();
+            assert!(err.contains("merge feeds"), "{err}");
+        }
+    }
+
+    #[test]
+    fn byte_stream_replay_is_byte_identical() {
+        use lb_workloads::{ReadSource, TraceSource};
+
+        let scenario = poisson_scenario();
+        let path = std::env::temp_dir().join("lb_dynamic_stream_replay.trace.jsonl");
+        let recorded = run_scenario_with(
+            &scenario,
+            &RunOptions {
+                record: Some(path.clone()),
+                ..RunOptions::default()
+            },
+            |_| {},
+        )
+        .unwrap();
+        let recorded_doc = recorded.to_json().render_pretty();
+
+        // Framed reader over the raw bytes (the pipe/socket/stdin path).
+        let bytes = std::fs::read(&path).unwrap();
+        let source = ReadSource::new(std::io::Cursor::new(bytes)).unwrap();
+        let streamed = replay_source(Box::new(source), None, |_| {}).unwrap();
+        assert_eq!(recorded_doc, streamed.to_json().render_pretty());
+
+        // File tail over the (already complete) trace file.
+        let source = TraceSource::open(&path).unwrap();
+        let tailed = replay_source(Box::new(source), None, |_| {}).unwrap();
+        assert_eq!(recorded_doc, tailed.to_json().render_pretty());
+
+        // Shard overrides replay bit-identically, like `replay_trace`.
+        let source = TraceSource::open(&path).unwrap();
+        let sharded = replay_source(Box::new(source), Some(3), |_| {}).unwrap();
+        assert_eq!(sharded.scenario.shards, 3);
+        assert_eq!(recorded.trajectory, sharded.trajectory);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

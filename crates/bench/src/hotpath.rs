@@ -14,6 +14,7 @@ use crate::parallel::worker_threads;
 use lb_analysis::Json;
 use lb_core::continuous::{ContinuousProcess, Fos};
 use lb_core::discrete::{DiscreteBalancer, FlowImitation, RoundEvents, TaskPicker};
+use lb_core::ingest::merge::MergeSession;
 use lb_core::{ingest, InitialLoad, ShardedExecutor, Speeds, Task, TaskId};
 use lb_graph::{AlphaScheme, Graph};
 use std::sync::Arc;
@@ -336,6 +337,61 @@ fn run_ingest_sync(rounds: usize, n: usize) -> IngestResult {
     }
 }
 
+/// Feeds in the merge-stage benchmark entry.
+const MERGE_FEEDS: usize = 2;
+
+/// The merge path: [`MERGE_FEEDS`] producer threads each generate the full
+/// deterministic batch and send their contiguous slice of it over their own
+/// channel; the consumer k-way merges the slices back into whole batches.
+/// Coalescing in feed order reconstructs each batch exactly, so the checksum
+/// must match the sync path's.
+fn run_ingest_merge(rounds: usize, n: usize) -> IngestResult {
+    let start = Instant::now();
+    let mut consumers = Vec::with_capacity(MERGE_FEEDS);
+    let mut producers = Vec::with_capacity(MERGE_FEEDS);
+    for feed in 0..MERGE_FEEDS {
+        let (mut tx, rx) = ingest::bounded(INGEST_CAPACITY);
+        consumers.push(rx);
+        producers.push(std::thread::spawn(move || {
+            let mut next_id = 0u64;
+            let mut full = RoundEvents::default();
+            for round in 0..rounds {
+                fill_ingest_batch(&mut full, round, n, &mut next_id);
+                let mut batch = tx.buffer();
+                batch.completions.extend_from_slice(
+                    &full.completions
+                        [crate::dynamic::feed_slice(full.completions.len(), feed, MERGE_FEEDS)],
+                );
+                batch.arrivals.extend_from_slice(
+                    &full.arrivals
+                        [crate::dynamic::feed_slice(full.arrivals.len(), feed, MERGE_FEEDS)],
+                );
+                if tx.send(round as u64, batch).is_err() {
+                    return;
+                }
+            }
+        }));
+    }
+    let mut session = MergeSession::new(consumers);
+    let mut merged = RoundEvents::default();
+    let mut checksum = 0u64;
+    for round in 0..rounds {
+        session
+            .fill_round(round as u64, &mut merged)
+            .expect("merge bench batches stay in order");
+        checksum = checksum.wrapping_add(consume_ingest_batch(&merged));
+    }
+    drop(session);
+    for producer in producers {
+        producer.join().expect("merge bench producer finishes");
+    }
+    IngestResult {
+        elapsed_secs: start.elapsed().as_secs_f64(),
+        events: (rounds * INGEST_BATCH) as u64,
+        checksum,
+    }
+}
+
 /// The channel path: a producer thread generates the same batches and sends
 /// them through the bounded SPSC channel; the consumer drains and recycles.
 /// The timed window covers producer spawn through join — the full cost of
@@ -378,14 +434,17 @@ fn run_ingest_bench(quick: bool) -> Json {
     let n = 8_192;
     let mut sync_trials = Vec::new();
     let mut channel_trials = Vec::new();
+    let mut merge_trials = Vec::new();
     for _ in 0..trials {
         sync_trials.push(run_ingest_sync(rounds, n));
         channel_trials.push(run_ingest_channel(rounds, n));
+        merge_trials.push(run_ingest_merge(rounds, n));
     }
     assert!(
         sync_trials
             .iter()
             .chain(&channel_trials)
+            .chain(&merge_trials)
             .all(|r| r.checksum == sync_trials[0].checksum),
         "ingestion paths consumed different event streams"
     );
@@ -397,11 +456,17 @@ fn run_ingest_bench(quick: bool) -> Json {
         .into_iter()
         .min_by(|a, b| a.elapsed_secs.total_cmp(&b.elapsed_secs))
         .expect("at least one trial");
+    let merge = merge_trials
+        .into_iter()
+        .min_by(|a, b| a.elapsed_secs.total_cmp(&b.elapsed_secs))
+        .expect("at least one trial");
     eprintln!(
-        "ingest: sync {:.0} events/sec, channel {:.0} events/sec ({:.2}x channel overhead)",
+        "ingest: sync {:.0} events/sec, channel {:.0} events/sec ({:.2}x channel \
+         overhead), merge({MERGE_FEEDS}) {:.0} events/sec",
         sync.events_per_sec(),
         channel.events_per_sec(),
         sync.events_per_sec() / channel.events_per_sec(),
+        merge.events_per_sec(),
     );
     Json::obj([
         (
@@ -410,10 +475,12 @@ fn run_ingest_bench(quick: bool) -> Json {
                 ("batch", Json::from(INGEST_BATCH)),
                 ("rounds", Json::from(rounds)),
                 ("capacity", Json::from(INGEST_CAPACITY)),
+                ("merge_feeds", Json::from(MERGE_FEEDS)),
             ]),
         ),
         ("sync", sync.to_json()),
         ("channel", channel.to_json()),
+        ("merge", merge.to_json()),
         (
             "overhead_ratio",
             Json::from(sync.events_per_sec() / channel.events_per_sec()),

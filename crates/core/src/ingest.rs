@@ -53,6 +53,9 @@ use crate::discrete::{DynamicBalancer, EventReport, RoundEvents};
 use crate::error::CoreError;
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+pub mod merge;
 
 /// The producer half of the channel hung up mid-`send` because the consumer
 /// was dropped; the batch was discarded.
@@ -67,8 +70,23 @@ impl std::fmt::Display for Disconnected {
 
 impl std::error::Error for Disconnected {}
 
+/// Backpressure counters of one channel, accumulated since [`bounded`]
+/// created it. Counts and the high-water mark are deterministic only in the
+/// aggregate sense — they depend on thread scheduling — so drivers report
+/// them out of band (stderr, side files), never inside the deterministic
+/// result document.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChannelMetrics {
+    /// Number of `send` calls that found the queue full and had to block.
+    pub blocked_sends: u64,
+    /// Total time sends spent blocked on a full queue, in nanoseconds.
+    pub blocked_nanos: u64,
+    /// Highest in-flight batch count observed (at most the capacity).
+    pub high_water: usize,
+}
+
 /// Shared channel state behind one mutex: the bounded batch queue, the spare
-/// (recycled) buffer pool, and the hang-up flags.
+/// (recycled) buffer pool, the hang-up flags and the backpressure counters.
 struct State {
     /// In-flight batches, oldest first, tagged with their round.
     queue: VecDeque<(u64, RoundEvents)>,
@@ -78,6 +96,8 @@ struct State {
     producer_gone: bool,
     /// The consumer was dropped; sends can never be observed.
     consumer_gone: bool,
+    /// Backpressure counters (see [`ChannelMetrics`]).
+    metrics: ChannelMetrics,
 }
 
 struct Shared {
@@ -102,6 +122,7 @@ pub fn bounded(capacity: usize) -> (EventProducer, EventConsumer) {
             spare: Vec::with_capacity(capacity + 2),
             producer_gone: false,
             consumer_gone: false,
+            metrics: ChannelMetrics::default(),
         }),
         not_full: Condvar::new(),
         not_empty: Condvar::new(),
@@ -158,19 +179,49 @@ impl EventProducer {
             );
         }
         let mut state = self.shared.state.lock().expect("ingest lock");
+        // Blocked-time accounting starts on the first full-queue observation;
+        // `Instant::now` is only touched on that slow path.
+        let mut blocked_at: Option<Instant> = None;
         loop {
             if state.consumer_gone {
+                if let Some(at) = blocked_at {
+                    state.metrics.blocked_nanos += at.elapsed().as_nanos() as u64;
+                }
                 return Err(Disconnected);
             }
             if state.queue.len() < self.shared.capacity {
+                if let Some(at) = blocked_at {
+                    state.metrics.blocked_nanos += at.elapsed().as_nanos() as u64;
+                }
                 state.queue.push_back((round, events));
+                state.metrics.high_water = state.metrics.high_water.max(state.queue.len());
                 self.last_round = Some(round);
                 drop(state);
                 self.shared.not_empty.notify_one();
                 return Ok(());
             }
+            if blocked_at.is_none() {
+                blocked_at = Some(Instant::now());
+                state.metrics.blocked_sends += 1;
+            }
             state = self.shared.not_full.wait(state).expect("ingest lock");
         }
+    }
+
+    /// Whether the consumer half has been dropped — every further
+    /// [`send`](EventProducer::send) would fail with [`Disconnected`].
+    /// Lets an external polling producer (e.g. a socket accept loop waiting
+    /// for traffic) notice the engine hung up without having a batch ready
+    /// to send. The trace-replay driver deliberately does *not* use it:
+    /// bailing on disconnect would race the end of the run against a
+    /// source's truncation error and could mask the fault.
+    pub fn is_disconnected(&self) -> bool {
+        self.shared.state.lock().expect("ingest lock").consumer_gone
+    }
+
+    /// A snapshot of the channel's backpressure counters.
+    pub fn metrics(&self) -> ChannelMetrics {
+        self.shared.state.lock().expect("ingest lock").metrics
     }
 }
 
@@ -208,6 +259,11 @@ impl EventConsumer {
         }
     }
 
+    /// A snapshot of the channel's backpressure counters.
+    pub fn metrics(&self) -> ChannelMetrics {
+        self.shared.state.lock().expect("ingest lock").metrics
+    }
+
     /// Returns a drained buffer to the spare pool for the producer to reuse.
     /// Buffers beyond the pool's capacity are simply dropped.
     pub fn recycle(&mut self, mut events: RoundEvents) {
@@ -238,6 +294,8 @@ pub struct IngestSession {
     /// The stream ended (producer gone, queue drained).
     ended: bool,
     report: EventReport,
+    batches: u64,
+    events: u64,
 }
 
 impl IngestSession {
@@ -248,6 +306,8 @@ impl IngestSession {
             pending: None,
             ended: false,
             report: EventReport::default(),
+            batches: 0,
+            events: 0,
         }
     }
 
@@ -273,6 +333,8 @@ impl IngestSession {
             ))),
             Some((tag, _)) if *tag == round => {
                 let (_, events) = self.pending.take().expect("pending batch");
+                self.batches += 1;
+                self.events += (events.arrivals.len() + events.completions.len()) as u64;
                 Ok(Some(events))
             }
             _ => Ok(None),
@@ -337,6 +399,23 @@ impl IngestSession {
     pub fn ended(&self) -> bool {
         self.ended && self.pending.is_none()
     }
+
+    /// A snapshot of the underlying channel's backpressure counters.
+    pub fn metrics(&self) -> ChannelMetrics {
+        self.consumer.metrics()
+    }
+
+    /// Batches consumed off the channel so far (via either
+    /// [`fill_round`](IngestSession::fill_round) or
+    /// [`apply_round`](IngestSession::apply_round)).
+    pub fn batches(&self) -> u64 {
+        self.batches
+    }
+
+    /// Events (arrivals + completions) consumed off the channel so far.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
 }
 
 #[cfg(test)]
@@ -392,6 +471,43 @@ mod tests {
         assert!(reused.is_empty(), "recycled buffers come back cleared");
         assert_eq!(reused.arrivals.capacity(), capacity);
         assert_eq!(reused.arrivals.as_ptr(), ptr, "same heap buffer reused");
+    }
+
+    #[test]
+    fn metrics_track_depth_and_blocking() {
+        let (mut tx, mut rx) = bounded(2);
+        tx.send(0, RoundEvents::default()).unwrap();
+        assert_eq!(tx.metrics().high_water, 1);
+        assert_eq!(tx.metrics().blocked_sends, 0);
+        tx.send(1, RoundEvents::default()).unwrap();
+        assert_eq!(rx.metrics().high_water, 2, "both snapshots see one state");
+        // The queue is full: the next send must block until the consumer
+        // drains a slot, and the wait is accounted.
+        let handle = thread::spawn(move || {
+            tx.send(2, RoundEvents::default()).unwrap();
+            tx.metrics()
+        });
+        // Wait until the producer registers as blocked, then free a slot.
+        let deadline = Instant::now() + std::time::Duration::from_secs(10);
+        while rx.metrics().blocked_sends == 0 {
+            assert!(Instant::now() < deadline, "producer never blocked");
+            thread::yield_now();
+        }
+        let (_, events) = rx.recv().unwrap();
+        rx.recycle(events);
+        let metrics = handle.join().unwrap();
+        assert_eq!(metrics.blocked_sends, 1);
+        assert!(metrics.blocked_nanos > 0, "blocked time was measured");
+        assert_eq!(metrics.high_water, 2);
+        assert!(rx.recv().is_some(), "two batches still in flight");
+    }
+
+    #[test]
+    fn producer_observes_consumer_hangup() {
+        let (tx, rx) = bounded(1);
+        assert!(!tx.is_disconnected());
+        drop(rx);
+        assert!(tx.is_disconnected());
     }
 
     #[test]

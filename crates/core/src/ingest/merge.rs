@@ -1,0 +1,369 @@
+//! Multi-producer merge stage: N independently round-tagged event feeds,
+//! k-way merged into one strictly round-ordered stream on the consumer side.
+//!
+//! Each feed is the consumer half of its own bounded SPSC channel
+//! ([`super::bounded`]), so producers never contend with each other — the
+//! merge happens where the batches are consumed:
+//!
+//! ```text
+//! producer 0 ──► channel 0 ──┐
+//! producer 1 ──► channel 1 ──┤  MergeSession::apply_round(r)
+//!      ⋮             ⋮       ├──► coalesce every feed's batch for round r
+//! producer N ──► channel N ──┘    (feed index order), apply, recycle
+//! ```
+//!
+//! # Merge contract
+//!
+//! * **Per-feed monotonicity** — every feed sends batches in strictly
+//!   increasing round order (enforced by [`super::EventProducer::send`]; the
+//!   session re-checks on receipt so a protocol violation surfaces as a
+//!   typed error, never as corrupted state).
+//! * **Additive coalescing** — when several feeds carry a batch for the same
+//!   round, the merged batch is their concatenation in **feed index order**
+//!   (completions then arrivals within each feed's batch, as always).
+//!   Event application is additive, so a partition of one stream across
+//!   feeds merges back to the original trajectory; a partition into
+//!   contiguous per-round slices merges back to the *identical batch*.
+//! * **Hang-up degradation** — a feed whose producer hangs up simply stops
+//!   contributing; the merge continues over the remaining feeds. All feeds
+//!   closed means every remaining round is event-free (same as the
+//!   single-channel contract).
+//! * **Ordering errors** — a batch tagged earlier than the round being
+//!   applied is a protocol error ([`crate::CoreError::InvalidParameter`]):
+//!   the session reports it and leaves the engine untouched.
+//!
+//! # Zero-allocation steady state
+//!
+//! The session owns one scratch batch; coalescing copies feed batches into
+//! it and recycles them to their own channel's spare pool. Once the scratch
+//! and every circulating buffer have grown to the working batch size, a
+//! steady-state round — receive from each feed, coalesce, apply, recycle,
+//! step — allocates nothing on any thread (`tests/zero_alloc.rs` pins the
+//! two-feed case with a counting global allocator).
+
+use crate::discrete::{DynamicBalancer, EventReport, RoundEvents};
+use crate::error::CoreError;
+
+use super::{ChannelMetrics, EventConsumer};
+
+/// What one feed contributed to a merged run — batch/event totals plus the
+/// backpressure counters of its channel. Timing-dependent (see
+/// [`ChannelMetrics`]); report out of band, never in deterministic results.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FeedReport {
+    /// Batches coalesced from this feed.
+    pub batches: u64,
+    /// Events (arrivals + completions) coalesced from this feed.
+    pub events: u64,
+    /// Whether the feed's producer had hung up (and its queue drained) when
+    /// the snapshot was taken.
+    pub drained: bool,
+    /// The feed channel's backpressure counters.
+    pub channel: ChannelMetrics,
+}
+
+/// One feed's consumer-side state inside a [`MergeSession`].
+struct Feed {
+    consumer: EventConsumer,
+    /// A received batch whose round has not come up yet.
+    pending: Option<(u64, RoundEvents)>,
+    /// The producer hung up and the queue drained.
+    ended: bool,
+    /// The round of the last batch coalesced from this feed (receipt-side
+    /// monotonicity check).
+    last_round: Option<u64>,
+    batches: u64,
+    events: u64,
+}
+
+impl Feed {
+    /// Makes `pending` hold the feed's next batch, blocking on the channel
+    /// if necessary; a hang-up marks the feed ended instead.
+    fn refill(&mut self) {
+        if self.pending.is_none() && !self.ended {
+            match self.consumer.recv() {
+                Some(batch) => self.pending = Some(batch),
+                None => self.ended = true,
+            }
+        }
+    }
+}
+
+/// Consumer-side k-way merge over N event feeds: pulls each feed's
+/// round-tagged batches and hands the engine one coalesced, strictly
+/// round-ordered batch per round — the multi-producer counterpart of
+/// [`super::IngestSession`].
+pub struct MergeSession {
+    feeds: Vec<Feed>,
+    /// Owned coalescing scratch, reused across rounds.
+    scratch: RoundEvents,
+    report: EventReport,
+}
+
+impl MergeSession {
+    /// Wraps the consumer halves of N [`super::bounded`] channels; feed
+    /// index order is the coalescing order.
+    pub fn new(consumers: Vec<EventConsumer>) -> Self {
+        MergeSession {
+            feeds: consumers
+                .into_iter()
+                .map(|consumer| Feed {
+                    consumer,
+                    pending: None,
+                    ended: false,
+                    last_round: None,
+                    batches: 0,
+                    events: 0,
+                })
+                .collect(),
+            scratch: RoundEvents::default(),
+            report: EventReport::default(),
+        }
+    }
+
+    /// Number of feeds (open or ended).
+    pub fn feed_count(&self) -> usize {
+        self.feeds.len()
+    }
+
+    /// Coalesces every feed's batch for `round` into `out` (cleared first),
+    /// in feed index order; `out` stays empty when no feed carries the
+    /// round. Blocks only on feeds whose next batch is unknown.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] when a feed delivers a batch
+    /// tagged earlier than `round` or earlier than a batch it already
+    /// delivered — the producer violated the ordering protocol. The engine
+    /// side is untouched: nothing is applied on the error path.
+    pub fn fill_round(&mut self, round: u64, out: &mut RoundEvents) -> Result<(), CoreError> {
+        out.clear();
+        for index in 0..self.feeds.len() {
+            let feed = &mut self.feeds[index];
+            feed.refill();
+            match &feed.pending {
+                Some((tag, _)) if *tag < round => {
+                    let tag = *tag;
+                    return Err(CoreError::invalid_parameter(format!(
+                        "merge protocol violation: feed {index} delivered a batch for \
+                         round {tag} while applying round {round}"
+                    )));
+                }
+                Some((tag, _)) if *tag == round => {
+                    let (tag, events) = feed.pending.take().expect("pending batch");
+                    if feed.last_round.is_some_and(|last| tag <= last) {
+                        return Err(CoreError::invalid_parameter(format!(
+                            "merge protocol violation: feed {index} repeated round {tag}"
+                        )));
+                    }
+                    feed.last_round = Some(tag);
+                    feed.batches += 1;
+                    feed.events += (events.arrivals.len() + events.completions.len()) as u64;
+                    out.completions.extend_from_slice(&events.completions);
+                    out.arrivals.extend_from_slice(&events.arrivals);
+                    feed.consumer.recycle(events);
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies the coalesced batch for `round` (if any) to `engine`. Call
+    /// between rounds, before `round` executes — the same point the
+    /// synchronous driver applies events, so merged and sync paths are
+    /// bit-identical for the same merged stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] on an ordering violation
+    /// (nothing applied) or when the engine rejects an event.
+    pub fn apply_round(
+        &mut self,
+        round: u64,
+        engine: &mut dyn DynamicBalancer,
+    ) -> Result<EventReport, CoreError> {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let filled = self.fill_round(round, &mut scratch);
+        let applied = filled.and_then(|()| {
+            if scratch.is_empty() {
+                Ok(EventReport::default())
+            } else {
+                engine.apply_events(&scratch)
+            }
+        });
+        self.scratch = scratch;
+        let report = applied?;
+        self.report.absorb(report);
+        Ok(report)
+    }
+
+    /// Totals across every batch applied through
+    /// [`apply_round`](MergeSession::apply_round).
+    pub fn report(&self) -> EventReport {
+        self.report
+    }
+
+    /// Whether every feed hung up and every sent batch has been consumed —
+    /// the event-free remainder of the run.
+    pub fn ended(&self) -> bool {
+        self.feeds
+            .iter()
+            .all(|feed| feed.ended && feed.pending.is_none())
+    }
+
+    /// Per-feed contribution and backpressure snapshots, in feed index
+    /// order. Timing-dependent; report out of band.
+    pub fn feed_reports(&self) -> Vec<FeedReport> {
+        self.feeds
+            .iter()
+            .map(|feed| FeedReport {
+                batches: feed.batches,
+                events: feed.events,
+                drained: feed.ended && feed.pending.is_none(),
+                channel: feed.consumer.metrics(),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::bounded;
+    use super::*;
+    use crate::continuous::Fos;
+    use crate::discrete::{DiscreteBalancer, FlowImitation, TaskPicker};
+    use crate::load::InitialLoad;
+    use crate::task::{Speeds, Task, TaskId};
+    use lb_graph::{generators, AlphaScheme};
+    use std::thread;
+
+    fn engine() -> FlowImitation<Fos> {
+        let g = generators::torus(4, 4).unwrap();
+        let speeds = Speeds::uniform(16);
+        let initial = InitialLoad::single_source(16, 0, 64);
+        let fos = Fos::new(g, &speeds, AlphaScheme::MaxDegreePlusOne).unwrap();
+        FlowImitation::new(fos, &initial, speeds, TaskPicker::Fifo).unwrap()
+    }
+
+    fn unit_arrival(node: usize, id: u64) -> (usize, Task) {
+        (node, Task::new(TaskId(id), 1))
+    }
+
+    #[test]
+    fn same_round_batches_coalesce_in_feed_order() {
+        let (mut tx0, rx0) = bounded(4);
+        let (mut tx1, rx1) = bounded(4);
+        let mut batch = tx0.buffer();
+        batch.arrivals.push(unit_arrival(0, 100));
+        batch.completions.push((3, 2));
+        tx0.send(5, batch).unwrap();
+        let mut batch = tx1.buffer();
+        batch.arrivals.push(unit_arrival(1, 200));
+        batch.completions.push((4, 1));
+        tx1.send(5, batch).unwrap();
+
+        let mut session = MergeSession::new(vec![rx0, rx1]);
+        let mut out = RoundEvents::default();
+        for round in 0..5 {
+            session.fill_round(round, &mut out).unwrap();
+            assert!(out.is_empty(), "round {round} carries no events");
+        }
+        session.fill_round(5, &mut out).unwrap();
+        assert_eq!(out.completions, vec![(3, 2), (4, 1)], "feed 0 first");
+        assert_eq!(
+            out.arrivals,
+            vec![unit_arrival(0, 100), unit_arrival(1, 200)]
+        );
+        drop(tx0);
+        drop(tx1);
+        session.fill_round(6, &mut out).unwrap();
+        assert!(out.is_empty());
+        assert!(session.ended(), "all feeds closed = event-free remainder");
+    }
+
+    #[test]
+    fn feeds_at_different_rounds_interleave() {
+        let (mut tx0, rx0) = bounded(4);
+        let (mut tx1, rx1) = bounded(4);
+        let handle = thread::spawn(move || {
+            for round in [0u64, 2] {
+                let mut batch = tx0.buffer();
+                batch.arrivals.push(unit_arrival(0, round));
+                tx0.send(round, batch).unwrap();
+            }
+        });
+        for round in [1u64, 2] {
+            let mut batch = tx1.buffer();
+            batch.arrivals.push(unit_arrival(1, 100 + round));
+            tx1.send(round, batch).unwrap();
+        }
+        drop(tx1);
+        let mut session = MergeSession::new(vec![rx0, rx1]);
+        let mut out = RoundEvents::default();
+        session.fill_round(0, &mut out).unwrap();
+        assert_eq!(out.arrivals, vec![unit_arrival(0, 0)]);
+        session.fill_round(1, &mut out).unwrap();
+        assert_eq!(out.arrivals, vec![unit_arrival(1, 101)]);
+        session.fill_round(2, &mut out).unwrap();
+        assert_eq!(
+            out.arrivals,
+            vec![unit_arrival(0, 2), unit_arrival(1, 102)],
+            "same round from both feeds coalesces additively"
+        );
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn hung_up_feed_degrades_to_the_rest() {
+        let (mut tx0, rx0) = bounded(8);
+        let (mut tx1, rx1) = bounded(8);
+        for round in 0..6u64 {
+            let mut batch = tx0.buffer();
+            batch.arrivals.push(unit_arrival(0, round));
+            tx0.send(round, batch).unwrap();
+        }
+        drop(tx0);
+        // Feed 1 dies after round 1.
+        for round in 0..2u64 {
+            let mut batch = tx1.buffer();
+            batch.arrivals.push(unit_arrival(1, 100 + round));
+            tx1.send(round, batch).unwrap();
+        }
+        drop(tx1);
+
+        let mut session = MergeSession::new(vec![rx0, rx1]);
+        let mut alg1 = engine();
+        for round in 0..8u64 {
+            let report = session.apply_round(round, &mut alg1).unwrap();
+            let expect = match round {
+                0 | 1 => 2,
+                2..=5 => 1,
+                _ => 0,
+            };
+            assert_eq!(report.arrived_tasks, expect, "round {round}");
+            alg1.step();
+        }
+        assert!(session.ended());
+        assert_eq!(session.report().arrived_tasks, 8);
+        let reports = session.feed_reports();
+        assert_eq!(reports[0].batches, 6);
+        assert_eq!(reports[1].batches, 2);
+        assert!(reports.iter().all(|r| r.drained));
+    }
+
+    #[test]
+    fn stale_batches_are_protocol_errors_and_do_not_corrupt() {
+        let (mut tx, rx) = bounded(4);
+        let mut batch = tx.buffer();
+        batch.arrivals.push(unit_arrival(2, 7));
+        tx.send(3, batch).unwrap();
+        let mut session = MergeSession::new(vec![rx]);
+        let mut alg1 = engine();
+        let loads_before = alg1.loads();
+        let err = session.apply_round(9, &mut alg1).unwrap_err();
+        assert!(err.to_string().contains("protocol violation"), "{err}");
+        assert_eq!(alg1.loads(), loads_before, "engine state untouched");
+        assert_eq!(session.report(), EventReport::default());
+    }
+}

@@ -9,7 +9,11 @@
 //! completions and topology churn, with a deterministic event stream
 //! ([`ScenarioEvents`]). The [`trace`] module records any run's event stream
 //! to a line-delimited JSON file ([`TraceWriter`]) and reads it back
-//! ([`Trace`]) for bit-identical replay.
+//! ([`Trace`]) for bit-identical replay. The [`source`] module parses the
+//! same format incrementally from live byte streams: a growing trace file
+//! ([`TraceSource`], tail-following) or any framed [`std::io::Read`]
+//! ([`ReadSource`] — pipes, sockets, stdin), feeding recycled event buffers
+//! to the async ingestion channel.
 //!
 //! ```
 //! use lb_workloads::{TokenDistribution, SpeedModel};
@@ -27,6 +31,7 @@
 
 mod distributions;
 pub mod scenario;
+pub mod source;
 pub mod trace;
 mod weights;
 
@@ -35,5 +40,6 @@ pub use scenario::{
     AlgorithmSpec, ArrivalSpec, ChurnEvent, ChurnKind, InitialSpec, ModelSpec, PadSpec, Scenario,
     ScenarioEvents, ServiceSpec, SpeedSpec, TopologySpec, MAX_SHARDS,
 };
+pub use source::{Checkpoint, ReadSource, RoundSource, TraceSource};
 pub use trace::{Trace, TraceRound, TraceWriter, TRACE_VERSION};
 pub use weights::{weighted_load, SpeedModel, WeightModel};

@@ -221,22 +221,8 @@ impl Trace {
 
         let (header_idx, header_line) = lines.next().ok_or("empty trace")?;
         let header_lineno = header_idx + 1;
-        let header = Json::parse(header_line).map_err(|e| format!("line {header_lineno}: {e}"))?;
-        if header.get("kind").and_then(Json::as_str) != Some("header") {
-            return Err(format!(
-                "line {header_lineno}: expected the trace header record"
-            ));
-        }
-        match header.get("version").and_then(Json::as_u64) {
-            Some(TRACE_VERSION) => {}
-            Some(v) => return Err(format!("unsupported trace version {v}")),
-            None => return Err(format!("line {header_lineno}: missing trace version")),
-        }
-        let scenario_json = header
-            .get("scenario")
-            .ok_or(format!("line {header_lineno}: header has no scenario"))?;
-        let scenario = Scenario::from_json(scenario_json)?;
-        scenario.validate()?;
+        let scenario =
+            parse_header_line(header_line).map_err(|e| format!("line {header_lineno}: {e}"))?;
 
         let mut rounds: Vec<TraceRound> = Vec::new();
         let mut events_total = 0u64;
@@ -304,6 +290,25 @@ impl Trace {
             .map(|r| (r.arrivals.len() + r.completions.len()) as u64)
             .sum()
     }
+}
+
+/// Parses and validates one `{"kind":"header",…}` line, returning the
+/// embedded effective scenario. Shared between the whole-file parser
+/// ([`Trace::parse`]) and the streaming sources ([`crate::source`]).
+pub(crate) fn parse_header_line(line: &str) -> Result<Scenario, String> {
+    let header = Json::parse(line)?;
+    if header.get("kind").and_then(Json::as_str) != Some("header") {
+        return Err("expected the trace header record".into());
+    }
+    match header.get("version").and_then(Json::as_u64) {
+        Some(TRACE_VERSION) => {}
+        Some(v) => return Err(format!("unsupported trace version {v}")),
+        None => return Err("missing trace version".into()),
+    }
+    let scenario_json = header.get("scenario").ok_or("header has no scenario")?;
+    let scenario = Scenario::from_json(scenario_json)?;
+    scenario.validate()?;
+    Ok(scenario)
 }
 
 /// Decodes one `{"kind":"round",…}` record.

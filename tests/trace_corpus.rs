@@ -1,0 +1,280 @@
+//! Fuzz-style corpus for the streaming trace parser: a generated corpus of
+//! malformed trace lines — bad JSON, non-exact integers, duplicate rounds,
+//! missing `end` records, field-level violations — each asserting a
+//! *specific* parse error from [`lb_workloads::ReadSource`]. The corpus is
+//! built programmatically around a canonical writer-produced header, so it
+//! tracks the format instead of bit-rotting against it.
+
+use lb_core::discrete::RoundEvents;
+use lb_workloads::{
+    AlgorithmSpec, ArrivalSpec, InitialSpec, ModelSpec, PadSpec, ReadSource, RoundSource, Scenario,
+    ServiceSpec, SpeedSpec, TokenDistribution, TopologySpec, TraceWriter,
+};
+use std::io;
+
+/// The embedded scenario: 40 rounds, so round tags 0..=39 are in bounds.
+fn scenario() -> Scenario {
+    Scenario {
+        name: "trace_corpus".into(),
+        seed: 3,
+        rounds: 40,
+        sample_every: 10,
+        algorithm: AlgorithmSpec::Alg1,
+        model: ModelSpec::Fos,
+        topology: TopologySpec {
+            family: "torus".into(),
+            target_n: 16,
+        },
+        speeds: SpeedSpec::Uniform,
+        initial: InitialSpec {
+            distribution: TokenDistribution::SingleSource { source: 0 },
+            tokens_per_node: 4,
+            pad: PadSpec::Degree,
+        },
+        arrivals: ArrivalSpec::Poisson {
+            rate_per_node: 0.5,
+            max_weight: 1,
+        },
+        completions: ServiceSpec::Uniform {
+            weight_per_speed: 1,
+        },
+        churn: Vec::new(),
+        shards: 1,
+    }
+}
+
+/// The canonical header line, produced by the real writer.
+fn header_line() -> String {
+    let path = std::env::temp_dir().join(format!(
+        "lb_trace_corpus_header_{}.jsonl",
+        std::process::id()
+    ));
+    let writer = TraceWriter::create(&path, &scenario()).expect("writer starts");
+    drop(writer); // header is written eagerly; the trace stays unsealed
+    let text = std::fs::read_to_string(&path).expect("header text");
+    std::fs::remove_file(&path).ok();
+    text.lines().next().expect("header line").to_string()
+}
+
+/// A well-formed round record carrying 2 events.
+fn round_line(round: u64) -> String {
+    format!(
+        "{{\"kind\":\"round\",\"round\":{round},\"completions\":[[0,1]],\
+         \"arrivals\":[[1,{},1]]}}",
+        100 + round
+    )
+}
+
+/// A well-formed end record.
+fn end_line(rounds: u64, events: u64) -> String {
+    format!("{{\"kind\":\"end\",\"rounds\":{rounds},\"events\":{events}}}")
+}
+
+/// Streams `lines` (newline-terminated) through a `ReadSource` and returns
+/// the first error. Panics if the stream parses cleanly.
+fn first_error(lines: &[String]) -> String {
+    let text = lines.join("\n") + "\n";
+    first_error_raw(text.into_bytes())
+}
+
+fn first_error_raw(bytes: Vec<u8>) -> String {
+    let mut source = match ReadSource::new(io::Cursor::new(bytes)) {
+        Ok(source) => source,
+        Err(err) => return err,
+    };
+    let mut out = RoundEvents::default();
+    loop {
+        match source.next_round(&mut out) {
+            Ok(Some(_)) => {}
+            Ok(None) => panic!("malformed stream parsed cleanly"),
+            Err(err) => return err,
+        }
+    }
+}
+
+#[test]
+fn malformed_lines_raise_specific_errors() {
+    let header = header_line();
+    // (corpus entry, the mid-stream malformed line, expected error fragment)
+    let corpus: Vec<(&str, String, &str)> = vec![
+        (
+            "bad JSON: truncated object",
+            "{\"kind\":".to_string(),
+            "expected '\"'",
+        ),
+        ("bad JSON: not an object", "42".to_string(), "expected '{'"),
+        (
+            "bad JSON: unterminated string",
+            "{\"kind\":\"round".to_string(),
+            "unterminated string",
+        ),
+        (
+            "kind must lead",
+            "{\"round\":1,\"kind\":\"round\",\"completions\":[],\"arrivals\":[]}".to_string(),
+            "must lead with its \"kind\"",
+        ),
+        (
+            "unknown kind",
+            "{\"kind\":\"frame\"}".to_string(),
+            "unknown record kind \"frame\"",
+        ),
+        (
+            "non-exact integer: fraction",
+            "{\"kind\":\"round\",\"round\":1.5,\"completions\":[],\"arrivals\":[]}".to_string(),
+            "non-exact integer",
+        ),
+        (
+            "non-exact integer: exponent",
+            "{\"kind\":\"round\",\"round\":1e2,\"completions\":[],\"arrivals\":[]}".to_string(),
+            "non-exact integer",
+        ),
+        (
+            "non-exact integer: negative",
+            "{\"kind\":\"round\",\"round\":3,\"completions\":[[0,-1]],\"arrivals\":[]}".to_string(),
+            "non-negative exact integer",
+        ),
+        (
+            "integer overflow",
+            "{\"kind\":\"round\",\"round\":3,\"completions\":[],\
+             \"arrivals\":[[0,99999999999999999999999999,1]]}"
+                .to_string(),
+            "integer out of range",
+        ),
+        (
+            "zero arrival weight",
+            "{\"kind\":\"round\",\"round\":3,\"completions\":[],\"arrivals\":[[0,9,0]]}"
+                .to_string(),
+            "arrival weight must be positive",
+        ),
+        (
+            "malformed completion pair",
+            "{\"kind\":\"round\",\"round\":3,\"completions\":[[0]],\"arrivals\":[]}".to_string(),
+            "expected ','",
+        ),
+        (
+            "duplicate field",
+            "{\"kind\":\"round\",\"round\":3,\"round\":4,\"completions\":[],\"arrivals\":[]}"
+                .to_string(),
+            "duplicate field \"round\"",
+        ),
+        (
+            "unknown field",
+            "{\"kind\":\"round\",\"round\":3,\"jitter\":1,\"completions\":[],\"arrivals\":[]}"
+                .to_string(),
+            "unknown round-record field \"jitter\"",
+        ),
+        (
+            "missing field",
+            "{\"kind\":\"round\",\"round\":3,\"completions\":[]}".to_string(),
+            "missing field \"arrivals\"",
+        ),
+        (
+            "trailing content",
+            format!("{} trailing", round_line(3)),
+            "unexpected trailing content",
+        ),
+        (
+            "header repeated mid-stream",
+            header.clone(),
+            "unexpected header record",
+        ),
+        (
+            "round beyond the scenario",
+            round_line(40),
+            "beyond the scenario",
+        ),
+    ];
+    for (name, bad_line, expect) in corpus {
+        let err = first_error(&[header.clone(), round_line(0), bad_line]);
+        assert!(
+            err.contains(expect),
+            "{name}: expected {expect:?} in {err:?}"
+        );
+        // Errors locate the offending line (header = 1, so the bad line is 3).
+        assert!(err.contains("line 3"), "{name}: no line number in {err:?}");
+    }
+}
+
+#[test]
+fn ordering_violations_raise_specific_errors() {
+    let header = header_line();
+    let err = first_error(&[header.clone(), round_line(3), round_line(3)]);
+    assert!(
+        err.contains("strictly increasing"),
+        "duplicate round: {err}"
+    );
+    let err = first_error(&[header.clone(), round_line(5), round_line(3)]);
+    assert!(
+        err.contains("strictly increasing"),
+        "decreasing round: {err}"
+    );
+}
+
+#[test]
+fn end_record_violations_raise_specific_errors() {
+    let header = header_line();
+
+    // Missing end record entirely.
+    let err = first_error(&[header.clone(), round_line(0), round_line(1)]);
+    assert!(err.contains("without the end record"), "{err}");
+
+    // Wrong declared totals.
+    let err = first_error(&[
+        header.clone(),
+        round_line(0),
+        round_line(1),
+        end_line(2, 99),
+    ]);
+    assert!(err.contains("declares"), "{err}");
+
+    // Malformed end record (missing a field).
+    let err = first_error(&[
+        header.clone(),
+        round_line(0),
+        "{\"kind\":\"end\",\"rounds\":1}".to_string(),
+    ]);
+    assert!(err.contains("missing field \"events\""), "{err}");
+
+    // Torn final line (no trailing newline mid-record).
+    let mut bytes = (header.clone() + "\n" + &round_line(0) + "\n").into_bytes();
+    bytes.extend_from_slice(b"{\"kind\":\"rou");
+    let err = first_error_raw(bytes);
+    assert!(err.contains("torn line"), "{err}");
+}
+
+#[test]
+fn content_after_the_end_record_is_rejected() {
+    let header = header_line();
+    let text = [
+        header,
+        round_line(0),
+        round_line(1),
+        end_line(2, 4),
+        round_line(2),
+    ]
+    .join("\n")
+        + "\n";
+    let mut source = ReadSource::new(io::Cursor::new(text.into_bytes())).expect("header parses");
+    let mut out = RoundEvents::default();
+    assert_eq!(source.next_round(&mut out).unwrap(), Some(0));
+    assert_eq!(source.next_round(&mut out).unwrap(), Some(1));
+    // The end record seals the stream cleanly…
+    assert_eq!(source.next_round(&mut out).unwrap(), None);
+    // …but the already-buffered garbage after it is an error on the next pull.
+    let err = source.next_round(&mut out).expect_err("trailing content");
+    assert!(err.contains("after the end record"), "{err}");
+}
+
+#[test]
+fn a_clean_corpus_baseline_parses() {
+    // The corpus helpers themselves must form a valid stream — otherwise
+    // every negative assertion above is vacuous.
+    let text = [header_line(), round_line(0), round_line(7), end_line(2, 4)].join("\n") + "\n";
+    let mut source = ReadSource::new(io::Cursor::new(text.into_bytes())).expect("header parses");
+    let mut out = RoundEvents::default();
+    assert_eq!(source.next_round(&mut out).unwrap(), Some(0));
+    assert_eq!(out.completions.len() + out.arrivals.len(), 2);
+    assert_eq!(source.next_round(&mut out).unwrap(), Some(7));
+    assert_eq!(source.next_round(&mut out).unwrap(), None, "sealed cleanly");
+    assert_eq!(source.scenario(), &scenario());
+}

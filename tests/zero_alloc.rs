@@ -13,6 +13,7 @@ use lb_core::continuous::{ContinuousRunner, DimensionExchange, Fos};
 use lb_core::discrete::{
     DiscreteBalancer, DynamicBalancer, FlowImitation, RandomizedImitation, RoundEvents, TaskPicker,
 };
+use lb_core::ingest::merge::MergeSession;
 use lb_core::ingest::{self, IngestSession};
 use lb_core::{InitialLoad, ShardedExecutor, Speeds, Task, TaskId};
 use lb_graph::{generators, AlphaScheme, Graph};
@@ -246,4 +247,75 @@ fn steady_state_rounds_do_not_allocate() {
     assert!(alg1.completed_weight() > 0);
     drop(session); // hang up; the blocked producer's next send fails
     producer.join().expect("producer exits cleanly");
+
+    // Merged ingestion (2 feeds): two producer threads each stream their own
+    // half of the round's events over their own bounded channel, and the
+    // MergeSession coalesces the halves between rounds. The counter is
+    // global, so the measured window covers all three threads: once the
+    // session's scratch and every circulating buffer are warm, a steady-state
+    // round — two produces, two sends, k-way coalesce, apply, recycle, step —
+    // must allocate nothing anywhere. Feed 0 carries the completions and the
+    // even arrivals, feed 1 the odd arrivals (disjoint task ids), keeping the
+    // total load steady.
+    let fos = Fos::new(Arc::clone(&graph), &speeds, AlphaScheme::MaxDegreePlusOne)
+        .expect("FOS constructs");
+    let mut alg1 = FlowImitation::new(fos, &initial, speeds.clone(), TaskPicker::Fifo)
+        .expect("dimensions agree");
+    let mut consumers = Vec::new();
+    let mut merge_producers = Vec::new();
+    let base_id = initial.task_count() as u64;
+    for feed in 0..2u64 {
+        let (mut tx, rx) = ingest::bounded(8);
+        consumers.push(rx);
+        let nodes = n;
+        merge_producers.push(std::thread::spawn(move || {
+            for round in 0..700u64 {
+                let mut batch = tx.buffer();
+                if feed == 0 {
+                    for k in 0..4u64 {
+                        batch
+                            .completions
+                            .push(((round as usize * 13 + 7 * k as usize) % nodes, 1));
+                    }
+                }
+                for k in 0..2u64 {
+                    let id = base_id + round * 4 + 2 * k + feed;
+                    let task = Task::new(TaskId(id), 1);
+                    batch.arrivals.push((
+                        (round as usize * 31 + (2 * k + feed) as usize) % nodes,
+                        task,
+                    ));
+                }
+                if tx.send(round, batch).is_err() {
+                    return; // consumer done; the test is over
+                }
+            }
+        }));
+    }
+    let mut session = MergeSession::new(consumers);
+    let mut round = 0u64;
+    assert_zero_alloc_steady_state(
+        "FlowImitation merged ingestion (2 feeds)",
+        400,
+        100,
+        &mut || {
+            session
+                .apply_round(round, &mut alg1)
+                .expect("merged batch applies");
+            round += 1;
+            alg1.step();
+        },
+    );
+    assert_eq!(session.report().arrived_tasks, 4 * 500);
+    assert!(session.report().completed_weight > 0);
+    let reports = session.feed_reports();
+    assert_eq!(reports.len(), 2);
+    assert!(
+        reports.iter().all(|r| r.batches == 500),
+        "both feeds fed every measured round"
+    );
+    drop(session); // hang up; both blocked producers' next sends fail
+    for producer in merge_producers {
+        producer.join().expect("merge producer exits cleanly");
+    }
 }
