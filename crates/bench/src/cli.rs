@@ -4,7 +4,9 @@
 //!
 //! ```text
 //! lb run <scenario.json> [--seed N] [--shards N] [--producer MODE]
-//!        [--record PATH] [--ingest-stats PATH] [--out PATH] [--quiet]
+//!        [--record PATH] [--checkpoint PATH --checkpoint-every N]
+//!        [--ingest-stats PATH] [--out PATH] [--quiet]
+//! lb run --resume <snapshot.jsonl> [--shards N] [--producer MODE] [...]
 //! lb replay <trace.jsonl | -> [--follow] [--idle-timeout-ms N] [--shards N]
 //!        [--ingest-stats PATH] [--out PATH] [--quiet]
 //! lb serve-trace <trace.jsonl> [--out PATH] [--delay-ms N]
@@ -26,14 +28,15 @@
 //! shims over [`shim`], so one dispatch table owns all argument parsing.
 
 use crate::dynamic::{
-    replay_source, replay_trace, run_scenario_with, Producer, RoundSample, RunOptions,
+    replay_source, replay_trace, resume_run, run_scenario_with, Producer, RoundSample, RunOptions,
     ScenarioOutcome, DEFAULT_CHANNEL_CAPACITY, MAX_MERGE_FEEDS,
 };
 use lb_analysis::Json;
+use lb_core::snapshot::write_bytes_atomic;
 use lb_workloads::{ReadSource, Scenario, Trace, TraceSource};
 use std::fs;
 use std::io::Write;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::time::Duration;
 
 /// Usage text printed by `lb help` and on argument errors.
@@ -60,6 +63,22 @@ COMMANDS:
         --record PATH     Record the applied event stream as a replayable
                           line-delimited JSON trace (see ROADMAP.md 'Async
                           ingestion'). Recording never perturbs the run.
+        --checkpoint PATH Write a rotating full-state snapshot to PATH
+                          (atomic temp+fsync+rename; the newest complete
+                          checkpoint always survives a crash) every
+                          --checkpoint-every rounds. Resume with
+                          'lb run --resume PATH'. Checkpointing never
+                          perturbs the run.
+        --checkpoint-every N
+                          Checkpoint cadence in rounds; required alongside
+                          --checkpoint.
+        --resume SNAPSHOT Resume from a checkpoint instead of a scenario
+                          file: the snapshot embeds the scenario and pins
+                          the seed (--seed is rejected, as is a scenario
+                          positional). The resumed run's result JSON is
+                          byte-identical to the uninterrupted run's — at
+                          any --shards override and in every --producer
+                          mode; --record still writes the complete trace.
         --ingest-stats PATH
                           Write the ingestion report (per-feed batch/event
                           totals, blocked sends/nanos, high-water depth) as
@@ -304,19 +323,23 @@ fn stream_sample(sample: &RoundSample) {
     );
 }
 
-/// Prints (and optionally writes) the deterministic result document.
+/// Prints (and optionally writes) the deterministic result document. The
+/// file write is atomic (temp + fsync + rename): a crash mid-emit never
+/// leaves a torn artefact at `--out`.
 fn emit_outcome(outcome: &ScenarioOutcome, out: Option<&str>) -> Result<(), String> {
     let rendered = outcome.to_json().render_pretty();
     if let Some(out) = out {
-        fs::write(out, &rendered).map_err(|e| format!("writing {out}: {e}"))?;
+        write_bytes_atomic(Path::new(out), rendered.as_bytes())
+            .map_err(|e| format!("writing {out}: {e}"))?;
         eprintln!("(result written to {out})");
     }
     println!("{rendered}");
     Ok(())
 }
 
-/// Writes the ingestion report (`--ingest-stats`). Sync runs produce an
-/// empty report so the artefact shape is uniform across producer modes.
+/// Writes the ingestion report (`--ingest-stats`) atomically. Sync runs
+/// produce an empty report so the artefact shape is uniform across producer
+/// modes.
 fn emit_ingest_stats(outcome: &ScenarioOutcome, path: &str) -> Result<(), String> {
     let stats = outcome.ingest.clone().unwrap_or_else(|| {
         Json::obj([
@@ -324,7 +347,8 @@ fn emit_ingest_stats(outcome: &ScenarioOutcome, path: &str) -> Result<(), String
             ("feeds", Json::Arr(Vec::new())),
         ])
     });
-    fs::write(path, stats.render_pretty()).map_err(|e| format!("writing {path}: {e}"))?;
+    write_bytes_atomic(Path::new(path), stats.render_pretty().as_bytes())
+        .map_err(|e| format!("writing {path}: {e}"))?;
     eprintln!("(ingest stats written to {path})");
     Ok(())
 }
@@ -370,6 +394,9 @@ fn cmd_run(args: &[String]) -> i32 {
             "--record",
             "--producer",
             "--ingest-stats",
+            "--checkpoint",
+            "--checkpoint-every",
+            "--resume",
         ],
         &["--quiet"],
         1,
@@ -377,9 +404,24 @@ fn cmd_run(args: &[String]) -> i32 {
         Ok(parsed) => parsed,
         Err(err) => return usage_error(&err),
     };
-    let Some(path) = parsed.positionals.first().copied() else {
-        return usage_error("run requires a scenario file (lb run <scenario.json>)");
-    };
+    let resume = parsed.value("--resume");
+    let path = parsed.positionals.first().copied();
+    // --resume replays the snapshot's embedded scenario with its pinned
+    // seed: a scenario positional or a --seed override would contradict
+    // the snapshot, so both are rejected before any I/O happens.
+    if resume.is_some() && path.is_some() {
+        return usage_error(
+            "--resume uses the snapshot's embedded scenario; drop the scenario file argument",
+        );
+    }
+    if resume.is_some() && parsed.value("--seed").is_some() {
+        return usage_error("--resume cannot override the seed: the snapshot pins it");
+    }
+    if resume.is_none() && path.is_none() {
+        return usage_error(
+            "run requires a scenario file (lb run <scenario.json>) or --resume <snapshot>",
+        );
+    }
     let seed = match parsed
         .value("--seed")
         .map(|v| v.parse::<u64>().map_err(|e| format!("--seed: {e}")))
@@ -396,22 +438,55 @@ fn cmd_run(args: &[String]) -> i32 {
         Ok(producer) => producer,
         Err(err) => return usage_error(&err),
     };
+    let checkpoint_every = match parsed
+        .value("--checkpoint-every")
+        .map(|v| {
+            v.parse::<usize>()
+                .map_err(|e| format!("--checkpoint-every: {e}"))
+        })
+        .transpose()
+    {
+        Ok(every) => every,
+        Err(err) => return usage_error(&err),
+    };
+    let checkpoint = parsed.value("--checkpoint").map(PathBuf::from);
+    match (&checkpoint, checkpoint_every) {
+        (Some(_), None) => return usage_error("--checkpoint requires --checkpoint-every N"),
+        (None, Some(_)) => return usage_error("--checkpoint-every requires --checkpoint PATH"),
+        (Some(_), Some(0)) => {
+            return usage_error("--checkpoint-every: the cadence must be at least one round");
+        }
+        _ => {}
+    }
     let options = RunOptions {
         seed,
         shards,
         producer,
         record: parsed.value("--record").map(PathBuf::from),
+        checkpoint,
+        checkpoint_every,
     };
     let quiet = parsed.has("--quiet");
 
     let result = (|| -> Result<(), String> {
-        let text = fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-        let scenario = Scenario::parse(&text).map_err(|e| format!("{path}: {e}"))?;
-        let outcome = run_scenario_with(&scenario, &options, |sample| {
+        let on_sample = |sample: &RoundSample| {
             if !quiet {
                 stream_sample(sample);
             }
-        })?;
+        };
+        let outcome = match resume {
+            Some(snapshot_path) => {
+                let snapshot = lb_core::snapshot::load(snapshot_path)
+                    .map_err(|e| format!("{snapshot_path}: {e}"))?;
+                resume_run(snapshot, &options, on_sample)?
+            }
+            None => {
+                let path = path.expect("validated: a scenario path or --resume is present");
+                let text = fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+                let scenario = Scenario::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+                run_scenario_with(&scenario, &options, on_sample)?
+            }
+        };
         if let Some(trace) = &options.record {
             eprintln!("(event trace recorded to {})", trace.display());
         }
@@ -595,6 +670,24 @@ fn merge_events_per_sec(doc: &Json) -> Option<f64> {
         .as_f64()
 }
 
+/// Reads the checkpoint-write throughput (`snapshot.capture_write.mb_per_sec`)
+/// from a hotpath/baseline document, if present.
+fn snapshot_write_mb_per_sec(doc: &Json) -> Option<f64> {
+    doc.get("snapshot")?
+        .get("capture_write")?
+        .get("mb_per_sec")?
+        .as_f64()
+}
+
+/// Reads the resume-restore throughput (`snapshot.read_restore.mb_per_sec`)
+/// from a hotpath/baseline document, if present.
+fn snapshot_read_mb_per_sec(doc: &Json) -> Option<f64> {
+    doc.get("snapshot")?
+        .get("read_restore")?
+        .get("mb_per_sec")?
+        .as_f64()
+}
+
 /// The perf-regression gate: compares the current hot-path throughput
 /// against the committed baseline and fails on a drop beyond the allowance.
 fn cmd_bench_check(args: &[String]) -> i32 {
@@ -687,6 +780,24 @@ fn cmd_bench_check(args: &[String]) -> i32 {
                 ok &= gate("merge", "events/sec", merge_baseline, merge_current);
             }
             _ => println!("bench-check [merge]: no baseline entry, skipped"),
+        }
+        match snapshot_write_mb_per_sec(&baseline_doc) {
+            Some(write_baseline) if write_baseline > 0.0 => {
+                let write_current = snapshot_write_mb_per_sec(&current_doc).ok_or_else(|| {
+                    format!("{current_path}: no snapshot.capture_write.mb_per_sec field")
+                })?;
+                ok &= gate("snapshot-write", "MB/sec", write_baseline, write_current);
+            }
+            _ => println!("bench-check [snapshot-write]: no baseline entry, skipped"),
+        }
+        match snapshot_read_mb_per_sec(&baseline_doc) {
+            Some(read_baseline) if read_baseline > 0.0 => {
+                let read_current = snapshot_read_mb_per_sec(&current_doc).ok_or_else(|| {
+                    format!("{current_path}: no snapshot.read_restore.mb_per_sec field")
+                })?;
+                ok &= gate("snapshot-read", "MB/sec", read_baseline, read_current);
+            }
+            _ => println!("bench-check [snapshot-read]: no baseline entry, skipped"),
         }
         Ok(ok)
     })();
@@ -918,6 +1029,61 @@ mod tests {
     }
 
     #[test]
+    fn run_checkpoint_flags_are_validated() {
+        // The checkpoint path and cadence come as a pair; a zero or
+        // malformed cadence is rejected before any I/O happens.
+        assert_eq!(
+            dispatch(&args(&["run", "s.json", "--checkpoint", "c.jsonl"])),
+            2
+        );
+        assert_eq!(
+            dispatch(&args(&["run", "s.json", "--checkpoint-every", "5"])),
+            2
+        );
+        assert_eq!(
+            dispatch(&args(&[
+                "run",
+                "s.json",
+                "--checkpoint",
+                "c.jsonl",
+                "--checkpoint-every",
+                "0"
+            ])),
+            2
+        );
+        assert_eq!(
+            dispatch(&args(&[
+                "run",
+                "s.json",
+                "--checkpoint",
+                "c.jsonl",
+                "--checkpoint-every",
+                "soon"
+            ])),
+            2
+        );
+    }
+
+    #[test]
+    fn run_resume_flags_are_validated() {
+        // --resume carries its own scenario: a scenario positional or a
+        // --seed override contradicts the snapshot and is a usage error.
+        assert_eq!(
+            dispatch(&args(&["run", "s.json", "--resume", "c.jsonl"])),
+            2
+        );
+        assert_eq!(
+            dispatch(&args(&["run", "--resume", "c.jsonl", "--seed", "9"])),
+            2
+        );
+        // A missing snapshot file is a runtime error, not a usage error.
+        assert_eq!(
+            dispatch(&args(&["run", "--resume", "/no/such/snapshot.jsonl"])),
+            1
+        );
+    }
+
+    #[test]
     fn bench_check_gates_on_regression() {
         let dir = std::env::temp_dir().join("lb_bench_check_test");
         fs::create_dir_all(&dir).unwrap();
@@ -1099,6 +1265,69 @@ mod tests {
         assert_eq!(dispatch(&base_args()), 1, "missing merge entry");
 
         // No baseline entry: the merge gate is skipped.
+        fs::write(&baseline, r#"{"rounds_per_sec": 100.0}"#).unwrap();
+        assert_eq!(dispatch(&base_args()), 0, "no baseline entry, skipped");
+    }
+
+    #[test]
+    fn bench_check_gates_the_snapshot_entries() {
+        let dir = std::env::temp_dir().join("lb_bench_check_snapshot_test");
+        fs::create_dir_all(&dir).unwrap();
+        let baseline = dir.join("baseline.json");
+        let current = dir.join("current.json");
+        let base_args = || {
+            args(&[
+                "bench-check",
+                "--baseline",
+                baseline.to_str().unwrap(),
+                "--current",
+                current.to_str().unwrap(),
+            ])
+        };
+
+        fs::write(
+            &baseline,
+            r#"{"rounds_per_sec": 100.0,
+               "snapshot": {"capture_write": {"mb_per_sec": 100.0},
+                            "read_restore": {"mb_per_sec": 200.0}}}"#,
+        )
+        .unwrap();
+
+        // Above both floors: passes.
+        fs::write(
+            &current,
+            r#"{"optimized": {"rounds_per_sec": 100.0},
+               "snapshot": {"capture_write": {"mb_per_sec": 90.0},
+                            "read_restore": {"mb_per_sec": 180.0}}}"#,
+        )
+        .unwrap();
+        assert_eq!(dispatch(&base_args()), 0, "within the allowance");
+
+        // A >25% capture-write drop fails even with a healthy restore side.
+        fs::write(
+            &current,
+            r#"{"optimized": {"rounds_per_sec": 100.0},
+               "snapshot": {"capture_write": {"mb_per_sec": 50.0},
+                            "read_restore": {"mb_per_sec": 200.0}}}"#,
+        )
+        .unwrap();
+        assert_eq!(dispatch(&base_args()), 1, "capture-write regression fails");
+
+        // And vice versa for read+restore.
+        fs::write(
+            &current,
+            r#"{"optimized": {"rounds_per_sec": 100.0},
+               "snapshot": {"capture_write": {"mb_per_sec": 100.0},
+                            "read_restore": {"mb_per_sec": 100.0}}}"#,
+        )
+        .unwrap();
+        assert_eq!(dispatch(&base_args()), 1, "read-restore regression fails");
+
+        // Gated baselines demand the entry in the current file.
+        fs::write(&current, r#"{"optimized": {"rounds_per_sec": 100.0}}"#).unwrap();
+        assert_eq!(dispatch(&base_args()), 1, "missing snapshot entry");
+
+        // No baseline entry: both snapshot gates are skipped.
         fs::write(&baseline, r#"{"rounds_per_sec": 100.0}"#).unwrap();
         assert_eq!(dispatch(&base_args()), 0, "no baseline entry, skipped");
     }

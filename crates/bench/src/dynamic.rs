@@ -30,6 +30,21 @@
 //! sends/duration per feed, high-water depth) through
 //! [`ScenarioOutcome::ingest`] — out of band, because those counters are
 //! timing-dependent while the result document is pinned byte-identical.
+//!
+//! Any run can also be **checkpointed** ([`RunOptions::checkpoint`]): a
+//! rotating [`lb_core::snapshot`] of the full engine state — plus the
+//! effective scenario and the trajectory accumulated so far — is atomically
+//! replaced every `checkpoint_every` rounds, at the between-rounds boundary
+//! (the one quiescent point the ingest contract defines). [`resume_run`]
+//! continues from the newest checkpoint and emits result JSON
+//! **byte-identical** to the uninterrupted run's — at any shard count
+//! (resume overrides the executor, never the recorded scenario, so a
+//! snapshot doubles as a migration unit), through any producer mode, and
+//! with `--record` still producing the complete trace (the drained prefix
+//! is re-recorded). [`resume_replay`] does the same for byte-stream feeds
+//! and composes with [`lb_workloads::TraceSource`] checkpoints: a source
+//! resumed past the applied prefix simply yields empty batches for the
+//! fast-forwarded rounds.
 
 use lb_analysis::Json;
 use lb_core::continuous::{Fos, Sos};
@@ -38,6 +53,7 @@ use lb_core::discrete::{
 };
 use lb_core::ingest::merge::MergeSession;
 use lb_core::ingest::{self, ChannelMetrics, IngestSession};
+use lb_core::snapshot::{self, Snapshot};
 use lb_core::{metrics, CoreError, InitialLoad, ShardedExecutor, Speeds};
 use lb_graph::{AlphaScheme, Graph};
 use lb_workloads::{
@@ -271,6 +287,17 @@ impl Engine {
         with_engine!(self, e => DynamicBalancer::completed_weight(e))
     }
 
+    /// Captures the full engine state at a between-rounds boundary.
+    fn capture(&self) -> snapshot::EngineState {
+        with_engine!(self, e => e.capture())
+    }
+
+    /// Restores captured state into a freshly rebuilt engine (same
+    /// algorithm, same topology epoch) — the seams validate both.
+    fn restore(&mut self, state: &snapshot::EngineState) -> Result<(), snapshot::SnapshotError> {
+        with_engine!(self, e => e.restore(state))
+    }
+
     /// Rebuilds the continuous process on `graph` and swaps it in (topology
     /// churn). `speeds` must already follow the carry-over rule (truncate /
     /// pad with unit speeds), matching what `replace_topology` re-derives.
@@ -350,6 +377,16 @@ pub struct RunOptions {
     /// and replays bit-identically via [`replay_trace`]. Recording never
     /// perturbs the run itself.
     pub record: Option<PathBuf>,
+    /// Write a rotating engine snapshot ([`lb_core::snapshot`]) to this
+    /// path every [`checkpoint_every`](RunOptions::checkpoint_every)
+    /// rounds. Each write is atomic (temp file → fsync → rename), so the
+    /// file always holds the newest *complete* checkpoint — a crash
+    /// mid-write leaves the previous one intact. Resume with
+    /// [`resume_run`]. Checkpointing never perturbs the run itself.
+    pub checkpoint: Option<PathBuf>,
+    /// Checkpoint cadence in completed rounds; required with (and only
+    /// meaningful alongside) [`checkpoint`](RunOptions::checkpoint).
+    pub checkpoint_every: Option<usize>,
 }
 
 /// The JSON form of one feed's ingestion stats.
@@ -711,7 +748,7 @@ pub fn run_scenario_with(
         scenario.shards = shards;
     }
     scenario.validate()?;
-    execute(scenario, Feed::Generate, options, on_sample)
+    execute(scenario, Feed::Generate, options, None, on_sample)
 }
 
 /// Replays a recorded trace through the async ingestion channel: the
@@ -743,6 +780,7 @@ pub fn replay_trace(
         scenario,
         Feed::Trace(Box::new(trace)),
         &RunOptions::default(),
+        None,
         on_sample,
     )
 }
@@ -778,6 +816,213 @@ pub fn replay_source(
         scenario,
         Feed::Source(source),
         &RunOptions::default(),
+        None,
+        on_sample,
+    )
+}
+
+/// Encodes one trajectory sample for the snapshot's driver payload. The
+/// `f64` fields travel as IEEE-754 bit patterns so a resumed run re-renders
+/// the restored prefix byte-identically.
+fn sample_record(sample: &RoundSample) -> Json {
+    Json::Arr(vec![
+        Json::from(sample.round),
+        Json::from(sample.nodes),
+        Json::from(sample.max_min.to_bits()),
+        Json::from(sample.max_avg.to_bits()),
+        Json::from(sample.real_weight.to_bits()),
+        Json::from(sample.dummy_load),
+        Json::from(sample.arrived_weight),
+        Json::from(sample.completed_weight),
+    ])
+}
+
+/// The snapshot's opaque driver payload: the engine identity and the
+/// trajectory accumulated up to the capture round.
+fn encode_driver(engine_name: &str, trajectory: &[RoundSample]) -> Json {
+    Json::obj([
+        ("engine", Json::from(engine_name)),
+        (
+            "trajectory",
+            Json::Arr(trajectory.iter().map(sample_record).collect()),
+        ),
+    ])
+}
+
+/// Decodes the driver payload's trajectory (inverse of [`encode_driver`]).
+fn decode_trajectory(driver: &Json) -> Result<Vec<RoundSample>, String> {
+    let entries = driver
+        .get("trajectory")
+        .and_then(Json::as_array)
+        .ok_or("snapshot driver payload has no trajectory array")?;
+    entries
+        .iter()
+        .enumerate()
+        .map(|(idx, entry)| {
+            let items = entry.as_array().filter(|a| a.len() == 8).ok_or_else(|| {
+                format!("snapshot driver payload: trajectory entry {idx} is not an 8-field record")
+            })?;
+            let int = |slot: usize, what: &str| -> Result<u64, String> {
+                items[slot].as_u64().ok_or_else(|| {
+                    format!(
+                        "snapshot driver payload: trajectory entry {idx} field {what} \
+                         must be a non-negative exact integer"
+                    )
+                })
+            };
+            Ok(RoundSample {
+                round: int(0, "round")? as usize,
+                nodes: int(1, "nodes")? as usize,
+                max_min: f64::from_bits(int(2, "max_min")?),
+                max_avg: f64::from_bits(int(3, "max_avg")?),
+                real_weight: f64::from_bits(int(4, "real_weight")?),
+                dummy_load: int(5, "dummy_load")?,
+                arrived_weight: int(6, "arrived_weight")?,
+                completed_weight: int(7, "completed_weight")?,
+            })
+        })
+        .collect()
+}
+
+/// A validated resume point decoded from a [`Snapshot`].
+struct ResumePoint {
+    /// Completed rounds at capture: the round the run continues from.
+    round: usize,
+    /// Engine name recorded at capture, validated against the rebuilt one.
+    engine_name: String,
+    /// The trajectory accumulated before the capture.
+    trajectory: Vec<RoundSample>,
+    /// The captured engine state.
+    engine: snapshot::EngineState,
+    /// Shard-count override for the resumed executor. Deliberately does
+    /// **not** rewrite the scenario: shard count never changes the result,
+    /// so the resumed document stays byte-identical to the uninterrupted
+    /// one — a snapshot is the natural migration unit across shard counts.
+    shards: Option<usize>,
+}
+
+impl ResumePoint {
+    /// Decodes and cross-validates `snapshot`, returning the effective
+    /// scenario it embeds alongside the resume point.
+    fn decode(snapshot: Snapshot, shards: Option<usize>) -> Result<(Scenario, Self), String> {
+        let scenario = Scenario::from_json(&snapshot.scenario)
+            .map_err(|err| format!("snapshot scenario header: {err}"))?;
+        scenario
+            .validate()
+            .map_err(|err| format!("snapshot scenario header: {err}"))?;
+        if let Some(shards) = shards {
+            // Reuse the scenario's own shard validation for the override.
+            let mut check = scenario.clone();
+            check.shards = shards;
+            check.validate()?;
+        }
+        if snapshot.engine.round != snapshot.round {
+            return Err(format!(
+                "corrupt snapshot: the run record says round {} but the engine record \
+                 says round {}",
+                snapshot.round, snapshot.engine.round
+            ));
+        }
+        let round = usize::try_from(snapshot.round)
+            .map_err(|_| format!("snapshot round {} overflows this platform", snapshot.round))?;
+        if round > scenario.rounds {
+            return Err(format!(
+                "snapshot was captured at round {round} but the scenario runs only {} round(s)",
+                scenario.rounds
+            ));
+        }
+        let engine_name = snapshot
+            .driver
+            .get("engine")
+            .and_then(Json::as_str)
+            .ok_or("snapshot driver payload has no engine name")?
+            .to_string();
+        let trajectory = decode_trajectory(&snapshot.driver)?;
+        if trajectory.first().map(|s| s.round) != Some(0) {
+            return Err("snapshot driver payload: trajectory does not start at round 0".into());
+        }
+        if trajectory.last().is_some_and(|s| s.round > round) {
+            return Err(format!(
+                "snapshot driver payload: trajectory reaches round \
+                 {} past the capture round {round}",
+                trajectory.last().expect("non-empty").round
+            ));
+        }
+        Ok((
+            scenario,
+            ResumePoint {
+                round,
+                engine_name,
+                trajectory,
+                engine: snapshot.engine,
+                shards,
+            },
+        ))
+    }
+}
+
+/// Resumes a checkpointed run ([`RunOptions::checkpoint`]) from `snapshot`:
+/// the embedded scenario rebuilds the graph, speeds and initial load from
+/// its seeds, the pre-resume event stream is fast-forwarded (reconstructing
+/// its RNG state and task-id counter), and the engine state is restored at
+/// the captured between-rounds boundary. The result document is
+/// **byte-identical** to the uninterrupted run's, from any checkpoint.
+///
+/// `options.shards` resizes the resumed *executor* only — the recorded
+/// scenario keeps the original shard count, so byte-identity holds across
+/// shard counts (shard-invariance makes the snapshot a migration unit).
+/// `options.producer` selects the event path as usual; `options.record`
+/// still produces the *complete* trace (the fast-forwarded prefix is
+/// re-recorded); `options.checkpoint` keeps checkpointing the resumed run.
+/// The streaming callback only sees samples taken after the resume point —
+/// the restored prefix is already in the outcome's trajectory.
+///
+/// # Errors
+///
+/// Returns a message for seed overrides (the snapshot pins the seed),
+/// snapshots that do not match the scenario they embed (wrong engine, stale
+/// state — the typed [`lb_core::snapshot::SnapshotError::Mismatch`] checks,
+/// rendered), invalid embedded scenarios and engine errors.
+pub fn resume_run(
+    snapshot: Snapshot,
+    options: &RunOptions,
+    on_sample: impl FnMut(&RoundSample),
+) -> Result<ScenarioOutcome, String> {
+    if options.seed.is_some() {
+        return Err("a resumed run cannot override the seed: the snapshot pins it".into());
+    }
+    let (scenario, resume) = ResumePoint::decode(snapshot, options.shards)?;
+    execute(scenario, Feed::Generate, options, Some(resume), on_sample)
+}
+
+/// Resumes a byte-stream replay ([`replay_source`]) from `snapshot`. The
+/// source's embedded scenario must equal the snapshot's. Composes with
+/// [`lb_workloads::TraceSource`] checkpoints: a source resumed past the
+/// already-applied trace prefix simply yields empty batches for the
+/// fast-forwarded rounds, so the skipped records are never re-read; a
+/// source replaying from the top works too (the prefix is drained and
+/// discarded).
+///
+/// # Errors
+///
+/// As for [`resume_run`], plus source/stream failures.
+pub fn resume_replay(
+    snapshot: Snapshot,
+    source: Box<dyn RoundSource>,
+    shards_override: Option<usize>,
+    on_sample: impl FnMut(&RoundSample),
+) -> Result<ScenarioOutcome, String> {
+    let (scenario, resume) = ResumePoint::decode(snapshot, shards_override)?;
+    if source.scenario() != &scenario {
+        return Err(
+            "snapshot does not match this replay: the source embeds a different scenario".into(),
+        );
+    }
+    execute(
+        scenario,
+        Feed::Source(source),
+        &RunOptions::default(),
+        Some(resume),
         on_sample,
     )
 }
@@ -803,9 +1048,25 @@ fn execute(
     scenario: Scenario,
     feed: Feed,
     options: &RunOptions,
+    resume: Option<ResumePoint>,
     mut on_sample: impl FnMut(&RoundSample),
 ) -> Result<ScenarioOutcome, String> {
     let seed = scenario.seed;
+    let checkpoint = match (&options.checkpoint, options.checkpoint_every) {
+        (Some(path), Some(every)) => {
+            if every == 0 {
+                return Err("the checkpoint cadence must be at least one round".into());
+            }
+            Some((path.clone(), every))
+        }
+        (Some(_), None) => {
+            return Err("a checkpoint path requires a checkpoint cadence (checkpoint-every)".into())
+        }
+        (None, Some(_)) => {
+            return Err("a checkpoint cadence requires a checkpoint path".into());
+        }
+        (None, None) => None,
+    };
 
     let class = family_class(&scenario.topology.family)?;
     let graph: Arc<Graph> = class
@@ -902,8 +1163,14 @@ fn execute(
         .transpose()?;
     let mut events = RoundEvents::default();
     // One executor for the whole run; it rebinds itself across churn. A
-    // single shard means plain sequential stepping, no worker threads.
-    let mut executor = (scenario.shards > 1).then(|| ShardedExecutor::new(scenario.shards));
+    // single shard means plain sequential stepping, no worker threads. A
+    // resumed run may override the count — executor only, never the
+    // recorded scenario, so the result document stays byte-identical.
+    let exec_shards = resume
+        .as_ref()
+        .and_then(|point| point.shards)
+        .unwrap_or(scenario.shards);
+    let mut executor = (exec_shards > 1).then(|| ShardedExecutor::new(exec_shards));
 
     let sample_of = |engine: &Engine, round: usize| -> RoundSample {
         let loads = engine.loads();
@@ -926,10 +1193,60 @@ fn execute(
         on_sample(&sample);
         trajectory.push(sample);
     };
-    record(&engine, 0, &mut trajectory);
 
     let mut churn = schedule.into_iter().peekable();
-    for round in 0..scenario.rounds {
+    let resume_round = match resume {
+        None => {
+            record(&engine, 0, &mut trajectory);
+            0
+        }
+        Some(point) => {
+            if point.round > scenario.rounds {
+                return Err(format!(
+                    "snapshot was captured at round {} but the scenario runs only {} round(s)",
+                    point.round, scenario.rounds
+                ));
+            }
+            // Fast-forward the pre-resume prefix without stepping the
+            // engine: the event stream is drained round by round to
+            // reconstruct its RNG state and task-id counter (and re-record
+            // it, so a resumed `--record` still yields the complete trace),
+            // while churn only needs its *last* topology — the snapshot
+            // restore overwrites everything else.
+            let mut rebuilt: Option<(Arc<Graph>, Speeds)> = None;
+            for round in 0..point.round {
+                while churn.peek().is_some_and(|(r, _, _)| *r == round) {
+                    let (_, new_graph, new_speeds) = churn.next().expect("peeked entry");
+                    source.set_topology(&new_speeds);
+                    rebuilt = Some((new_graph, new_speeds));
+                }
+                source.fill_round(round, &mut events)?;
+                if let Some(writer) = writer.as_mut() {
+                    writer.record_round(round as u64, &events)?;
+                }
+            }
+            if let Some((new_graph, new_speeds)) = rebuilt {
+                engine
+                    .replace_topology(new_graph, &new_speeds)
+                    .map_err(|err| format!("rebuilding the churned topology to resume: {err}"))?;
+            }
+            if engine.name() != point.engine_name {
+                return Err(format!(
+                    "snapshot does not match this run: it captured engine {:?} but the \
+                     scenario builds {:?}",
+                    point.engine_name,
+                    engine.name()
+                ));
+            }
+            engine
+                .restore(&point.engine)
+                .map_err(|err| err.to_string())?;
+            trajectory = point.trajectory;
+            point.round
+        }
+    };
+
+    for round in resume_round..scenario.rounds {
         while churn.peek().is_some_and(|(r, _, _)| *r == round) {
             let (_, new_graph, new_speeds) = churn.next().expect("peeked entry");
             engine
@@ -950,6 +1267,18 @@ fn execute(
         let done = round + 1;
         if done % scenario.sample_every == 0 || done == scenario.rounds {
             record(&engine, done, &mut trajectory);
+        }
+        if let Some((path, every)) = &checkpoint {
+            if done % every == 0 {
+                let state = Snapshot {
+                    scenario: scenario.to_json(),
+                    driver: encode_driver(engine.name(), &trajectory),
+                    round: done as u64,
+                    engine: engine.capture(),
+                };
+                snapshot::write_atomic(path, &state)
+                    .map_err(|err| format!("checkpoint at round {done}: {err}"))?;
+            }
         }
     }
     let ingest = source.finish()?;
@@ -1300,5 +1629,361 @@ mod tests {
         scenario.topology.family = "smallworld".into();
         let err = run_scenario(&scenario, None, None, |_| {}).unwrap_err();
         assert!(err.contains("smallworld"));
+    }
+
+    /// `poisson_scenario` with churn at round 30, for the given engine.
+    fn churned_scenario(algorithm: AlgorithmSpec, model: ModelSpec) -> Scenario {
+        let mut scenario = poisson_scenario();
+        scenario.algorithm = algorithm;
+        scenario.model = model;
+        scenario.churn = vec![ChurnEvent {
+            round: 30,
+            kind: ChurnKind::Rewire { seed: 9 },
+        }];
+        scenario
+    }
+
+    /// Runs `scenario` (60 rounds) with a rotating checkpoint every 25
+    /// rounds and harvests two snapshots from the ONE run: the sample
+    /// callback at round 40 copies the rotating file aside while it still
+    /// holds the round-25 checkpoint (pre-churn), and after the run the
+    /// rotating file holds the round-50 checkpoint (post-churn). Returns
+    /// `(outcome, snapshot@25, snapshot@50)`.
+    fn run_with_checkpoints(
+        scenario: &Scenario,
+        tag: &str,
+    ) -> (ScenarioOutcome, Snapshot, Snapshot) {
+        let dir = std::env::temp_dir();
+        let rotating = dir.join(format!("lb_resume_{tag}.ckpt.jsonl"));
+        let early = dir.join(format!("lb_resume_{tag}.ckpt25.jsonl"));
+        let outcome = run_scenario_with(
+            scenario,
+            &RunOptions {
+                checkpoint: Some(rotating.clone()),
+                checkpoint_every: Some(25),
+                ..RunOptions::default()
+            },
+            |sample| {
+                if sample.round == 40 {
+                    std::fs::copy(&rotating, &early).expect("copy rotating checkpoint");
+                }
+            },
+        )
+        .unwrap();
+        let snap25 = snapshot::load(&early).unwrap();
+        let snap50 = snapshot::load(&rotating).unwrap();
+        std::fs::remove_file(&rotating).ok();
+        std::fs::remove_file(&early).ok();
+        assert_eq!(
+            snap25.round, 25,
+            "the round-40 sample saw the round-25 file"
+        );
+        assert_eq!(snap50.round, 50, "the final rotating file holds round 50");
+        (outcome, snap25, snap50)
+    }
+
+    #[test]
+    fn checkpoint_resume_is_byte_identical_for_all_engines() {
+        // The tentpole contract: resuming from ANY checkpoint — before or
+        // after churn, at any shard count — reproduces the uninterrupted
+        // run's result document byte for byte, for all four engine combos.
+        // The round-25 snapshot crosses the churn *after* the resume point
+        // (live path); the round-50 snapshot crosses it *during* the
+        // fast-forward (replace_topology path).
+        for (algorithm, model, tag) in [
+            (AlgorithmSpec::Alg1, ModelSpec::Fos, "a1fos"),
+            (AlgorithmSpec::Alg1, ModelSpec::Sos, "a1sos"),
+            (AlgorithmSpec::Alg2, ModelSpec::Fos, "a2fos"),
+            (AlgorithmSpec::Alg2, ModelSpec::Sos, "a2sos"),
+        ] {
+            let scenario = churned_scenario(algorithm, model);
+            let (outcome, snap25, snap50) = run_with_checkpoints(&scenario, tag);
+            let reference = outcome.to_json().render_pretty();
+
+            // Checkpointing never perturbs the run.
+            let plain = run_scenario(&scenario, None, None, |_| {}).unwrap();
+            assert_eq!(
+                plain.to_json().render_pretty(),
+                reference,
+                "{tag}: perturbed"
+            );
+
+            for (snap, label) in [(snap25, "round 25"), (snap50, "round 50")] {
+                for shards in [None, Some(3)] {
+                    // Round-trip through the wire format: resume exercises
+                    // render + parse on a real captured state every time.
+                    let snap = snapshot::parse(&snapshot::render(&snap)).unwrap();
+                    let resumed = resume_run(
+                        snap,
+                        &RunOptions {
+                            shards,
+                            ..RunOptions::default()
+                        },
+                        |_| {},
+                    )
+                    .unwrap();
+                    assert_eq!(
+                        resumed.to_json().render_pretty(),
+                        reference,
+                        "{tag}: resume at {label}, shards {shards:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn resume_streams_only_post_resume_samples() {
+        let scenario = churned_scenario(AlgorithmSpec::Alg1, ModelSpec::Fos);
+        let (outcome, snap25, _) = run_with_checkpoints(&scenario, "stream");
+        let mut streamed = Vec::new();
+        let resumed =
+            resume_run(snap25, &RunOptions::default(), |s| streamed.push(s.clone())).unwrap();
+        // The restored prefix (rounds 0 and 20) is already in the
+        // trajectory; the callback sees only rounds sampled after 25.
+        assert_eq!(
+            streamed.iter().map(|s| s.round).collect::<Vec<_>>(),
+            vec![40, 60]
+        );
+        assert_eq!(resumed.trajectory, outcome.trajectory);
+    }
+
+    #[test]
+    fn resume_composes_with_channel_and_merge_producers() {
+        let scenario = churned_scenario(AlgorithmSpec::Alg1, ModelSpec::Fos);
+        let (outcome, snap25, snap50) = run_with_checkpoints(&scenario, "producers");
+        for (snap, producer, label) in [
+            (&snap25, Producer::Channel { capacity: 2 }, "channel@25"),
+            (&snap50, Producer::Channel { capacity: 1 }, "channel@50"),
+            (
+                &snap25,
+                Producer::Merge {
+                    feeds: 3,
+                    capacity: 2,
+                },
+                "merge@25",
+            ),
+        ] {
+            let resumed = resume_run(
+                snap.clone(),
+                &RunOptions {
+                    producer,
+                    ..RunOptions::default()
+                },
+                |_| {},
+            )
+            .unwrap();
+            // Async producers attach a timing-dependent ingest report, so
+            // the comparison is on the deterministic trajectory.
+            assert_eq!(resumed.trajectory, outcome.trajectory, "{label}");
+            assert!(resumed.ingest.is_some(), "{label}");
+        }
+    }
+
+    #[test]
+    fn resume_records_the_complete_trace() {
+        let scenario = churned_scenario(AlgorithmSpec::Alg1, ModelSpec::Fos);
+        let dir = std::env::temp_dir();
+        let full = dir.join("lb_resume_record_full.trace.jsonl");
+        let resumed_path = dir.join("lb_resume_record_resumed.trace.jsonl");
+
+        let (_, snap25, _) = run_with_checkpoints(&scenario, "record");
+        run_scenario_with(
+            &scenario,
+            &RunOptions {
+                record: Some(full.clone()),
+                ..RunOptions::default()
+            },
+            |_| {},
+        )
+        .unwrap();
+        resume_run(
+            snap25,
+            &RunOptions {
+                record: Some(resumed_path.clone()),
+                ..RunOptions::default()
+            },
+            |_| {},
+        )
+        .unwrap();
+
+        // The fast-forwarded prefix is re-recorded: the resumed trace is the
+        // complete trace, byte for byte.
+        assert_eq!(
+            std::fs::read(&full).unwrap(),
+            std::fs::read(&resumed_path).unwrap()
+        );
+        std::fs::remove_file(&full).ok();
+        std::fs::remove_file(&resumed_path).ok();
+    }
+
+    #[test]
+    fn resume_rejects_contradictory_inputs() {
+        let scenario = churned_scenario(AlgorithmSpec::Alg1, ModelSpec::Fos);
+        let (_, snap25, snap50) = run_with_checkpoints(&scenario, "reject");
+
+        // A seed override contradicts the snapshot's pinned seed.
+        let err = resume_run(
+            snap25.clone(),
+            &RunOptions {
+                seed: Some(9),
+                ..RunOptions::default()
+            },
+            |_| {},
+        )
+        .unwrap_err();
+        assert!(err.contains("cannot override the seed"), "{err}");
+
+        // An out-of-range shard override is rejected up front.
+        let err = resume_run(
+            snap25.clone(),
+            &RunOptions {
+                shards: Some(0),
+                ..RunOptions::default()
+            },
+            |_| {},
+        )
+        .unwrap_err();
+        assert!(err.contains("shards"), "{err}");
+
+        // A snapshot whose embedded scenario builds a different engine is a
+        // mismatch, caught before any state is restored.
+        let mut flipped = scenario.clone();
+        flipped.algorithm = AlgorithmSpec::Alg2;
+        let bad = Snapshot {
+            scenario: flipped.to_json(),
+            ..snap25
+        };
+        let err = resume_run(bad, &RunOptions::default(), |_| {}).unwrap_err();
+        assert!(err.contains("does not match this run"), "{err}");
+
+        // A capture round past the scenario's horizon is corrupt.
+        let mut short = scenario.clone();
+        short.rounds = 40;
+        let bad = Snapshot {
+            scenario: short.to_json(),
+            ..snap50
+        };
+        let err = resume_run(bad, &RunOptions::default(), |_| {}).unwrap_err();
+        assert!(err.contains("runs only 40"), "{err}");
+    }
+
+    #[test]
+    fn checkpoint_options_must_come_as_a_pair() {
+        let scenario = poisson_scenario();
+        let path = std::env::temp_dir().join("lb_ckpt_pairing.jsonl");
+        let err = run_scenario_with(
+            &scenario,
+            &RunOptions {
+                checkpoint: Some(path.clone()),
+                ..RunOptions::default()
+            },
+            |_| {},
+        )
+        .unwrap_err();
+        assert!(err.contains("cadence"), "{err}");
+        let err = run_scenario_with(
+            &scenario,
+            &RunOptions {
+                checkpoint_every: Some(5),
+                ..RunOptions::default()
+            },
+            |_| {},
+        )
+        .unwrap_err();
+        assert!(err.contains("checkpoint path"), "{err}");
+        let err = run_scenario_with(
+            &scenario,
+            &RunOptions {
+                checkpoint: Some(path),
+                checkpoint_every: Some(0),
+                ..RunOptions::default()
+            },
+            |_| {},
+        )
+        .unwrap_err();
+        assert!(err.contains("at least one round"), "{err}");
+    }
+
+    #[test]
+    fn resume_replay_composes_with_trace_checkpoints() {
+        use lb_workloads::source::DEFAULT_POLL_INTERVAL;
+        use lb_workloads::TraceSource;
+        use std::time::Duration;
+
+        let scenario = churned_scenario(AlgorithmSpec::Alg1, ModelSpec::Fos);
+        let dir = std::env::temp_dir();
+        let trace_path = dir.join("lb_resume_trace_ckpt.trace.jsonl");
+        let rotating = dir.join("lb_resume_trace_ckpt.snap.jsonl");
+
+        // One recorded, checkpointed run: the trace and the snapshot come
+        // from the same execution, so they embed the same scenario.
+        let reference = run_scenario_with(
+            &scenario,
+            &RunOptions {
+                record: Some(trace_path.clone()),
+                checkpoint: Some(rotating.clone()),
+                checkpoint_every: Some(25),
+                ..RunOptions::default()
+            },
+            |_| {},
+        )
+        .unwrap();
+        let mut early: Option<Snapshot> = None;
+        // Re-harvest the round-25 snapshot from a second identical run (the
+        // first one's rotating file now holds round 50).
+        run_scenario_with(
+            &scenario,
+            &RunOptions {
+                checkpoint: Some(rotating.clone()),
+                checkpoint_every: Some(25),
+                ..RunOptions::default()
+            },
+            |sample| {
+                if sample.round == 40 && early.is_none() {
+                    early = Some(snapshot::load(&rotating).unwrap());
+                }
+            },
+        )
+        .unwrap();
+        let snap25 = early.expect("round-25 snapshot harvested");
+        assert_eq!(snap25.round, 25);
+
+        // Full replay from the top: the pre-resume prefix is drained and
+        // discarded.
+        let source = TraceSource::open(&trace_path).unwrap();
+        let resumed = resume_replay(snap25.clone(), Box::new(source), None, |_| {}).unwrap();
+        assert_eq!(resumed.trajectory, reference.trajectory);
+
+        // Checkpoint-composed replay: walk the source up to the resume
+        // round, take its checkpoint, reopen there — the already-applied
+        // records are never re-read, and the drained prefix rounds come
+        // back empty. Byte-identical, at a different shard count.
+        let mut walker = TraceSource::open(&trace_path).unwrap();
+        let carried = walker.scenario().clone();
+        let mut batch = RoundEvents::default();
+        let boundary = loop {
+            let at = walker.checkpoint();
+            match walker.next_round(&mut batch).unwrap() {
+                Some(round) if (round as usize) < snap25.round as usize => continue,
+                _ => break at,
+            }
+        };
+        let source = TraceSource::resume(
+            &trace_path,
+            carried,
+            boundary,
+            Duration::from_millis(2_000),
+            DEFAULT_POLL_INTERVAL,
+        )
+        .unwrap();
+        let resumed = resume_replay(snap25, Box::new(source), Some(2), |_| {}).unwrap();
+        assert_eq!(
+            resumed.to_json().render_pretty(),
+            reference.to_json().render_pretty()
+        );
+
+        std::fs::remove_file(&trace_path).ok();
+        std::fs::remove_file(&rotating).ok();
     }
 }

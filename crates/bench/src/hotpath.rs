@@ -15,6 +15,7 @@ use lb_analysis::Json;
 use lb_core::continuous::{ContinuousProcess, Fos};
 use lb_core::discrete::{DiscreteBalancer, FlowImitation, RoundEvents, TaskPicker};
 use lb_core::ingest::merge::MergeSession;
+use lb_core::snapshot::{self, Snapshot};
 use lb_core::{ingest, InitialLoad, ShardedExecutor, Speeds, Task, TaskId};
 use lb_graph::{AlphaScheme, Graph};
 use std::sync::Arc;
@@ -488,6 +489,103 @@ fn run_ingest_bench(quick: bool) -> Json {
     ])
 }
 
+/// Benchmarks the checkpoint path on the large-instance engine state:
+/// capture + render + atomic write (the per-cadence cost of
+/// `--checkpoint-every`) and load + parse + restore (the `--resume` startup
+/// cost), both expressed as MB/sec over the on-disk snapshot size. The
+/// restored engine is stepped once against the original to prove the
+/// round-trip is exact. Gated by `lb bench-check` when the committed
+/// baseline carries `snapshot.capture_write.mb_per_sec` /
+/// `snapshot.read_restore.mb_per_sec` floors.
+fn run_snapshot_bench(
+    graph: &Arc<Graph>,
+    speeds: &Speeds,
+    initial: &InitialLoad,
+    quick: bool,
+) -> Json {
+    let fos =
+        Fos::new(Arc::clone(graph), speeds, AlphaScheme::MaxDegreePlusOne).expect("FOS constructs");
+    let mut alg1 = FlowImitation::new(fos, initial, speeds.clone(), TaskPicker::Fifo)
+        .expect("dimensions agree");
+    // A few warm rounds so queues, flow ledgers and the twin carry the mixed
+    // state a mid-run checkpoint serializes.
+    let warm = if quick { 2 } else { 4 };
+    alg1.run(warm);
+    let trials = if quick { 2 } else { 3 };
+    let path =
+        std::env::temp_dir().join(format!("lb_hotpath_snapshot_{}.jsonl", std::process::id()));
+    let header = Json::obj([("name", Json::from("hotpath_snapshot"))]);
+
+    let mut write_secs = f64::INFINITY;
+    for _ in 0..trials {
+        let start = Instant::now();
+        let snap = Snapshot {
+            scenario: header.clone(),
+            driver: Json::Null,
+            round: warm as u64,
+            engine: alg1.capture(),
+        };
+        snapshot::write_atomic(&path, &snap).expect("snapshot writes");
+        write_secs = write_secs.min(start.elapsed().as_secs_f64());
+    }
+    let bytes = std::fs::metadata(&path).expect("snapshot on disk").len();
+
+    let fos =
+        Fos::new(Arc::clone(graph), speeds, AlphaScheme::MaxDegreePlusOne).expect("FOS constructs");
+    let mut restored = FlowImitation::new(fos, initial, speeds.clone(), TaskPicker::Fifo)
+        .expect("dimensions agree");
+    let mut read_secs = f64::INFINITY;
+    for _ in 0..trials {
+        let start = Instant::now();
+        let snap = snapshot::load(&path).expect("snapshot loads");
+        restored.restore(&snap.engine).expect("snapshot restores");
+        read_secs = read_secs.min(start.elapsed().as_secs_f64());
+    }
+    std::fs::remove_file(&path).ok();
+
+    // The round-trip must be exact: both engines take the same next step.
+    alg1.step();
+    restored.step();
+    assert_eq!(
+        alg1.loads(),
+        restored.loads(),
+        "restored engine diverged from the captured one"
+    );
+
+    let mb = bytes as f64 / 1e6;
+    eprintln!(
+        "snapshot: {bytes} bytes on disk, capture+write {:.1} MB/sec, \
+         read+restore {:.1} MB/sec",
+        mb / write_secs,
+        mb / read_secs,
+    );
+    Json::obj([
+        (
+            "config",
+            Json::obj([
+                ("graph", Json::from(graph.name())),
+                ("nodes", Json::from(graph.node_count())),
+                ("tasks", Json::from(initial.task_count())),
+                ("bytes", Json::from(bytes)),
+            ]),
+        ),
+        (
+            "capture_write",
+            Json::obj([
+                ("elapsed_secs", Json::from(write_secs)),
+                ("mb_per_sec", Json::from(mb / write_secs)),
+            ]),
+        ),
+        (
+            "read_restore",
+            Json::obj([
+                ("elapsed_secs", Json::from(read_secs)),
+                ("mb_per_sec", Json::from(mb / read_secs)),
+            ]),
+        ),
+    ])
+}
+
 /// Peak resident set size of this process in kilobytes (Linux `VmHWM`),
 /// or 0 where unavailable.
 fn peak_rss_kb() -> u64 {
@@ -642,6 +740,10 @@ pub fn run(quick: bool, shards: Option<usize>) {
     // vs inline generation (no engine in the loop — this isolates delivery).
     let ingest = run_ingest_bench(quick);
 
+    // The snapshot entry: checkpoint capture+write and resume read+restore
+    // throughput on the large-instance engine state.
+    let snapshot_entry = run_snapshot_bench(&large_graph, &large_speeds, &large_initial, quick);
+
     let report = Json::obj([
         ("benchmark", Json::from("hotpath_alg1_fifo")),
         (
@@ -681,6 +783,7 @@ pub fn run(quick: bool, shards: Option<usize>) {
             ]),
         ),
         ("ingest", ingest),
+        ("snapshot", snapshot_entry),
         ("peak_rss_kb", Json::from(peak_rss_kb())),
     ]);
     let path = "BENCH_hotpath.json";

@@ -141,6 +141,32 @@ pub trait ContinuousProcess {
     /// stores `flows` as its previous-round history here). Called once per
     /// round, sequentially. The default is a no-op for memoryless kernels.
     fn commit_flows(&mut self, _t: usize, _flows: &[EdgeFlow]) {}
+
+    /// Captures process-internal history for an engine snapshot (SOS's β and
+    /// previous-round flows). Memoryless kernels return `None` (the
+    /// default).
+    fn capture_history(&self) -> Option<crate::snapshot::ProcessHistory> {
+        None
+    }
+
+    /// Restores history captured by
+    /// [`capture_history`](ContinuousProcess::capture_history) into a
+    /// freshly built process. The default (for memoryless kernels) rejects
+    /// any history as a model mismatch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError::Mismatch`](crate::snapshot::SnapshotError)
+    /// if the history does not belong to this process.
+    fn restore_history(
+        &mut self,
+        _history: &crate::snapshot::ProcessHistory,
+    ) -> Result<(), crate::snapshot::SnapshotError> {
+        Err(crate::snapshot::SnapshotError::mismatch(format!(
+            "snapshot carries twin history but process {:?} keeps none",
+            self.name()
+        )))
+    }
 }
 
 /// Drives a [`ContinuousProcess`], maintaining its load vector and the
@@ -353,6 +379,65 @@ impl<A: ContinuousProcess> ContinuousRunner<A> {
         }
         self.min_load_seen = self.min_load_seen.min(round_min);
         &self.flow_buf
+    }
+
+    /// Captures the runner's state for an engine snapshot: loads, cumulative
+    /// flows, the round counter, the minimum-load watermark and the
+    /// process's internal history. Snapshot-time only (allocates).
+    pub fn capture(&self) -> crate::snapshot::TwinState {
+        crate::snapshot::TwinState {
+            round: self.round as u64,
+            loads: self.loads.clone(),
+            cumulative_flow: self.cumulative_flow.clone(),
+            min_load_seen: self.min_load_seen,
+            history: self.process.capture_history(),
+        }
+    }
+
+    /// Restores state captured by [`capture`](ContinuousRunner::capture)
+    /// into a runner freshly built on the same topology. The flow buffer is
+    /// scratch (fully overwritten each round) and is left as constructed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError::Mismatch`](crate::snapshot::SnapshotError)
+    /// if the vector lengths do not fit the graph or the history does not
+    /// belong to this process.
+    pub fn restore(
+        &mut self,
+        state: &crate::snapshot::TwinState,
+    ) -> Result<(), crate::snapshot::SnapshotError> {
+        use crate::snapshot::SnapshotError;
+        let n = self.process.graph().node_count();
+        let m = self.process.graph().edge_count();
+        if state.loads.len() != n {
+            return Err(SnapshotError::mismatch(format!(
+                "twin load vector has {} entries, graph has {n} nodes",
+                state.loads.len()
+            )));
+        }
+        if state.cumulative_flow.len() != m {
+            return Err(SnapshotError::mismatch(format!(
+                "twin flow ledger has {} entries, graph has {m} edges",
+                state.cumulative_flow.len()
+            )));
+        }
+        match &state.history {
+            Some(history) => self.process.restore_history(history)?,
+            None => {
+                if self.process.capture_history().is_some() {
+                    return Err(SnapshotError::mismatch(format!(
+                        "snapshot has no twin history but process {:?} keeps history",
+                        self.process.name()
+                    )));
+                }
+            }
+        }
+        self.loads.copy_from_slice(&state.loads);
+        self.cumulative_flow.copy_from_slice(&state.cumulative_flow);
+        self.round = state.round as usize;
+        self.min_load_seen = state.min_load_seen;
+        Ok(())
     }
 
     /// Adds `delta` load units to node `i` between rounds (negative values

@@ -164,6 +164,43 @@ impl ContinuousProcess for Sos {
         self.previous.copy_from_slice(flows);
         self.has_previous = true;
     }
+
+    fn capture_history(&self) -> Option<crate::snapshot::ProcessHistory> {
+        Some(crate::snapshot::ProcessHistory {
+            beta: self.beta,
+            previous: self.previous.clone(),
+            has_previous: self.has_previous,
+        })
+    }
+
+    /// Restores the relaxation history into a freshly rebuilt process. β is
+    /// validated **bit-exactly**: resume rebuilds SOS deterministically from
+    /// the scenario (power iteration is seed-free), so any difference means
+    /// the snapshot belongs to another topology epoch or build — a stale
+    /// snapshot, rejected rather than silently diverging.
+    fn restore_history(
+        &mut self,
+        history: &crate::snapshot::ProcessHistory,
+    ) -> Result<(), crate::snapshot::SnapshotError> {
+        use crate::snapshot::SnapshotError;
+        if history.beta.to_bits() != self.beta.to_bits() {
+            return Err(SnapshotError::mismatch(format!(
+                "snapshot β = {} does not bit-match the rebuilt process β = {} \
+                 (stale snapshot?)",
+                history.beta, self.beta
+            )));
+        }
+        if history.previous.len() != self.previous.len() {
+            return Err(SnapshotError::mismatch(format!(
+                "snapshot SOS history has {} edges, graph has {}",
+                history.previous.len(),
+                self.previous.len()
+            )));
+        }
+        self.previous.copy_from_slice(&history.previous);
+        self.has_previous = history.has_previous;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

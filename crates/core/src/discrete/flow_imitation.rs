@@ -277,6 +277,95 @@ impl<A: ContinuousProcess> FlowImitation<A> {
             .fold(0.0, f64::max)
     }
 
+    /// Captures the engine's full state at a between-rounds boundary (the
+    /// quiescent point: no deliveries pending) for a snapshot. Event-time
+    /// only — allocates freely; rounds between checkpoints stay
+    /// allocation-free.
+    pub fn capture(&self) -> crate::snapshot::EngineState {
+        debug_assert!(self.pending_tasks.is_empty(), "capture between rounds only");
+        let queues = self
+            .queues
+            .iter()
+            .map(|queue| {
+                let (next_seq, entries) = queue.snapshot();
+                crate::snapshot::QueueState { next_seq, entries }
+            })
+            .collect();
+        crate::snapshot::EngineState {
+            round: self.round as u64,
+            twin: self.twin.capture(),
+            discrete: crate::snapshot::DiscreteState::Alg1(crate::snapshot::Alg1State {
+                queues,
+                dummy: self.dummy.clone(),
+                discrete_flow: self.discrete_flow.clone(),
+                wmax: self.wmax,
+                dummy_created: self.dummy_created,
+                items_sent: self.items_sent,
+                arrived_weight: self.arrived_weight,
+                completed_weight: self.completed_weight,
+            }),
+        }
+    }
+
+    /// Restores state captured by [`capture`](FlowImitation::capture) into
+    /// an engine freshly built on the snapshot's topology epoch (same graph,
+    /// speeds and picker). After a successful restore the engine continues
+    /// **bit-identically** to the uninterrupted run, at any shard count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError::Mismatch`](crate::snapshot::SnapshotError)
+    /// if the snapshot belongs to Algorithm 2, does not fit the graph, or
+    /// carries corrupt queue sequence numbers.
+    pub fn restore(
+        &mut self,
+        state: &crate::snapshot::EngineState,
+    ) -> Result<(), crate::snapshot::SnapshotError> {
+        use crate::snapshot::{DiscreteState, SnapshotError};
+        let DiscreteState::Alg1(alg1) = &state.discrete else {
+            return Err(SnapshotError::mismatch(
+                "snapshot carries Algorithm 2 state but the engine runs Algorithm 1",
+            ));
+        };
+        let n = self.graph.node_count();
+        let m = self.graph.edge_count();
+        if alg1.queues.len() != n || alg1.dummy.len() != n {
+            return Err(SnapshotError::mismatch(format!(
+                "snapshot has {} node entries, graph has {n} nodes",
+                alg1.queues.len()
+            )));
+        }
+        if alg1.discrete_flow.len() != m {
+            return Err(SnapshotError::mismatch(format!(
+                "snapshot flow ledger has {} entries, graph has {m} edges",
+                alg1.discrete_flow.len()
+            )));
+        }
+        self.twin.restore(&state.twin)?;
+        let queues = alg1
+            .queues
+            .iter()
+            .enumerate()
+            .map(|(node, queue)| {
+                TaskQueue::restore(self.picker, queue.next_seq, &queue.entries)
+                    .map_err(|e| SnapshotError::mismatch(format!("queue of node {node}: {e}")))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        self.queues = queues;
+        self.dummy.copy_from_slice(&alg1.dummy);
+        self.discrete_flow.copy_from_slice(&alg1.discrete_flow);
+        self.wmax = alg1.wmax;
+        self.round = state.round as usize;
+        self.dummy_created = alg1.dummy_created;
+        self.items_sent = alg1.items_sent;
+        self.arrived_weight = alg1.arrived_weight;
+        self.completed_weight = alg1.completed_weight;
+        self.pending_tasks.clear();
+        self.pending_dummy.clear();
+        self.pending_dummy.resize(n, 0);
+        Ok(())
+    }
+
     /// Sharded [`step`](DiscreteBalancer::step): the twin advances through
     /// [`ContinuousRunner::step_sharded`], then each shard worker forwards
     /// tasks over the edges whose **sender** lies in its node range (so all

@@ -227,6 +227,82 @@ impl<A: ContinuousProcess> RandomizedImitation<A> {
             .fold(0.0, f64::max)
     }
 
+    /// Captures the engine's full state at a between-rounds boundary for a
+    /// snapshot. The rounding RNG needs no serialization: every decision
+    /// derives a fresh sub-RNG from `(seed, round, edge)`
+    /// ([`edge_rounding_rng`]), so the seed and round counter are its full
+    /// derivation inputs. Event-time only — allocates freely.
+    pub fn capture(&self) -> crate::snapshot::EngineState {
+        crate::snapshot::EngineState {
+            round: self.round as u64,
+            twin: self.twin.capture(),
+            discrete: crate::snapshot::DiscreteState::Alg2(crate::snapshot::Alg2State {
+                tokens: self.tokens.clone(),
+                dummy: self.dummy.clone(),
+                discrete_flow: self.discrete_flow.clone(),
+                seed: self.seed,
+                dummy_created: self.dummy_created,
+                arrived_weight: self.arrived_weight,
+                completed_weight: self.completed_weight,
+            }),
+        }
+    }
+
+    /// Restores state captured by [`capture`](RandomizedImitation::capture)
+    /// into an engine freshly built on the snapshot's topology epoch. The
+    /// master seed is validated: a snapshot from a differently seeded run is
+    /// stale and rejected instead of silently diverging.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError::Mismatch`](crate::snapshot::SnapshotError)
+    /// if the snapshot belongs to Algorithm 1, does not fit the graph, or
+    /// was captured under a different master seed.
+    pub fn restore(
+        &mut self,
+        state: &crate::snapshot::EngineState,
+    ) -> Result<(), crate::snapshot::SnapshotError> {
+        use crate::snapshot::{DiscreteState, SnapshotError};
+        let DiscreteState::Alg2(alg2) = &state.discrete else {
+            return Err(SnapshotError::mismatch(
+                "snapshot carries Algorithm 1 state but the engine runs Algorithm 2",
+            ));
+        };
+        let n = self.graph.node_count();
+        let m = self.graph.edge_count();
+        if alg2.tokens.len() != n || alg2.dummy.len() != n {
+            return Err(SnapshotError::mismatch(format!(
+                "snapshot has {} node entries, graph has {n} nodes",
+                alg2.tokens.len()
+            )));
+        }
+        if alg2.discrete_flow.len() != m {
+            return Err(SnapshotError::mismatch(format!(
+                "snapshot flow ledger has {} entries, graph has {m} edges",
+                alg2.discrete_flow.len()
+            )));
+        }
+        if alg2.seed != self.seed {
+            return Err(SnapshotError::mismatch(format!(
+                "snapshot rounding seed {} differs from the run's seed {} (stale snapshot?)",
+                alg2.seed, self.seed
+            )));
+        }
+        self.twin.restore(&state.twin)?;
+        self.tokens.copy_from_slice(&alg2.tokens);
+        self.dummy.copy_from_slice(&alg2.dummy);
+        self.discrete_flow.copy_from_slice(&alg2.discrete_flow);
+        self.round = state.round as usize;
+        self.dummy_created = alg2.dummy_created;
+        self.arrived_weight = alg2.arrived_weight;
+        self.completed_weight = alg2.completed_weight;
+        self.pending_real.clear();
+        self.pending_real.resize(n, 0);
+        self.pending_dummy.clear();
+        self.pending_dummy.resize(n, 0);
+        Ok(())
+    }
+
     /// Sharded [`step`](DiscreteBalancer::step): the twin advances through
     /// [`ContinuousRunner::step_sharded`], then each shard worker rounds and
     /// sends over the edges whose **sender** lies in its node range, with

@@ -26,6 +26,9 @@
 //!   round-tagged [`discrete::RoundEvents`] batches from an external producer
 //!   thread (trace replay, live traffic) into a
 //!   [`discrete::DynamicBalancer`], bit-identically to the synchronous path.
+//! * [`snapshot`] — versioned, crash-safe serialization of the full engine
+//!   state at a between-rounds boundary, for checkpointing and bit-identical
+//!   resume (including at a different shard count).
 //!
 //! ## Quick example
 //!
@@ -65,6 +68,7 @@ pub mod ingest;
 mod load;
 pub mod metrics;
 pub mod shard;
+pub mod snapshot;
 mod task;
 
 pub use error::CoreError;

@@ -35,7 +35,7 @@ use lb_core::discrete::RoundEvents;
 use lb_core::{Task, TaskId};
 use std::fs;
 use std::io::{self, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 use crate::scenario::Scenario;
 
@@ -54,6 +54,11 @@ pub struct TraceWriter {
     last_round: Option<u64>,
     rounds: u64,
     events: u64,
+    /// `(staging path, target path)` for file-backed writers: the trace is
+    /// streamed into a temp sibling and published under the target by
+    /// rename in [`finish`](TraceWriter::finish), so a crashed recording
+    /// never leaves a torn trace at the target path.
+    publish: Option<(PathBuf, PathBuf)>,
 }
 
 impl TraceWriter {
@@ -69,6 +74,7 @@ impl TraceWriter {
             last_round: None,
             rounds: 0,
             events: 0,
+            publish: None,
         };
         let header = Json::obj([
             ("kind", Json::from("header")),
@@ -79,16 +85,28 @@ impl TraceWriter {
         Ok(writer)
     }
 
-    /// Starts a trace file at `path` (truncating an existing file).
+    /// Starts a trace file destined for `path`. The trace is streamed into
+    /// a temp sibling (`.{name}.tmp.{pid}`) and atomically published under
+    /// `path` — fsync, rename, directory fsync — by
+    /// [`finish`](TraceWriter::finish): a crash or error mid-recording
+    /// leaves whatever was at `path` before untouched, never a torn trace.
     ///
     /// # Errors
     ///
     /// Returns a message naming the path on creation or write failure.
     pub fn create(path: impl AsRef<Path>, scenario: &Scenario) -> Result<Self, String> {
         let path = path.as_ref();
-        let file = fs::File::create(path)
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("trace");
+        let tmp_name = format!(".{name}.tmp.{}", std::process::id());
+        let tmp = match path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            Some(dir) => dir.join(tmp_name),
+            None => PathBuf::from(tmp_name),
+        };
+        let file = fs::File::create(&tmp)
             .map_err(|e| format!("creating trace {}: {e}", path.display()))?;
-        Self::new(io::BufWriter::new(file), scenario)
+        let mut writer = Self::new(io::BufWriter::new(file), scenario)?;
+        writer.publish = Some((tmp, path.to_path_buf()));
+        Ok(writer)
     }
 
     /// Records one round's applied batch. Empty batches are skipped (they
@@ -138,7 +156,11 @@ impl TraceWriter {
         Ok(())
     }
 
-    /// Seals the trace with the end record and flushes the writer.
+    /// Seals the trace with the end record and flushes the writer. For
+    /// file-backed writers ([`TraceWriter::create`]) this is also the
+    /// publication point: the staged bytes are fsynced, renamed over the
+    /// target path, and the rename itself is persisted with a directory
+    /// fsync.
     ///
     /// # Errors
     ///
@@ -150,11 +172,44 @@ impl TraceWriter {
             ("events", Json::from(self.events)),
         ]);
         self.write_line(&end)?;
-        self.out.flush().map_err(|e| format!("flushing trace: {e}"))
+        self.out
+            .flush()
+            .map_err(|e| format!("flushing trace: {e}"))?;
+        let Some((tmp, target)) = self.publish.take() else {
+            return Ok(());
+        };
+        drop(self); // closes the staged file (the pending publish is taken)
+        fs::File::open(&tmp)
+            .and_then(|f| f.sync_all())
+            .and_then(|()| fs::rename(&tmp, &target))
+            .map_err(|e| {
+                let _ = fs::remove_file(&tmp);
+                format!("publishing trace {}: {e}", target.display())
+            })?;
+        // Persist the rename itself; best-effort where directories cannot
+        // be opened.
+        if let Some(dir) = target.parent().filter(|p| !p.as_os_str().is_empty()) {
+            if let Ok(d) = fs::File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+        Ok(())
     }
 
     fn write_line(&mut self, record: &Json) -> Result<(), String> {
         writeln!(self.out, "{}", record.render()).map_err(|e| format!("writing trace: {e}"))
+    }
+}
+
+impl Drop for TraceWriter {
+    /// An abandoned (unfinished) file-backed writer never publishes: the
+    /// staged temp file is removed and the target path is left untouched —
+    /// the same outcome a crash mid-recording produces, minus the stray
+    /// temp.
+    fn drop(&mut self) {
+        if let Some((tmp, _)) = self.publish.take() {
+            let _ = fs::remove_file(tmp);
+        }
     }
 }
 

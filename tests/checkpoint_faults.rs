@@ -1,0 +1,264 @@
+//! Kill-and-resume fault injection for the checkpoint path, driven through
+//! the real `lb` binary: a checkpointed run is SIGKILLed mid-flight at a
+//! randomized round, the rotating snapshot left on disk must be a complete
+//! document (atomic rename: never a torn file), and `lb run --resume` from
+//! it — at a *different* shard count — must emit result JSON byte-identical
+//! to the uninterrupted run's. All four engine combos, with churn and
+//! arrivals. Corrupt, truncated and version-flipped snapshots must fail the
+//! resume with a typed, located error on stderr, never silent divergence.
+//!
+//! CI runs this suite under the `checkpoint` job's `timeout-minutes`, so a
+//! hang here fails loudly twice over.
+
+use lb_core::snapshot;
+use lb_workloads::{
+    AlgorithmSpec, ArrivalSpec, ChurnEvent, ChurnKind, InitialSpec, ModelSpec, PadSpec, Scenario,
+    ServiceSpec, SpeedSpec, TokenDistribution, TopologySpec,
+};
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+/// The churn + arrivals scenario all combos run: long enough (300 rounds,
+/// with a per-round checkpoint fsync) that a mid-run kill lands reliably.
+fn scenario(algorithm: AlgorithmSpec, model: ModelSpec) -> Scenario {
+    Scenario {
+        name: "checkpoint_faults".into(),
+        seed: 23,
+        rounds: 300,
+        sample_every: 50,
+        algorithm,
+        model,
+        topology: TopologySpec {
+            family: "torus".into(),
+            target_n: 64,
+        },
+        speeds: SpeedSpec::Uniform,
+        initial: InitialSpec {
+            distribution: TokenDistribution::SingleSource { source: 0 },
+            tokens_per_node: 6,
+            pad: PadSpec::Degree,
+        },
+        arrivals: ArrivalSpec::Poisson {
+            rate_per_node: 0.5,
+            max_weight: 1,
+        },
+        completions: ServiceSpec::Uniform {
+            weight_per_speed: 1,
+        },
+        churn: vec![ChurnEvent {
+            round: 40,
+            kind: ChurnKind::Rewire { seed: 9 },
+        }],
+        shards: 1,
+    }
+}
+
+fn lb() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_lb"))
+}
+
+fn temp(tag: &str, name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "lb_checkpoint_faults_{}_{tag}_{name}",
+        std::process::id()
+    ))
+}
+
+fn write_scenario(tag: &str, scenario: &Scenario) -> PathBuf {
+    let path = temp(tag, "scenario.json");
+    std::fs::write(&path, scenario.render_pretty()).unwrap();
+    path
+}
+
+/// Runs `lb run` to completion and returns the result JSON bytes from
+/// `--out`.
+fn reference_run(tag: &str, scenario_path: &Path) -> Vec<u8> {
+    let out = temp(tag, "reference.json");
+    let status = lb()
+        .args(["run", scenario_path.to_str().unwrap(), "--quiet", "--out"])
+        .arg(&out)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .status()
+        .expect("spawn lb run");
+    assert!(status.success(), "{tag}: reference run failed");
+    let bytes = std::fs::read(&out).unwrap();
+    std::fs::remove_file(&out).ok();
+    bytes
+}
+
+/// A low-rent randomized kill round: varies per test execution, printed on
+/// failure so a bad round reproduces.
+fn kill_round(salt: u64) -> u64 {
+    let nanos = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .unwrap()
+        .subsec_nanos() as u64;
+    10 + (nanos.wrapping_mul(2654435761).wrapping_add(salt) % 120)
+}
+
+#[test]
+fn sigkill_and_resume_is_byte_identical_for_all_engines() {
+    for (algorithm, model, tag) in [
+        (AlgorithmSpec::Alg1, ModelSpec::Fos, "a1fos"),
+        (AlgorithmSpec::Alg1, ModelSpec::Sos, "a1sos"),
+        (AlgorithmSpec::Alg2, ModelSpec::Fos, "a2fos"),
+        (AlgorithmSpec::Alg2, ModelSpec::Sos, "a2sos"),
+    ] {
+        let scenario = scenario(algorithm, model);
+        let scenario_path = write_scenario(tag, &scenario);
+        let reference = reference_run(tag, &scenario_path);
+        let ckpt = temp(tag, "rotating.jsonl");
+        let kill_at = kill_round(tag.len() as u64);
+
+        // Checkpoint every round and SIGKILL once the rotating file reaches
+        // the kill round. Concurrent loads of the rotating file are part of
+        // the contract: the atomic rename means a reader never sees a torn
+        // document, even with the writer mid-publish.
+        let mut child = lb()
+            .args([
+                "run",
+                scenario_path.to_str().unwrap(),
+                "--quiet",
+                "--checkpoint-every",
+                "1",
+                "--checkpoint",
+            ])
+            .arg(&ckpt)
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn checkpointed lb run");
+        let deadline = Instant::now() + Duration::from_secs(120);
+        let mut exited_first = false;
+        loop {
+            if let Ok(snap) = snapshot::load(&ckpt) {
+                if snap.round >= kill_at {
+                    break;
+                }
+            }
+            if child.try_wait().expect("poll child").is_some() {
+                exited_first = true;
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "{tag}: no checkpoint reached round {kill_at} in time"
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        if !exited_first {
+            child.kill().expect("SIGKILL the run");
+        }
+        let _ = child.wait();
+
+        // Whatever instant the kill landed at, the snapshot on disk is a
+        // complete, parseable document.
+        let snap = snapshot::load(&ckpt)
+            .unwrap_or_else(|err| panic!("{tag}: post-kill snapshot unreadable: {err}"));
+        assert!(snap.round >= 1, "{tag}: at least one checkpoint published");
+
+        // Resume at a DIFFERENT shard count; the result document must be
+        // byte-identical to the uninterrupted reference.
+        let resumed_out = temp(tag, "resumed.json");
+        let output = lb()
+            .args(["run", "--quiet", "--shards", "3", "--resume"])
+            .arg(&ckpt)
+            .args(["--out"])
+            .arg(&resumed_out)
+            .stdout(Stdio::null())
+            .output()
+            .expect("spawn lb run --resume");
+        assert!(
+            output.status.success(),
+            "{tag}: resume from round {} (kill target {kill_at}) failed: {}",
+            snap.round,
+            String::from_utf8_lossy(&output.stderr)
+        );
+        assert_eq!(
+            std::fs::read(&resumed_out).unwrap(),
+            reference,
+            "{tag}: resumed result diverged (killed near round {kill_at})"
+        );
+
+        std::fs::remove_file(&scenario_path).ok();
+        std::fs::remove_file(&ckpt).ok();
+        std::fs::remove_file(&resumed_out).ok();
+    }
+}
+
+/// Resume with a damaged snapshot: every shape fails with the typed,
+/// located error on stderr and a non-zero exit — never a silent partial
+/// resume.
+#[test]
+fn damaged_snapshots_fail_resume_with_typed_errors() {
+    let tag = "damage";
+    let scenario = scenario(AlgorithmSpec::Alg1, ModelSpec::Fos);
+    let scenario_path = write_scenario(tag, &scenario);
+    let ckpt = temp(tag, "good.jsonl");
+    let status = lb()
+        .args([
+            "run",
+            scenario_path.to_str().unwrap(),
+            "--quiet",
+            "--checkpoint-every",
+            "100",
+            "--checkpoint",
+        ])
+        .arg(&ckpt)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .status()
+        .expect("spawn lb run");
+    assert!(status.success());
+    let good = std::fs::read_to_string(&ckpt).unwrap();
+
+    let resume_err = |name: &str, contents: &str| -> String {
+        let path = temp(tag, name);
+        std::fs::write(&path, contents).unwrap();
+        let output = lb()
+            .args(["run", "--quiet", "--resume"])
+            .arg(&path)
+            .stdout(Stdio::null())
+            .output()
+            .expect("spawn lb run --resume");
+        std::fs::remove_file(&path).ok();
+        assert_eq!(
+            output.status.code(),
+            Some(1),
+            "{name}: damaged snapshots are runtime errors"
+        );
+        String::from_utf8_lossy(&output.stderr).into_owned()
+    };
+
+    // Truncated: the end record is gone.
+    let lines: Vec<&str> = good.lines().collect();
+    let unsealed: String = lines[..lines.len() - 1]
+        .iter()
+        .map(|l| format!("{l}\n"))
+        .collect();
+    let err = resume_err("truncated.jsonl", &unsealed);
+    assert!(err.contains("truncated snapshot"), "{err}");
+    assert!(err.contains("without the end record"), "{err}");
+
+    // Torn mid-line write.
+    let err = resume_err("torn.jsonl", &good[..good.len() - 9]);
+    assert!(err.contains("torn line"), "{err}");
+
+    // Flipped version.
+    let flipped = good.replacen("\"version\":1", "\"version\":7", 1);
+    assert_ne!(flipped, good);
+    let err = resume_err("version.jsonl", &flipped);
+    assert!(err.contains("unsupported snapshot version 7"), "{err}");
+
+    // Stale/mismatched: the snapshot's engine is not what its (edited)
+    // scenario builds.
+    let mismatched = good.replacen("\"algorithm\":\"alg1\"", "\"algorithm\":\"alg2\"", 1);
+    assert_ne!(mismatched, good);
+    let err = resume_err("mismatch.jsonl", &mismatched);
+    assert!(err.contains("does not match this run"), "{err}");
+
+    std::fs::remove_file(&scenario_path).ok();
+    std::fs::remove_file(&ckpt).ok();
+}

@@ -270,6 +270,94 @@ fn twin_matches_standalone_continuous_run() {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 
+    /// Snapshot round-trip at the driver level: checkpoint a dynamic run at
+    /// EVERY round (cadence 1; the rotating file is copied aside between
+    /// rounds), then capture → restore → run-to-end must reproduce the full
+    /// result document — trajectory included — from every checkpoint round,
+    /// at shard counts 1, 2 and 7, for any seed and engine combo.
+    #[test]
+    fn resume_from_every_checkpoint_round_is_trajectory_identical(
+        seed in any::<u64>(),
+        alg2 in any::<bool>(),
+        sos in any::<bool>(),
+    ) {
+        use lb_bench::dynamic::{resume_run, run_scenario_with, RunOptions};
+        use lb_core::snapshot::{self, Snapshot};
+        use lb_workloads::{
+            AlgorithmSpec, ArrivalSpec, ChurnEvent, ChurnKind, InitialSpec, ModelSpec, PadSpec,
+            Scenario, ServiceSpec, SpeedSpec, TokenDistribution, TopologySpec,
+        };
+
+        let rounds = 10usize;
+        let scenario = Scenario {
+            name: "resume_property".into(),
+            seed,
+            rounds,
+            sample_every: 1,
+            algorithm: if alg2 { AlgorithmSpec::Alg2 } else { AlgorithmSpec::Alg1 },
+            model: if sos { ModelSpec::Sos } else { ModelSpec::Fos },
+            topology: TopologySpec { family: "torus".into(), target_n: 16 },
+            speeds: SpeedSpec::Uniform,
+            initial: InitialSpec {
+                distribution: TokenDistribution::SingleSource { source: 0 },
+                tokens_per_node: 4,
+                pad: PadSpec::Degree,
+            },
+            arrivals: ArrivalSpec::Poisson { rate_per_node: 0.5, max_weight: 1 },
+            completions: ServiceSpec::Uniform { weight_per_speed: 1 },
+            churn: vec![ChurnEvent { round: 5, kind: ChurnKind::Rewire { seed: 3 } }],
+            shards: 1,
+        };
+
+        let rotating = std::env::temp_dir().join(format!(
+            "lb_property_resume_{}_{seed:x}_{alg2}_{sos}.jsonl",
+            std::process::id()
+        ));
+        // The sample callback for round r fires before the checkpoint write
+        // at r, so the rotating file it sees holds round r-1: copying it at
+        // rounds 2..=R, plus the final file (round R), yields a snapshot of
+        // every round 1..=R from one single run.
+        let mut copies: Vec<Snapshot> = Vec::new();
+        let reference = run_scenario_with(
+            &scenario,
+            &RunOptions {
+                checkpoint: Some(rotating.clone()),
+                checkpoint_every: Some(1),
+                ..RunOptions::default()
+            },
+            |sample| {
+                if sample.round >= 2 {
+                    copies.push(snapshot::load(&rotating).expect("rotating checkpoint"));
+                }
+            },
+        )
+        .unwrap();
+        copies.push(snapshot::load(&rotating).expect("final checkpoint"));
+        std::fs::remove_file(&rotating).ok();
+        let doc = reference.to_json().render_pretty();
+
+        let captured: Vec<u64> = copies.iter().map(|s| s.round).collect();
+        prop_assert_eq!(captured, (1..=rounds as u64).collect::<Vec<_>>());
+        for snap in copies {
+            let round = snap.round;
+            for shards in [1usize, 2, 7] {
+                let resumed = resume_run(
+                    snap.clone(),
+                    &RunOptions { shards: Some(shards), ..RunOptions::default() },
+                    |_| {},
+                )
+                .unwrap();
+                prop_assert_eq!(
+                    resumed.to_json().render_pretty(),
+                    doc.clone(),
+                    "resume at round {} with {} shard(s)",
+                    round,
+                    shards
+                );
+            }
+        }
+    }
+
     /// Shard-count invariance: for any graph, workload and seed, running the
     /// engine with 1, 2 or 7 shards produces exactly the same loads as the
     /// sequential engine at every round — sharding trades wall-clock time

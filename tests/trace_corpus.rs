@@ -43,16 +43,30 @@ fn scenario() -> Scenario {
     }
 }
 
+/// A cloneable in-memory sink: lets the test read back what the writer
+/// streamed without sealing it (file-backed writers only publish on
+/// `finish`, so an unsealed trace never appears on disk).
+#[derive(Clone, Default)]
+struct SharedBuf(std::sync::Arc<std::sync::Mutex<Vec<u8>>>);
+
+impl io::Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.0.lock().expect("buffer lock").extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
 /// The canonical header line, produced by the real writer.
 fn header_line() -> String {
-    let path = std::env::temp_dir().join(format!(
-        "lb_trace_corpus_header_{}.jsonl",
-        std::process::id()
-    ));
-    let writer = TraceWriter::create(&path, &scenario()).expect("writer starts");
+    let buf = SharedBuf::default();
+    let writer = TraceWriter::new(buf.clone(), &scenario()).expect("writer starts");
     drop(writer); // header is written eagerly; the trace stays unsealed
-    let text = std::fs::read_to_string(&path).expect("header text");
-    std::fs::remove_file(&path).ok();
+    let bytes = buf.0.lock().expect("buffer lock").clone();
+    let text = String::from_utf8(bytes).expect("header text");
     text.lines().next().expect("header line").to_string()
 }
 

@@ -9,12 +9,14 @@
 //! Everything runs inside a single `#[test]` so no concurrent test can
 //! pollute the counter.
 
+use lb_analysis::Json;
 use lb_core::continuous::{ContinuousRunner, DimensionExchange, Fos};
 use lb_core::discrete::{
     DiscreteBalancer, DynamicBalancer, FlowImitation, RandomizedImitation, RoundEvents, TaskPicker,
 };
 use lb_core::ingest::merge::MergeSession;
 use lb_core::ingest::{self, IngestSession};
+use lb_core::snapshot::{self, Snapshot};
 use lb_core::{InitialLoad, ShardedExecutor, Speeds, Task, TaskId};
 use lb_graph::{generators, AlphaScheme, Graph};
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -176,6 +178,52 @@ fn steady_state_rounds_do_not_allocate() {
     }
     assert!(alg1.arrived_weight() >= 4 * 500);
     assert!(alg1.completed_weight() > 0);
+
+    // Checkpointed runs: capturing and atomically publishing a full snapshot
+    // at the cadence round allocates (it builds the document and stages a
+    // temp file), but every round BETWEEN checkpoints must stay heap-free.
+    // This pins the driver's `--checkpoint-every` contract: `capture` is a
+    // read-only walk that must not steal, shrink, or lazily re-grow any
+    // warmed engine buffer, and the atomic write must leave no allocation
+    // debt behind for later rounds to pay.
+    let fos = Fos::new(Arc::clone(&graph), &speeds, AlphaScheme::MaxDegreePlusOne)
+        .expect("FOS constructs");
+    let mut alg1 = FlowImitation::new(fos, &initial, speeds.clone(), TaskPicker::Fifo)
+        .expect("dimensions agree");
+    let ckpt =
+        std::env::temp_dir().join(format!("lb_zero_alloc_ckpt_{}.jsonl", std::process::id()));
+    let header = Json::obj([("name", Json::Str("zero_alloc".into()))]);
+    let publish = |alg1: &FlowImitation<Fos>, round: u64| {
+        let snap = Snapshot {
+            scenario: header.clone(),
+            driver: Json::Null,
+            round,
+            engine: alg1.capture(),
+        };
+        snapshot::write_atomic(&ckpt, &snap).expect("checkpoint publishes");
+    };
+    for round in 0..400u64 {
+        alg1.step();
+        if round % 10 == 9 {
+            publish(&alg1, round + 1);
+        }
+    }
+    for round in 400..500u64 {
+        let before = allocations();
+        alg1.step();
+        let after = allocations();
+        assert_eq!(
+            after - before,
+            0,
+            "checkpointed run: round {round} allocated between checkpoints"
+        );
+        if round % 10 == 9 {
+            // The cadence round itself: the snapshot capture + write is the
+            // one sanctioned allocator, and it runs outside the measurement.
+            publish(&alg1, round + 1);
+        }
+    }
+    std::fs::remove_file(&ckpt).ok();
 
     // Sharded rounds (shards > 1): the persistent worker pool, pre-sized
     // shard plan and warmed outboxes must keep `step_sharded` heap-free too.
