@@ -26,11 +26,17 @@
 //!
 //! The legacy per-experiment binaries (`table1`, `hotpath`, …) are thin
 //! shims over [`shim`], so one dispatch table owns all argument parsing.
+//!
+//! Failures exit with the typed codes of
+//! [`BenchError`]: 2 for usage errors, 3 for
+//! protocol/handshake violations, 4 for I/O failures, 1 for everything
+//! else.
 
 use crate::dynamic::{
-    replay_source, replay_trace, resume_run, run_scenario_with, Producer, RoundSample, RunOptions,
-    ScenarioOutcome, DEFAULT_CHANNEL_CAPACITY, MAX_MERGE_FEEDS,
+    Producer, RoundSample, ScenarioOutcome, Session, DEFAULT_CHANNEL_CAPACITY, MAX_MERGE_FEEDS,
 };
+use crate::error::BenchError;
+use crate::serve::{push_trace, serve, PushOptions, ServeOptions};
 use lb_analysis::Json;
 use lb_core::snapshot::write_bytes_atomic;
 use lb_workloads::{ReadSource, Scenario, Trace, TraceSource};
@@ -105,15 +111,60 @@ COMMANDS:
                           Write the ingestion report as JSON to PATH.
         --out PATH        Also write the result JSON to PATH.
         --quiet           Suppress the per-sample stream on stderr.
+    serve <scenario.json> Run the scenario as a socket service: accept
+                          trace-streaming producer connections, authenticate
+                          each handshake against the effective scenario, and
+                          feed the engine from their merged streams. Result
+                          JSON is byte-identical to the sync run when the
+                          clients together carry the matching trace. See
+                          ROADMAP.md 'Socket service'.
+        --listen ADDR     TCP host:port (port 0 picks a free port) or
+                          unix:/path [default: 127.0.0.1:0].
+        --clients N       Handshakes to await before the engine starts
+                          [default: 1]. Later connections still join live.
+        --reconnect-timeout-ms N
+                          How long a dropped connection's feed waits for a
+                          reconnect before the run degrades without it
+                          [default: 5000].
+        --listen-info PATH
+                          Write the bound address as one-line JSON once
+                          listening (for scripts racing the bind).
+        --seed N          Override the scenario's seed (clients must carry
+                          a trace recorded at the effective seed).
+        --shards N        Override the shard count (exempt from handshake
+                          authentication; results are bit-identical).
+        --record PATH     Record the merged applied event stream.
+        --ingest-stats PATH
+                          Write the per-connection ingestion report.
+        --out PATH        Also write the result JSON to PATH.
+        --quiet           Suppress the per-sample stream on stderr.
     serve-trace <trace.jsonl>
                           Drip a recorded trace's lines to stdout (or --out),
                           flushing per line — a test traffic source for
                           'lb replay -' pipes and 'lb replay --follow' tails.
                           Lines are served verbatim, without validation, so
-                          fault cases can be staged deliberately.
+                          fault cases can be staged deliberately. With
+                          --connect, stream the trace's rounds to a running
+                          'lb serve' instead (handshake + framed records).
         --out PATH        Append-serve into PATH (created/truncated first)
                           instead of stdout.
-        --delay-ms N      Sleep N milliseconds between lines [default: 0].
+        --delay-ms N      Sleep N milliseconds between lines (never after
+                          the last one) [default: 0].
+        --connect ADDR    Push to the 'lb serve' at ADDR (TCP or unix:/path)
+                          instead of dripping lines.
+        --feed NAME       Feed name for --connect [default: feed0]. One live
+                          connection per name; reconnecting under the same
+                          name resumes after the server's last admitted
+                          round.
+        --stride N:I      With --connect: carry only round records with
+                          index % N == I [default: 1:0]. Clients 0..N
+                          together carry the whole trace without sharing a
+                          round — the partition that keeps the served run
+                          byte-identical.
+        --abort-after-records N
+                          With --connect: drop the connection (no end
+                          record) after N round records — a deterministic
+                          stand-in for a crashed client.
     table1, table2, theorem3, theorem8, trajectory, heterogeneous,
     dummy_ablation, fos_vs_sos, dynamic_arrivals
                           Regenerate one experiment artefact.
@@ -131,7 +182,9 @@ COMMANDS:
                           25, or env LB_BENCH_MAX_REGRESSION].
     help                  Print this message.
 
-Unknown commands, unknown options and malformed values exit with status 2.
+Unknown commands, unknown options and malformed values exit with status 2;
+stream/handshake protocol violations exit 3; file and socket I/O failures
+exit 4; other runtime failures exit 1.
 ";
 
 /// Entry point for the `lb` binary: dispatches `std::env::args`, returning
@@ -155,6 +208,13 @@ fn usage_error(msg: &str) -> i32 {
     eprintln!("error: {msg}\n");
     eprint!("{USAGE}");
     2
+}
+
+/// Prints a typed runtime failure and returns its class's exit code
+/// (see [`BenchError::exit_code`]).
+fn fail(err: BenchError) -> i32 {
+    eprintln!("error: {err}");
+    err.exit_code()
 }
 
 /// Strictly parsed arguments of one subcommand: every option must be
@@ -231,6 +291,7 @@ pub fn dispatch(args: &[String]) -> i32 {
     match command.as_str() {
         "run" => cmd_run(rest),
         "replay" => cmd_replay(rest),
+        "serve" => cmd_serve(rest),
         "serve-trace" | "serve_trace" => cmd_serve_trace(rest),
         "hotpath" => {
             let parsed = match parse_args(rest, &["--shards"], &["--quick"], 0) {
@@ -458,17 +519,10 @@ fn cmd_run(args: &[String]) -> i32 {
         }
         _ => {}
     }
-    let options = RunOptions {
-        seed,
-        shards,
-        producer,
-        record: parsed.value("--record").map(PathBuf::from),
-        checkpoint,
-        checkpoint_every,
-    };
+    let record = parsed.value("--record").map(PathBuf::from);
     let quiet = parsed.has("--quiet");
 
-    let result = (|| -> Result<(), String> {
+    let result = (|| -> Result<(), BenchError> {
         let on_sample = |sample: &RoundSample| {
             if !quiet {
                 stream_sample(sample);
@@ -477,30 +531,40 @@ fn cmd_run(args: &[String]) -> i32 {
         let outcome = match resume {
             Some(snapshot_path) => {
                 let snapshot = lb_core::snapshot::load(snapshot_path)
-                    .map_err(|e| format!("{snapshot_path}: {e}"))?;
-                resume_run(snapshot, &options, on_sample)?
+                    .map_err(|e| BenchError::run(format!("{snapshot_path}: {e}")))?;
+                Session::from_snapshot(snapshot)
+                    .shards(shards)
+                    .producer(producer)
+                    .record(record.clone())
+                    .checkpoint(checkpoint.clone(), checkpoint_every)
+                    .run(on_sample)?
             }
             None => {
                 let path = path.expect("validated: a scenario path or --resume is present");
-                let text = fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-                let scenario = Scenario::parse(&text).map_err(|e| format!("{path}: {e}"))?;
-                run_scenario_with(&scenario, &options, on_sample)?
+                let text = fs::read_to_string(path)
+                    .map_err(|e| BenchError::io(format!("reading {path}: {e}")))?;
+                let scenario = Scenario::parse(&text)
+                    .map_err(|e| BenchError::usage(format!("{path}: {e}")))?;
+                Session::from_scenario(&scenario)
+                    .seed(seed)
+                    .shards(shards)
+                    .producer(producer)
+                    .record(record.clone())
+                    .checkpoint(checkpoint.clone(), checkpoint_every)
+                    .run(on_sample)?
             }
         };
-        if let Some(trace) = &options.record {
+        if let Some(trace) = &record {
             eprintln!("(event trace recorded to {})", trace.display());
         }
         if let Some(stats_path) = parsed.value("--ingest-stats") {
-            emit_ingest_stats(&outcome, stats_path)?;
+            emit_ingest_stats(&outcome, stats_path).map_err(BenchError::Io)?;
         }
-        emit_outcome(&outcome, parsed.value("--out"))
+        emit_outcome(&outcome, parsed.value("--out")).map_err(BenchError::Io)
     })();
     match result {
         Ok(()) => 0,
-        Err(err) => {
-            eprintln!("error: {err}");
-            1
-        }
+        Err(err) => fail(err),
     }
 }
 
@@ -537,7 +601,7 @@ fn cmd_replay(args: &[String]) -> i32 {
     }
     let quiet = parsed.has("--quiet");
 
-    let result = (|| -> Result<(), String> {
+    let result = (|| -> Result<(), BenchError> {
         let on_sample = |sample: &RoundSample| {
             if !quiet {
                 stream_sample(sample);
@@ -546,43 +610,165 @@ fn cmd_replay(args: &[String]) -> i32 {
         let outcome = if path == "-" {
             // A framed byte stream on stdin (e.g. `lb serve-trace | lb
             // replay -`): records are parsed incrementally as they arrive.
-            let source = ReadSource::new(std::io::stdin())?;
-            replay_source(Box::new(source), shards, on_sample)?
+            let source = ReadSource::new(std::io::stdin()).map_err(BenchError::from_source)?;
+            Session::from_stream(Box::new(source))
+                .shards(shards)
+                .run(on_sample)?
         } else if follow {
             // Tail the file as it grows; the end record is the clean exit.
             let source = TraceSource::open_with(
                 path,
                 idle_timeout,
                 lb_workloads::source::DEFAULT_POLL_INTERVAL,
-            )?;
-            replay_source(Box::new(source), shards, on_sample)?
+            )
+            .map_err(BenchError::from_source)?;
+            Session::from_stream(Box::new(source))
+                .shards(shards)
+                .run(on_sample)?
         } else {
-            let trace = Trace::load(path)?;
+            let trace = Trace::load(path).map_err(BenchError::from_source)?;
             let (recorded_rounds, recorded_events) = (trace.rounds.len(), trace.event_count());
-            let outcome = replay_trace(trace, shards, on_sample)?;
+            let outcome = Session::from_trace(trace).shards(shards).run(on_sample)?;
             eprintln!("(replayed {recorded_rounds} recorded round(s), {recorded_events} event(s))");
             outcome
         };
         if let Some(stats_path) = parsed.value("--ingest-stats") {
-            emit_ingest_stats(&outcome, stats_path)?;
+            emit_ingest_stats(&outcome, stats_path).map_err(BenchError::Io)?;
         }
-        emit_outcome(&outcome, parsed.value("--out"))
+        emit_outcome(&outcome, parsed.value("--out")).map_err(BenchError::Io)
     })();
     match result {
         Ok(()) => 0,
-        Err(err) => {
-            eprintln!("error: {err}");
-            1
-        }
+        Err(err) => fail(err),
     }
+}
+
+/// Runs a scenario as a socket service (see [`crate::serve`]): accepts
+/// authenticated trace-streaming connections and feeds the engine from
+/// their merged streams.
+fn cmd_serve(args: &[String]) -> i32 {
+    let parsed = match parse_args(
+        args,
+        &[
+            "--listen",
+            "--clients",
+            "--reconnect-timeout-ms",
+            "--listen-info",
+            "--seed",
+            "--shards",
+            "--record",
+            "--ingest-stats",
+            "--out",
+        ],
+        &["--quiet"],
+        1,
+    ) {
+        Ok(parsed) => parsed,
+        Err(err) => return usage_error(&err),
+    };
+    let Some(path) = parsed.positionals.first().copied() else {
+        return usage_error("serve requires a scenario file (lb serve <scenario.json>)");
+    };
+    let seed = match parsed
+        .value("--seed")
+        .map(|v| v.parse::<u64>().map_err(|e| format!("--seed: {e}")))
+        .transpose()
+    {
+        Ok(seed) => seed,
+        Err(err) => return usage_error(&err),
+    };
+    let shards = match shards_option(parsed.value("--shards")) {
+        Ok(shards) => shards,
+        Err(err) => return usage_error(&err),
+    };
+    let clients = match parsed.value("--clients") {
+        Some(v) => match v.parse::<usize>() {
+            Ok(0) => return usage_error("--clients must be at least 1"),
+            Ok(n) => n,
+            Err(e) => return usage_error(&format!("--clients: {e}")),
+        },
+        None => 1,
+    };
+    let reconnect_timeout = match parsed.value("--reconnect-timeout-ms") {
+        Some(v) => match v.parse::<u64>() {
+            Ok(ms) => Duration::from_millis(ms),
+            Err(e) => return usage_error(&format!("--reconnect-timeout-ms: {e}")),
+        },
+        None => Duration::from_millis(5_000),
+    };
+    let options = ServeOptions {
+        listen: parsed
+            .value("--listen")
+            .unwrap_or("127.0.0.1:0")
+            .to_string(),
+        clients,
+        seed,
+        shards,
+        reconnect_timeout,
+        record: parsed.value("--record").map(PathBuf::from),
+        listen_info: parsed.value("--listen-info").map(PathBuf::from),
+    };
+    let quiet = parsed.has("--quiet");
+
+    let result = (|| -> Result<(), BenchError> {
+        let text =
+            fs::read_to_string(path).map_err(|e| BenchError::io(format!("reading {path}: {e}")))?;
+        let scenario =
+            Scenario::parse(&text).map_err(|e| BenchError::usage(format!("{path}: {e}")))?;
+        let outcome = serve(&scenario, &options, |sample| {
+            if !quiet {
+                stream_sample(sample);
+            }
+        })?;
+        if let Some(trace) = &options.record {
+            eprintln!("(event trace recorded to {})", trace.display());
+        }
+        if let Some(stats_path) = parsed.value("--ingest-stats") {
+            emit_ingest_stats(&outcome, stats_path).map_err(BenchError::Io)?;
+        }
+        emit_outcome(&outcome, parsed.value("--out")).map_err(BenchError::Io)
+    })();
+    match result {
+        Ok(()) => 0,
+        Err(err) => fail(err),
+    }
+}
+
+/// Parses a `--stride N:I` partition spec.
+fn stride_option(value: Option<&str>) -> Result<(usize, usize), String> {
+    let Some(value) = value else {
+        return Ok((1, 0));
+    };
+    let (n, i) = value
+        .split_once(':')
+        .ok_or_else(|| format!("--stride: want N:I, got {value:?}"))?;
+    let n: usize = n.parse().map_err(|e| format!("--stride: {e}"))?;
+    let i: usize = i.parse().map_err(|e| format!("--stride: {e}"))?;
+    if n == 0 || i >= n {
+        return Err(format!("--stride: need I < N with N >= 1, got {n}:{i}"));
+    }
+    Ok((n, i))
 }
 
 /// Drips a recorded trace's lines to stdout or a file, flushing per line —
 /// the test traffic source behind the `merge-ingestion` CI job's pipe and
 /// file-tail runs. Lines are served verbatim (no validation) so fault cases
-/// can be staged deliberately.
+/// can be staged deliberately. With `--connect`, streams the trace's round
+/// records to a running `lb serve` instead ([`push_trace`]).
 fn cmd_serve_trace(args: &[String]) -> i32 {
-    let parsed = match parse_args(args, &["--out", "--delay-ms"], &[], 1) {
+    let parsed = match parse_args(
+        args,
+        &[
+            "--out",
+            "--delay-ms",
+            "--connect",
+            "--feed",
+            "--stride",
+            "--abort-after-records",
+        ],
+        &[],
+        1,
+    ) {
         Ok(parsed) => parsed,
         Err(err) => return usage_error(&err),
     };
@@ -596,27 +782,93 @@ fn cmd_serve_trace(args: &[String]) -> i32 {
         },
         None => Duration::ZERO,
     };
+    let connect = parsed.value("--connect");
+    if connect.is_none() {
+        for flag in ["--feed", "--stride", "--abort-after-records"] {
+            if parsed.value(flag).is_some() {
+                return usage_error(&format!("{flag} only applies with --connect"));
+            }
+        }
+        return serve_trace_lines(path, parsed.value("--out"), delay);
+    }
+    let addr = connect.expect("checked above");
+    if parsed.value("--out").is_some() {
+        return usage_error("--out only applies without --connect (lines mode)");
+    }
+    let stride = match stride_option(parsed.value("--stride")) {
+        Ok(stride) => stride,
+        Err(err) => return usage_error(&err),
+    };
+    let abort_after = match parsed
+        .value("--abort-after-records")
+        .map(|v| {
+            v.parse::<usize>()
+                .map_err(|e| format!("--abort-after-records: {e}"))
+        })
+        .transpose()
+    {
+        Ok(cap) => cap,
+        Err(err) => return usage_error(&err),
+    };
+    let options = PushOptions {
+        feed: parsed.value("--feed").unwrap_or("feed0").to_string(),
+        stride,
+        delay: (!delay.is_zero()).then_some(delay),
+        abort_after,
+    };
 
-    let result = (|| -> Result<usize, String> {
+    let result = (|| -> Result<(), BenchError> {
+        let trace = Trace::load(path).map_err(BenchError::from_source)?;
+        let report = push_trace(addr, &trace, &options)?;
+        if let Some(round) = report.resumed_after {
+            eprintln!("(resumed feed {:?} after round {round})", options.feed);
+        }
+        eprintln!(
+            "(pushed {} round record(s) as feed {:?}{})",
+            report.rounds_sent,
+            options.feed,
+            if report.aborted {
+                ", then aborted without the end record"
+            } else {
+                ""
+            }
+        );
+        Ok(())
+    })();
+    match result {
+        Ok(()) => 0,
+        Err(err) => fail(err),
+    }
+}
+
+/// The original serve-trace mode: drip the file's lines verbatim.
+fn serve_trace_lines(path: &str, out: Option<&str>, delay: Duration) -> i32 {
+    let result = (|| -> Result<usize, BenchError> {
         // Stream line by line: serving a multi-gigabyte trace must not
         // stage the whole file in memory first.
-        let file = fs::File::open(path).map_err(|e| format!("reading {path}: {e}"))?;
+        let file =
+            fs::File::open(path).map_err(|e| BenchError::io(format!("reading {path}: {e}")))?;
         let reader = std::io::BufReader::new(file);
-        let mut out: Box<dyn Write> = match parsed.value("--out") {
-            Some(target) => {
-                Box::new(fs::File::create(target).map_err(|e| format!("creating {target}: {e}"))?)
-            }
+        let mut out: Box<dyn Write> = match out {
+            Some(target) => Box::new(
+                fs::File::create(target)
+                    .map_err(|e| BenchError::io(format!("creating {target}: {e}")))?,
+            ),
             None => Box::new(std::io::stdout()),
         };
         let mut served = 0usize;
         for line in std::io::BufRead::lines(reader) {
-            let line = line.map_err(|e| format!("reading {path}: {e}"))?;
-            writeln!(out, "{line}").map_err(|e| format!("serving trace: {e}"))?;
-            out.flush().map_err(|e| format!("serving trace: {e}"))?;
-            served += 1;
-            if !delay.is_zero() {
+            let line = line.map_err(|e| BenchError::io(format!("reading {path}: {e}")))?;
+            // Pace *between* lines: a consumer of the final line (usually
+            // the end record) must not wait out one more delay before the
+            // stream closes.
+            if served > 0 && !delay.is_zero() {
                 std::thread::sleep(delay);
             }
+            writeln!(out, "{line}").map_err(|e| BenchError::io(format!("serving trace: {e}")))?;
+            out.flush()
+                .map_err(|e| BenchError::io(format!("serving trace: {e}")))?;
+            served += 1;
         }
         Ok(served)
     })();
@@ -625,10 +877,7 @@ fn cmd_serve_trace(args: &[String]) -> i32 {
             eprintln!("(served {served} line(s))");
             0
         }
-        Err(err) => {
-            eprintln!("error: {err}");
-            1
-        }
+        Err(err) => fail(err),
     }
 }
 
@@ -868,12 +1117,12 @@ mod tests {
 
     #[test]
     fn run_and_replay_require_their_input_file() {
-        // A missing positional is a usage error (2); an unreadable file is a
-        // runtime error (1).
+        // A missing positional is a usage error (2); an unreadable file is
+        // an I/O error (4).
         assert_eq!(dispatch(&args(&["run"])), 2);
-        assert_eq!(dispatch(&args(&["run", "/no/such/file.json"])), 1);
+        assert_eq!(dispatch(&args(&["run", "/no/such/file.json"])), 4);
         assert_eq!(dispatch(&args(&["replay"])), 2);
-        assert_eq!(dispatch(&args(&["replay", "/no/such/trace.jsonl"])), 1);
+        assert_eq!(dispatch(&args(&["replay", "/no/such/trace.jsonl"])), 4);
     }
 
     #[test]
@@ -946,7 +1195,7 @@ mod tests {
     #[test]
     fn serve_trace_requires_its_input() {
         assert_eq!(dispatch(&args(&["serve-trace"])), 2);
-        assert_eq!(dispatch(&args(&["serve-trace", "/no/such.jsonl"])), 1);
+        assert_eq!(dispatch(&args(&["serve-trace", "/no/such.jsonl"])), 4);
         assert_eq!(dispatch(&args(&["serve-trace", "a", "b"])), 2);
         assert_eq!(
             dispatch(&args(&["serve-trace", "t.jsonl", "--delay-ms", "soon"])),

@@ -8,9 +8,20 @@
 //! **bit-identical** result JSON across runs and machines (the document
 //! contains no timings). `tests/dynamic_scenarios.rs` pins this.
 //!
-//! Events can reach the engine five ways, all bit-identical for the same
+//! Every way of driving a run goes through one builder, [`Session`]:
+//! construct it from a scenario ([`Session::from_scenario`]), a recorded
+//! trace ([`Session::from_trace`]), a live byte stream
+//! ([`Session::from_stream`]) or a checkpoint snapshot
+//! ([`Session::from_snapshot`]); layer on overrides and side outputs
+//! (`.seed()`, `.shards()`, `.producer()`, `.record()`, `.checkpoint()`,
+//! `.stream()`, `.merged()`); then [`Session::run`]. Failures come back as
+//! the typed [`crate::error::BenchError`]. The former free functions
+//! (`run_scenario` … `resume_replay`) remain as deprecated shims — the
+//! migration table lives in the [crate docs](crate).
+//!
+//! Events can reach the engine six ways, all bit-identical for the same
 //! scenario and seed (`tests/ingest_equivalence.rs`,
-//! `tests/merge_equivalence.rs`):
+//! `tests/merge_equivalence.rs`, `tests/serve_faults.rs`):
 //!
 //! * **sync** ([`Producer::Scenario`]) — the driver materialises each
 //!   round's batch inline from the scenario's event stream;
@@ -19,32 +30,37 @@
 //! * **merge** ([`Producer::Merge`]) — N producer threads each stream a
 //!   contiguous per-round slice of the same batches over their own channel,
 //!   k-way merged back into round order by [`lb_core::ingest::merge`];
-//! * **trace replay** ([`replay_trace`]) — the batches come from a recorded
-//!   trace file ([`lb_workloads::trace`]) through the channel;
-//! * **byte-stream replay** ([`replay_source`]) — the batches are parsed
-//!   incrementally from a live byte stream ([`lb_workloads::source`]: a
-//!   growing file tail or any pipe/socket reader) on the producer thread.
+//! * **trace replay** ([`Session::from_trace`]) — the batches come from a
+//!   recorded trace file ([`lb_workloads::trace`]) through the channel;
+//! * **byte-stream replay** ([`Session::from_stream`]) — the batches are
+//!   parsed incrementally from a live byte stream ([`lb_workloads::source`]:
+//!   a growing file tail or any pipe/socket reader) on the producer thread;
+//! * **external merge** ([`Session::merged`]) — the driver consumes an
+//!   externally built [`MergeSession`] whose feeds are produced elsewhere —
+//!   e.g. the socket connections of [`crate::serve`], registered on the fly
+//!   through a [`lb_core::ingest::merge::FeedRegistrar`].
 //!
-//! Any run can be recorded ([`RunOptions::record`]) and replayed later.
+//! Any run can be recorded ([`Session::record`]) and replayed later.
 //! Channel-fed runs additionally report backpressure metrics (blocked
 //! sends/duration per feed, high-water depth) through
 //! [`ScenarioOutcome::ingest`] — out of band, because those counters are
 //! timing-dependent while the result document is pinned byte-identical.
 //!
-//! Any run can also be **checkpointed** ([`RunOptions::checkpoint`]): a
+//! Any run can also be **checkpointed** ([`Session::checkpoint`]): a
 //! rotating [`lb_core::snapshot`] of the full engine state — plus the
 //! effective scenario and the trajectory accumulated so far — is atomically
 //! replaced every `checkpoint_every` rounds, at the between-rounds boundary
-//! (the one quiescent point the ingest contract defines). [`resume_run`]
-//! continues from the newest checkpoint and emits result JSON
-//! **byte-identical** to the uninterrupted run's — at any shard count
-//! (resume overrides the executor, never the recorded scenario, so a
-//! snapshot doubles as a migration unit), through any producer mode, and
-//! with `--record` still producing the complete trace (the drained prefix
-//! is re-recorded). [`resume_replay`] does the same for byte-stream feeds
-//! and composes with [`lb_workloads::TraceSource`] checkpoints: a source
-//! resumed past the applied prefix simply yields empty batches for the
-//! fast-forwarded rounds.
+//! (the one quiescent point the ingest contract defines).
+//! [`Session::from_snapshot`] continues from the newest checkpoint and
+//! emits result JSON **byte-identical** to the uninterrupted run's — at any
+//! shard count (resume overrides the executor, never the recorded scenario,
+//! so a snapshot doubles as a migration unit), through any producer mode,
+//! and with `--record` still producing the complete trace (the drained
+//! prefix is re-recorded). [`Session::stream`] on a snapshot session does
+//! the same for byte-stream feeds and composes with
+//! [`lb_workloads::TraceSource`] checkpoints: a source resumed past the
+//! applied prefix simply yields empty batches for the fast-forwarded
+//! rounds.
 
 use lb_analysis::Json;
 use lb_core::continuous::{Fos, Sos};
@@ -66,6 +82,7 @@ use std::path::PathBuf;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
+use crate::error::BenchError;
 use crate::harness::GraphClass;
 
 /// Diffusion matrix scheme used by every scenario engine (the harness
@@ -353,14 +370,16 @@ pub enum Producer {
     },
 }
 
-/// Default channel capacity for [`Producer::Channel`] and [`replay_trace`].
+/// Default channel capacity for [`Producer::Channel`] and trace/stream
+/// replay sessions.
 pub const DEFAULT_CHANNEL_CAPACITY: usize = 32;
 
 /// Upper bound on [`Producer::Merge`] feeds: each feed is an OS thread, so
 /// an absurd count must be a validation error, not a `thread::spawn` abort.
 pub const MAX_MERGE_FEEDS: usize = 64;
 
-/// Options for [`run_scenario_with`].
+/// Run configuration carried by a [`Session`] (and by the deprecated
+/// `run_scenario_with` shim).
 #[derive(Debug, Clone, Default)]
 pub struct RunOptions {
     /// Replaces the spec's seed (the CLI's `--seed`); the effective value is
@@ -374,15 +393,16 @@ pub struct RunOptions {
     pub producer: Producer,
     /// Record the applied event stream to this trace file
     /// ([`lb_workloads::trace`]); the trace embeds the effective scenario
-    /// and replays bit-identically via [`replay_trace`]. Recording never
-    /// perturbs the run itself.
+    /// and replays bit-identically via [`Session::from_trace`]. Recording
+    /// never perturbs the run itself.
     pub record: Option<PathBuf>,
     /// Write a rotating engine snapshot ([`lb_core::snapshot`]) to this
     /// path every [`checkpoint_every`](RunOptions::checkpoint_every)
     /// rounds. Each write is atomic (temp file → fsync → rename), so the
     /// file always holds the newest *complete* checkpoint — a crash
     /// mid-write leaves the previous one intact. Resume with
-    /// [`resume_run`]. Checkpointing never perturbs the run itself.
+    /// [`Session::from_snapshot`]. Checkpointing never perturbs the run
+    /// itself.
     pub checkpoint: Option<PathBuf>,
     /// Checkpoint cadence in completed rounds; required with (and only
     /// meaningful alongside) [`checkpoint`](RunOptions::checkpoint).
@@ -426,8 +446,9 @@ enum EventSource {
 
 impl EventSource {
     /// Fills `out` with the batch for `round` (empty when the round has no
-    /// events).
-    fn fill_round(&mut self, round: usize, out: &mut RoundEvents) -> Result<(), String> {
+    /// events). Channel/merge ordering violations are stream-protocol
+    /// errors.
+    fn fill_round(&mut self, round: usize, out: &mut RoundEvents) -> Result<(), BenchError> {
         match self {
             EventSource::Sync(stream) => {
                 stream.fill_round(round, out);
@@ -435,10 +456,10 @@ impl EventSource {
             }
             EventSource::Channel { session, .. } => session
                 .fill_round(round as u64, out)
-                .map_err(|err| err.to_string()),
+                .map_err(|err| BenchError::protocol(err.to_string())),
             EventSource::Merge { session, .. } => session
                 .fill_round(round as u64, out)
-                .map_err(|err| err.to_string()),
+                .map_err(|err| BenchError::protocol(err.to_string())),
         }
     }
 
@@ -453,18 +474,20 @@ impl EventSource {
     /// Joins one producer thread: a panic becomes a typed error (the panic
     /// already released the channel via `Drop`, so the run itself degraded
     /// to an event-free remainder instead of deadlocking), and a producer's
-    /// own error — e.g. a torn trace tail — propagates verbatim.
-    fn join_producer(handle: JoinHandle<Result<(), String>>) -> Result<(), String> {
+    /// own error — e.g. a torn trace tail — propagates verbatim, classified
+    /// I/O-versus-protocol by its message shape.
+    fn join_producer(handle: JoinHandle<Result<(), String>>) -> Result<(), BenchError> {
         handle
             .join()
-            .map_err(|_| "ingest producer thread panicked".to_string())?
+            .map_err(|_| BenchError::run("ingest producer thread panicked"))?
+            .map_err(BenchError::from_source)
     }
 
     /// Tears the source down: snapshots the ingestion stats, drops the
     /// consumer side (any still-blocked producer send fails immediately, so
     /// this never blocks on a full queue), then joins every producer thread
     /// and propagates the first failure.
-    fn finish(self) -> Result<Option<Json>, String> {
+    fn finish(self) -> Result<Option<Json>, BenchError> {
         match self {
             EventSource::Sync(_) => Ok(None),
             EventSource::Channel { session, producer } => {
@@ -640,7 +663,7 @@ fn spawn_merge_producers(
     (MergeSession::new(consumers), handles)
 }
 
-/// Spawns the producer thread for [`replay_trace`]: feeds the recorded round
+/// Spawns the producer thread for [`Session::from_trace`]: feeds the recorded round
 /// batches through the channel in order.
 fn spawn_trace_producer(
     rounds: Vec<lb_workloads::TraceRound>,
@@ -663,7 +686,7 @@ fn spawn_trace_producer(
     (IngestSession::new(rx), handle)
 }
 
-/// Spawns the producer thread for [`replay_source`]: pulls round batches off
+/// Spawns the producer thread for [`Session::from_stream`]: pulls round batches off
 /// a live byte-stream source ([`lb_workloads::source`]) and feeds them
 /// through the channel, recycling drained buffers. A source error — a torn
 /// trace tail, a stalled writer, malformed records — ends production early
@@ -699,126 +722,335 @@ fn spawn_source_producer(
     (IngestSession::new(rx), handle)
 }
 
-/// Runs `scenario`, calling `on_sample` for every recorded trajectory point
-/// (round 0, every `sample_every` rounds, and the final round). Equivalent
-/// to [`run_scenario_with`] with default [`RunOptions`] plus the given
-/// overrides.
+/// Where a [`Session`] starts from: a scenario spec to run, or a snapshot
+/// to resume.
+enum Origin {
+    /// A validated-on-`run` scenario (from a spec, a trace header or a
+    /// stream header).
+    Scenario(Box<Scenario>),
+    /// A checkpoint snapshot (boxed: snapshots carry the full engine
+    /// state).
+    Snapshot(Box<Snapshot>),
+}
+
+/// The one driver entry point: a builder binding an origin (scenario,
+/// trace, stream or snapshot) to overrides, side outputs and an event feed,
+/// executed by [`Session::run`].
+///
+/// ```no_run
+/// # use lb_bench::dynamic::{Producer, Session};
+/// # use std::path::PathBuf;
+/// # let scenario: lb_workloads::Scenario = unimplemented!();
+/// let outcome = Session::from_scenario(&scenario)
+///     .seed(7)
+///     .shards(4)
+///     .producer(Producer::Channel { capacity: 8 })
+///     .record(PathBuf::from("run.trace.jsonl"))
+///     .run(|_| {})?;
+/// # Ok::<(), lb_bench::error::BenchError>(())
+/// ```
+///
+/// The deprecated free functions (`run_scenario` … `resume_replay`) are
+/// thin shims over this builder; the migration table lives in the
+/// [crate docs](crate).
+pub struct Session {
+    origin: Origin,
+    feed: Feed,
+    options: RunOptions,
+}
+
+impl Session {
+    /// Starts a session that runs `scenario` with its own event generator
+    /// (the default feed; [`Session::producer`] selects how the generated
+    /// batches reach the engine).
+    pub fn from_scenario(scenario: &Scenario) -> Self {
+        Session {
+            origin: Origin::Scenario(Box::new(scenario.clone())),
+            feed: Feed::Generate,
+            options: RunOptions::default(),
+        }
+    }
+
+    /// Starts a session that replays a recorded trace through the async
+    /// ingestion channel: the embedded scenario rebuilds the graph, speeds
+    /// and initial load, and the recorded batches drive the engine instead
+    /// of the scenario's generator. For a trace recorded from the same
+    /// scenario and seed, the result document is byte-identical to the
+    /// original run's. The trace pins the seed ([`Session::seed`] is
+    /// rejected); [`Session::shards`] replaces the embedded shard count
+    /// (shard count never changes the result). The trace is consumed: its
+    /// recorded rounds move to the producer thread without copying (clone
+    /// first to replay again).
+    pub fn from_trace(trace: Trace) -> Self {
+        Session {
+            origin: Origin::Scenario(Box::new(trace.scenario.clone())),
+            feed: Feed::Trace(Box::new(trace)),
+            options: RunOptions::default(),
+        }
+    }
+
+    /// Starts a session that replays a live byte stream through the async
+    /// ingestion channel: the source's header embeds the effective
+    /// scenario, and its round records drive the engine as they arrive —
+    /// from a growing trace file ([`lb_workloads::TraceSource`]) or any
+    /// framed reader ([`lb_workloads::ReadSource`]: pipes, sockets, stdin).
+    ///
+    /// The source runs on the producer thread; a source failure (torn tail,
+    /// stalled writer, malformed record) ends production early — the engine
+    /// finishes the remaining rounds event-free — and surfaces as the run's
+    /// error, never as a deadlock. The stream pins the seed.
+    pub fn from_stream(source: Box<dyn RoundSource>) -> Self {
+        Session {
+            origin: Origin::Scenario(Box::new(source.scenario().clone())),
+            feed: Feed::Source(source),
+            options: RunOptions::default(),
+        }
+    }
+
+    /// Starts a session that resumes a checkpointed run
+    /// ([`Session::checkpoint`]) from `snapshot`: the embedded scenario
+    /// rebuilds the graph, speeds and initial load from its seeds, the
+    /// pre-resume event stream is fast-forwarded (reconstructing its RNG
+    /// state and task-id counter), and the engine state is restored at the
+    /// captured between-rounds boundary. The result document is
+    /// **byte-identical** to the uninterrupted run's, from any checkpoint.
+    ///
+    /// [`Session::shards`] resizes the resumed *executor* only — the
+    /// recorded scenario keeps the original shard count, so byte-identity
+    /// holds across shard counts (shard-invariance makes the snapshot a
+    /// migration unit). [`Session::seed`] is rejected (the snapshot pins
+    /// the seed). [`Session::producer`] selects the event path as usual;
+    /// [`Session::record`] still produces the *complete* trace (the
+    /// fast-forwarded prefix is re-recorded); [`Session::checkpoint`] keeps
+    /// checkpointing the resumed run. The streaming callback only sees
+    /// samples taken after the resume point — the restored prefix is
+    /// already in the outcome's trajectory. [`Session::stream`] resumes a
+    /// byte-stream replay instead of the scenario generator.
+    pub fn from_snapshot(snapshot: Snapshot) -> Self {
+        Session {
+            origin: Origin::Snapshot(Box::new(snapshot)),
+            feed: Feed::Generate,
+            options: RunOptions::default(),
+        }
+    }
+
+    /// Replaces the spec's seed; the effective value is recorded in the
+    /// outcome. Rejected by trace/stream/snapshot sessions — those pin the
+    /// seed. Accepts an `Option` so call sites can thread an optional
+    /// override straight through.
+    pub fn seed(mut self, seed: impl Into<Option<u64>>) -> Self {
+        self.options.seed = seed.into();
+        self
+    }
+
+    /// Replaces the spec's shard count (a resumed session resizes only the
+    /// executor). Shard count never changes the result — only wall-clock
+    /// time. Accepts an `Option` so call sites can thread an optional
+    /// override straight through.
+    pub fn shards(mut self, shards: impl Into<Option<usize>>) -> Self {
+        self.options.shards = shards.into();
+        self
+    }
+
+    /// Selects how generated events reach the engine (sync, channel or
+    /// merge). Ignored by trace/stream/merged feeds, which bring their own
+    /// channel path.
+    pub fn producer(mut self, producer: Producer) -> Self {
+        self.options.producer = producer;
+        self
+    }
+
+    /// Records the applied event stream to this trace file
+    /// ([`lb_workloads::trace`]); the trace embeds the effective scenario
+    /// and replays bit-identically via [`Session::from_trace`]. Recording
+    /// never perturbs the run itself.
+    pub fn record(mut self, path: impl Into<Option<PathBuf>>) -> Self {
+        self.options.record = path.into();
+        self
+    }
+
+    /// Writes a rotating atomic engine snapshot to `path` every `every`
+    /// completed rounds (see [`RunOptions::checkpoint`]); resume with
+    /// [`Session::from_snapshot`]. Both halves must be present — `run`
+    /// rejects an unpaired path or cadence.
+    pub fn checkpoint(
+        mut self,
+        path: impl Into<Option<PathBuf>>,
+        every: impl Into<Option<usize>>,
+    ) -> Self {
+        self.options.checkpoint = path.into();
+        self.options.checkpoint_every = every.into();
+        self
+    }
+
+    /// Feeds the run from a live byte-stream source instead of the
+    /// scenario generator. On a snapshot session this resumes a byte-stream
+    /// replay; it composes with [`lb_workloads::TraceSource`] checkpoints —
+    /// a source resumed past the already-applied trace prefix simply yields
+    /// empty batches for the fast-forwarded rounds, so the skipped records
+    /// are never re-read (a source replaying from the top works too: the
+    /// prefix is drained and discarded). The source's embedded scenario
+    /// must equal the session's.
+    pub fn stream(mut self, source: Box<dyn RoundSource>) -> Self {
+        self.feed = Feed::Source(source);
+        self
+    }
+
+    /// Feeds the run from an externally built [`MergeSession`] whose
+    /// producers live outside the driver — e.g. the socket connections of
+    /// [`crate::serve`], registered on the fly through a
+    /// [`lb_core::ingest::merge::FeedRegistrar`]. The driver blocks at each
+    /// round boundary on every open feed (the merge contract), applies the
+    /// coalesced batches, and rolls the per-feed [`ChannelMetrics`] into
+    /// [`ScenarioOutcome::ingest`].
+    pub fn merged(mut self, session: MergeSession) -> Self {
+        self.feed = Feed::Merge(session);
+        self
+    }
+
+    /// Runs the session, calling `on_sample` for every trajectory point
+    /// recorded *during this execution* (round 0 unless resumed, every
+    /// `sample_every` rounds, and the final round). For the same scenario
+    /// and seed the result document is bit-identical across machines, shard
+    /// counts, producer modes and resume points.
+    ///
+    /// # Errors
+    ///
+    /// [`BenchError::Usage`] for invalid specs, unknown families,
+    /// contradictory options (seed override on a pinned-seed session,
+    /// unpaired checkpoint options, out-of-range shard/feed counts);
+    /// [`BenchError::Protocol`] for stream/merge ordering violations,
+    /// malformed records and snapshots that do not match the run;
+    /// [`BenchError::Io`] for file and stream I/O failures; and
+    /// [`BenchError::Core`]/[`BenchError::Snapshot`]/[`BenchError::Run`]
+    /// for engine and snapshot failures.
+    pub fn run(self, on_sample: impl FnMut(&RoundSample)) -> Result<ScenarioOutcome, BenchError> {
+        let Session {
+            origin,
+            feed,
+            options,
+        } = self;
+        let (scenario, resume) = match origin {
+            Origin::Scenario(scenario) => {
+                let mut scenario = *scenario;
+                if let Some(seed) = options.seed {
+                    if !matches!(feed, Feed::Generate | Feed::Merge(_)) {
+                        return Err(BenchError::usage(
+                            "a replayed run cannot override the seed: the stream pins it",
+                        ));
+                    }
+                    scenario.seed = seed;
+                }
+                // A stream attached to a scenario session must agree with
+                // it before overrides are applied (the shard override is
+                // result-neutral and deliberately exempt).
+                if let Feed::Source(source) = &feed {
+                    if source.scenario() != &scenario {
+                        return Err(BenchError::protocol(
+                            "the source embeds a different scenario than this session",
+                        ));
+                    }
+                }
+                if let Some(shards) = options.shards {
+                    scenario.shards = shards;
+                }
+                scenario.validate().map_err(BenchError::Usage)?;
+                (scenario, None)
+            }
+            Origin::Snapshot(snapshot) => {
+                if options.seed.is_some() {
+                    return Err(BenchError::usage(
+                        "a resumed run cannot override the seed: the snapshot pins it",
+                    ));
+                }
+                let (scenario, resume) = ResumePoint::decode(*snapshot, options.shards)?;
+                if let Feed::Source(source) = &feed {
+                    if source.scenario() != &scenario {
+                        return Err(BenchError::protocol(
+                            "snapshot does not match this replay: the source embeds a \
+                             different scenario",
+                        ));
+                    }
+                }
+                (scenario, Some(resume))
+            }
+        };
+        execute(scenario, feed, &options, resume, on_sample)
+    }
+}
+
+/// Runs `scenario` with the given overrides.
 ///
 /// # Errors
 ///
-/// Returns a message for invalid specs, unknown families, graph-construction
-/// failures and engine errors (e.g. alg2 with weighted arrivals).
+/// Returns the stringified [`BenchError`].
+#[deprecated(note = "use `Session::from_scenario(..).seed(..).shards(..).run(..)`")]
 pub fn run_scenario(
     scenario: &Scenario,
     seed_override: Option<u64>,
     shards_override: Option<usize>,
     on_sample: impl FnMut(&RoundSample),
 ) -> Result<ScenarioOutcome, String> {
-    run_scenario_with(
-        scenario,
-        &RunOptions {
-            seed: seed_override,
-            shards: shards_override,
-            ..RunOptions::default()
-        },
-        on_sample,
-    )
+    Session::from_scenario(scenario)
+        .seed(seed_override)
+        .shards(shards_override)
+        .run(on_sample)
+        .map_err(|err| err.to_string())
 }
 
-/// Runs `scenario` under `options`: seed/shard overrides, the sync or
-/// channel event path, and optional trace recording. The effective scenario
-/// (overrides applied) is recorded in the outcome, and — for the same
-/// scenario and seed — the result document is bit-identical across machines,
-/// shard counts and producer modes.
+/// Runs `scenario` under `options`.
 ///
 /// # Errors
 ///
-/// Returns a message for invalid specs, unknown families,
-/// graph-construction failures, engine errors and trace-file I/O failures.
+/// Returns the stringified [`BenchError`].
+#[deprecated(note = "use `Session::from_scenario(..)` with builder methods")]
 pub fn run_scenario_with(
     scenario: &Scenario,
     options: &RunOptions,
     on_sample: impl FnMut(&RoundSample),
 ) -> Result<ScenarioOutcome, String> {
-    let mut scenario = scenario.clone();
-    if let Some(seed) = options.seed {
-        scenario.seed = seed;
-    }
-    if let Some(shards) = options.shards {
-        scenario.shards = shards;
-    }
-    scenario.validate()?;
-    execute(scenario, Feed::Generate, options, None, on_sample)
+    Session::from_scenario(scenario)
+        .seed(options.seed)
+        .shards(options.shards)
+        .producer(options.producer)
+        .record(options.record.clone())
+        .checkpoint(options.checkpoint.clone(), options.checkpoint_every)
+        .run(on_sample)
+        .map_err(|err| err.to_string())
 }
 
-/// Replays a recorded trace through the async ingestion channel: the
-/// embedded scenario rebuilds the graph, speeds and initial load, and the
-/// recorded batches drive the engine instead of the scenario's generator.
-/// For a trace recorded from the same scenario and seed, the result document
-/// is byte-identical to the original run's.
-///
-/// `shards_override` replaces the embedded shard count (shard count never
-/// changes the result). The trace pins the seed — there is deliberately no
-/// seed override, since the recorded task ids and the initial load both
-/// derive from it. The trace is consumed: its recorded rounds move to the
-/// producer thread without copying (clone first to replay again).
+/// Replays a recorded trace.
 ///
 /// # Errors
 ///
-/// Returns a message for invalid embedded scenarios and engine errors.
+/// Returns the stringified [`BenchError`].
+#[deprecated(note = "use `Session::from_trace(..).shards(..).run(..)`")]
 pub fn replay_trace(
     trace: Trace,
     shards_override: Option<usize>,
     on_sample: impl FnMut(&RoundSample),
 ) -> Result<ScenarioOutcome, String> {
-    let mut scenario = trace.scenario.clone();
-    if let Some(shards) = shards_override {
-        scenario.shards = shards;
-    }
-    scenario.validate()?;
-    execute(
-        scenario,
-        Feed::Trace(Box::new(trace)),
-        &RunOptions::default(),
-        None,
-        on_sample,
-    )
+    Session::from_trace(trace)
+        .shards(shards_override)
+        .run(on_sample)
+        .map_err(|err| err.to_string())
 }
 
-/// Replays a live byte stream through the async ingestion channel: the
-/// source's header embeds the effective scenario, and its round records
-/// drive the engine as they arrive — from a growing trace file
-/// ([`lb_workloads::TraceSource`]) or any framed reader
-/// ([`lb_workloads::ReadSource`]: pipes, sockets, stdin). For a stream
-/// carrying a trace recorded from the same scenario and seed, the result
-/// document is byte-identical to the recorded run's.
-///
-/// The source runs on the producer thread; a source failure (torn tail,
-/// stalled writer, malformed record) ends production early — the engine
-/// finishes the remaining rounds event-free — and surfaces as this
-/// function's error, never as a deadlock.
+/// Replays a live byte-stream source.
 ///
 /// # Errors
 ///
-/// Returns a message for invalid embedded scenarios, engine errors and
-/// source/stream failures.
+/// Returns the stringified [`BenchError`].
+#[deprecated(note = "use `Session::from_stream(..).shards(..).run(..)`")]
 pub fn replay_source(
     source: Box<dyn RoundSource>,
     shards_override: Option<usize>,
     on_sample: impl FnMut(&RoundSample),
 ) -> Result<ScenarioOutcome, String> {
-    let mut scenario = source.scenario().clone();
-    if let Some(shards) = shards_override {
-        scenario.shards = shards;
-    }
-    scenario.validate()?;
-    execute(
-        scenario,
-        Feed::Source(source),
-        &RunOptions::default(),
-        None,
-        on_sample,
-    )
+    Session::from_stream(source)
+        .shards(shards_override)
+        .run(on_sample)
+        .map_err(|err| err.to_string())
 }
 
 /// Encodes one trajectory sample for the snapshot's driver payload. The
@@ -904,49 +1136,55 @@ struct ResumePoint {
 impl ResumePoint {
     /// Decodes and cross-validates `snapshot`, returning the effective
     /// scenario it embeds alongside the resume point.
-    fn decode(snapshot: Snapshot, shards: Option<usize>) -> Result<(Scenario, Self), String> {
+    fn decode(snapshot: Snapshot, shards: Option<usize>) -> Result<(Scenario, Self), BenchError> {
         let scenario = Scenario::from_json(&snapshot.scenario)
-            .map_err(|err| format!("snapshot scenario header: {err}"))?;
+            .map_err(|err| BenchError::protocol(format!("snapshot scenario header: {err}")))?;
         scenario
             .validate()
-            .map_err(|err| format!("snapshot scenario header: {err}"))?;
+            .map_err(|err| BenchError::protocol(format!("snapshot scenario header: {err}")))?;
         if let Some(shards) = shards {
             // Reuse the scenario's own shard validation for the override.
             let mut check = scenario.clone();
             check.shards = shards;
-            check.validate()?;
+            check.validate().map_err(BenchError::Usage)?;
         }
         if snapshot.engine.round != snapshot.round {
-            return Err(format!(
+            return Err(BenchError::protocol(format!(
                 "corrupt snapshot: the run record says round {} but the engine record \
                  says round {}",
                 snapshot.round, snapshot.engine.round
-            ));
+            )));
         }
-        let round = usize::try_from(snapshot.round)
-            .map_err(|_| format!("snapshot round {} overflows this platform", snapshot.round))?;
+        let round = usize::try_from(snapshot.round).map_err(|_| {
+            BenchError::protocol(format!(
+                "snapshot round {} overflows this platform",
+                snapshot.round
+            ))
+        })?;
         if round > scenario.rounds {
-            return Err(format!(
+            return Err(BenchError::protocol(format!(
                 "snapshot was captured at round {round} but the scenario runs only {} round(s)",
                 scenario.rounds
-            ));
+            )));
         }
         let engine_name = snapshot
             .driver
             .get("engine")
             .and_then(Json::as_str)
-            .ok_or("snapshot driver payload has no engine name")?
+            .ok_or_else(|| BenchError::protocol("snapshot driver payload has no engine name"))?
             .to_string();
-        let trajectory = decode_trajectory(&snapshot.driver)?;
+        let trajectory = decode_trajectory(&snapshot.driver).map_err(BenchError::Protocol)?;
         if trajectory.first().map(|s| s.round) != Some(0) {
-            return Err("snapshot driver payload: trajectory does not start at round 0".into());
+            return Err(BenchError::protocol(
+                "snapshot driver payload: trajectory does not start at round 0",
+            ));
         }
         if trajectory.last().is_some_and(|s| s.round > round) {
-            return Err(format!(
+            return Err(BenchError::protocol(format!(
                 "snapshot driver payload: trajectory reaches round \
                  {} past the capture round {round}",
                 trajectory.last().expect("non-empty").round
-            ));
+            )));
         }
         Ok((
             scenario,
@@ -961,74 +1199,47 @@ impl ResumePoint {
     }
 }
 
-/// Resumes a checkpointed run ([`RunOptions::checkpoint`]) from `snapshot`:
-/// the embedded scenario rebuilds the graph, speeds and initial load from
-/// its seeds, the pre-resume event stream is fast-forwarded (reconstructing
-/// its RNG state and task-id counter), and the engine state is restored at
-/// the captured between-rounds boundary. The result document is
-/// **byte-identical** to the uninterrupted run's, from any checkpoint.
-///
-/// `options.shards` resizes the resumed *executor* only — the recorded
-/// scenario keeps the original shard count, so byte-identity holds across
-/// shard counts (shard-invariance makes the snapshot a migration unit).
-/// `options.producer` selects the event path as usual; `options.record`
-/// still produces the *complete* trace (the fast-forwarded prefix is
-/// re-recorded); `options.checkpoint` keeps checkpointing the resumed run.
-/// The streaming callback only sees samples taken after the resume point —
-/// the restored prefix is already in the outcome's trajectory.
+/// Resumes a checkpointed run from `snapshot`.
 ///
 /// # Errors
 ///
-/// Returns a message for seed overrides (the snapshot pins the seed),
-/// snapshots that do not match the scenario they embed (wrong engine, stale
-/// state — the typed [`lb_core::snapshot::SnapshotError::Mismatch`] checks,
-/// rendered), invalid embedded scenarios and engine errors.
+/// Returns the stringified [`BenchError`].
+#[deprecated(note = "use `Session::from_snapshot(..)` with builder methods")]
 pub fn resume_run(
     snapshot: Snapshot,
     options: &RunOptions,
     on_sample: impl FnMut(&RoundSample),
 ) -> Result<ScenarioOutcome, String> {
-    if options.seed.is_some() {
-        return Err("a resumed run cannot override the seed: the snapshot pins it".into());
-    }
-    let (scenario, resume) = ResumePoint::decode(snapshot, options.shards)?;
-    execute(scenario, Feed::Generate, options, Some(resume), on_sample)
+    Session::from_snapshot(snapshot)
+        .seed(options.seed)
+        .shards(options.shards)
+        .producer(options.producer)
+        .record(options.record.clone())
+        .checkpoint(options.checkpoint.clone(), options.checkpoint_every)
+        .run(on_sample)
+        .map_err(|err| err.to_string())
 }
 
-/// Resumes a byte-stream replay ([`replay_source`]) from `snapshot`. The
-/// source's embedded scenario must equal the snapshot's. Composes with
-/// [`lb_workloads::TraceSource`] checkpoints: a source resumed past the
-/// already-applied trace prefix simply yields empty batches for the
-/// fast-forwarded rounds, so the skipped records are never re-read; a
-/// source replaying from the top works too (the prefix is drained and
-/// discarded).
+/// Resumes a byte-stream replay from `snapshot`.
 ///
 /// # Errors
 ///
-/// As for [`resume_run`], plus source/stream failures.
+/// Returns the stringified [`BenchError`].
+#[deprecated(note = "use `Session::from_snapshot(..).stream(..).shards(..).run(..)`")]
 pub fn resume_replay(
     snapshot: Snapshot,
     source: Box<dyn RoundSource>,
     shards_override: Option<usize>,
     on_sample: impl FnMut(&RoundSample),
 ) -> Result<ScenarioOutcome, String> {
-    let (scenario, resume) = ResumePoint::decode(snapshot, shards_override)?;
-    if source.scenario() != &scenario {
-        return Err(
-            "snapshot does not match this replay: the source embeds a different scenario".into(),
-        );
-    }
-    execute(
-        scenario,
-        Feed::Source(source),
-        &RunOptions::default(),
-        Some(resume),
-        on_sample,
-    )
+    Session::from_snapshot(snapshot)
+        .stream(source)
+        .shards(shards_override)
+        .run(on_sample)
+        .map_err(|err| err.to_string())
 }
 
-/// What drives a run's event stream (internal face of the public entry
-/// points).
+/// What drives a run's event stream (internal face of [`Session`]).
 enum Feed {
     /// The scenario's own generator, inline or behind channels per
     /// [`RunOptions::producer`].
@@ -1038,43 +1249,51 @@ enum Feed {
     Trace(Box<Trace>),
     /// A live byte-stream source, parsed on the producer thread.
     Source(Box<dyn RoundSource>),
+    /// An externally built k-way merge whose producers live outside the
+    /// driver (e.g. socket connections, see [`crate::serve`]).
+    Merge(MergeSession),
 }
 
-/// The shared driver loop behind [`run_scenario_with`], [`replay_trace`]
-/// and [`replay_source`]: `scenario` is already effective (overrides
-/// applied, validated); `feed` selects where the per-round batches come
-/// from.
+/// The shared driver loop behind [`Session::run`]: `scenario` is already
+/// effective (overrides applied, validated); `feed` selects where the
+/// per-round batches come from.
 fn execute(
     scenario: Scenario,
     feed: Feed,
     options: &RunOptions,
     resume: Option<ResumePoint>,
     mut on_sample: impl FnMut(&RoundSample),
-) -> Result<ScenarioOutcome, String> {
+) -> Result<ScenarioOutcome, BenchError> {
     let seed = scenario.seed;
     let checkpoint = match (&options.checkpoint, options.checkpoint_every) {
         (Some(path), Some(every)) => {
             if every == 0 {
-                return Err("the checkpoint cadence must be at least one round".into());
+                return Err(BenchError::usage(
+                    "the checkpoint cadence must be at least one round",
+                ));
             }
             Some((path.clone(), every))
         }
         (Some(_), None) => {
-            return Err("a checkpoint path requires a checkpoint cadence (checkpoint-every)".into())
+            return Err(BenchError::usage(
+                "a checkpoint path requires a checkpoint cadence (checkpoint-every)",
+            ))
         }
         (None, Some(_)) => {
-            return Err("a checkpoint cadence requires a checkpoint path".into());
+            return Err(BenchError::usage(
+                "a checkpoint cadence requires a checkpoint path",
+            ));
         }
         (None, None) => None,
     };
 
-    let class = family_class(&scenario.topology.family)?;
+    let class = family_class(&scenario.topology.family).map_err(BenchError::Usage)?;
     let graph: Arc<Graph> = class
         .build(
             scenario.topology.target_n,
             seed.wrapping_add(GRAPH_SEED_OFFSET),
         )
-        .map_err(|err| format!("building {}: {err}", scenario.topology.family))?
+        .map_err(|err| BenchError::run(format!("building {}: {err}", scenario.topology.family)))?
         .into();
     let n = graph.node_count();
 
@@ -1096,11 +1315,10 @@ fn execute(
     let initial = pad_for_min_load(&unpadded, &speeds, pad);
     let first_task_id = initial.task_count() as u64;
 
-    let mut engine = Engine::build(&scenario, Arc::clone(&graph), &speeds, &initial, seed)
-        .map_err(|err| err.to_string())?;
+    let mut engine = Engine::build(&scenario, Arc::clone(&graph), &speeds, &initial, seed)?;
     // One plan for every churn event, built up front: the driver swaps in
     // the prebuilt graphs, and a channel producer follows the speeds.
-    let schedule = churn_schedule(class, &scenario, &speeds)?;
+    let schedule = churn_schedule(class, &scenario, &speeds).map_err(BenchError::Run)?;
     let mut source = match feed {
         Feed::Trace(trace) => {
             let (session, handle) = spawn_trace_producer(trace.rounds, DEFAULT_CHANNEL_CAPACITY);
@@ -1116,6 +1334,10 @@ fn execute(
                 producer: Some(handle),
             }
         }
+        Feed::Merge(session) => EventSource::Merge {
+            session,
+            producers: Vec::new(),
+        },
         Feed::Generate => {
             let stream = ScenarioEvents::new(&scenario, &speeds, first_task_id);
             let speeds_schedule = || {
@@ -1140,9 +1362,9 @@ fn execute(
                 }
                 Producer::Merge { feeds, capacity } => {
                     if feeds == 0 || feeds > MAX_MERGE_FEEDS {
-                        return Err(format!(
+                        return Err(BenchError::usage(format!(
                             "merge feeds must be in 1..={MAX_MERGE_FEEDS}, got {feeds}"
-                        ));
+                        )));
                     }
                     let (session, producers) = spawn_merge_producers(
                         stream,
@@ -1160,7 +1382,8 @@ fn execute(
         .record
         .as_ref()
         .map(|path| TraceWriter::create(path, &scenario))
-        .transpose()?;
+        .transpose()
+        .map_err(BenchError::Io)?;
     let mut events = RoundEvents::default();
     // One executor for the whole run; it rebinds itself across churn. A
     // single shard means plain sequential stepping, no worker threads. A
@@ -1202,10 +1425,10 @@ fn execute(
         }
         Some(point) => {
             if point.round > scenario.rounds {
-                return Err(format!(
+                return Err(BenchError::protocol(format!(
                     "snapshot was captured at round {} but the scenario runs only {} round(s)",
                     point.round, scenario.rounds
-                ));
+                )));
             }
             // Fast-forward the pre-resume prefix without stepping the
             // engine: the event stream is drained round by round to
@@ -1222,25 +1445,27 @@ fn execute(
                 }
                 source.fill_round(round, &mut events)?;
                 if let Some(writer) = writer.as_mut() {
-                    writer.record_round(round as u64, &events)?;
+                    writer
+                        .record_round(round as u64, &events)
+                        .map_err(BenchError::Io)?;
                 }
             }
             if let Some((new_graph, new_speeds)) = rebuilt {
                 engine
                     .replace_topology(new_graph, &new_speeds)
-                    .map_err(|err| format!("rebuilding the churned topology to resume: {err}"))?;
+                    .map_err(|err| {
+                        BenchError::run(format!("rebuilding the churned topology to resume: {err}"))
+                    })?;
             }
             if engine.name() != point.engine_name {
-                return Err(format!(
+                return Err(BenchError::protocol(format!(
                     "snapshot does not match this run: it captured engine {:?} but the \
                      scenario builds {:?}",
                     point.engine_name,
                     engine.name()
-                ));
+                )));
             }
-            engine
-                .restore(&point.engine)
-                .map_err(|err| err.to_string())?;
+            engine.restore(&point.engine)?;
             trajectory = point.trajectory;
             point.round
         }
@@ -1251,17 +1476,19 @@ fn execute(
             let (_, new_graph, new_speeds) = churn.next().expect("peeked entry");
             engine
                 .replace_topology(new_graph, &new_speeds)
-                .map_err(|err| format!("churn at round {round}: {err}"))?;
+                .map_err(|err| BenchError::run(format!("churn at round {round}: {err}")))?;
             source.set_topology(engine.speeds());
         }
         source.fill_round(round, &mut events)?;
         if let Some(writer) = writer.as_mut() {
-            writer.record_round(round as u64, &events)?;
+            writer
+                .record_round(round as u64, &events)
+                .map_err(BenchError::Io)?;
         }
         if !events.is_empty() {
             engine
                 .apply_events(&events)
-                .map_err(|err| format!("events at round {round}: {err}"))?;
+                .map_err(|err| BenchError::run(format!("events at round {round}: {err}")))?;
         }
         engine.step(executor.as_mut());
         let done = round + 1;
@@ -1277,13 +1504,13 @@ fn execute(
                     engine: engine.capture(),
                 };
                 snapshot::write_atomic(path, &state)
-                    .map_err(|err| format!("checkpoint at round {done}: {err}"))?;
+                    .map_err(|err| BenchError::run(format!("checkpoint at round {done}: {err}")))?;
             }
         }
     }
     let ingest = source.finish()?;
     if let Some(writer) = writer {
-        writer.finish()?;
+        writer.finish().map_err(BenchError::Io)?;
     }
 
     Ok(ScenarioOutcome {
@@ -1335,7 +1562,9 @@ mod tests {
 
     #[test]
     fn trajectory_samples_first_and_last_rounds() {
-        let outcome = run_scenario(&poisson_scenario(), None, None, |_| {}).unwrap();
+        let outcome = Session::from_scenario(&poisson_scenario())
+            .run(|_| {})
+            .unwrap();
         assert_eq!(outcome.trajectory[0].round, 0);
         assert_eq!(outcome.last().round, 60);
         // 0, 20, 40, 60.
@@ -1348,11 +1577,14 @@ mod tests {
     #[test]
     fn same_seed_bit_identical_different_seed_differs() {
         let scenario = poisson_scenario();
-        let a = run_scenario(&scenario, None, None, |_| {}).unwrap();
-        let b = run_scenario(&scenario, None, None, |_| {}).unwrap();
+        let a = Session::from_scenario(&scenario).run(|_| {}).unwrap();
+        let b = Session::from_scenario(&scenario).run(|_| {}).unwrap();
         assert_eq!(a.trajectory, b.trajectory);
         assert_eq!(a.to_json().render_pretty(), b.to_json().render_pretty());
-        let c = run_scenario(&scenario, Some(99), None, |_| {}).unwrap();
+        let c = Session::from_scenario(&scenario)
+            .seed(99)
+            .run(|_| {})
+            .unwrap();
         assert_eq!(c.scenario.seed, 99);
         assert_ne!(a.trajectory, c.trajectory);
     }
@@ -1360,10 +1592,9 @@ mod tests {
     #[test]
     fn streaming_callback_sees_every_sample() {
         let mut streamed = Vec::new();
-        let outcome = run_scenario(&poisson_scenario(), None, None, |s| {
-            streamed.push(s.clone())
-        })
-        .unwrap();
+        let outcome = Session::from_scenario(&poisson_scenario())
+            .run(|s| streamed.push(s.clone()))
+            .unwrap();
         assert_eq!(streamed, outcome.trajectory);
     }
 
@@ -1377,7 +1608,7 @@ mod tests {
                 seed: 3,
             },
         }];
-        let outcome = run_scenario(&scenario, None, None, |_| {}).unwrap();
+        let outcome = Session::from_scenario(&scenario).run(|_| {}).unwrap();
         assert_eq!(outcome.trajectory[1].nodes, 36, "before churn");
         assert_eq!(outcome.last().nodes, 16, "after churn");
     }
@@ -1401,9 +1632,12 @@ mod tests {
                 round: 30,
                 kind: ChurnKind::Rewire { seed: 9 },
             }];
-            let sequential = run_scenario(&scenario, None, None, |_| {}).unwrap();
+            let sequential = Session::from_scenario(&scenario).run(|_| {}).unwrap();
             for shards in [2, 5] {
-                let sharded = run_scenario(&scenario, None, Some(shards), |_| {}).unwrap();
+                let sharded = Session::from_scenario(&scenario)
+                    .shards(shards)
+                    .run(|_| {})
+                    .unwrap();
                 assert_eq!(
                     sequential.trajectory, sharded.trajectory,
                     "{algorithm:?}/{model:?} shards={shards}"
@@ -1415,8 +1649,12 @@ mod tests {
 
     #[test]
     fn zero_shard_override_is_rejected() {
-        let err = run_scenario(&poisson_scenario(), None, Some(0), |_| {}).unwrap_err();
-        assert!(err.contains("shards"), "{err}");
+        let err = Session::from_scenario(&poisson_scenario())
+            .shards(0)
+            .run(|_| {})
+            .unwrap_err();
+        assert!(matches!(err, BenchError::Usage(_)), "{err:?}");
+        assert!(err.to_string().contains("shards"), "{err}");
     }
 
     #[test]
@@ -1440,17 +1678,12 @@ mod tests {
                 },
             },
         ];
-        let sync = run_scenario(&scenario, None, None, |_| {}).unwrap();
+        let sync = Session::from_scenario(&scenario).run(|_| {}).unwrap();
         for capacity in [1, 4] {
-            let channel = run_scenario_with(
-                &scenario,
-                &RunOptions {
-                    producer: Producer::Channel { capacity },
-                    ..RunOptions::default()
-                },
-                |_| {},
-            )
-            .unwrap();
+            let channel = Session::from_scenario(&scenario)
+                .producer(Producer::Channel { capacity })
+                .run(|_| {})
+                .unwrap();
             assert_eq!(
                 sync.to_json().render_pretty(),
                 channel.to_json().render_pretty(),
@@ -1469,18 +1702,13 @@ mod tests {
             round: 30,
             kind: ChurnKind::Rewire { seed: 9 },
         }];
-        let sync = run_scenario(&scenario, None, None, |_| {}).unwrap();
+        let sync = Session::from_scenario(&scenario).run(|_| {}).unwrap();
         assert!(sync.ingest.is_none(), "sync runs carry no ingest report");
         for feeds in [1usize, 2, 4] {
-            let merged = run_scenario_with(
-                &scenario,
-                &RunOptions {
-                    producer: Producer::Merge { feeds, capacity: 2 },
-                    ..RunOptions::default()
-                },
-                |_| {},
-            )
-            .unwrap();
+            let merged = Session::from_scenario(&scenario)
+                .producer(Producer::Merge { feeds, capacity: 2 })
+                .run(|_| {})
+                .unwrap();
             assert_eq!(
                 sync.to_json().render_pretty(),
                 merged.to_json().render_pretty(),
@@ -1501,16 +1729,12 @@ mod tests {
     #[test]
     fn merge_rejects_out_of_range_feed_counts() {
         for feeds in [0usize, super::MAX_MERGE_FEEDS + 1] {
-            let err = run_scenario_with(
-                &poisson_scenario(),
-                &RunOptions {
-                    producer: Producer::Merge { feeds, capacity: 2 },
-                    ..RunOptions::default()
-                },
-                |_| {},
-            )
-            .unwrap_err();
-            assert!(err.contains("merge feeds"), "{err}");
+            let err = Session::from_scenario(&poisson_scenario())
+                .producer(Producer::Merge { feeds, capacity: 2 })
+                .run(|_| {})
+                .unwrap_err();
+            assert!(matches!(err, BenchError::Usage(_)), "{err:?}");
+            assert!(err.to_string().contains("merge feeds"), "{err}");
         }
     }
 
@@ -1520,31 +1744,29 @@ mod tests {
 
         let scenario = poisson_scenario();
         let path = std::env::temp_dir().join("lb_dynamic_stream_replay.trace.jsonl");
-        let recorded = run_scenario_with(
-            &scenario,
-            &RunOptions {
-                record: Some(path.clone()),
-                ..RunOptions::default()
-            },
-            |_| {},
-        )
-        .unwrap();
+        let recorded = Session::from_scenario(&scenario)
+            .record(path.clone())
+            .run(|_| {})
+            .unwrap();
         let recorded_doc = recorded.to_json().render_pretty();
 
         // Framed reader over the raw bytes (the pipe/socket/stdin path).
         let bytes = std::fs::read(&path).unwrap();
         let source = ReadSource::new(std::io::Cursor::new(bytes)).unwrap();
-        let streamed = replay_source(Box::new(source), None, |_| {}).unwrap();
+        let streamed = Session::from_stream(Box::new(source)).run(|_| {}).unwrap();
         assert_eq!(recorded_doc, streamed.to_json().render_pretty());
 
         // File tail over the (already complete) trace file.
         let source = TraceSource::open(&path).unwrap();
-        let tailed = replay_source(Box::new(source), None, |_| {}).unwrap();
+        let tailed = Session::from_stream(Box::new(source)).run(|_| {}).unwrap();
         assert_eq!(recorded_doc, tailed.to_json().render_pretty());
 
-        // Shard overrides replay bit-identically, like `replay_trace`.
+        // Shard overrides replay bit-identically, like a trace replay.
         let source = TraceSource::open(&path).unwrap();
-        let sharded = replay_source(Box::new(source), Some(3), |_| {}).unwrap();
+        let sharded = Session::from_stream(Box::new(source))
+            .shards(3)
+            .run(|_| {})
+            .unwrap();
         assert_eq!(sharded.scenario.shards, 3);
         assert_eq!(recorded.trajectory, sharded.trajectory);
         std::fs::remove_file(&path).ok();
@@ -1558,19 +1780,17 @@ mod tests {
             kind: ChurnKind::Rewire { seed: 5 },
         }];
         let path = std::env::temp_dir().join("lb_dynamic_record_replay.trace.jsonl");
-        let recorded = run_scenario_with(
-            &scenario,
-            &RunOptions {
-                seed: Some(11),
-                record: Some(path.clone()),
-                ..RunOptions::default()
-            },
-            |_| {},
-        )
-        .unwrap();
+        let recorded = Session::from_scenario(&scenario)
+            .seed(11)
+            .record(path.clone())
+            .run(|_| {})
+            .unwrap();
 
         // Recording never perturbs the run.
-        let plain = run_scenario(&scenario, Some(11), None, |_| {}).unwrap();
+        let plain = Session::from_scenario(&scenario)
+            .seed(11)
+            .run(|_| {})
+            .unwrap();
         assert_eq!(
             plain.to_json().render_pretty(),
             recorded.to_json().render_pretty()
@@ -1580,12 +1800,12 @@ mod tests {
         // changes the recorded shard count, never the trajectory.
         let trace = lb_workloads::Trace::load(&path).unwrap();
         assert_eq!(trace.scenario.seed, 11, "header carries the effective seed");
-        let replayed = replay_trace(trace.clone(), None, |_| {}).unwrap();
+        let replayed = Session::from_trace(trace.clone()).run(|_| {}).unwrap();
         assert_eq!(
             recorded.to_json().render_pretty(),
             replayed.to_json().render_pretty()
         );
-        let sharded = replay_trace(trace, Some(3), |_| {}).unwrap();
+        let sharded = Session::from_trace(trace).shards(3).run(|_| {}).unwrap();
         assert_eq!(sharded.scenario.shards, 3);
         assert_eq!(recorded.trajectory, sharded.trajectory);
         std::fs::remove_file(&path).ok();
@@ -1595,18 +1815,17 @@ mod tests {
     fn replay_rejects_invalid_shard_overrides() {
         let scenario = poisson_scenario();
         let path = std::env::temp_dir().join("lb_dynamic_replay_shards.trace.jsonl");
-        run_scenario_with(
-            &scenario,
-            &RunOptions {
-                record: Some(path.clone()),
-                ..RunOptions::default()
-            },
-            |_| {},
-        )
-        .unwrap();
+        Session::from_scenario(&scenario)
+            .record(path.clone())
+            .run(|_| {})
+            .unwrap();
         let trace = lb_workloads::Trace::load(&path).unwrap();
-        let err = replay_trace(trace, Some(0), |_| {}).unwrap_err();
-        assert!(err.contains("shards"), "{err}");
+        let err = Session::from_trace(trace)
+            .shards(0)
+            .run(|_| {})
+            .unwrap_err();
+        assert!(matches!(err, BenchError::Usage(_)), "{err:?}");
+        assert!(err.to_string().contains("shards"), "{err}");
         std::fs::remove_file(&path).ok();
     }
 
@@ -1615,7 +1834,7 @@ mod tests {
         let mut scenario = poisson_scenario();
         scenario.algorithm = AlgorithmSpec::Alg2;
         scenario.model = ModelSpec::Sos;
-        let outcome = run_scenario(&scenario, None, None, |_| {}).unwrap();
+        let outcome = Session::from_scenario(&scenario).run(|_| {}).unwrap();
         assert!(
             outcome.engine.starts_with("alg2(sos"),
             "engine was {}",
@@ -1627,8 +1846,8 @@ mod tests {
     fn unknown_family_is_reported() {
         let mut scenario = poisson_scenario();
         scenario.topology.family = "smallworld".into();
-        let err = run_scenario(&scenario, None, None, |_| {}).unwrap_err();
-        assert!(err.contains("smallworld"));
+        let err = Session::from_scenario(&scenario).run(|_| {}).unwrap_err();
+        assert!(err.to_string().contains("smallworld"));
     }
 
     /// `poisson_scenario` with churn at round 30, for the given engine.
@@ -1656,20 +1875,14 @@ mod tests {
         let dir = std::env::temp_dir();
         let rotating = dir.join(format!("lb_resume_{tag}.ckpt.jsonl"));
         let early = dir.join(format!("lb_resume_{tag}.ckpt25.jsonl"));
-        let outcome = run_scenario_with(
-            scenario,
-            &RunOptions {
-                checkpoint: Some(rotating.clone()),
-                checkpoint_every: Some(25),
-                ..RunOptions::default()
-            },
-            |sample| {
+        let outcome = Session::from_scenario(scenario)
+            .checkpoint(rotating.clone(), 25)
+            .run(|sample| {
                 if sample.round == 40 {
                     std::fs::copy(&rotating, &early).expect("copy rotating checkpoint");
                 }
-            },
-        )
-        .unwrap();
+            })
+            .unwrap();
         let snap25 = snapshot::load(&early).unwrap();
         let snap50 = snapshot::load(&rotating).unwrap();
         std::fs::remove_file(&rotating).ok();
@@ -1701,7 +1914,7 @@ mod tests {
             let reference = outcome.to_json().render_pretty();
 
             // Checkpointing never perturbs the run.
-            let plain = run_scenario(&scenario, None, None, |_| {}).unwrap();
+            let plain = Session::from_scenario(&scenario).run(|_| {}).unwrap();
             assert_eq!(
                 plain.to_json().render_pretty(),
                 reference,
@@ -1713,15 +1926,10 @@ mod tests {
                     // Round-trip through the wire format: resume exercises
                     // render + parse on a real captured state every time.
                     let snap = snapshot::parse(&snapshot::render(&snap)).unwrap();
-                    let resumed = resume_run(
-                        snap,
-                        &RunOptions {
-                            shards,
-                            ..RunOptions::default()
-                        },
-                        |_| {},
-                    )
-                    .unwrap();
+                    let resumed = Session::from_snapshot(snap)
+                        .shards(shards)
+                        .run(|_| {})
+                        .unwrap();
                     assert_eq!(
                         resumed.to_json().render_pretty(),
                         reference,
@@ -1737,8 +1945,9 @@ mod tests {
         let scenario = churned_scenario(AlgorithmSpec::Alg1, ModelSpec::Fos);
         let (outcome, snap25, _) = run_with_checkpoints(&scenario, "stream");
         let mut streamed = Vec::new();
-        let resumed =
-            resume_run(snap25, &RunOptions::default(), |s| streamed.push(s.clone())).unwrap();
+        let resumed = Session::from_snapshot(snap25)
+            .run(|s| streamed.push(s.clone()))
+            .unwrap();
         // The restored prefix (rounds 0 and 20) is already in the
         // trajectory; the callback sees only rounds sampled after 25.
         assert_eq!(
@@ -1764,15 +1973,10 @@ mod tests {
                 "merge@25",
             ),
         ] {
-            let resumed = resume_run(
-                snap.clone(),
-                &RunOptions {
-                    producer,
-                    ..RunOptions::default()
-                },
-                |_| {},
-            )
-            .unwrap();
+            let resumed = Session::from_snapshot(snap.clone())
+                .producer(producer)
+                .run(|_| {})
+                .unwrap();
             // Async producers attach a timing-dependent ingest report, so
             // the comparison is on the deterministic trajectory.
             assert_eq!(resumed.trajectory, outcome.trajectory, "{label}");
@@ -1788,24 +1992,14 @@ mod tests {
         let resumed_path = dir.join("lb_resume_record_resumed.trace.jsonl");
 
         let (_, snap25, _) = run_with_checkpoints(&scenario, "record");
-        run_scenario_with(
-            &scenario,
-            &RunOptions {
-                record: Some(full.clone()),
-                ..RunOptions::default()
-            },
-            |_| {},
-        )
-        .unwrap();
-        resume_run(
-            snap25,
-            &RunOptions {
-                record: Some(resumed_path.clone()),
-                ..RunOptions::default()
-            },
-            |_| {},
-        )
-        .unwrap();
+        Session::from_scenario(&scenario)
+            .record(full.clone())
+            .run(|_| {})
+            .unwrap();
+        Session::from_snapshot(snap25)
+            .record(resumed_path.clone())
+            .run(|_| {})
+            .unwrap();
 
         // The fast-forwarded prefix is re-recorded: the resumed trace is the
         // complete trace, byte for byte.
@@ -1823,28 +2017,23 @@ mod tests {
         let (_, snap25, snap50) = run_with_checkpoints(&scenario, "reject");
 
         // A seed override contradicts the snapshot's pinned seed.
-        let err = resume_run(
-            snap25.clone(),
-            &RunOptions {
-                seed: Some(9),
-                ..RunOptions::default()
-            },
-            |_| {},
-        )
-        .unwrap_err();
-        assert!(err.contains("cannot override the seed"), "{err}");
+        let err = Session::from_snapshot(snap25.clone())
+            .seed(9)
+            .run(|_| {})
+            .unwrap_err();
+        assert!(matches!(err, BenchError::Usage(_)), "{err:?}");
+        assert!(
+            err.to_string().contains("cannot override the seed"),
+            "{err}"
+        );
 
         // An out-of-range shard override is rejected up front.
-        let err = resume_run(
-            snap25.clone(),
-            &RunOptions {
-                shards: Some(0),
-                ..RunOptions::default()
-            },
-            |_| {},
-        )
-        .unwrap_err();
-        assert!(err.contains("shards"), "{err}");
+        let err = Session::from_snapshot(snap25.clone())
+            .shards(0)
+            .run(|_| {})
+            .unwrap_err();
+        assert!(matches!(err, BenchError::Usage(_)), "{err:?}");
+        assert!(err.to_string().contains("shards"), "{err}");
 
         // A snapshot whose embedded scenario builds a different engine is a
         // mismatch, caught before any state is restored.
@@ -1854,8 +2043,9 @@ mod tests {
             scenario: flipped.to_json(),
             ..snap25
         };
-        let err = resume_run(bad, &RunOptions::default(), |_| {}).unwrap_err();
-        assert!(err.contains("does not match this run"), "{err}");
+        let err = Session::from_snapshot(bad).run(|_| {}).unwrap_err();
+        assert!(matches!(err, BenchError::Protocol(_)), "{err:?}");
+        assert!(err.to_string().contains("does not match this run"), "{err}");
 
         // A capture round past the scenario's horizon is corrupt.
         let mut short = scenario.clone();
@@ -1864,45 +2054,30 @@ mod tests {
             scenario: short.to_json(),
             ..snap50
         };
-        let err = resume_run(bad, &RunOptions::default(), |_| {}).unwrap_err();
-        assert!(err.contains("runs only 40"), "{err}");
+        let err = Session::from_snapshot(bad).run(|_| {}).unwrap_err();
+        assert!(matches!(err, BenchError::Protocol(_)), "{err:?}");
+        assert!(err.to_string().contains("runs only 40"), "{err}");
     }
 
     #[test]
     fn checkpoint_options_must_come_as_a_pair() {
         let scenario = poisson_scenario();
         let path = std::env::temp_dir().join("lb_ckpt_pairing.jsonl");
-        let err = run_scenario_with(
-            &scenario,
-            &RunOptions {
-                checkpoint: Some(path.clone()),
-                ..RunOptions::default()
-            },
-            |_| {},
-        )
-        .unwrap_err();
-        assert!(err.contains("cadence"), "{err}");
-        let err = run_scenario_with(
-            &scenario,
-            &RunOptions {
-                checkpoint_every: Some(5),
-                ..RunOptions::default()
-            },
-            |_| {},
-        )
-        .unwrap_err();
-        assert!(err.contains("checkpoint path"), "{err}");
-        let err = run_scenario_with(
-            &scenario,
-            &RunOptions {
-                checkpoint: Some(path),
-                checkpoint_every: Some(0),
-                ..RunOptions::default()
-            },
-            |_| {},
-        )
-        .unwrap_err();
-        assert!(err.contains("at least one round"), "{err}");
+        let err = Session::from_scenario(&scenario)
+            .checkpoint(path.clone(), None)
+            .run(|_| {})
+            .unwrap_err();
+        assert!(err.to_string().contains("cadence"), "{err}");
+        let err = Session::from_scenario(&scenario)
+            .checkpoint(None, 5)
+            .run(|_| {})
+            .unwrap_err();
+        assert!(err.to_string().contains("checkpoint path"), "{err}");
+        let err = Session::from_scenario(&scenario)
+            .checkpoint(path, 0)
+            .run(|_| {})
+            .unwrap_err();
+        assert!(err.to_string().contains("at least one round"), "{err}");
     }
 
     #[test]
@@ -1918,41 +2093,32 @@ mod tests {
 
         // One recorded, checkpointed run: the trace and the snapshot come
         // from the same execution, so they embed the same scenario.
-        let reference = run_scenario_with(
-            &scenario,
-            &RunOptions {
-                record: Some(trace_path.clone()),
-                checkpoint: Some(rotating.clone()),
-                checkpoint_every: Some(25),
-                ..RunOptions::default()
-            },
-            |_| {},
-        )
-        .unwrap();
+        let reference = Session::from_scenario(&scenario)
+            .record(trace_path.clone())
+            .checkpoint(rotating.clone(), 25)
+            .run(|_| {})
+            .unwrap();
         let mut early: Option<Snapshot> = None;
         // Re-harvest the round-25 snapshot from a second identical run (the
         // first one's rotating file now holds round 50).
-        run_scenario_with(
-            &scenario,
-            &RunOptions {
-                checkpoint: Some(rotating.clone()),
-                checkpoint_every: Some(25),
-                ..RunOptions::default()
-            },
-            |sample| {
+        Session::from_scenario(&scenario)
+            .checkpoint(rotating.clone(), 25)
+            .run(|sample| {
                 if sample.round == 40 && early.is_none() {
                     early = Some(snapshot::load(&rotating).unwrap());
                 }
-            },
-        )
-        .unwrap();
+            })
+            .unwrap();
         let snap25 = early.expect("round-25 snapshot harvested");
         assert_eq!(snap25.round, 25);
 
         // Full replay from the top: the pre-resume prefix is drained and
         // discarded.
         let source = TraceSource::open(&trace_path).unwrap();
-        let resumed = resume_replay(snap25.clone(), Box::new(source), None, |_| {}).unwrap();
+        let resumed = Session::from_snapshot(snap25.clone())
+            .stream(Box::new(source))
+            .run(|_| {})
+            .unwrap();
         assert_eq!(resumed.trajectory, reference.trajectory);
 
         // Checkpoint-composed replay: walk the source up to the resume
@@ -1977,7 +2143,11 @@ mod tests {
             DEFAULT_POLL_INTERVAL,
         )
         .unwrap();
-        let resumed = resume_replay(snap25, Box::new(source), Some(2), |_| {}).unwrap();
+        let resumed = Session::from_snapshot(snap25)
+            .stream(Box::new(source))
+            .shards(2)
+            .run(|_| {})
+            .unwrap();
         assert_eq!(
             resumed.to_json().render_pretty(),
             reference.to_json().render_pretty()

@@ -1,0 +1,165 @@
+//! The typed error surface of the bench driver.
+//!
+//! Every driver entry point ([`crate::dynamic::Session::run`], the serve
+//! front-end, the CLI commands) reports failures as a [`BenchError`], whose
+//! variants map to distinct process exit codes so service supervisors can
+//! tell failure classes apart without parsing messages:
+//!
+//! | variant | class | exit code |
+//! |---|---|---|
+//! | [`BenchError::Usage`] | invalid invocation / contradictory options | 2 |
+//! | [`BenchError::Protocol`] | stream, handshake or auth violation | 3 |
+//! | [`BenchError::Io`] | file or socket I/O failure | 4 |
+//! | [`BenchError::Core`], [`BenchError::Snapshot`], [`BenchError::Run`] | everything else | 1 |
+
+use lb_core::snapshot::SnapshotError;
+use lb_core::CoreError;
+use std::error::Error;
+use std::fmt;
+
+/// A driver failure, classified for exit-code mapping (see the
+/// [module docs](self)).
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum BenchError {
+    /// The invocation itself is invalid: contradictory options, values out
+    /// of range, a scenario spec that does not validate. Exit code 2.
+    Usage(String),
+    /// A peer or stream violated a protocol: malformed or out-of-order
+    /// trace records, a handshake rejection, a snapshot that does not match
+    /// the run, a merge ordering violation. Exit code 3.
+    Protocol(String),
+    /// Reading or writing a file, pipe or socket failed. Exit code 4.
+    Io(String),
+    /// The engine rejected a configuration or an event. Exit code 1.
+    Core(CoreError),
+    /// Loading or writing a snapshot failed. Exit code 1.
+    Snapshot(SnapshotError),
+    /// Any other runtime failure. Exit code 1.
+    Run(String),
+}
+
+impl BenchError {
+    /// The process exit code this failure class maps to.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            BenchError::Usage(_) => 2,
+            BenchError::Protocol(_) => 3,
+            BenchError::Io(_) => 4,
+            BenchError::Core(_) | BenchError::Snapshot(_) | BenchError::Run(_) => 1,
+        }
+    }
+
+    /// Convenience constructor for [`BenchError::Usage`].
+    pub fn usage(message: impl Into<String>) -> Self {
+        BenchError::Usage(message.into())
+    }
+
+    /// Convenience constructor for [`BenchError::Protocol`].
+    pub fn protocol(message: impl Into<String>) -> Self {
+        BenchError::Protocol(message.into())
+    }
+
+    /// Convenience constructor for [`BenchError::Io`].
+    pub fn io(message: impl Into<String>) -> Self {
+        BenchError::Io(message.into())
+    }
+
+    /// Convenience constructor for [`BenchError::Run`].
+    pub fn run(message: impl Into<String>) -> Self {
+        BenchError::Run(message.into())
+    }
+
+    /// Classifies a stringly error from the streaming-source layer
+    /// ([`lb_workloads::source::RoundSource::next_round`] and friends),
+    /// which mixes I/O failures with format/ordering violations: messages
+    /// naming an I/O operation become [`BenchError::Io`], everything else
+    /// is a stream-protocol violation.
+    pub fn from_source(message: String) -> Self {
+        let io_shaped = ["reading ", "opening ", "seeking ", "stat "]
+            .iter()
+            .any(|prefix| message.starts_with(prefix) || message.contains(": reading "));
+        if io_shaped {
+            BenchError::Io(message)
+        } else {
+            BenchError::Protocol(message)
+        }
+    }
+}
+
+impl fmt::Display for BenchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BenchError::Usage(m) => write!(f, "{m}"),
+            BenchError::Protocol(m) => write!(f, "{m}"),
+            BenchError::Io(m) => write!(f, "{m}"),
+            BenchError::Core(e) => write!(f, "{e}"),
+            BenchError::Snapshot(e) => write!(f, "{e}"),
+            BenchError::Run(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl Error for BenchError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            BenchError::Core(e) => Some(e),
+            BenchError::Snapshot(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for BenchError {
+    fn from(e: CoreError) -> Self {
+        BenchError::Core(e)
+    }
+}
+
+impl From<SnapshotError> for BenchError {
+    fn from(e: SnapshotError) -> Self {
+        BenchError::Snapshot(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exit_codes_map_by_class() {
+        assert_eq!(BenchError::usage("x").exit_code(), 2);
+        assert_eq!(BenchError::protocol("x").exit_code(), 3);
+        assert_eq!(BenchError::io("x").exit_code(), 4);
+        assert_eq!(BenchError::run("x").exit_code(), 1);
+        assert_eq!(
+            BenchError::from(CoreError::invalid_parameter("x")).exit_code(),
+            1
+        );
+    }
+
+    #[test]
+    fn source_errors_classify_io_versus_protocol() {
+        assert!(matches!(
+            BenchError::from_source("reading event stream: broken pipe".into()),
+            BenchError::Io(_)
+        ));
+        assert!(matches!(
+            BenchError::from_source("opening trace t.jsonl: no such file".into()),
+            BenchError::Io(_)
+        ));
+        assert!(matches!(
+            BenchError::from_source(
+                "line 3: round 2 after round 5 (must be strictly increasing)".into()
+            ),
+            BenchError::Protocol(_)
+        ));
+    }
+
+    #[test]
+    fn wrapped_errors_expose_a_source() {
+        let e = BenchError::from(CoreError::invalid_parameter("beta"));
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("beta"));
+    }
+}

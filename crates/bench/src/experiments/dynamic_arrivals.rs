@@ -18,7 +18,7 @@
 //! per-round, so it does not rely on the workload ever draining.
 
 use super::{ExperimentReport, REPEAT_SEEDS};
-use crate::dynamic::{run_scenario, RoundSample};
+use crate::dynamic::{RoundSample, Session};
 use lb_analysis::{format_value, ExperimentRecord, Measurement, Summary, Table};
 use lb_workloads::{
     AlgorithmSpec, ArrivalSpec, ChurnEvent, ChurnKind, InitialSpec, ModelSpec, PadSpec, Scenario,
@@ -141,7 +141,8 @@ pub fn run(quick: bool) -> ExperimentReport {
                 churn: workload.churn.clone(),
                 shards: 1,
             };
-            let outcome = run_scenario(&scenario, None, None, |_| {})
+            let outcome = Session::from_scenario(&scenario)
+                .run(|_| {})
                 .expect("experiment scenarios are valid");
             finals.push(outcome.last().max_min);
             final_avgs.push(outcome.last().max_avg);

@@ -12,22 +12,51 @@
 //! * [`dynamic`] — the scenario driver: binds a JSON
 //!   [`Scenario`](lb_workloads::Scenario) (arrivals, completions, churn) to a
 //!   dynamic flow-imitation engine with deterministic, streamable results.
+//!   Every way of driving a run goes through one builder,
+//!   [`dynamic::Session`].
+//! * [`serve`] — the socket service front-end behind `lb serve`: an accept
+//!   loop feeding authenticated trace-streaming connections into one live
+//!   engine as merge feeds, with reconnect-and-resume.
+//! * [`error`] — the typed failure surface ([`error::BenchError`]) mapping
+//!   failure classes to distinct process exit codes.
 //! * [`cli`] — the unified `lb` binary: `lb run <scenario.json>`,
-//!   `lb table1 … lb dynamic_arrivals [--quick]`, `lb hotpath`, and the CI
-//!   perf-regression gate `lb bench-check`.
+//!   `lb serve`, `lb table1 … lb dynamic_arrivals [--quick]`, `lb hotpath`,
+//!   and the CI perf-regression gate `lb bench-check`.
 //! * [`hotpath`] — the engine-vs-seed-semantics throughput benchmark behind
 //!   `BENCH_hotpath.json`.
 //!
 //! The legacy per-experiment binaries (`cargo run -p lb-bench --release
 //! --bin <name>`) are thin shims over the `lb` dispatch. Criterion benches
 //! with the same names exercise reduced configurations under `cargo bench`.
+//!
+//! ## The `Session` driver API
+//!
+//! [`dynamic::Session`] is the single entry point for running, replaying
+//! and resuming scenarios; the former free functions (`run_scenario`,
+//! `run_scenario_with`, `replay_trace`, `replay_source`, `resume_run`,
+//! `resume_replay`) remain as thin deprecated shims. Migration is
+//! mechanical:
+//!
+//! | deprecated call | `Session` form |
+//! |---|---|
+//! | `run_scenario(&s, seed, shards, cb)` | `Session::from_scenario(&s).seed(seed).shards(shards).run(cb)` |
+//! | `run_scenario_with(&s, &opts, cb)` | `Session::from_scenario(&s).producer(p).record(r).checkpoint(c, n).run(cb)` |
+//! | `replay_trace(t, shards, cb)` | `Session::from_trace(t).shards(shards).run(cb)` |
+//! | `replay_source(src, shards, cb)` | `Session::from_stream(src).shards(shards).run(cb)` |
+//! | `resume_run(snap, &opts, cb)` | `Session::from_snapshot(snap).producer(p).record(r).run(cb)` |
+//! | `resume_replay(snap, src, shards, cb)` | `Session::from_snapshot(snap).stream(src).shards(shards).run(cb)` |
+//!
+//! `Session::run` reports failures as a typed [`error::BenchError`] (the
+//! shims stringify it, preserving their old `Result<_, String>` contract).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod cli;
 pub mod dynamic;
+pub mod error;
 pub mod experiments;
 pub mod harness;
 pub mod hotpath;
 pub mod parallel;
+pub mod serve;

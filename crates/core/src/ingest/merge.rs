@@ -43,6 +43,7 @@
 
 use crate::discrete::{DynamicBalancer, EventReport, RoundEvents};
 use crate::error::CoreError;
+use std::sync::{Arc, Mutex};
 
 use super::{ChannelMetrics, EventConsumer};
 
@@ -77,6 +78,17 @@ struct Feed {
 }
 
 impl Feed {
+    fn new(consumer: EventConsumer) -> Self {
+        Feed {
+            consumer,
+            pending: None,
+            ended: false,
+            last_round: None,
+            batches: 0,
+            events: 0,
+        }
+    }
+
     /// Makes `pending` hold the feed's next batch, blocking on the channel
     /// if necessary; a hang-up marks the feed ended instead.
     fn refill(&mut self) {
@@ -89,12 +101,52 @@ impl Feed {
     }
 }
 
+/// A clone-able, `Send` handle that registers new feeds on a live
+/// [`MergeSession`] (created by [`MergeSession::with_registrar`]).
+///
+/// Registered consumers are queued and admitted into the merge at the start
+/// of the session's next [`fill_round`](MergeSession::fill_round) /
+/// [`apply_round`](MergeSession::apply_round) call, in registration order —
+/// a feed admitted while round `r` is being applied contributes from round
+/// `r` on, and its first batch must be tagged `>= r` (earlier tags are the
+/// usual ordering protocol violation).
+///
+/// Same-round batches coalesce in feed *admission* order, so byte-identity
+/// across nondeterministic registration orders (e.g. a socket accept loop)
+/// requires that no two dynamically registered feeds carry the same round —
+/// a whole-round partition of one stream satisfies this; an element-wise
+/// split does not.
+#[derive(Clone)]
+pub struct FeedRegistrar {
+    queue: Arc<Mutex<Vec<EventConsumer>>>,
+}
+
+impl FeedRegistrar {
+    /// Queues `consumer` for admission into the session. If the session has
+    /// already been dropped the consumer is simply discarded when the last
+    /// registrar goes away, and the feed's producer observes the hang-up
+    /// through [`super::EventProducer::send`].
+    pub fn register(&self, consumer: EventConsumer) {
+        self.queue
+            .lock()
+            .expect("merge registry lock")
+            .push(consumer);
+    }
+
+    /// Number of registered feeds not yet admitted into the session.
+    pub fn pending(&self) -> usize {
+        self.queue.lock().expect("merge registry lock").len()
+    }
+}
+
 /// Consumer-side k-way merge over N event feeds: pulls each feed's
 /// round-tagged batches and hands the engine one coalesced, strictly
 /// round-ordered batch per round — the multi-producer counterpart of
 /// [`super::IngestSession`].
 pub struct MergeSession {
     feeds: Vec<Feed>,
+    /// Feeds registered through a [`FeedRegistrar`], awaiting admission.
+    registry: Option<Arc<Mutex<Vec<EventConsumer>>>>,
     /// Owned coalescing scratch, reused across rounds.
     scratch: RoundEvents,
     report: EventReport,
@@ -105,25 +157,48 @@ impl MergeSession {
     /// index order is the coalescing order.
     pub fn new(consumers: Vec<EventConsumer>) -> Self {
         MergeSession {
-            feeds: consumers
-                .into_iter()
-                .map(|consumer| Feed {
-                    consumer,
-                    pending: None,
-                    ended: false,
-                    last_round: None,
-                    batches: 0,
-                    events: 0,
-                })
-                .collect(),
+            feeds: consumers.into_iter().map(Feed::new).collect(),
+            registry: None,
             scratch: RoundEvents::default(),
             report: EventReport::default(),
         }
     }
 
-    /// Number of feeds (open or ended).
+    /// Creates a session with **no** initial feeds plus a [`FeedRegistrar`]
+    /// through which feeds are registered while the session is live — the
+    /// substrate for socket front-ends whose producers connect (and
+    /// reconnect) after the engine has started.
+    ///
+    /// Until the first feed is admitted the session reports
+    /// [`ended`](MergeSession::ended) only while no registration is pending,
+    /// so drivers that gate on feed presence should admit at least one feed
+    /// before running rounds.
+    pub fn with_registrar() -> (Self, FeedRegistrar) {
+        let queue = Arc::new(Mutex::new(Vec::new()));
+        let registrar = FeedRegistrar {
+            queue: Arc::clone(&queue),
+        };
+        let mut session = MergeSession::new(Vec::new());
+        session.registry = Some(queue);
+        (session, registrar)
+    }
+
+    /// Admits feeds registered through the [`FeedRegistrar`] (if any) into
+    /// the merge, in registration order.
+    fn admit_registered(&mut self) {
+        if let Some(registry) = &self.registry {
+            let mut queue = registry.lock().expect("merge registry lock");
+            self.feeds.extend(queue.drain(..).map(Feed::new));
+        }
+    }
+
+    /// Number of feeds (open or ended), including any registered feeds not
+    /// yet admitted by a `fill_round`/`apply_round` call.
     pub fn feed_count(&self) -> usize {
-        self.feeds.len()
+        let pending = self.registry.as_ref().map_or(0, |registry| {
+            registry.lock().expect("merge registry lock").len()
+        });
+        self.feeds.len() + pending
     }
 
     /// Coalesces every feed's batch for `round` into `out` (cleared first),
@@ -138,6 +213,7 @@ impl MergeSession {
     /// side is untouched: nothing is applied on the error path.
     pub fn fill_round(&mut self, round: u64, out: &mut RoundEvents) -> Result<(), CoreError> {
         out.clear();
+        self.admit_registered();
         for index in 0..self.feeds.len() {
             let feed = &mut self.feeds[index];
             feed.refill();
@@ -205,11 +281,18 @@ impl MergeSession {
     }
 
     /// Whether every feed hung up and every sent batch has been consumed —
-    /// the event-free remainder of the run.
+    /// the event-free remainder of the run. A registered feed not yet
+    /// admitted counts as open.
     pub fn ended(&self) -> bool {
-        self.feeds
-            .iter()
-            .all(|feed| feed.ended && feed.pending.is_none())
+        let pending = self
+            .registry
+            .as_ref()
+            .is_some_and(|registry| !registry.lock().expect("merge registry lock").is_empty());
+        !pending
+            && self
+                .feeds
+                .iter()
+                .all(|feed| feed.ended && feed.pending.is_none())
     }
 
     /// Per-feed contribution and backpressure snapshots, in feed index
@@ -350,6 +433,58 @@ mod tests {
         assert_eq!(reports[0].batches, 6);
         assert_eq!(reports[1].batches, 2);
         assert!(reports.iter().all(|r| r.drained));
+    }
+
+    #[test]
+    fn registered_feeds_join_a_live_merge() {
+        let (mut session, registrar) = MergeSession::with_registrar();
+        assert_eq!(session.feed_count(), 0);
+        assert!(session.ended(), "no feeds, nothing registered");
+
+        let (mut tx0, rx0) = bounded(4);
+        registrar.register(rx0);
+        assert_eq!(registrar.pending(), 1);
+        assert_eq!(session.feed_count(), 1, "registered feeds count");
+        assert!(!session.ended(), "a registered feed counts as open");
+
+        let mut batch = tx0.buffer();
+        batch.arrivals.push(unit_arrival(0, 1));
+        tx0.send(0, batch).unwrap();
+        let mut out = RoundEvents::default();
+        session.fill_round(0, &mut out).unwrap();
+        assert_eq!(registrar.pending(), 0, "fill_round admits the feed");
+        assert_eq!(out.arrivals, vec![unit_arrival(0, 1)]);
+
+        // A second feed joins mid-run (registrar handles are clone-able);
+        // its first batch is tagged with a current round, never an earlier
+        // one.
+        let (mut tx1, rx1) = bounded(4);
+        registrar.clone().register(rx1);
+        let mut batch = tx1.buffer();
+        batch.arrivals.push(unit_arrival(1, 2));
+        tx1.send(3, batch).unwrap();
+        let mut batch = tx0.buffer();
+        batch.arrivals.push(unit_arrival(2, 3));
+        tx0.send(3, batch).unwrap();
+        for round in 1..3 {
+            session.fill_round(round, &mut out).unwrap();
+            assert!(out.is_empty(), "round {round}");
+        }
+        session.fill_round(3, &mut out).unwrap();
+        assert_eq!(
+            out.arrivals,
+            vec![unit_arrival(2, 3), unit_arrival(1, 2)],
+            "admission order is coalescing order"
+        );
+
+        drop(tx0);
+        drop(tx1);
+        session.fill_round(4, &mut out).unwrap();
+        assert!(session.ended());
+        let reports = session.feed_reports();
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports[0].batches, 2);
+        assert_eq!(reports[1].batches, 1);
     }
 
     #[test]

@@ -478,6 +478,8 @@ pub struct ReadSource<R: Read> {
     scenario: Scenario,
     state: StreamState,
     lineno: u64,
+    /// Bytes handed to the decoder so far (consumed + buffered partial).
+    read_pos: u64,
 }
 
 impl<R: Read + Send> ReadSource<R> {
@@ -492,6 +494,7 @@ impl<R: Read + Send> ReadSource<R> {
         let mut decoder = FrameDecoder::default();
         let mut buf = [0u8; 8192];
         let mut lineno = 0u64;
+        let mut read_pos = 0u64;
         let header = loop {
             if let Some(line) = decoder.take_line() {
                 lineno += 1;
@@ -504,7 +507,10 @@ impl<R: Read + Send> ReadSource<R> {
             }
             match reader.read(&mut buf) {
                 Ok(0) => return Err("event stream ended before the header record".into()),
-                Ok(n) => decoder.feed(&buf[..n]),
+                Ok(n) => {
+                    read_pos += n as u64;
+                    decoder.feed(&buf[..n]);
+                }
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
                 Err(e) => return Err(format!("reading event stream: {e}")),
             }
@@ -516,7 +522,53 @@ impl<R: Read + Send> ReadSource<R> {
             scenario: header,
             state,
             lineno,
+            read_pos,
         })
+    }
+
+    /// Wraps a stream whose header was **already consumed** — e.g. during a
+    /// socket handshake that authenticated the header before attaching the
+    /// connection — continuing validation from `checkpoint`. The carried
+    /// `scenario` must be the one the consumed header embedded; round
+    /// ordering resumes after `checkpoint.last_round` and the running totals
+    /// resume from `checkpoint.rounds_seen`/`events_seen`, so a fresh
+    /// post-handshake stream (totals zero, `last_round` pinned) validates
+    /// its own `end` record while still rejecting replays of already-applied
+    /// rounds.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the carried scenario is invalid.
+    pub fn resume(reader: R, scenario: Scenario, checkpoint: Checkpoint) -> Result<Self, String> {
+        scenario.validate()?;
+        let state = StreamState {
+            scenario_rounds: scenario.rounds as u64,
+            last_round: checkpoint.last_round,
+            rounds_seen: checkpoint.rounds_seen,
+            events_seen: checkpoint.events_seen,
+            sealed: false,
+        };
+        Ok(ReadSource {
+            reader,
+            decoder: FrameDecoder::default(),
+            scenario,
+            state,
+            lineno: checkpoint.lineno,
+            read_pos: checkpoint.offset,
+        })
+    }
+
+    /// The current resume point: the boundary after the last consumed line
+    /// (`offset` counts bytes consumed from the reader, relative to where
+    /// this source started reading).
+    pub fn checkpoint(&self) -> Checkpoint {
+        Checkpoint {
+            offset: self.read_pos - self.decoder.pending_len() as u64,
+            lineno: self.lineno,
+            last_round: self.state.last_round,
+            rounds_seen: self.state.rounds_seen,
+            events_seen: self.state.events_seen,
+        }
     }
 }
 
@@ -550,7 +602,10 @@ impl<R: Read + Send> RoundSource for ReadSource<R> {
                         "event stream ended without the end record (truncated?)".to_string()
                     });
                 }
-                Ok(n) => self.decoder.feed(&buf[..n]),
+                Ok(n) => {
+                    self.read_pos += n as u64;
+                    self.decoder.feed(&buf[..n]);
+                }
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
                 Err(e) => return Err(format!("reading event stream: {e}")),
             }
@@ -562,8 +617,8 @@ impl<R: Read + Send> RoundSource for ReadSource<R> {
 // TraceSource: tailing a growing trace file
 // ---------------------------------------------------------------------------
 
-/// A resume point of a [`TraceSource`], taken at a consumed-line boundary
-/// (see [`TraceSource::checkpoint`]).
+/// A resume point of a streaming source, taken at a consumed-line boundary
+/// (see [`TraceSource::checkpoint`] and [`ReadSource::checkpoint`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Checkpoint {
     /// Byte offset of the first unconsumed line.
@@ -950,6 +1005,73 @@ mod tests {
             }
         };
         assert!(err.contains("torn line"), "{err}");
+    }
+
+    #[test]
+    fn read_source_resumes_a_headerless_stream() {
+        let text = sample_trace();
+        let mut lines = text.lines();
+        let header = lines.next().unwrap();
+        let first_round = lines.next().unwrap();
+
+        // A first connection delivers the header and one round, then dies.
+        let opening = format!("{header}\n{first_round}\n");
+        let mut source = ReadSource::new(io::Cursor::new(opening.into_bytes())).unwrap();
+        let mut out = RoundEvents::default();
+        assert_eq!(source.next_round(&mut out).unwrap(), Some(0));
+        let err = source.next_round(&mut out).unwrap_err();
+        assert!(err.contains("without the end record"), "{err}");
+        let parked = source.checkpoint();
+        assert_eq!(parked.last_round, Some(0));
+        let scenario = source.scenario().clone();
+        drop(source);
+
+        // The continuation stream carries only post-resume rounds plus its
+        // own end record; counters restart at zero so those totals validate,
+        // while `last_round` still rejects replays.
+        let buf = SharedBuf::default();
+        let mut writer = TraceWriter::new(buf.clone(), &scenario).unwrap();
+        writer.record_round(7, &batch(102)).unwrap();
+        writer.record_round(12, &batch(104)).unwrap();
+        writer.finish().unwrap();
+        let continuation: String = buf
+            .into_string()
+            .lines()
+            .skip(1) // the handshake consumed the header
+            .map(|l| format!("{l}\n"))
+            .collect();
+        let resume_at = Checkpoint {
+            last_round: parked.last_round,
+            rounds_seen: 0,
+            events_seen: 0,
+            offset: 0,
+            lineno: 0,
+        };
+        let mut resumed = ReadSource::resume(
+            io::Cursor::new(continuation.clone().into_bytes()),
+            scenario.clone(),
+            resume_at,
+        )
+        .unwrap();
+        assert_eq!(resumed.next_round(&mut out).unwrap(), Some(7));
+        assert_eq!(resumed.next_round(&mut out).unwrap(), Some(12));
+        assert_eq!(resumed.next_round(&mut out).unwrap(), None, "sealed");
+
+        // Replaying an already-applied round is still an ordering error.
+        let mut replayer = ReadSource::resume(
+            io::Cursor::new(continuation.into_bytes()),
+            scenario,
+            Checkpoint {
+                last_round: Some(7),
+                rounds_seen: 0,
+                events_seen: 0,
+                offset: 0,
+                lineno: 0,
+            },
+        )
+        .unwrap();
+        let err = replayer.next_round(&mut out).unwrap_err();
+        assert!(err.contains("strictly increasing"), "{err}");
     }
 
     #[test]

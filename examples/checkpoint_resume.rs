@@ -6,7 +6,7 @@
 //!
 //! Run with: `cargo run --release -p lb-bench --example checkpoint_resume`
 
-use lb_bench::dynamic::{resume_run, run_scenario_with, RunOptions};
+use lb_bench::dynamic::Session;
 use lb_core::snapshot;
 use lb_workloads::Scenario;
 
@@ -46,22 +46,16 @@ fn main() {
     let mid_run = std::env::temp_dir().join("lb_checkpoint_resume_demo.mid.jsonl");
     let mid_run_copy = mid_run.clone();
     let rotating_at_callback = rotating.clone();
-    let reference = run_scenario_with(
-        &scenario,
-        &RunOptions {
-            checkpoint: Some(rotating.clone()),
-            checkpoint_every: Some(25),
-            ..RunOptions::default()
-        },
-        move |sample| {
+    let reference = Session::from_scenario(&scenario)
+        .checkpoint(rotating.clone(), 25)
+        .run(move |sample| {
             // At the round-60 sample the rotating file holds the round-50
             // checkpoint: the last state published before the "crash".
             if sample.round == 60 {
                 std::fs::copy(&rotating_at_callback, &mid_run_copy).expect("harvest checkpoint");
             }
-        },
-    )
-    .expect("checkpointed run succeeds");
+        })
+        .expect("checkpointed run succeeds");
     let doc = reference.to_json().render_pretty();
     println!(
         "reference run: {} rounds, final max_avg = {:.2}, arrived = {}, completed = {}",
@@ -84,8 +78,9 @@ fn main() {
     // 3. Resume from it. The snapshot pins the scenario and seed; the run
     //    continues from the captured round and the final document is
     //    byte-identical to the uninterrupted reference.
-    let resumed =
-        resume_run(snap.clone(), &RunOptions::default(), |_| {}).expect("resume succeeds");
+    let resumed = Session::from_snapshot(snap.clone())
+        .run(|_| {})
+        .expect("resume succeeds");
     assert_eq!(
         doc,
         resumed.to_json().render_pretty(),
@@ -97,15 +92,10 @@ fn main() {
     //    count only changes wall-clock parallelism — the determinism contract
     //    keeps the document byte-identical, so a snapshot is the natural
     //    migration unit for moving a run to a bigger (or smaller) machine.
-    let resharded = resume_run(
-        snap,
-        &RunOptions {
-            shards: Some(4),
-            ..RunOptions::default()
-        },
-        |_| {},
-    )
-    .expect("resharded resume succeeds");
+    let resharded = Session::from_snapshot(snap)
+        .shards(4)
+        .run(|_| {})
+        .expect("resharded resume succeeds");
     assert_eq!(
         doc,
         resharded.to_json().render_pretty(),

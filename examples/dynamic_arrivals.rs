@@ -8,13 +8,13 @@
 //! The same scenario, as JSON, lives at `examples/scenario_poisson.json` and
 //! runs via the unified CLI: `lb run examples/scenario_poisson.json`.
 
-use lb_bench::dynamic::run_scenario;
+use lb_bench::dynamic::Session;
 use lb_workloads::{
     AlgorithmSpec, ArrivalSpec, ChurnEvent, ChurnKind, InitialSpec, ModelSpec, PadSpec, Scenario,
     ServiceSpec, SpeedSpec, TokenDistribution, TopologySpec,
 };
 
-fn main() -> Result<(), String> {
+fn main() -> Result<(), lb_bench::error::BenchError> {
     let scenario = Scenario {
         name: "example_dynamic".into(),
         seed: 42,
@@ -54,7 +54,7 @@ fn main() -> Result<(), String> {
         "{:<8} {:>8} {:>10} {:>12} {:>10}",
         "round", "max-min", "real", "arrived", "dummy"
     );
-    let outcome = run_scenario(&scenario, None, None, |s| {
+    let outcome = Session::from_scenario(&scenario).run(|s| {
         println!(
             "{:<8} {:>8.2} {:>10.0} {:>12} {:>10}",
             s.round, s.max_min, s.real_weight, s.arrived_weight, s.dummy_load

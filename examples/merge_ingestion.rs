@@ -7,7 +7,7 @@
 //!
 //! Run with: `cargo run --release -p lb-bench --example merge_ingestion`
 
-use lb_bench::dynamic::{replay_source, run_scenario_with, Producer, RunOptions};
+use lb_bench::dynamic::{Producer, Session};
 use lb_workloads::{Scenario, TraceSource};
 
 fn main() {
@@ -35,15 +35,10 @@ fn main() {
 
     // 1. The synchronous reference run, recorded for the byte-stream replay.
     let path = std::env::temp_dir().join("lb_merge_ingestion_demo.trace.jsonl");
-    let sync = run_scenario_with(
-        &scenario,
-        &RunOptions {
-            record: Some(path.clone()),
-            ..RunOptions::default()
-        },
-        |_| {},
-    )
-    .expect("sync run succeeds");
+    let sync = Session::from_scenario(&scenario)
+        .record(path.clone())
+        .run(|_| {})
+        .expect("sync run succeeds");
     let sync_doc = sync.to_json().render_pretty();
     println!(
         "sync: final max_avg = {:.2}, arrived = {}, completed = {}",
@@ -54,18 +49,13 @@ fn main() {
 
     // 2. Three producer threads, each streaming a contiguous slice of every
     //    round's batch; the k-way merge reassembles them bit for bit.
-    let merged = run_scenario_with(
-        &scenario,
-        &RunOptions {
-            producer: Producer::Merge {
-                feeds: 3,
-                capacity: 8,
-            },
-            ..RunOptions::default()
-        },
-        |_| {},
-    )
-    .expect("merged run succeeds");
+    let merged = Session::from_scenario(&scenario)
+        .producer(Producer::Merge {
+            feeds: 3,
+            capacity: 8,
+        })
+        .run(|_| {})
+        .expect("merged run succeeds");
     assert_eq!(
         sync_doc,
         merged.to_json().render_pretty(),
@@ -79,7 +69,9 @@ fn main() {
     // 3. Replay the recorded trace through the file-tail source — the same
     //    path `lb replay --follow` takes against a growing file.
     let source = TraceSource::open(&path).expect("trace tail opens");
-    let tailed = replay_source(Box::new(source), None, |_| {}).expect("tail replays");
+    let tailed = Session::from_stream(Box::new(source))
+        .run(|_| {})
+        .expect("tail replays");
     assert_eq!(
         sync_doc,
         tailed.to_json().render_pretty(),

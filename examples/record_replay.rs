@@ -5,7 +5,7 @@
 //!
 //! Run with: `cargo run --release -p lb-bench --example record_replay`
 
-use lb_bench::dynamic::{replay_trace, run_scenario_with, Producer, RunOptions};
+use lb_bench::dynamic::{Producer, Session};
 use lb_workloads::{Scenario, Trace};
 
 fn main() {
@@ -37,15 +37,10 @@ fn main() {
 
     // 1. Run and record. Recording taps the applied event stream; it never
     //    perturbs the run.
-    let recorded = run_scenario_with(
-        &scenario,
-        &RunOptions {
-            record: Some(path.clone()),
-            ..RunOptions::default()
-        },
-        |_| {},
-    )
-    .expect("recorded run succeeds");
+    let recorded = Session::from_scenario(&scenario)
+        .record(path.clone())
+        .run(|_| {})
+        .expect("recorded run succeeds");
     println!(
         "recorded {} rounds: final max_avg = {:.2}, arrived = {}, completed = {}",
         scenario.rounds,
@@ -62,7 +57,9 @@ fn main() {
         trace.rounds.len(),
         trace.event_count()
     );
-    let replayed = replay_trace(trace, None, |_| {}).expect("replay succeeds");
+    let replayed = Session::from_trace(trace)
+        .run(|_| {})
+        .expect("replay succeeds");
 
     // 3. The contract: byte-identical result documents.
     let a = recorded.to_json().render_pretty();
@@ -73,15 +70,10 @@ fn main() {
     // The channel producer mode is equally bit-identical — same scenario,
     // same seed, events streamed through the bounded SPSC channel instead of
     // generated inline.
-    let channel = run_scenario_with(
-        &scenario,
-        &RunOptions {
-            producer: Producer::Channel { capacity: 16 },
-            ..RunOptions::default()
-        },
-        |_| {},
-    )
-    .expect("channel run succeeds");
+    let channel = Session::from_scenario(&scenario)
+        .producer(Producer::Channel { capacity: 16 })
+        .run(|_| {})
+        .expect("channel run succeeds");
     assert_eq!(
         a,
         channel.to_json().render_pretty(),

@@ -214,7 +214,7 @@ fn damaged_snapshots_fail_resume_with_typed_errors() {
     assert!(status.success());
     let good = std::fs::read_to_string(&ckpt).unwrap();
 
-    let resume_err = |name: &str, contents: &str| -> String {
+    let resume_err = |name: &str, contents: &str, code: i32| -> String {
         let path = temp(tag, name);
         std::fs::write(&path, contents).unwrap();
         let output = lb()
@@ -226,8 +226,8 @@ fn damaged_snapshots_fail_resume_with_typed_errors() {
         std::fs::remove_file(&path).ok();
         assert_eq!(
             output.status.code(),
-            Some(1),
-            "{name}: damaged snapshots are runtime errors"
+            Some(code),
+            "{name}: damaged snapshots fail with the class's exit code"
         );
         String::from_utf8_lossy(&output.stderr).into_owned()
     };
@@ -238,25 +238,28 @@ fn damaged_snapshots_fail_resume_with_typed_errors() {
         .iter()
         .map(|l| format!("{l}\n"))
         .collect();
-    let err = resume_err("truncated.jsonl", &unsealed);
+    let err = resume_err("truncated.jsonl", &unsealed, 1);
     assert!(err.contains("truncated snapshot"), "{err}");
     assert!(err.contains("without the end record"), "{err}");
 
     // Torn mid-line write.
-    let err = resume_err("torn.jsonl", &good[..good.len() - 9]);
+    let err = resume_err("torn.jsonl", &good[..good.len() - 9], 1);
     assert!(err.contains("torn line"), "{err}");
 
     // Flipped version.
     let flipped = good.replacen("\"version\":1", "\"version\":7", 1);
     assert_ne!(flipped, good);
-    let err = resume_err("version.jsonl", &flipped);
+    let err = resume_err("version.jsonl", &flipped, 1);
     assert!(err.contains("unsupported snapshot version 7"), "{err}");
 
     // Stale/mismatched: the snapshot's engine is not what its (edited)
-    // scenario builds.
+    // scenario builds. Unlike the malformed-document shapes above (exit 1),
+    // a well-formed snapshot for the *wrong* run is a protocol violation —
+    // the same class as a serve handshake embedding the wrong scenario —
+    // so it maps to exit code 3.
     let mismatched = good.replacen("\"algorithm\":\"alg1\"", "\"algorithm\":\"alg2\"", 1);
     assert_ne!(mismatched, good);
-    let err = resume_err("mismatch.jsonl", &mismatched);
+    let err = resume_err("mismatch.jsonl", &mismatched, 3);
     assert!(err.contains("does not match this run"), "{err}");
 
     std::fs::remove_file(&scenario_path).ok();

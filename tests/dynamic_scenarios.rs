@@ -3,7 +3,7 @@
 //! result documents — the reproducibility contract of `lb run` (acceptance
 //! criterion of the dynamic-workload PR).
 
-use lb_bench::dynamic::{run_scenario, RoundSample};
+use lb_bench::dynamic::{RoundSample, Session};
 use lb_workloads::{
     AlgorithmSpec, ArrivalSpec, ChurnEvent, ChurnKind, InitialSpec, ModelSpec, PadSpec, Scenario,
     ServiceSpec, SpeedSpec, TokenDistribution, TopologySpec,
@@ -34,8 +34,14 @@ fn example_scenario_is_bit_identical_across_runs() {
     // `lb run examples/scenario_poisson.json --seed 42` twice: the rendered
     // result documents must agree byte for byte.
     let scenario = load_example();
-    let a = run_scenario(&scenario, Some(42), None, |_| {}).expect("runs");
-    let b = run_scenario(&scenario, Some(42), None, |_| {}).expect("runs");
+    let a = Session::from_scenario(&scenario)
+        .seed(42)
+        .run(|_| {})
+        .expect("runs");
+    let b = Session::from_scenario(&scenario)
+        .seed(42)
+        .run(|_| {})
+        .expect("runs");
     assert_eq!(
         a.to_json().render_pretty(),
         b.to_json().render_pretty(),
@@ -50,8 +56,14 @@ fn example_scenario_is_bit_identical_across_runs() {
 #[test]
 fn trajectories_differ_across_seeds() {
     let scenario = load_example();
-    let a = run_scenario(&scenario, Some(1), None, |_| {}).expect("runs");
-    let b = run_scenario(&scenario, Some(2), None, |_| {}).expect("runs");
+    let a = Session::from_scenario(&scenario)
+        .seed(1)
+        .run(|_| {})
+        .expect("runs");
+    let b = Session::from_scenario(&scenario)
+        .seed(2)
+        .run(|_| {})
+        .expect("runs");
     assert_ne!(a.trajectory, b.trajectory);
 }
 
@@ -102,8 +114,8 @@ fn churny_scenario(algorithm: AlgorithmSpec) -> Scenario {
 fn churn_scenarios_are_deterministic_for_both_algorithms() {
     for algorithm in [AlgorithmSpec::Alg1, AlgorithmSpec::Alg2] {
         let scenario = churny_scenario(algorithm);
-        let a = run_scenario(&scenario, None, None, |_| {}).expect("runs");
-        let b = run_scenario(&scenario, None, None, |_| {}).expect("runs");
+        let a = Session::from_scenario(&scenario).run(|_| {}).expect("runs");
+        let b = Session::from_scenario(&scenario).run(|_| {}).expect("runs");
         assert_eq!(a.trajectory, b.trajectory, "{algorithm:?}");
         // The resize took effect.
         assert_eq!(a.last().nodes, 48, "{algorithm:?}");
@@ -114,8 +126,10 @@ fn churn_scenarios_are_deterministic_for_both_algorithms() {
 fn streamed_samples_match_the_recorded_trajectory() {
     let scenario = load_example();
     let mut streamed: Vec<RoundSample> = Vec::new();
-    let outcome =
-        run_scenario(&scenario, Some(42), None, |s| streamed.push(s.clone())).expect("runs");
+    let outcome = Session::from_scenario(&scenario)
+        .seed(42)
+        .run(|s| streamed.push(s.clone()))
+        .expect("runs");
     assert_eq!(streamed, outcome.trajectory);
     // Samples: round 0, every 24 rounds, and the final round.
     assert_eq!(streamed[0].round, 0);
@@ -128,7 +142,10 @@ fn sustained_load_keeps_discrepancy_in_the_od_regime() {
     // arrivals balanced by service capacity, the discrepancy does not drift
     // upward over time even though the workload never drains.
     let scenario = load_example();
-    let outcome = run_scenario(&scenario, Some(42), None, |_| {}).expect("runs");
+    let outcome = Session::from_scenario(&scenario)
+        .seed(42)
+        .run(|_| {})
+        .expect("runs");
     let d = 8.0; // hypercube(256) has degree 8
     for sample in &outcome.trajectory {
         if sample.round >= scenario.rounds / 2 {

@@ -5,7 +5,7 @@
 //! count (the acceptance shard counts {1, 4} are pinned here; CI diffs the
 //! same artefacts via `lb run --record` / `lb replay`).
 
-use lb_bench::dynamic::{replay_trace, run_scenario, run_scenario_with, Producer, RunOptions};
+use lb_bench::dynamic::{Producer, Session};
 use lb_workloads::{
     AlgorithmSpec, ArrivalSpec, ChurnEvent, ChurnKind, InitialSpec, ModelSpec, PadSpec, Scenario,
     ServiceSpec, SpeedSpec, TokenDistribution, TopologySpec, Trace,
@@ -78,25 +78,20 @@ fn sync_channel_and_replay_are_byte_identical() {
         let path = temp_trace(&tag);
 
         for shards in [1usize, 4] {
-            let options = |producer: Producer, record: bool| RunOptions {
-                shards: Some(shards),
-                producer,
-                record: record.then(|| path.clone()),
-                ..RunOptions::default()
-            };
-
             // Sync run, recording the stream as it goes.
-            let sync = run_scenario_with(&scenario, &options(Producer::Scenario, true), |_| {})
+            let sync = Session::from_scenario(&scenario)
+                .shards(shards)
+                .record(path.clone())
+                .run(|_| {})
                 .unwrap_or_else(|e| panic!("{tag} shards={shards} sync: {e}"));
             let sync_doc = sync.to_json().render_pretty();
 
             // Channel run: same batches through the SPSC channel.
-            let channel = run_scenario_with(
-                &scenario,
-                &options(Producer::Channel { capacity: 3 }, false),
-                |_| {},
-            )
-            .unwrap_or_else(|e| panic!("{tag} shards={shards} channel: {e}"));
+            let channel = Session::from_scenario(&scenario)
+                .shards(shards)
+                .producer(Producer::Channel { capacity: 3 })
+                .run(|_| {})
+                .unwrap_or_else(|e| panic!("{tag} shards={shards} channel: {e}"));
             assert_eq!(
                 sync_doc,
                 channel.to_json().render_pretty(),
@@ -107,7 +102,8 @@ fn sync_channel_and_replay_are_byte_identical() {
             // channel; the header pinned the effective seed and shard count.
             let trace = Trace::load(&path).expect("trace loads");
             assert_eq!(trace.scenario.shards, shards, "effective shards recorded");
-            let replayed = replay_trace(trace.clone(), None, |_| {})
+            let replayed = Session::from_trace(trace.clone())
+                .run(|_| {})
                 .unwrap_or_else(|e| panic!("{tag} shards={shards} replay: {e}"));
             assert_eq!(
                 sync_doc,
@@ -126,18 +122,16 @@ fn sync_channel_and_replay_are_byte_identical() {
 fn trace_replay_is_shard_invariant() {
     let scenario = churny_scenario(AlgorithmSpec::Alg1, ModelSpec::Fos);
     let path = temp_trace("shard_invariance");
-    let sequential = run_scenario_with(
-        &scenario,
-        &RunOptions {
-            record: Some(path.clone()),
-            ..RunOptions::default()
-        },
-        |_| {},
-    )
-    .expect("records");
+    let sequential = Session::from_scenario(&scenario)
+        .record(path.clone())
+        .run(|_| {})
+        .expect("records");
     let trace = Trace::load(&path).expect("trace loads");
     for shards in [2usize, 4] {
-        let replayed = replay_trace(trace.clone(), Some(shards), |_| {}).expect("replays");
+        let replayed = Session::from_trace(trace.clone())
+            .shards(shards)
+            .run(|_| {})
+            .expect("replays");
         assert_eq!(
             sequential.trajectory, replayed.trajectory,
             "shards={shards}: trajectory changed under shard override"
@@ -152,15 +146,10 @@ fn trace_replay_is_shard_invariant() {
 fn truncated_traces_fail_loudly() {
     let scenario = churny_scenario(AlgorithmSpec::Alg1, ModelSpec::Fos);
     let path = temp_trace("truncation");
-    run_scenario_with(
-        &scenario,
-        &RunOptions {
-            record: Some(path.clone()),
-            ..RunOptions::default()
-        },
-        |_| {},
-    )
-    .expect("records");
+    Session::from_scenario(&scenario)
+        .record(path.clone())
+        .run(|_| {})
+        .expect("records");
     let text = std::fs::read_to_string(&path).expect("trace exists");
     let lines: Vec<&str> = text.lines().collect();
     let truncated = lines[..lines.len() - 1].join("\n");
@@ -178,29 +167,28 @@ fn short_traces_drain_and_keep_balancing() {
     scenario.churn.clear();
     scenario.completions = ServiceSpec::None;
     let path = temp_trace("short");
-    run_scenario_with(
-        &scenario,
-        &RunOptions {
-            record: Some(path.clone()),
-            ..RunOptions::default()
-        },
-        |_| {},
-    )
-    .expect("records");
+    Session::from_scenario(&scenario)
+        .record(path.clone())
+        .run(|_| {})
+        .expect("records");
 
     // Keep only the first half of the recorded rounds.
     let mut trace = Trace::load(&path).expect("trace loads");
     trace.rounds.truncate(trace.rounds.len() / 2);
     let last_recorded = trace.rounds.last().expect("nonempty").round;
-    let a = replay_trace(trace.clone(), None, |_| {}).expect("replays");
-    let b = replay_trace(trace, None, |_| {}).expect("replays");
+    let a = Session::from_trace(trace.clone())
+        .run(|_| {})
+        .expect("replays");
+    let b = Session::from_trace(trace).run(|_| {}).expect("replays");
     assert_eq!(a.trajectory, b.trajectory, "short replay is deterministic");
     assert!(
         (last_recorded as usize) < scenario.rounds,
         "the trace really is shorter than the run"
     );
     // Arrived weight reflects only the replayed half.
-    let full = run_scenario(&scenario, None, None, |_| {}).expect("full run");
+    let full = Session::from_scenario(&scenario)
+        .run(|_| {})
+        .expect("full run");
     assert!(
         a.last().arrived_weight < full.last().arrived_weight,
         "half the stream arrived less weight than the full stream"

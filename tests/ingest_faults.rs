@@ -6,7 +6,7 @@
 //! mode under the `merge-ingestion` job's `timeout-minutes`, so a hang here
 //! fails loudly twice over.
 
-use lb_bench::dynamic::{replay_source, run_scenario_with, RunOptions};
+use lb_bench::dynamic::Session;
 use lb_core::continuous::Fos;
 use lb_core::discrete::{DiscreteBalancer, FlowImitation, RoundEvents, TaskPicker};
 use lb_core::ingest;
@@ -192,15 +192,10 @@ fn zero_capacity_channels_never_deadlock() {
 fn torn_and_truncated_trace_tails_fail_loudly() {
     let scenario = small_scenario();
     let path = temp_trace("torn_tail");
-    run_scenario_with(
-        &scenario,
-        &RunOptions {
-            record: Some(path.clone()),
-            ..RunOptions::default()
-        },
-        |_| {},
-    )
-    .expect("records");
+    Session::from_scenario(&scenario)
+        .record(path.clone())
+        .run(|_| {})
+        .expect("records");
     let text = std::fs::read_to_string(&path).expect("trace text");
 
     // Torn tail: drop the end record and cut the last round record mid-line.
@@ -208,8 +203,10 @@ fn torn_and_truncated_trace_tails_fail_loudly() {
     std::fs::write(&path, torn).unwrap();
     let source = TraceSource::open_with(&path, Duration::from_millis(50), Duration::from_millis(5))
         .expect("header parses");
-    let err = replay_source(Box::new(source), None, |_| {}).expect_err("torn tail errors");
-    assert!(err.contains("truncated?"), "{err}");
+    let err = Session::from_stream(Box::new(source))
+        .run(|_| {})
+        .expect_err("torn tail errors");
+    assert!(err.to_string().contains("truncated?"), "{err}");
 
     // Truncated at a line boundary (complete lines, no end record).
     let lines: Vec<&str> = text.lines().collect();
@@ -217,14 +214,18 @@ fn torn_and_truncated_trace_tails_fail_loudly() {
     std::fs::write(&path, cut).unwrap();
     let source = TraceSource::open_with(&path, Duration::from_millis(50), Duration::from_millis(5))
         .expect("header parses");
-    let err = replay_source(Box::new(source), None, |_| {}).expect_err("truncation errors");
-    assert!(err.contains("without an end record"), "{err}");
+    let err = Session::from_stream(Box::new(source))
+        .run(|_| {})
+        .expect_err("truncation errors");
+    assert!(err.to_string().contains("without an end record"), "{err}");
 
     // The framed-reader source reports the same class of fault at EOF.
     let bytes = lines[..lines.len() - 1].join("\n").into_bytes();
     let source = ReadSource::new(std::io::Cursor::new(bytes)).expect("header parses");
-    let err = replay_source(Box::new(source), None, |_| {}).expect_err("stream truncation errors");
-    assert!(err.contains("truncated?"), "{err}");
+    let err = Session::from_stream(Box::new(source))
+        .run(|_| {})
+        .expect_err("stream truncation errors");
+    assert!(err.to_string().contains("truncated?"), "{err}");
     std::fs::remove_file(&path).ok();
 }
 
@@ -274,8 +275,10 @@ fn poisoned_producer_panics_become_errors_not_deadlocks() {
         next: 0,
         panic: true,
     };
-    let err = replay_source(Box::new(source), None, |_| {}).expect_err("panic surfaces");
-    assert!(err.contains("panicked"), "{err}");
+    let err = Session::from_stream(Box::new(source))
+        .run(|_| {})
+        .expect_err("panic surfaces");
+    assert!(err.to_string().contains("panicked"), "{err}");
 }
 
 /// Fault: the producer's source fails with its own error (torn tails and
@@ -288,6 +291,8 @@ fn producer_source_errors_propagate_verbatim() {
         next: 0,
         panic: false,
     };
-    let err = replay_source(Box::new(source), None, |_| {}).expect_err("source error surfaces");
-    assert!(err.contains("simulated I/O failure"), "{err}");
+    let err = Session::from_stream(Box::new(source))
+        .run(|_| {})
+        .expect_err("source error surfaces");
+    assert!(err.to_string().contains("simulated I/O failure"), "{err}");
 }

@@ -7,9 +7,7 @@
 //! *any* partition of the event stream across 1..=4 feeds, sent under any
 //! (seeded) interleaving, merges back to the sync-identical trajectory.
 
-use lb_bench::dynamic::{
-    replay_source, run_scenario_with, Producer, RunOptions, DEFAULT_CHANNEL_CAPACITY,
-};
+use lb_bench::dynamic::{Producer, Session, DEFAULT_CHANNEL_CAPACITY};
 use lb_core::continuous::Fos;
 use lb_core::discrete::{
     DiscreteBalancer, DynamicBalancer, FlowImitation, RandomizedImitation, RoundEvents, TaskPicker,
@@ -93,30 +91,22 @@ fn sync_channel_merge_and_tail_are_byte_identical() {
         let path = temp_trace(&tag);
 
         for shards in [1usize, 4] {
-            let options = |producer: Producer, record: bool| RunOptions {
-                shards: Some(shards),
-                producer,
-                record: record.then(|| path.clone()),
-                ..RunOptions::default()
-            };
-
             // Sync run, recording the stream for the byte-stream sources.
-            let sync = run_scenario_with(&scenario, &options(Producer::Scenario, true), |_| {})
+            let sync = Session::from_scenario(&scenario)
+                .shards(shards)
+                .record(path.clone())
+                .run(|_| {})
                 .unwrap_or_else(|e| panic!("{tag} shards={shards} sync: {e}"));
             let sync_doc = sync.to_json().render_pretty();
 
             // Single channel.
-            let channel = run_scenario_with(
-                &scenario,
-                &options(
-                    Producer::Channel {
-                        capacity: DEFAULT_CHANNEL_CAPACITY,
-                    },
-                    false,
-                ),
-                |_| {},
-            )
-            .unwrap_or_else(|e| panic!("{tag} shards={shards} channel: {e}"));
+            let channel = Session::from_scenario(&scenario)
+                .shards(shards)
+                .producer(Producer::Channel {
+                    capacity: DEFAULT_CHANNEL_CAPACITY,
+                })
+                .run(|_| {})
+                .unwrap_or_else(|e| panic!("{tag} shards={shards} channel: {e}"));
             assert_eq!(
                 sync_doc,
                 channel.to_json().render_pretty(),
@@ -124,18 +114,14 @@ fn sync_channel_merge_and_tail_are_byte_identical() {
             );
 
             // 2-feed merge.
-            let merged = run_scenario_with(
-                &scenario,
-                &options(
-                    Producer::Merge {
-                        feeds: 2,
-                        capacity: 3,
-                    },
-                    false,
-                ),
-                |_| {},
-            )
-            .unwrap_or_else(|e| panic!("{tag} shards={shards} merge: {e}"));
+            let merged = Session::from_scenario(&scenario)
+                .shards(shards)
+                .producer(Producer::Merge {
+                    feeds: 2,
+                    capacity: 3,
+                })
+                .run(|_| {})
+                .unwrap_or_else(|e| panic!("{tag} shards={shards} merge: {e}"));
             assert_eq!(
                 sync_doc,
                 merged.to_json().render_pretty(),
@@ -145,7 +131,8 @@ fn sync_channel_merge_and_tail_are_byte_identical() {
             // File tail over the recorded trace.
             let source = TraceSource::open(&path)
                 .unwrap_or_else(|e| panic!("{tag} shards={shards} tail open: {e}"));
-            let tailed = replay_source(Box::new(source), None, |_| {})
+            let tailed = Session::from_stream(Box::new(source))
+                .run(|_| {})
                 .unwrap_or_else(|e| panic!("{tag} shards={shards} tail: {e}"));
             assert_eq!(
                 sync_doc,
@@ -157,7 +144,8 @@ fn sync_channel_merge_and_tail_are_byte_identical() {
             let bytes = std::fs::read(&path).expect("trace bytes");
             let source = ReadSource::new(std::io::Cursor::new(bytes))
                 .unwrap_or_else(|e| panic!("{tag} shards={shards} stream open: {e}"));
-            let streamed = replay_source(Box::new(source), None, |_| {})
+            let streamed = Session::from_stream(Box::new(source))
+                .run(|_| {})
                 .unwrap_or_else(|e| panic!("{tag} shards={shards} stream: {e}"));
             assert_eq!(
                 sync_doc,
@@ -174,20 +162,17 @@ fn sync_channel_merge_and_tail_are_byte_identical() {
 #[test]
 fn merge_is_byte_identical_across_feed_counts() {
     let scenario = churny_scenario(AlgorithmSpec::Alg1, ModelSpec::Fos);
-    let sync = run_scenario_with(&scenario, &RunOptions::default(), |_| {}).expect("sync runs");
+    let sync = Session::from_scenario(&scenario)
+        .run(|_| {})
+        .expect("sync runs");
     let sync_doc = sync.to_json().render_pretty();
     for shards in [1usize, 4] {
         for feeds in [1usize, 3, 4] {
-            let merged = run_scenario_with(
-                &scenario,
-                &RunOptions {
-                    shards: Some(shards),
-                    producer: Producer::Merge { feeds, capacity: 2 },
-                    ..RunOptions::default()
-                },
-                |_| {},
-            )
-            .unwrap_or_else(|e| panic!("feeds={feeds} shards={shards}: {e}"));
+            let merged = Session::from_scenario(&scenario)
+                .shards(shards)
+                .producer(Producer::Merge { feeds, capacity: 2 })
+                .run(|_| {})
+                .unwrap_or_else(|e| panic!("feeds={feeds} shards={shards}: {e}"));
             if shards == 1 {
                 assert_eq!(
                     sync_doc,
@@ -214,15 +199,10 @@ fn growing_file_tail_replays_byte_identically() {
     scenario.churn.clear();
     let recorded_path = temp_trace("live_tail_recorded");
     let grown_path = temp_trace("live_tail_grown");
-    let recorded = run_scenario_with(
-        &scenario,
-        &RunOptions {
-            record: Some(recorded_path.clone()),
-            ..RunOptions::default()
-        },
-        |_| {},
-    )
-    .expect("records");
+    let recorded = Session::from_scenario(&scenario)
+        .record(recorded_path.clone())
+        .run(|_| {})
+        .expect("records");
 
     std::fs::write(&grown_path, "").expect("creates the tailed file");
     let text = std::fs::read_to_string(&recorded_path).expect("trace text");
@@ -245,7 +225,9 @@ fn growing_file_tail_replays_byte_identically() {
         std::time::Duration::from_millis(1),
     )
     .expect("header arrives");
-    let tailed = replay_source(Box::new(source), None, |_| {}).expect("tail replays");
+    let tailed = Session::from_stream(Box::new(source))
+        .run(|_| {})
+        .expect("tail replays");
     writer.join().unwrap();
     assert_eq!(
         recorded.to_json().render_pretty(),

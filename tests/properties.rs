@@ -281,7 +281,7 @@ proptest! {
         alg2 in any::<bool>(),
         sos in any::<bool>(),
     ) {
-        use lb_bench::dynamic::{resume_run, run_scenario_with, RunOptions};
+        use lb_bench::dynamic::Session;
         use lb_core::snapshot::{self, Snapshot};
         use lb_workloads::{
             AlgorithmSpec, ArrivalSpec, ChurnEvent, ChurnKind, InitialSpec, ModelSpec, PadSpec,
@@ -318,20 +318,14 @@ proptest! {
         // rounds 2..=R, plus the final file (round R), yields a snapshot of
         // every round 1..=R from one single run.
         let mut copies: Vec<Snapshot> = Vec::new();
-        let reference = run_scenario_with(
-            &scenario,
-            &RunOptions {
-                checkpoint: Some(rotating.clone()),
-                checkpoint_every: Some(1),
-                ..RunOptions::default()
-            },
-            |sample| {
+        let reference = Session::from_scenario(&scenario)
+            .checkpoint(rotating.clone(), 1)
+            .run(|sample| {
                 if sample.round >= 2 {
                     copies.push(snapshot::load(&rotating).expect("rotating checkpoint"));
                 }
-            },
-        )
-        .unwrap();
+            })
+            .unwrap();
         copies.push(snapshot::load(&rotating).expect("final checkpoint"));
         std::fs::remove_file(&rotating).ok();
         let doc = reference.to_json().render_pretty();
@@ -341,12 +335,10 @@ proptest! {
         for snap in copies {
             let round = snap.round;
             for shards in [1usize, 2, 7] {
-                let resumed = resume_run(
-                    snap.clone(),
-                    &RunOptions { shards: Some(shards), ..RunOptions::default() },
-                    |_| {},
-                )
-                .unwrap();
+                let resumed = Session::from_snapshot(snap.clone())
+                    .shards(shards)
+                    .run(|_| {})
+                    .unwrap();
                 prop_assert_eq!(
                     resumed.to_json().render_pretty(),
                     doc.clone(),

@@ -6,7 +6,7 @@
 //! to its *specific located* [`lb_core::snapshot::SnapshotError`] variant,
 //! never a panic and never a silently-wrong resume.
 
-use lb_bench::dynamic::{run_scenario_with, RunOptions};
+use lb_bench::dynamic::Session;
 use lb_core::snapshot::{self, Snapshot, SnapshotError, SNAPSHOT_VERSION};
 use lb_workloads::{
     AlgorithmSpec, ArrivalSpec, InitialSpec, ModelSpec, PadSpec, Scenario, ServiceSpec, SpeedSpec,
@@ -53,16 +53,10 @@ fn canonical() -> String {
         "lb_snapshot_corpus_canonical_{}.jsonl",
         std::process::id()
     ));
-    run_scenario_with(
-        &scenario(),
-        &RunOptions {
-            checkpoint: Some(path.clone()),
-            checkpoint_every: Some(10),
-            ..RunOptions::default()
-        },
-        |_| {},
-    )
-    .expect("checkpointed run");
+    Session::from_scenario(&scenario())
+        .checkpoint(path.clone(), 10)
+        .run(|_| {})
+        .expect("checkpointed run");
     let text = std::fs::read_to_string(&path).expect("snapshot text");
     std::fs::remove_file(&path).ok();
     text
