@@ -1,0 +1,116 @@
+//! Atomic artefact publication and exact integer conversions.
+//!
+//! Every file the workspace publishes — result documents, snapshots,
+//! ingestion reports, benchmark artefacts — goes through
+//! [`write_bytes_atomic`], so a concurrent reader or a crash mid-write sees
+//! either the previous complete file or the new one, never a torn mixture.
+//! `lb lint` rule R04 enforces this at the source level: direct
+//! `File::create`/`fs::write` calls outside this module are findings.
+//!
+//! [`u64_exact`] and [`usize_exact`] are the checked counterparts to the
+//! truncating `as` casts that rule R02 rejects in serialization code: the
+//! widening direction is proven lossless at compile time, the narrowing
+//! direction reports failure instead of wrapping.
+
+use std::fs;
+use std::io::Write;
+use std::path::Path;
+
+/// Atomically publishes `bytes` at `path`: write to a temp file in the same
+/// directory, fsync, rename over the target, then fsync the directory. A
+/// crash at any point leaves either the previous file or the new one under
+/// `path`, never a torn mixture.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error.
+pub fn write_bytes_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    let file_name = path
+        .file_name()
+        .and_then(|name| name.to_str())
+        .unwrap_or("artifact");
+    let tmp_name = format!(".{file_name}.tmp.{}", std::process::id());
+    let tmp = match dir {
+        Some(dir) => dir.join(&tmp_name),
+        None => std::path::PathBuf::from(&tmp_name),
+    };
+    let result = (|| {
+        // lint: allow(R04, this is the staging write inside the atomic path)
+        let mut file = fs::File::create(&tmp)?;
+        file.write_all(bytes)?;
+        file.sync_all()?;
+        drop(file);
+        fs::rename(&tmp, path)?;
+        // Persist the rename itself; best-effort where directories cannot be
+        // opened (non-POSIX platforms).
+        if let Some(dir) = dir {
+            if let Ok(d) = fs::File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+        Ok(())
+    })();
+    if result.is_err() {
+        let _ = fs::remove_file(&tmp);
+    }
+    result
+}
+
+// The widening in `u64_exact` is only lossless where usize fits in u64 —
+// true on every supported target, and proven here rather than assumed.
+const _: () = assert!(std::mem::size_of::<usize>() <= std::mem::size_of::<u64>());
+
+/// Losslessly widens a `usize` (a length, an index) to the `u64` the
+/// serialization formats carry. The compile-time assertion above makes this
+/// the audited home for a conversion that would otherwise be a bare `as`
+/// cast at every call site.
+#[inline]
+pub fn u64_exact(n: usize) -> u64 {
+    // lint: allow(R02, lossless by the const size assertion above)
+    n as u64
+}
+
+/// Checked narrowing of a serialized `u64` back to `usize`; `None` when the
+/// value does not fit the platform (the caller turns that into its located
+/// error, never a wrapped index).
+#[inline]
+pub fn usize_exact(v: u64) -> Option<usize> {
+    usize::try_from(v).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atomic_write_publishes_and_cleans_up() {
+        let dir = std::env::temp_dir().join(format!("lb-artifact-test-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let target = dir.join("out.json");
+        write_bytes_atomic(&target, b"{\"v\":1}\n").unwrap();
+        assert_eq!(fs::read(&target).unwrap(), b"{\"v\":1}\n");
+        // Overwrite: the new content fully replaces the old.
+        write_bytes_atomic(&target, b"{\"v\":2}\n").unwrap();
+        assert_eq!(fs::read(&target).unwrap(), b"{\"v\":2}\n");
+        // No temp file left behind.
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .filter(|n| n.to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn exact_conversions_round_trip_and_reject_overflow() {
+        assert_eq!(u64_exact(0), 0);
+        assert_eq!(u64_exact(usize::MAX), usize::MAX as u64);
+        assert_eq!(usize_exact(42), Some(42));
+        assert_eq!(usize_exact(u64_exact(usize::MAX)), Some(usize::MAX));
+        if usize::BITS < 64 {
+            assert_eq!(usize_exact(u64::MAX), None);
+        }
+    }
+}

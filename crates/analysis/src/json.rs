@@ -70,6 +70,7 @@ impl Json {
         const F64_EXACT: f64 = 9_007_199_254_740_992.0; // 2^53, itself exact
         match self {
             Json::Int(v) => u64::try_from(*v).ok(),
+            // lint: allow(R02, cast proven exact by the range/fract guard)
             Json::Num(x) if *x >= 0.0 && *x <= F64_EXACT && x.fract() == 0.0 => Some(*x as u64),
             _ => None,
         }
@@ -77,7 +78,7 @@ impl Json {
 
     /// The value as `usize`, if it is a non-negative integral number.
     pub fn as_usize(&self) -> Option<usize> {
-        self.as_u64().map(|x| x as usize)
+        self.as_u64().and_then(crate::artifact::usize_exact)
     }
 
     /// The value as `&str`, if it is a string.
@@ -193,19 +194,19 @@ impl From<f64> for Json {
 
 impl From<u64> for Json {
     fn from(x: u64) -> Json {
-        Json::Int(x as i128)
+        Json::Int(i128::from(x))
     }
 }
 
 impl From<i64> for Json {
     fn from(x: i64) -> Json {
-        Json::Int(x as i128)
+        Json::Int(i128::from(x))
     }
 }
 
 impl From<usize> for Json {
     fn from(x: usize) -> Json {
-        Json::Int(x as i128)
+        Json::Int(i128::from(crate::artifact::u64_exact(x)))
     }
 }
 
@@ -242,6 +243,7 @@ impl From<BTreeMap<String, Json>> for Json {
 fn write_number(out: &mut String, x: f64) {
     assert!(x.is_finite(), "JSON cannot represent {x}");
     if x.fract() == 0.0 && x.abs() < 9.007_199_254_740_992e15 {
+        // lint: allow(R02, cast proven exact by the fract/magnitude guard)
         let _ = write!(out, "{}", x as i64);
     } else {
         let _ = write!(out, "{x}");
@@ -257,8 +259,8 @@ fn write_string(out: &mut String, s: &str) {
             '\n' => out.push_str("\\n"),
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
+            c if u32::from(c) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", u32::from(c));
             }
             c => out.push(c),
         }
@@ -286,7 +288,7 @@ impl Parser<'_> {
         self.bytes.get(self.pos).copied()
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), String> {
+    fn require(&mut self, b: u8) -> Result<(), String> {
         if self.peek() == Some(b) {
             self.pos += 1;
             Ok(())
@@ -327,7 +329,7 @@ impl Parser<'_> {
     }
 
     fn string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
+        self.require(b'"')?;
         let mut out = String::new();
         loop {
             match self.peek() {
@@ -379,6 +381,7 @@ impl Parser<'_> {
                     // Consume one UTF-8 code point.
                     let rest = &self.bytes[self.pos..];
                     let s = std::str::from_utf8(rest).map_err(|e| e.to_string())?;
+                    // lint: allow(R03, rest is non-empty: peek returned Some)
                     let c = s.chars().next().expect("non-empty by construction");
                     out.push(c);
                     self.pos += c.len_utf8();
@@ -408,6 +411,7 @@ impl Parser<'_> {
         ) {
             self.pos += 1;
         }
+        // lint: allow(R03, the scanner loop above admits only ASCII bytes)
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii digits");
         // Integer literals (no fraction, no exponent) are stored exactly so
         // values like 64-bit seeds survive parsing; only if the literal
@@ -423,7 +427,7 @@ impl Parser<'_> {
     }
 
     fn array(&mut self) -> Result<Json, String> {
-        self.expect(b'[')?;
+        self.require(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
@@ -452,7 +456,7 @@ impl Parser<'_> {
     }
 
     fn object(&mut self) -> Result<Json, String> {
-        self.expect(b'{')?;
+        self.require(b'{')?;
         let mut pairs = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
@@ -463,7 +467,7 @@ impl Parser<'_> {
             self.skip_ws();
             let key = self.string()?;
             self.skip_ws();
-            self.expect(b':')?;
+            self.require(b':')?;
             self.skip_ws();
             let value = self.value()?;
             pairs.push((key, value));

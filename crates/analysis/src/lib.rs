@@ -15,11 +15,13 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod artifact;
 pub mod json;
 mod record;
 mod stats;
 mod table;
 
+pub use artifact::{u64_exact, usize_exact, write_bytes_atomic};
 pub use json::Json;
 pub use record::{ExperimentRecord, Measurement};
 pub use stats::{correlation, linear_fit, Summary};

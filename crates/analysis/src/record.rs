@@ -190,7 +190,7 @@ impl ExperimentRecord {
         let dir = dir.as_ref();
         fs::create_dir_all(dir)?;
         let path = dir.join(format!("{}.json", self.id));
-        fs::write(&path, self.to_json())?;
+        crate::artifact::write_bytes_atomic(&path, self.to_json().as_bytes())?;
         Ok(path)
     }
 

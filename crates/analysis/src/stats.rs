@@ -41,7 +41,7 @@ impl Summary {
             0.0
         };
         let mut sorted = values.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("measurements must not be NaN"));
+        sorted.sort_by(f64::total_cmp);
         let median = if count % 2 == 1 {
             sorted[count / 2]
         } else {

@@ -14,6 +14,7 @@
 //!    dummy_ablation|fos_vs_sos|dynamic_arrivals [--quick]
 //! lb hotpath [--quick] [--shards N]
 //! lb bench-check [--baseline PATH] [--current PATH] [--max-regression PCT]
+//! lb lint [--format human|json] [--root PATH] [PATHS…]
 //! lb help
 //! ```
 //!
@@ -180,6 +181,20 @@ COMMANDS:
         --max-regression PCT
                           Allowed throughput drop in percent [default:
                           25, or env LB_BENCH_MAX_REGRESSION].
+    lint [PATHS...]       Static analysis enforcing the repo contracts at
+                          the source level: nondeterminism (R01), truncating
+                          casts (R02), panics in library code (R03),
+                          non-atomic artefact writes (R04), allocation in
+                          'zero-alloc'-annotated hot paths (R05), deprecated
+                          driver calls (R06). Walks the workspace (scoped by
+                          lint.toml) or just PATHS when given. Suppress a
+                          finding with '// lint: allow(RXX, reason)' on the
+                          same or previous line; a suppression without a
+                          reason is itself a finding. Exits 0 when clean,
+                          1 with findings. See ROADMAP.md 'Static analysis'.
+        --format FMT      'human' (default) or 'json' (one machine-readable
+                          report document on stdout).
+        --root PATH       Workspace root holding lint.toml [default: .].
     help                  Print this message.
 
 Unknown commands, unknown options and malformed values exit with status 2;
@@ -307,6 +322,7 @@ pub fn dispatch(args: &[String]) -> i32 {
             }
         }
         "bench-check" => cmd_bench_check(rest),
+        "lint" => cmd_lint(rest),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             0
@@ -540,6 +556,7 @@ fn cmd_run(args: &[String]) -> i32 {
                     .run(on_sample)?
             }
             None => {
+                // lint: allow(R03, the arg validation above guarantees a path)
                 let path = path.expect("validated: a scenario path or --resume is present");
                 let text = fs::read_to_string(path)
                     .map_err(|e| BenchError::io(format!("reading {path}: {e}")))?;
@@ -791,6 +808,7 @@ fn cmd_serve_trace(args: &[String]) -> i32 {
         }
         return serve_trace_lines(path, parsed.value("--out"), delay);
     }
+    // lint: allow(R03, the is_none branch above returned already)
     let addr = connect.expect("checked above");
     if parsed.value("--out").is_some() {
         return usage_error("--out only applies without --connect (lines mode)");
@@ -851,6 +869,7 @@ fn serve_trace_lines(path: &str, out: Option<&str>, delay: Duration) -> i32 {
         let reader = std::io::BufReader::new(file);
         let mut out: Box<dyn Write> = match out {
             Some(target) => Box::new(
+                // lint: allow(R04, serve-trace drips lines incrementally by design)
                 fs::File::create(target)
                     .map_err(|e| BenchError::io(format!("creating {target}: {e}")))?,
             ),
@@ -1057,6 +1076,62 @@ fn cmd_bench_check(args: &[String]) -> i32 {
             eprintln!("error: {err}");
             1
         }
+    }
+}
+
+/// `lb lint [--format human|json] [--root PATH] [PATHS…]`: the repo-native
+/// static analysis pass (see [`lb_lint`]). Exit codes: 0 clean, 1 findings,
+/// 2 usage (including a malformed `lint.toml`), 4 I/O failure.
+fn cmd_lint(args: &[String]) -> i32 {
+    let parsed = match parse_args(args, &["--format", "--root"], &[], usize::MAX) {
+        Ok(parsed) => parsed,
+        Err(err) => return usage_error(&err),
+    };
+    let format = parsed.value("--format").unwrap_or("human");
+    if format != "human" && format != "json" {
+        return usage_error(&format!(
+            "--format must be 'human' or 'json', got {format:?}"
+        ));
+    }
+    let root = PathBuf::from(parsed.value("--root").unwrap_or("."));
+    let to_bench_error = |e: lb_lint::LintError| match e {
+        lb_lint::LintError::Io { .. } => BenchError::io(e.to_string()),
+        lb_lint::LintError::Config { .. } | lb_lint::LintError::BadPath { .. } => {
+            BenchError::usage(e.to_string())
+        }
+    };
+    let linter = match lb_lint::Linter::load(&root) {
+        Ok(linter) => linter,
+        Err(e) => return fail(to_bench_error(e)),
+    };
+    let findings = if parsed.positionals.is_empty() {
+        linter.lint_workspace()
+    } else {
+        let paths: Vec<PathBuf> = parsed.positionals.iter().map(PathBuf::from).collect();
+        linter.lint_paths(&paths)
+    };
+    let findings = match findings {
+        Ok(findings) => findings,
+        Err(e) => return fail(to_bench_error(e)),
+    };
+    match format {
+        "json" => println!("{}", lb_lint::report_json(&findings).render()),
+        _ => {
+            for finding in &findings {
+                println!("{}", finding.human());
+            }
+            let label = if findings.len() == 1 {
+                "finding"
+            } else {
+                "findings"
+            };
+            eprintln!("lint: {} {label}", findings.len());
+        }
+    }
+    if findings.is_empty() {
+        0
+    } else {
+        1
     }
 }
 

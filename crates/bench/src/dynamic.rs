@@ -154,6 +154,7 @@ pub struct ScenarioOutcome {
 impl ScenarioOutcome {
     /// The final sample.
     pub fn last(&self) -> &RoundSample {
+        // lint: allow(R03, a sample is pushed before any driver returns)
         self.trajectory.last().expect("trajectory is never empty")
     }
 
@@ -337,6 +338,7 @@ impl Engine {
 fn carried_speeds(current: &Speeds, n: usize) -> Speeds {
     let mut values = current.as_slice().to_vec();
     values.resize(n, 1);
+    // lint: allow(R03, carried values validated positive at admission)
     Speeds::new(values).expect("carried speeds stay positive")
 }
 
@@ -589,6 +591,7 @@ fn spawn_scenario_producer(
         let mut spare: Option<RoundEvents> = None;
         for round in 0..rounds {
             while schedule.peek().is_some_and(|(r, _)| *r == round) {
+                // lint: allow(R03, the peek in the loop condition proves Some)
                 let (_, speeds) = schedule.next().expect("peeked entry");
                 stream.set_topology(&speeds);
             }
@@ -639,6 +642,7 @@ fn spawn_merge_producers(
             let mut spare: Option<RoundEvents> = None;
             for round in 0..rounds {
                 while schedule.peek().is_some_and(|(r, _)| *r == round) {
+                    // lint: allow(R03, the peek in the loop condition proves Some)
                     let (_, speeds) = schedule.next().expect("peeked entry");
                     stream.set_topology(&speeds);
                 }
@@ -1183,6 +1187,7 @@ impl ResumePoint {
             return Err(BenchError::protocol(format!(
                 "snapshot driver payload: trajectory reaches round \
                  {} past the capture round {round}",
+                // lint: allow(R03, emptiness handled by the branch above)
                 trajectory.last().expect("non-empty").round
             )));
         }
@@ -1439,6 +1444,7 @@ fn execute(
             let mut rebuilt: Option<(Arc<Graph>, Speeds)> = None;
             for round in 0..point.round {
                 while churn.peek().is_some_and(|(r, _, _)| *r == round) {
+                    // lint: allow(R03, the peek in the loop condition proves Some)
                     let (_, new_graph, new_speeds) = churn.next().expect("peeked entry");
                     source.set_topology(&new_speeds);
                     rebuilt = Some((new_graph, new_speeds));
@@ -1473,6 +1479,7 @@ fn execute(
 
     for round in resume_round..scenario.rounds {
         while churn.peek().is_some_and(|(r, _, _)| *r == round) {
+            // lint: allow(R03, the peek in the loop condition proves Some)
             let (_, new_graph, new_speeds) = churn.next().expect("peeked entry");
             engine
                 .replace_topology(new_graph, &new_speeds)

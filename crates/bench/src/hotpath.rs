@@ -787,7 +787,11 @@ pub fn run(quick: bool, shards: Option<usize>) {
         ("peak_rss_kb", Json::from(peak_rss_kb())),
     ]);
     let path = "BENCH_hotpath.json";
-    std::fs::write(path, report.render_pretty()).expect("write BENCH_hotpath.json");
+    lb_analysis::write_bytes_atomic(
+        std::path::Path::new(path),
+        report.render_pretty().as_bytes(),
+    )
+    .expect("write BENCH_hotpath.json");
     println!("{}", report.render_pretty());
     eprintln!("(written to {path})");
 }

@@ -21,7 +21,10 @@
 //!   failure classes to distinct process exit codes.
 //! * [`cli`] — the unified `lb` binary: `lb run <scenario.json>`,
 //!   `lb serve`, `lb table1 … lb dynamic_arrivals [--quick]`, `lb hotpath`,
-//!   and the CI perf-regression gate `lb bench-check`.
+//!   the CI perf-regression gate `lb bench-check`, and the static-analysis
+//!   pass `lb lint` (rules R01–R06 from the `lb-lint` crate: determinism,
+//!   checked narrowing, typed errors, atomic artefacts, zero-alloc hot
+//!   paths, no deprecated driver calls; exit 0 clean / 1 findings).
 //! * [`hotpath`] — the engine-vs-seed-semantics throughput benchmark behind
 //!   `BENCH_hotpath.json`.
 //!

@@ -58,7 +58,9 @@ where
         .into_iter()
         .map(|slot| {
             slot.into_inner()
+                // lint: allow(R03, propagates a worker panic's poison)
                 .expect("result slot poisoned")
+                // lint: allow(R03, the scoped-thread join proves every slot filled)
                 .expect("every slot filled by a worker")
         })
         .collect()

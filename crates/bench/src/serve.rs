@@ -429,7 +429,7 @@ pub fn serve(
     let bound = listener.client_addr(&options.listen);
     if let Some(path) = &options.listen_info {
         let info = Json::obj([("addr", Json::from(bound.as_str()))]);
-        std::fs::write(path, format!("{}\n", info.render()))
+        lb_analysis::write_bytes_atomic(path, format!("{}\n", info.render()).as_bytes())
             .map_err(|e| BenchError::io(format!("writing {}: {e}", path.display())))?;
     }
 

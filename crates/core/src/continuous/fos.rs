@@ -84,6 +84,7 @@ impl ContinuousProcess for Fos {
         &self.speeds
     }
 
+    // lint: zero-alloc
     fn compute_flows_into(&mut self, t: usize, x: &[f64], out: &mut [EdgeFlow]) {
         self.compute_flows_range(t, x, 0..self.graph.edge_count(), out);
     }

@@ -137,6 +137,7 @@ impl ContinuousProcess for DimensionExchange {
         &self.speeds
     }
 
+    // lint: zero-alloc
     fn compute_flows_into(&mut self, t: usize, x: &[f64], out: &mut [EdgeFlow]) {
         matching_flows_into(
             &self.graph,
@@ -222,6 +223,7 @@ impl ContinuousProcess for RandomMatching {
         &self.speeds
     }
 
+    // lint: zero-alloc
     fn compute_flows_into(&mut self, t: usize, x: &[f64], out: &mut [EdgeFlow]) {
         // Extend the history first (the only mutable part), then read the
         // round's matching by reference — the per-round clone the seed code

@@ -272,6 +272,7 @@ impl<A: ContinuousProcess> ContinuousRunner<A> {
     ///
     /// This is the zero-allocation hot path: no heap allocation happens here
     /// for processes with an allocation-free kernel.
+    // lint: zero-alloc
     pub fn step(&mut self) -> &[EdgeFlow] {
         self.process
             .compute_flows_into(self.round, &self.loads, &mut self.flow_buf);
@@ -309,6 +310,7 @@ impl<A: ContinuousProcess> ContinuousRunner<A> {
     /// Falls back to the sequential step when the process does not implement
     /// the sharded kernel protocol or the executor has a single shard.
     /// Steady-state calls on an unchanged topology do not allocate.
+    // lint: zero-alloc
     pub fn step_sharded(&mut self, exec: &mut crate::shard::ShardedExecutor) -> &[EdgeFlow]
     where
         A: Sync,

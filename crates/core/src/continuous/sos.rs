@@ -125,6 +125,7 @@ impl ContinuousProcess for Sos {
         &self.speeds
     }
 
+    // lint: zero-alloc
     fn compute_flows_into(&mut self, t: usize, x: &[f64], out: &mut [EdgeFlow]) {
         self.compute_flows_range(t, x, 0..self.graph.edge_count(), out);
         self.commit_flows(t, out);

@@ -172,8 +172,10 @@ impl<A: ContinuousProcess> RandomizedImitation<A> {
             ));
         }
         while self.tokens.len() > n {
+            // lint: allow(R03, non-empty by the loop condition)
             let orphan_tokens = self.tokens.pop().expect("len checked above");
             self.tokens[0] += orphan_tokens;
+            // lint: allow(R03, dummy mirrors tokens length by construction)
             let orphan_dummy = self.dummy.pop().expect("dummy tracks tokens");
             self.dummy[0] += orphan_dummy;
         }
@@ -181,6 +183,7 @@ impl<A: ContinuousProcess> RandomizedImitation<A> {
         self.dummy.resize(n, 0);
         let mut speed_values = self.speeds.as_slice().to_vec();
         speed_values.resize(n, 1);
+        // lint: allow(R03, carried values validated positive at admission)
         self.speeds = Speeds::new(speed_values).expect("carried speeds stay positive");
         let x0: Vec<f64> = self
             .tokens
@@ -315,6 +318,7 @@ impl<A: ContinuousProcess> RandomizedImitation<A> {
     /// Steady-state calls on an unchanged topology do not allocate; after
     /// [`replace_topology`](RandomizedImitation::replace_topology) the
     /// executor rebinds on the next sharded step.
+    // lint: zero-alloc
     pub fn step_sharded(&mut self, exec: &mut crate::shard::ShardedExecutor)
     where
         A: Sync,
@@ -434,6 +438,7 @@ impl<A: ContinuousProcess> DiscreteBalancer for RandomizedImitation<A> {
         self.dummy.iter().sum()
     }
 
+    // lint: zero-alloc
     fn step(&mut self) {
         self.twin.step();
 

@@ -201,6 +201,7 @@ impl EventProducer {
                 return Ok(());
             }
             if blocked_at.is_none() {
+                // lint: allow(R01, backpressure telemetry kept out of result documents)
                 blocked_at = Some(Instant::now());
                 state.metrics.blocked_sends += 1;
             }
@@ -332,6 +333,7 @@ impl IngestSession {
                  applying round {round}"
             ))),
             Some((tag, _)) if *tag == round => {
+                // lint: allow(R03, the match arm proves pending is Some)
                 let (_, events) = self.pending.take().expect("pending batch");
                 self.batches += 1;
                 self.events += (events.arrivals.len() + events.completions.len()) as u64;
@@ -370,6 +372,7 @@ impl IngestSession {
     /// Returns [`CoreError::InvalidParameter`] on an out-of-order batch or
     /// when the engine rejects an event (unknown node, weighted arrival on
     /// Algorithm 2).
+    // lint: zero-alloc
     pub fn apply_round(
         &mut self,
         round: u64,

@@ -226,6 +226,7 @@ impl MergeSession {
                     )));
                 }
                 Some((tag, _)) if *tag == round => {
+                    // lint: allow(R03, the match arm proves pending is Some)
                     let (tag, events) = feed.pending.take().expect("pending batch");
                     if feed.last_round.is_some_and(|last| tag <= last) {
                         return Err(CoreError::invalid_parameter(format!(
@@ -254,6 +255,7 @@ impl MergeSession {
     ///
     /// Returns [`CoreError::InvalidParameter`] on an ordering violation
     /// (nothing applied) or when the engine rejects an event.
+    // lint: zero-alloc
     pub fn apply_round(
         &mut self,
         round: u64,

@@ -272,6 +272,7 @@ impl ShardPool {
                                 state = shared.work.wait(state).expect("pool mutex poisoned");
                             }
                             seen = state.epoch;
+                            // lint: allow(R03, run() stores the job before bumping the epoch)
                             state.job.expect("job published with epoch")
                         };
                         // SAFETY: `run` keeps the closure alive until every
@@ -331,6 +332,7 @@ impl ShardPool {
             std::panic::resume_unwind(payload);
         }
         if worker_panicked {
+            // lint: allow(R03, propagates a worker thread's caught panic)
             panic!("a shard worker panicked during a parallel phase");
         }
     }

@@ -42,11 +42,12 @@
 use crate::continuous::EdgeFlow;
 use crate::task::Task;
 use crate::TaskId;
-use lb_analysis::Json;
+use lb_analysis::{u64_exact, usize_exact, Json};
 use std::fmt;
 use std::fs;
-use std::io::Write;
 use std::path::Path;
+
+pub use lb_analysis::artifact::write_bytes_atomic;
 
 /// The snapshot format version this module writes and the only one it reads.
 pub const SNAPSHOT_VERSION: u64 = 1;
@@ -342,7 +343,7 @@ pub fn render(snapshot: &Snapshot) -> String {
                 &mut out,
             );
             for (node, queue) in alg1.queues.iter().enumerate() {
-                tasks += queue.entries.len() as u64;
+                tasks += u64_exact(queue.entries.len());
                 let entries = queue
                     .entries
                     .iter()
@@ -421,6 +422,7 @@ fn item_u64(item: &Json, what: &str, line: usize) -> Result<u64, SnapshotError> 
 fn item_i64(item: &Json, what: &str, line: usize) -> Result<i64, SnapshotError> {
     let exact = match item {
         Json::Int(v) => i64::try_from(*v).ok(),
+        // lint: allow(R02, both casts proven exact by the fract/magnitude guard)
         Json::Num(x) if x.fract() == 0.0 && x.abs() <= (1u64 << 53) as f64 => Some(*x as i64),
         _ => None,
     };
@@ -621,7 +623,11 @@ pub fn parse(text: &str) -> Result<Snapshot, SnapshotError> {
                 let (_, alg1) = alg1.as_mut().ok_or_else(|| {
                     SnapshotError::corrupt(line, "queue record before the alg1 record")
                 })?;
-                let node = get_u64(&record, "node", line)? as usize;
+                let node = get_u64(&record, "node", line)
+                    .map(usize_exact)?
+                    .ok_or_else(|| {
+                        SnapshotError::corrupt(line, "queue node index exceeds this platform")
+                    })?;
                 if node != alg1.queues.len() {
                     return Err(SnapshotError::corrupt(
                         line,
@@ -673,7 +679,7 @@ pub fn parse(text: &str) -> Result<Snapshot, SnapshotError> {
                         Ok((seq, task))
                     })
                     .collect::<Result<Vec<_>, SnapshotError>>()?;
-                tasks += entries.len() as u64;
+                tasks += u64_exact(entries.len());
                 alg1.queues.push(QueueState {
                     next_seq: get_u64(&record, "next_seq", line)?,
                     entries,
@@ -699,7 +705,7 @@ pub fn parse(text: &str) -> Result<Snapshot, SnapshotError> {
             Some("end") => {
                 let declared_records = get_u64(&record, "records", line)?;
                 let declared_tasks = get_u64(&record, "tasks", line)?;
-                if declared_records != records as u64 || declared_tasks != tasks {
+                if declared_records != u64_exact(records) || declared_tasks != tasks {
                     return Err(SnapshotError::corrupt(
                         line,
                         format!(
@@ -782,46 +788,6 @@ pub fn load(path: impl AsRef<Path>) -> Result<Snapshot, SnapshotError> {
         message: e.to_string(),
     })?;
     parse(&text)
-}
-
-/// Atomically publishes `bytes` at `path`: write to a temp file in the same
-/// directory, fsync, rename over the target, then fsync the directory. A
-/// crash at any point leaves either the previous file or the new one under
-/// `path`, never a torn mixture.
-///
-/// # Errors
-///
-/// Returns the underlying I/O error.
-pub fn write_bytes_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
-    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
-    let file_name = path
-        .file_name()
-        .and_then(|name| name.to_str())
-        .unwrap_or("artifact");
-    let tmp_name = format!(".{file_name}.tmp.{}", std::process::id());
-    let tmp = match dir {
-        Some(dir) => dir.join(&tmp_name),
-        None => std::path::PathBuf::from(&tmp_name),
-    };
-    let result = (|| {
-        let mut file = fs::File::create(&tmp)?;
-        file.write_all(bytes)?;
-        file.sync_all()?;
-        drop(file);
-        fs::rename(&tmp, path)?;
-        // Persist the rename itself; best-effort where directories cannot be
-        // opened (non-POSIX platforms).
-        if let Some(dir) = dir {
-            if let Ok(d) = fs::File::open(dir) {
-                let _ = d.sync_all();
-            }
-        }
-        Ok(())
-    })();
-    if result.is_err() {
-        let _ = fs::remove_file(&tmp);
-    }
-    result
 }
 
 /// Renders `snapshot` and atomically writes it to `path` (see

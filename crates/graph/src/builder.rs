@@ -102,6 +102,7 @@ impl Extend<(NodeId, NodeId)> for GraphBuilder {
     /// Intended for internal generator use where endpoints are known valid.
     fn extend<T: IntoIterator<Item = (NodeId, NodeId)>>(&mut self, iter: T) {
         for (u, v) in iter {
+            // lint: allow(R03, documented contract of this internal helper)
             self.add_edge(u, v).expect("edge endpoints must be valid");
         }
     }

@@ -80,10 +80,13 @@ fn try_pairing(n: usize, d: usize, rng: &mut impl Rng) -> Option<Graph> {
         .map(|pair| (pair[0], pair[1]))
         .collect();
 
-    use std::collections::HashSet;
+    // A BTreeSet, not a HashSet: membership-only today, but ordered
+    // collections keep the generator's behaviour independent of RandomState
+    // if iteration ever creeps in (determinism contract, lint rule R01).
+    use std::collections::BTreeSet;
     let canonical = |u: usize, v: usize| if u < v { (u, v) } else { (v, u) };
-    let mut edge_set: HashSet<(usize, usize)> = HashSet::with_capacity(pairs.len());
-    let is_bad = |u: usize, v: usize, set: &HashSet<(usize, usize)>| {
+    let mut edge_set: BTreeSet<(usize, usize)> = BTreeSet::new();
+    let is_bad = |u: usize, v: usize, set: &BTreeSet<(usize, usize)>| {
         u == v || set.contains(&canonical(u, v))
     };
     for &(u, v) in &pairs {

@@ -104,6 +104,7 @@ impl Graph {
         let mut offsets = Vec::with_capacity(n + 1);
         offsets.push(0);
         for d in &degree {
+            // lint: allow(R03, offsets starts with one element pushed above)
             let last = *offsets.last().expect("offsets is never empty");
             offsets.push(last + d);
         }
@@ -276,6 +277,7 @@ impl Graph {
         let mut queue = VecDeque::new();
         queue.push_back(source);
         while let Some(u) = queue.pop_front() {
+            // lint: allow(R03, BFS sets dist before enqueueing every node)
             let du = dist[u].expect("queued nodes always have a distance");
             for &v in self.neighbors(u) {
                 if dist[v].is_none() {
@@ -322,6 +324,7 @@ impl Graph {
             let mut queue = VecDeque::new();
             queue.push_back(start);
             while let Some(u) = queue.pop_front() {
+                // lint: allow(R03, BFS colours before enqueueing every node)
                 let cu = colour[u].expect("queued nodes are coloured");
                 for &v in self.neighbors(u) {
                     match colour[v] {

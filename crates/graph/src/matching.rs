@@ -156,6 +156,7 @@ impl PeriodicMatchings {
         }
         let mut classes: Vec<Vec<EdgeId>> = vec![Vec::new(); num_colours.max(1)];
         for (e, colour) in colour_of_edge.into_iter().enumerate() {
+            // lint: allow(R03, the colouring loop above covers every edge)
             let colour = colour.expect("every edge is coloured");
             classes[colour].push(e);
         }

@@ -1,0 +1,476 @@
+//! A comment/string/raw-string-aware Rust tokenizer.
+//!
+//! The linter's rules match *token* sequences, never raw text, so a
+//! `SystemTime::now` inside a string literal, a doc comment or a nested
+//! block comment is invisible to them. The tokenizer is deliberately
+//! lossy — it does not distinguish keywords from identifiers, keeps every
+//! punctuation character as its own token, and collapses each literal into
+//! one opaque token — because that is exactly the granularity the rules
+//! need, and nothing more.
+//!
+//! Robustness contract: tokenizing never fails. Unterminated literals and
+//! comments extend to the end of the file (the compiler will reject the
+//! file anyway; the linter must not die before it can report anything).
+
+/// The coarse classification the rules match against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`foo`, `fn`, `as`, `r#match`).
+    Ident,
+    /// A lifetime (`'a`, `'_`) — kept distinct so the single-quote scanner
+    /// never swallows code while looking for a char literal's close.
+    Lifetime,
+    /// A numeric literal (`42`, `0x1f`, `1.5e3`).
+    Number,
+    /// Any string, raw-string, byte-string or char literal, as one opaque
+    /// token. Rules never look inside.
+    Literal,
+    /// A single punctuation character (`:`, `.`, `{`, `!`, …).
+    Punct(u8),
+    /// A `//…` comment, text retained for `// lint:` directives.
+    LineComment,
+    /// A `/* … */` comment (nesting handled); contents are ignored.
+    BlockComment,
+}
+
+/// One token, borrowing its text from the source.
+#[derive(Debug, Clone, Copy)]
+pub struct Token<'a> {
+    pub kind: TokenKind,
+    pub text: &'a str,
+    /// Byte offset of the token's first character.
+    pub offset: usize,
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based byte column within the line.
+    pub col: usize,
+}
+
+/// Tokenizes `src` in one pass. See the module docs for the contract.
+pub fn tokenize(src: &str) -> Vec<Token<'_>> {
+    Lexer {
+        src,
+        bytes: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        line_start: 0,
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: usize,
+    /// Byte offset where the current line begins (for column computation).
+    line_start: usize,
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> Vec<Token<'a>> {
+        let mut tokens = Vec::new();
+        while self.pos < self.bytes.len() {
+            let b = self.bytes[self.pos];
+            if b == b'\n' {
+                self.pos += 1;
+                self.line += 1;
+                self.line_start = self.pos;
+                continue;
+            }
+            if b.is_ascii_whitespace() {
+                self.pos += 1;
+                continue;
+            }
+            let start = self.pos;
+            let (line, col) = (self.line, start - self.line_start + 1);
+            let kind = self.scan_token(b);
+            tokens.push(Token {
+                kind,
+                text: &self.src[start..self.pos],
+                offset: start,
+                line,
+                col,
+            });
+        }
+        tokens
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    /// Scans one token starting at `self.pos` (whose first byte is `b`),
+    /// advancing past it and returning its kind. Multi-line tokens update
+    /// the line counter as they go.
+    fn scan_token(&mut self, b: u8) -> TokenKind {
+        match b {
+            b'/' if self.peek(1) == Some(b'/') => self.scan_line_comment(),
+            b'/' if self.peek(1) == Some(b'*') => self.scan_block_comment(),
+            b'"' => self.scan_string(),
+            b'\'' => self.scan_char_or_lifetime(),
+            _ if b.is_ascii_digit() => self.scan_number(),
+            _ if is_ident_start(b) => self.scan_ident_or_prefixed_literal(),
+            _ => {
+                // Multibyte UTF-8 in code position (only legal inside
+                // literals/comments, but stay robust): consume the whole
+                // character so we never split a code point.
+                let len = self.src[self.pos..]
+                    .chars()
+                    .next()
+                    .map_or(1, char::len_utf8);
+                self.pos += len;
+                TokenKind::Punct(b)
+            }
+        }
+    }
+
+    fn scan_line_comment(&mut self) -> TokenKind {
+        while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\n' {
+            self.pos += 1;
+        }
+        TokenKind::LineComment
+    }
+
+    fn scan_block_comment(&mut self) -> TokenKind {
+        self.pos += 2;
+        let mut depth = 1usize;
+        while self.pos < self.bytes.len() && depth > 0 {
+            match (self.bytes[self.pos], self.peek(1)) {
+                (b'/', Some(b'*')) => {
+                    depth += 1;
+                    self.pos += 2;
+                }
+                (b'*', Some(b'/')) => {
+                    depth -= 1;
+                    self.pos += 2;
+                }
+                (b'\n', _) => {
+                    self.pos += 1;
+                    self.line += 1;
+                    self.line_start = self.pos;
+                }
+                _ => self.pos += 1,
+            }
+        }
+        TokenKind::BlockComment
+    }
+
+    /// A `"…"` string with escapes; multi-line strings are legal.
+    fn scan_string(&mut self) -> TokenKind {
+        self.pos += 1;
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'\\' => {
+                    // The escaped byte may itself be a newline (the `"\`
+                    // line-continuation idiom) — keep the line count exact.
+                    if self.peek(1) == Some(b'\n') {
+                        self.line += 1;
+                        self.line_start = self.pos + 2;
+                    }
+                    self.pos += 2.min(self.bytes.len() - self.pos);
+                }
+                b'"' => {
+                    self.pos += 1;
+                    break;
+                }
+                b'\n' => {
+                    self.pos += 1;
+                    self.line += 1;
+                    self.line_start = self.pos;
+                }
+                _ => self.pos += 1,
+            }
+        }
+        TokenKind::Literal
+    }
+
+    /// A `r"…"` / `r#"…"#` raw string (any number of hashes), positioned
+    /// just past the `r`/`br` prefix.
+    fn scan_raw_string(&mut self) -> TokenKind {
+        let mut hashes = 0usize;
+        while self.peek(0) == Some(b'#') {
+            hashes += 1;
+            self.pos += 1;
+        }
+        self.pos += 1; // opening quote (guaranteed by the caller's lookahead)
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'"' if self.bytes[self.pos + 1..]
+                    .iter()
+                    .take(hashes)
+                    .filter(|&&b| b == b'#')
+                    .count()
+                    == hashes =>
+                {
+                    self.pos += 1 + hashes;
+                    return TokenKind::Literal;
+                }
+                b'\n' => {
+                    self.pos += 1;
+                    self.line += 1;
+                    self.line_start = self.pos;
+                }
+                _ => self.pos += 1,
+            }
+        }
+        TokenKind::Literal
+    }
+
+    /// A `'` introduces a char literal (`'x'`, `'\n'`, `'\u{1F600}'`) or a
+    /// lifetime (`'a`, `'_`, `'static`). The disambiguation mirrors rustc:
+    /// an escape or a close quote right after one character means literal,
+    /// otherwise lifetime.
+    fn scan_char_or_lifetime(&mut self) -> TokenKind {
+        self.pos += 1;
+        match self.peek(0) {
+            Some(b'\\') => {
+                // Escaped char literal: skip the escaped character itself
+                // (so '\'' closes correctly), then consume to the close.
+                self.pos += 2.min(self.bytes.len() - self.pos);
+                while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\'' {
+                    self.pos += 1;
+                }
+                self.pos += usize::from(self.pos < self.bytes.len());
+                TokenKind::Literal
+            }
+            Some(first) => {
+                let first_len = self.src[self.pos..]
+                    .chars()
+                    .next()
+                    .map_or(1, char::len_utf8);
+                if self.bytes.get(self.pos + first_len) == Some(&b'\'') {
+                    // 'x' (possibly multibyte x): a char literal.
+                    self.pos += first_len + 1;
+                    TokenKind::Literal
+                } else if is_ident_start(first) {
+                    // A lifetime: consume the identifier.
+                    while self.pos < self.bytes.len() && is_ident_continue(self.bytes[self.pos]) {
+                        self.pos += 1;
+                    }
+                    TokenKind::Lifetime
+                } else {
+                    TokenKind::Punct(b'\'')
+                }
+            }
+            None => TokenKind::Punct(b'\''),
+        }
+    }
+
+    fn scan_number(&mut self) -> TokenKind {
+        while self.pos < self.bytes.len() {
+            let b = self.bytes[self.pos];
+            let in_number = b.is_ascii_alphanumeric()
+                || b == b'_'
+                // A fraction dot — `1..x` is a range, not a fraction.
+                || (b == b'.'
+                    && self.peek(1).is_some_and(|n| n.is_ascii_digit())
+                    && self.bytes.get(self.pos.wrapping_sub(1)) != Some(&b'.'))
+                // An exponent sign, as in `1e+9`.
+                || ((b == b'+' || b == b'-')
+                    && matches!(self.bytes.get(self.pos.wrapping_sub(1)), Some(b'e' | b'E')));
+            if !in_number {
+                break;
+            }
+            self.pos += 1;
+        }
+        TokenKind::Number
+    }
+
+    /// An identifier — unless it is the `r` / `b` / `br` prefix of a raw
+    /// string, byte string, byte char or raw identifier.
+    fn scan_ident_or_prefixed_literal(&mut self) -> TokenKind {
+        let start = self.pos;
+        while self.pos < self.bytes.len() && is_ident_continue(self.bytes[self.pos]) {
+            self.pos += 1;
+        }
+        let ident = &self.src[start..self.pos];
+        match (ident, self.peek(0)) {
+            // r"…", r#"…"# raw strings; br"…", br#"…"# raw byte strings.
+            ("r" | "br", Some(b'"')) => self.scan_raw_string(),
+            ("r" | "br", Some(b'#')) => {
+                // Look past the hashes: a quote means raw string, an
+                // identifier means raw identifier (r#match).
+                let mut ahead = 0;
+                while self.peek(ahead) == Some(b'#') {
+                    ahead += 1;
+                }
+                if self.peek(ahead) == Some(b'"') {
+                    self.scan_raw_string()
+                } else {
+                    // Raw identifier: consume `#ident`.
+                    self.pos += ahead;
+                    while self.pos < self.bytes.len() && is_ident_continue(self.bytes[self.pos]) {
+                        self.pos += 1;
+                    }
+                    TokenKind::Ident
+                }
+            }
+            // b"…" byte string, b'…' byte char.
+            ("b", Some(b'"')) => self.scan_string(),
+            ("b", Some(b'\'')) => self.scan_char_or_lifetime(),
+            _ => TokenKind::Ident,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, &str)> {
+        tokenize(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn idents_puncts_and_positions() {
+        let toks = tokenize("let x = a::b;\n  y.z()");
+        let texts: Vec<_> = toks.iter().map(|t| t.text).collect();
+        assert_eq!(
+            texts,
+            ["let", "x", "=", "a", ":", ":", "b", ";", "y", ".", "z", "(", ")"]
+        );
+        let y = toks.iter().find(|t| t.text == "y").unwrap();
+        assert_eq!((y.line, y.col), (2, 3));
+    }
+
+    #[test]
+    fn strings_are_opaque() {
+        let toks = kinds(r#"let s = "SystemTime::now() \" unwrap()";"#);
+        assert!(toks
+            .iter()
+            .all(|(k, t)| *k != TokenKind::Ident || (*t != "SystemTime" && *t != "unwrap")));
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, _)| *k == TokenKind::Literal)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn raw_strings_and_hashes() {
+        let src = "let s = r#\"a \" quote and unwrap() inside\"#; call()";
+        let toks = kinds(src);
+        assert!(toks.iter().any(|(_, t)| *t == "call"));
+        assert!(!toks.iter().any(|(_, t)| *t == "unwrap"));
+        // Double-hash raw strings and raw byte strings.
+        let toks = kinds("br##\"x \"# y\"## + r\"plain\" + r#ident");
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, _)| *k == TokenKind::Literal)
+                .count(),
+            2
+        );
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t.contains("ident")));
+    }
+
+    #[test]
+    fn comments_line_block_nested() {
+        let src = "a // unwrap() in a comment\nb /* outer /* nested unwrap() */ still */ c";
+        let toks = tokenize(src);
+        let idents: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect();
+        assert_eq!(idents, ["a", "b", "c"]);
+        assert_eq!(
+            toks.iter()
+                .filter(|t| t.kind == TokenKind::LineComment)
+                .count(),
+            1
+        );
+        assert_eq!(
+            toks.iter()
+                .filter(|t| t.kind == TokenKind::BlockComment)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let toks =
+            kinds("x: &'a str; let c = 'x'; let nl = '\\n'; let u = '\\u{1F600}'; let q = '\"';");
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, _)| *k == TokenKind::Lifetime)
+                .count(),
+            1
+        );
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, _)| *k == TokenKind::Literal)
+                .count(),
+            4
+        );
+        // Byte chars and byte strings.
+        let toks = kinds("scan(b'\"'); s(b\"bytes\")");
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, _)| *k == TokenKind::Literal)
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_ranges_or_methods() {
+        let toks = kinds("for i in 0..10 { x = 1.5e-3; (2u64).pow(3); }");
+        assert!(toks.iter().any(|(_, t)| *t == "pow"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Number && *t == "1.5e-3"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Number && *t == "0"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Number && *t == "10"));
+    }
+
+    #[test]
+    fn unterminated_literals_extend_to_eof_without_panicking() {
+        for src in [
+            "let s = \"open",
+            "let s = r#\"open",
+            "/* open",
+            "let c = '\\",
+        ] {
+            let _ = tokenize(src); // must not panic
+        }
+    }
+
+    #[test]
+    fn multibyte_text_keeps_columns_sane() {
+        let toks = tokenize("let s = \"héllo\"; done");
+        assert!(toks.iter().any(|t| t.text == "done"));
+    }
+
+    #[test]
+    fn multiline_literals_keep_the_line_count_exact() {
+        // A `"\`-continued string, an embedded newline and a raw string: the
+        // token after each must land on the right line.
+        let src = "let a = \"one\\\n   two\";\nlet b = \"x\ny\";\nlet c = r#\"p\nq\"#;\nend";
+        let toks = tokenize(src);
+        let find = |name: &str| toks.iter().find(|t| t.text == name).unwrap();
+        assert_eq!(find("b").line, 3);
+        assert_eq!(find("c").line, 5);
+        assert_eq!(find("end").line, 7);
+        assert_eq!(find("end").col, 1);
+    }
+}

@@ -31,6 +31,7 @@
 //! errors, never silent roundings (`tests/trace_corpus.rs` pins the error
 //! taxonomy).
 
+use lb_analysis::u64_exact;
 use lb_core::discrete::RoundEvents;
 use lb_core::{Task, TaskId};
 use std::fs;
@@ -175,7 +176,7 @@ impl<'a> Scan<'a> {
         self.bytes.get(self.pos).copied()
     }
 
-    fn expect(&mut self, token: u8) -> Result<(), String> {
+    fn require(&mut self, token: u8) -> Result<(), String> {
         if self.peek() == Some(token) {
             self.pos += 1;
             Ok(())
@@ -196,7 +197,7 @@ impl<'a> Scan<'a> {
     /// A double-quoted string without escapes (the format never emits any in
     /// record positions the streaming parser inspects).
     fn string(&mut self) -> Result<&'a str, String> {
-        self.expect(b'"')?;
+        self.require(b'"')?;
         let start = self.pos;
         loop {
             match self.bytes.get(self.pos) {
@@ -216,7 +217,7 @@ impl<'a> Scan<'a> {
     /// A `"key":` pair opener.
     fn key(&mut self) -> Result<&'a str, String> {
         let name = self.string()?;
-        self.expect(b':')?;
+        self.require(b':')?;
         Ok(name)
     }
 
@@ -258,43 +259,43 @@ impl<'a> Scan<'a> {
 
 /// Parses `"completions":[[node,weight],…]` into `out.completions`.
 fn parse_completions(scan: &mut Scan<'_>, out: &mut RoundEvents) -> Result<(), String> {
-    scan.expect(b'[')?;
+    scan.require(b'[')?;
     if scan.consume_if(b']') {
         return Ok(());
     }
     loop {
-        scan.expect(b'[')?;
+        scan.require(b'[')?;
         let node = usize::try_from(scan.integer()?).map_err(|_| "integer out of range")?;
-        scan.expect(b',')?;
+        scan.require(b',')?;
         let weight = scan.integer()?;
-        scan.expect(b']')?;
+        scan.require(b']')?;
         out.completions.push((node, weight));
         if !scan.consume_if(b',') {
-            return scan.expect(b']');
+            return scan.require(b']');
         }
     }
 }
 
 /// Parses `"arrivals":[[node,id,weight],…]` into `out.arrivals`.
 fn parse_arrivals(scan: &mut Scan<'_>, out: &mut RoundEvents) -> Result<(), String> {
-    scan.expect(b'[')?;
+    scan.require(b'[')?;
     if scan.consume_if(b']') {
         return Ok(());
     }
     loop {
-        scan.expect(b'[')?;
+        scan.require(b'[')?;
         let node = usize::try_from(scan.integer()?).map_err(|_| "integer out of range")?;
-        scan.expect(b',')?;
+        scan.require(b',')?;
         let id = scan.integer()?;
-        scan.expect(b',')?;
+        scan.require(b',')?;
         let weight = scan.integer()?;
-        scan.expect(b']')?;
+        scan.require(b']')?;
         if weight == 0 {
             return Err("arrival weight must be positive".into());
         }
         out.arrivals.push((node, Task::new(TaskId(id), weight)));
         if !scan.consume_if(b',') {
-            return scan.expect(b']');
+            return scan.require(b']');
         }
     }
 }
@@ -304,7 +305,7 @@ fn parse_arrivals(scan: &mut Scan<'_>, out: &mut RoundEvents) -> Result<(), Stri
 fn parse_stream_record(line: &str, out: &mut RoundEvents) -> Result<StreamRecord, String> {
     out.clear();
     let mut scan = Scan::new(line);
-    scan.expect(b'{')?;
+    scan.require(b'{')?;
     if scan.key()? != "kind" {
         return Err("record must lead with its \"kind\" field".into());
     }
@@ -331,7 +332,7 @@ fn parse_stream_record(line: &str, out: &mut RoundEvents) -> Result<StreamRecord
                     other => return Err(format!("unknown round-record field {other:?}")),
                 }
             }
-            scan.expect(b'}')?;
+            scan.require(b'}')?;
             scan.end()?;
             match (round, have_completions, have_arrivals) {
                 (Some(round), true, true) => Ok(StreamRecord::Round(round)),
@@ -351,7 +352,7 @@ fn parse_stream_record(line: &str, out: &mut RoundEvents) -> Result<StreamRecord
                     other => return Err(format!("unknown end-record field {other:?}")),
                 }
             }
-            scan.expect(b'}')?;
+            scan.require(b'}')?;
             scan.end()?;
             match (rounds, events) {
                 (Some(rounds), Some(events)) => Ok(StreamRecord::End { rounds, events }),
@@ -380,7 +381,7 @@ struct StreamState {
 impl StreamState {
     fn new(scenario_rounds: usize) -> Self {
         StreamState {
-            scenario_rounds: scenario_rounds as u64,
+            scenario_rounds: u64_exact(scenario_rounds),
             last_round: None,
             rounds_seen: 0,
             events_seen: 0,
@@ -450,7 +451,7 @@ fn process_line(
             "line {lineno}: unexpected header record mid-stream"
         )),
         StreamRecord::Round(round) => {
-            let events = (out.arrivals.len() + out.completions.len()) as u64;
+            let events = u64_exact(out.arrivals.len() + out.completions.len());
             state
                 .admit_round(round, events)
                 .map_err(|e| format!("line {lineno}: {e}"))?;
@@ -508,7 +509,7 @@ impl<R: Read + Send> ReadSource<R> {
             match reader.read(&mut buf) {
                 Ok(0) => return Err("event stream ended before the header record".into()),
                 Ok(n) => {
-                    read_pos += n as u64;
+                    read_pos += u64_exact(n);
                     decoder.feed(&buf[..n]);
                 }
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
@@ -542,7 +543,7 @@ impl<R: Read + Send> ReadSource<R> {
     pub fn resume(reader: R, scenario: Scenario, checkpoint: Checkpoint) -> Result<Self, String> {
         scenario.validate()?;
         let state = StreamState {
-            scenario_rounds: scenario.rounds as u64,
+            scenario_rounds: u64_exact(scenario.rounds),
             last_round: checkpoint.last_round,
             rounds_seen: checkpoint.rounds_seen,
             events_seen: checkpoint.events_seen,
@@ -563,7 +564,7 @@ impl<R: Read + Send> ReadSource<R> {
     /// this source started reading).
     pub fn checkpoint(&self) -> Checkpoint {
         Checkpoint {
-            offset: self.read_pos - self.decoder.pending_len() as u64,
+            offset: self.read_pos - u64_exact(self.decoder.pending_len()),
             lineno: self.lineno,
             last_round: self.state.last_round,
             rounds_seen: self.state.rounds_seen,
@@ -603,7 +604,7 @@ impl<R: Read + Send> RoundSource for ReadSource<R> {
                     });
                 }
                 Ok(n) => {
-                    self.read_pos += n as u64;
+                    self.read_pos += u64_exact(n);
                     self.decoder.feed(&buf[..n]);
                 }
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
@@ -655,7 +656,7 @@ fn read_file_chunk(
     loop {
         match file.read(&mut buf) {
             Ok(n) => {
-                *read_pos += n as u64;
+                *read_pos += u64_exact(n);
                 if n > 0 {
                     decoder.feed(&buf[..n]);
                 }
@@ -773,7 +774,7 @@ impl TraceSource {
         file.seek(SeekFrom::Start(checkpoint.offset))
             .map_err(|e| format!("seeking {}: {e}", path.display()))?;
         let state = StreamState {
-            scenario_rounds: scenario.rounds as u64,
+            scenario_rounds: u64_exact(scenario.rounds),
             last_round: checkpoint.last_round,
             rounds_seen: checkpoint.rounds_seen,
             events_seen: checkpoint.events_seen,
@@ -795,7 +796,7 @@ impl TraceSource {
     /// The current resume point: the boundary after the last consumed line.
     pub fn checkpoint(&self) -> Checkpoint {
         Checkpoint {
-            offset: self.read_pos - self.decoder.pending_len() as u64,
+            offset: self.read_pos - u64_exact(self.decoder.pending_len()),
             lineno: self.lineno,
             last_round: self.state.last_round,
             rounds_seen: self.state.rounds_seen,

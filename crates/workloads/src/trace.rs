@@ -30,7 +30,7 @@
 //!   (interrupted recording, partial copy) fails loudly instead of silently
 //!   replaying a prefix.
 
-use lb_analysis::Json;
+use lb_analysis::{u64_exact, Json};
 use lb_core::discrete::RoundEvents;
 use lb_core::{Task, TaskId};
 use std::fs;
@@ -102,6 +102,7 @@ impl TraceWriter {
             Some(dir) => dir.join(tmp_name),
             None => PathBuf::from(tmp_name),
         };
+        // lint: allow(R04, staging file only: finish() publishes it atomically)
         let file = fs::File::create(&tmp)
             .map_err(|e| format!("creating trace {}: {e}", path.display()))?;
         let mut writer = Self::new(io::BufWriter::new(file), scenario)?;
@@ -152,7 +153,7 @@ impl TraceWriter {
         self.write_line(&record)?;
         self.last_round = Some(round);
         self.rounds += 1;
-        self.events += (events.arrivals.len() + events.completions.len()) as u64;
+        self.events += u64_exact(events.arrivals.len() + events.completions.len());
         Ok(())
     }
 
@@ -300,13 +301,13 @@ impl Trace {
                             ));
                         }
                     }
-                    if parsed.round >= scenario.rounds as u64 {
+                    if parsed.round >= u64_exact(scenario.rounds) {
                         return Err(format!(
                             "line {lineno}: round {} is beyond the scenario ({} rounds)",
                             parsed.round, scenario.rounds
                         ));
                     }
-                    events_total += (parsed.arrivals.len() + parsed.completions.len()) as u64;
+                    events_total += u64_exact(parsed.arrivals.len() + parsed.completions.len());
                     rounds.push(parsed);
                 }
                 Some("end") => {
@@ -318,7 +319,8 @@ impl Trace {
                         .get("events")
                         .and_then(Json::as_u64)
                         .ok_or(format!("line {lineno}: end record has no events total"))?;
-                    if declared_rounds != rounds.len() as u64 || declared_events != events_total {
+                    if declared_rounds != u64_exact(rounds.len()) || declared_events != events_total
+                    {
                         return Err(format!(
                             "line {lineno}: end record declares {declared_rounds} round(s) / \
                              {declared_events} event(s) but the trace carries {} / \
@@ -342,7 +344,7 @@ impl Trace {
     pub fn event_count(&self) -> u64 {
         self.rounds
             .iter()
-            .map(|r| (r.arrivals.len() + r.completions.len()) as u64)
+            .map(|r| u64_exact(r.arrivals.len() + r.completions.len()))
             .sum()
     }
 }
