@@ -10,6 +10,10 @@
 //! lb replay <trace.jsonl | -> [--follow] [--idle-timeout-ms N] [--shards N]
 //!        [--ingest-stats PATH] [--out PATH] [--quiet]
 //! lb serve-trace <trace.jsonl> [--out PATH] [--delay-ms N]
+//! lb federate <scenario.json> [--parts N] [--shards N] [--seed N]
+//!        [--checkpoint PATH --checkpoint-every N] [--listen ADDR]
+//!        [--listen-info PATH] [--no-spawn] [--out PATH] [--quiet]
+//! lb federate-worker --connect ADDR --rank R --parts N
 //! lb table1|table2|theorem3|theorem8|trajectory|heterogeneous|
 //!    dummy_ablation|fos_vs_sos|dynamic_arrivals [--quick]
 //! lb hotpath [--quick] [--shards N]
@@ -166,6 +170,45 @@ COMMANDS:
                           With --connect: drop the connection (no end
                           record) after N round records — a deterministic
                           stand-in for a crashed client.
+    federate <scenario.json>
+                          Run the scenario partitioned across N OS processes
+                          on this machine: this coordinator spawns one
+                          'federate-worker' per rank, relays the per-round
+                          boundary exchanges over the line-delimited wire
+                          protocol, and assembles the result JSON —
+                          byte-identical to 'lb run' of the same scenario,
+                          for every partition and shard count. See
+                          ROADMAP.md 'Federation'.
+        --parts N         Override the scenario's 'federation' partition
+                          count (1..=64).
+        --shards N        Per-process intra-partition shard count override
+                          (results are bit-identical for every N). Env
+                          fallback: LB_BENCH_SHARDS.
+        --seed N          Override the scenario's seed.
+        --checkpoint PATH Coordinator-driven rotating snapshot of the
+                          assembled global state every --checkpoint-every
+                          rounds; resume it with the sequential
+                          'lb run --resume PATH'.
+        --checkpoint-every N
+                          Checkpoint cadence in rounds; required alongside
+                          --checkpoint.
+        --listen ADDR     TCP host:port the workers connect to (port 0
+                          picks a free port) [default: 127.0.0.1:0].
+        --listen-info PATH
+                          Write the bound address as one-line JSON once
+                          listening (for externally launched workers).
+        --no-spawn        Do not spawn workers; wait for N external
+                          'lb federate-worker' processes to join instead.
+        --out PATH        Also write the result JSON to PATH.
+        --quiet           Suppress the per-sample stream on stderr.
+    federate-worker --connect ADDR --rank R --parts N
+                          One federated partition process: joins the
+                          coordinator at ADDR as rank R of N, receives the
+                          effective scenario over the wire, and steps its
+                          own node range. Normally spawned by
+                          'lb federate'; run it manually against
+                          'lb federate --no-spawn' for custom process
+                          supervision.
     table1, table2, theorem3, theorem8, trajectory, heterogeneous,
     dummy_ablation, fos_vs_sos, dynamic_arrivals
                           Regenerate one experiment artefact.
@@ -308,6 +351,8 @@ pub fn dispatch(args: &[String]) -> i32 {
         "replay" => cmd_replay(rest),
         "serve" => cmd_serve(rest),
         "serve-trace" | "serve_trace" => cmd_serve_trace(rest),
+        "federate" => cmd_federate(rest),
+        "federate-worker" | "federate_worker" => cmd_federate_worker(rest),
         "hotpath" => {
             let parsed = match parse_args(rest, &["--shards"], &["--quick"], 0) {
                 Ok(parsed) => parsed,
@@ -580,6 +625,187 @@ fn cmd_run(args: &[String]) -> i32 {
         emit_outcome(&outcome, parsed.value("--out")).map_err(BenchError::Io)
     })();
     match result {
+        Ok(()) => 0,
+        Err(err) => fail(err),
+    }
+}
+
+/// Runs a scenario partitioned across N OS processes (see
+/// [`crate::federate`]): binds the coordinator socket, spawns (or awaits)
+/// one `federate-worker` per rank, and drives the round-synchronized
+/// exchange protocol to a result document byte-identical to `lb run`'s.
+fn cmd_federate(args: &[String]) -> i32 {
+    let parsed = match parse_args(
+        args,
+        &[
+            "--parts",
+            "--shards",
+            "--seed",
+            "--checkpoint",
+            "--checkpoint-every",
+            "--listen",
+            "--listen-info",
+            "--out",
+        ],
+        &["--quiet", "--no-spawn"],
+        1,
+    ) {
+        Ok(parsed) => parsed,
+        Err(err) => return usage_error(&err),
+    };
+    let Some(path) = parsed.positionals.first().copied() else {
+        return usage_error("federate requires a scenario file (lb federate <scenario.json>)");
+    };
+    let parts_override = match parsed
+        .value("--parts")
+        .map(|v| -> Result<usize, String> {
+            let parts: usize = v.parse().map_err(|e| format!("--parts: {e}"))?;
+            if parts == 0 || parts > lb_workloads::MAX_FEDERATION {
+                return Err(format!(
+                    "--parts: the partition count must be in 1..={}, got {parts}",
+                    lb_workloads::MAX_FEDERATION
+                ));
+            }
+            Ok(parts)
+        })
+        .transpose()
+    {
+        Ok(parts) => parts,
+        Err(err) => return usage_error(&err),
+    };
+    let seed = match parsed
+        .value("--seed")
+        .map(|v| v.parse::<u64>().map_err(|e| format!("--seed: {e}")))
+        .transpose()
+    {
+        Ok(seed) => seed,
+        Err(err) => return usage_error(&err),
+    };
+    let shards = match shards_option(parsed.value("--shards")) {
+        Ok(shards) => shards,
+        Err(err) => return usage_error(&err),
+    };
+    let checkpoint_every = match parsed
+        .value("--checkpoint-every")
+        .map(|v| {
+            v.parse::<usize>()
+                .map_err(|e| format!("--checkpoint-every: {e}"))
+        })
+        .transpose()
+    {
+        Ok(every) => every,
+        Err(err) => return usage_error(&err),
+    };
+    let checkpoint = parsed.value("--checkpoint").map(PathBuf::from);
+    match (&checkpoint, checkpoint_every) {
+        (Some(_), None) => return usage_error("--checkpoint requires --checkpoint-every N"),
+        (None, Some(_)) => return usage_error("--checkpoint-every requires --checkpoint PATH"),
+        (Some(_), Some(0)) => {
+            return usage_error("--checkpoint-every: the cadence must be at least one round");
+        }
+        _ => {}
+    }
+    let listen = parsed.value("--listen").unwrap_or("127.0.0.1:0");
+    let no_spawn = parsed.has("--no-spawn");
+    let quiet = parsed.has("--quiet");
+
+    let result = (|| -> Result<(), BenchError> {
+        let text =
+            fs::read_to_string(path).map_err(|e| BenchError::io(format!("reading {path}: {e}")))?;
+        let scenario =
+            Scenario::parse(&text).map_err(|e| BenchError::usage(format!("{path}: {e}")))?;
+        let parts = parts_override.unwrap_or(scenario.federation);
+        let listener = std::net::TcpListener::bind(listen)
+            .map_err(|e| BenchError::io(format!("binding {listen}: {e}")))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| BenchError::io(format!("reading the bound address: {e}")))?
+            .to_string();
+        if let Some(info_path) = parsed.value("--listen-info") {
+            let info = Json::obj([("addr", Json::from(addr.as_str()))]);
+            write_bytes_atomic(
+                Path::new(info_path),
+                format!("{}\n", info.render()).as_bytes(),
+            )
+            .map_err(|e| BenchError::io(format!("writing {info_path}: {e}")))?;
+        }
+        let children = if no_spawn {
+            Vec::new()
+        } else {
+            let exe = std::env::current_exe()
+                .map_err(|e| BenchError::run(format!("locating the lb binary: {e}")))?;
+            let mut children = Vec::with_capacity(parts);
+            for rank in 0..parts {
+                let child = std::process::Command::new(&exe)
+                    .args([
+                        "federate-worker",
+                        "--connect",
+                        &addr,
+                        "--rank",
+                        &rank.to_string(),
+                        "--parts",
+                        &parts.to_string(),
+                    ])
+                    .spawn()
+                    .map_err(|e| {
+                        BenchError::run(format!("spawning federate-worker rank {rank}: {e}"))
+                    })?;
+                children.push(child);
+            }
+            children
+        };
+        let role = crate::federate::FederationRole::coordinator(listener, children);
+        let outcome = Session::from_scenario(&scenario)
+            .seed(seed)
+            .shards(shards)
+            .checkpoint(checkpoint.clone(), checkpoint_every)
+            .federated(role, parts)
+            .run(|sample| {
+                if !quiet {
+                    stream_sample(sample);
+                }
+            })?;
+        emit_outcome(&outcome, parsed.value("--out")).map_err(BenchError::Io)
+    })();
+    match result {
+        Ok(()) => 0,
+        Err(err) => fail(err),
+    }
+}
+
+/// One federated partition process: joins the coordinator, receives the
+/// effective scenario over the wire, and runs its node range to completion.
+/// Normally spawned by `cmd_federate`; exposed for `--no-spawn` topologies.
+fn cmd_federate_worker(args: &[String]) -> i32 {
+    let parsed = match parse_args(args, &["--connect", "--rank", "--parts"], &[], 0) {
+        Ok(parsed) => parsed,
+        Err(err) => return usage_error(&err),
+    };
+    let Some(addr) = parsed.value("--connect") else {
+        return usage_error("federate-worker requires --connect ADDR");
+    };
+    let parse_count = |flag: &str| -> Result<usize, String> {
+        let value = parsed
+            .value(flag)
+            .ok_or_else(|| format!("federate-worker requires {flag} N"))?;
+        value.parse::<usize>().map_err(|e| format!("{flag}: {e}"))
+    };
+    let (rank, parts) = match (parse_count("--rank"), parse_count("--parts")) {
+        (Ok(rank), Ok(parts)) => (rank, parts),
+        (Err(err), _) | (_, Err(err)) => return usage_error(&err),
+    };
+    if parts == 0 || parts > lb_workloads::MAX_FEDERATION {
+        return usage_error(&format!(
+            "--parts: the partition count must be in 1..={}, got {parts}",
+            lb_workloads::MAX_FEDERATION
+        ));
+    }
+    if rank >= parts {
+        return usage_error(&format!(
+            "--rank: rank {rank} is out of range for {parts} parts"
+        ));
+    }
+    match crate::federate::worker_entry(addr, rank, parts) {
         Ok(()) => 0,
         Err(err) => fail(err),
     }
@@ -956,6 +1182,12 @@ fn snapshot_read_mb_per_sec(doc: &Json) -> Option<f64> {
         .as_f64()
 }
 
+/// Reads the two-process federated-driver throughput
+/// (`federate.rounds_per_sec`) from a hotpath/baseline document, if present.
+fn federate_rounds_per_sec(doc: &Json) -> Option<f64> {
+    doc.get("federate")?.get("rounds_per_sec")?.as_f64()
+}
+
 /// The perf-regression gate: compares the current hot-path throughput
 /// against the committed baseline and fails on a drop beyond the allowance.
 fn cmd_bench_check(args: &[String]) -> i32 {
@@ -1066,6 +1298,19 @@ fn cmd_bench_check(args: &[String]) -> i32 {
                 ok &= gate("snapshot-read", "MB/sec", read_baseline, read_current);
             }
             _ => println!("bench-check [snapshot-read]: no baseline entry, skipped"),
+        }
+        match federate_rounds_per_sec(&baseline_doc) {
+            Some(federate_baseline) if federate_baseline > 0.0 => {
+                let federate_current = federate_rounds_per_sec(&current_doc)
+                    .ok_or_else(|| format!("{current_path}: no federate.rounds_per_sec field"))?;
+                ok &= gate(
+                    "federate",
+                    "rounds/sec",
+                    federate_baseline,
+                    federate_current,
+                );
+            }
+            _ => println!("bench-check [federate]: no baseline entry, skipped"),
         }
         Ok(ok)
     })();

@@ -67,10 +67,11 @@ use lb_core::continuous::{Fos, Sos};
 use lb_core::discrete::{
     DiscreteBalancer, DynamicBalancer, FlowImitation, RandomizedImitation, RoundEvents, TaskPicker,
 };
+use lb_core::federate::FederateLink;
 use lb_core::ingest::merge::MergeSession;
 use lb_core::ingest::{self, ChannelMetrics, IngestSession};
 use lb_core::snapshot::{self, Snapshot};
-use lb_core::{metrics, CoreError, InitialLoad, ShardedExecutor, Speeds};
+use lb_core::{metrics, CoreError, FederatedExecutor, InitialLoad, ShardedExecutor, Speeds};
 use lb_graph::{AlphaScheme, Graph};
 use lb_workloads::{
     pad_for_min_load, AlgorithmSpec, ChurnKind, ModelSpec, PadSpec, RoundSource, Scenario,
@@ -153,8 +154,14 @@ pub struct ScenarioOutcome {
 
 impl ScenarioOutcome {
     /// The final sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a federated *worker* outcome — the one outcome whose
+    /// trajectory is empty, because the assembled document lives on the
+    /// coordinator ([`Session::federated`]).
     pub fn last(&self) -> &RoundSample {
-        // lint: allow(R03, a sample is pushed before any driver returns)
+        // lint: allow(R03, every sampling driver pushes round 0 first; only federated workers return empty and theirs documents the panic)
         self.trajectory.last().expect("trajectory is never empty")
     }
 
@@ -200,8 +207,9 @@ pub fn family_class(family: &str) -> Result<GraphClass, String> {
 
 /// The four concrete engines a scenario can request. The enum (rather than a
 /// `Box<dyn DynamicBalancer>`) exists because topology churn must rebuild the
-/// concrete continuous process type.
-enum Engine {
+/// concrete continuous process type. (`pub(crate)`: the federated driver in
+/// [`crate::federate`] steps the same engines over a socket link.)
+pub(crate) enum Engine {
     Alg1Fos(FlowImitation<Fos>),
     Alg1Sos(FlowImitation<Sos>),
     Alg2Fos(RandomizedImitation<Fos>),
@@ -221,7 +229,7 @@ macro_rules! with_engine {
 }
 
 impl Engine {
-    fn build(
+    pub(crate) fn build(
         scenario: &Scenario,
         graph: Arc<Graph>,
         speeds: &Speeds,
@@ -256,70 +264,83 @@ impl Engine {
         })
     }
 
-    fn name(&self) -> &str {
+    pub(crate) fn name(&self) -> &str {
         with_engine!(self, e => e.name())
     }
 
     /// One round: sequential, or sharded across the executor's workers.
     /// Trajectories are bit-identical either way (the sharding contract).
-    fn step(&mut self, exec: Option<&mut ShardedExecutor>) {
+    pub(crate) fn step(&mut self, exec: Option<&mut ShardedExecutor>) {
         match exec {
             Some(exec) => with_engine!(self, e => e.step_sharded(exec)),
             None => with_engine!(self, e => e.step()),
         }
     }
 
-    fn apply_events(&mut self, events: &RoundEvents) -> Result<(), CoreError> {
+    pub(crate) fn apply_events(&mut self, events: &RoundEvents) -> Result<(), CoreError> {
         with_engine!(self, e => e.apply_events(events).map(|_| ()))
     }
 
-    fn loads(&self) -> Vec<f64> {
+    pub(crate) fn loads(&self) -> Vec<f64> {
         with_engine!(self, e => e.loads())
     }
 
-    fn real_loads(&self) -> Vec<f64> {
+    pub(crate) fn real_loads(&self) -> Vec<f64> {
         with_engine!(self, e => e.real_loads())
     }
 
-    fn dummy_load(&self) -> u64 {
+    pub(crate) fn dummy_load(&self) -> u64 {
         with_engine!(self, e => e.dummy_load())
     }
 
-    fn dummy_created(&self) -> u64 {
+    pub(crate) fn dummy_created(&self) -> u64 {
         with_engine!(self, e => e.dummy_created())
     }
 
-    fn speeds(&self) -> &Speeds {
+    /// Per-node dummy holdings (see the engines' `dummy_holdings`): a
+    /// federated sampler sums its owned slice only.
+    pub(crate) fn dummy_holdings(&self) -> &[u64] {
+        with_engine!(self, e => e.dummy_holdings())
+    }
+
+    pub(crate) fn speeds(&self) -> &Speeds {
         with_engine!(self, e => e.speeds())
     }
 
-    fn node_count(&self) -> usize {
+    pub(crate) fn node_count(&self) -> usize {
         with_engine!(self, e => e.graph().node_count())
     }
 
-    fn arrived_weight(&self) -> u64 {
+    pub(crate) fn arrived_weight(&self) -> u64 {
         with_engine!(self, e => DynamicBalancer::arrived_weight(e))
     }
 
-    fn completed_weight(&self) -> u64 {
+    pub(crate) fn completed_weight(&self) -> u64 {
         with_engine!(self, e => DynamicBalancer::completed_weight(e))
     }
 
     /// Captures the full engine state at a between-rounds boundary.
-    fn capture(&self) -> snapshot::EngineState {
+    pub(crate) fn capture(&self) -> snapshot::EngineState {
         with_engine!(self, e => e.capture())
     }
 
     /// Restores captured state into a freshly rebuilt engine (same
     /// algorithm, same topology epoch) — the seams validate both.
-    fn restore(&mut self, state: &snapshot::EngineState) -> Result<(), snapshot::SnapshotError> {
+    pub(crate) fn restore(
+        &mut self,
+        state: &snapshot::EngineState,
+    ) -> Result<(), snapshot::SnapshotError> {
         with_engine!(self, e => e.restore(state))
     }
 
     /// Rebuilds the continuous process on `graph` and swaps it in (topology
     /// churn). `speeds` must already follow the carry-over rule (truncate /
     /// pad with unit speeds), matching what `replace_topology` re-derives.
-    fn replace_topology(&mut self, graph: Arc<Graph>, speeds: &Speeds) -> Result<(), CoreError> {
+    pub(crate) fn replace_topology(
+        &mut self,
+        graph: Arc<Graph>,
+        speeds: &Speeds,
+    ) -> Result<(), CoreError> {
         match self {
             Engine::Alg1Fos(e) => e.replace_topology(Fos::new(graph, speeds, SCHEME)?),
             Engine::Alg1Sos(e) => {
@@ -330,6 +351,28 @@ impl Engine {
                 e.replace_topology(Sos::with_optimal_beta(graph, speeds, SCHEME)?)
             }
         }
+    }
+
+    /// One federated round: this part's slice of the engine, with the three
+    /// barrier exchanges running over `link`. Bit-identical to [`Engine::step`]
+    /// for every part count (the federation contract).
+    pub(crate) fn step_federated(
+        &mut self,
+        fed: &mut FederatedExecutor,
+        link: &mut dyn FederateLink,
+    ) -> Result<(), CoreError> {
+        with_engine!(self, e => e.step_federated(fed, link))
+    }
+
+    /// Applies one round's event batch on this part: `wmax` updates follow
+    /// every arrival (all parts see the full batch), queue/token mutations
+    /// only the owned ones.
+    pub(crate) fn apply_events_federated(
+        &mut self,
+        events: &RoundEvents,
+        fed: &mut FederatedExecutor,
+    ) -> Result<(), CoreError> {
+        with_engine!(self, e => e.apply_events_federated(events, fed).map(|_| ()))
     }
 }
 
@@ -551,7 +594,7 @@ impl EventSource {
 /// producer mode runs — and a channel producer follows the speeds without
 /// hearing back from the engine thread. (Graph generators are seeded per
 /// event, so building up front is bit-identical to building lazily.)
-fn churn_schedule(
+pub(crate) fn churn_schedule(
     class: GraphClass,
     scenario: &Scenario,
     initial: &Speeds,
@@ -761,6 +804,7 @@ pub struct Session {
     origin: Origin,
     feed: Feed,
     options: RunOptions,
+    federation: Option<(crate::federate::FederationRole, usize)>,
 }
 
 impl Session {
@@ -772,6 +816,7 @@ impl Session {
             origin: Origin::Scenario(Box::new(scenario.clone())),
             feed: Feed::Generate,
             options: RunOptions::default(),
+            federation: None,
         }
     }
 
@@ -790,6 +835,7 @@ impl Session {
             origin: Origin::Scenario(Box::new(trace.scenario.clone())),
             feed: Feed::Trace(Box::new(trace)),
             options: RunOptions::default(),
+            federation: None,
         }
     }
 
@@ -808,6 +854,7 @@ impl Session {
             origin: Origin::Scenario(Box::new(source.scenario().clone())),
             feed: Feed::Source(source),
             options: RunOptions::default(),
+            federation: None,
         }
     }
 
@@ -835,6 +882,7 @@ impl Session {
             origin: Origin::Snapshot(Box::new(snapshot)),
             feed: Feed::Generate,
             options: RunOptions::default(),
+            federation: None,
         }
     }
 
@@ -900,6 +948,26 @@ impl Session {
         self
     }
 
+    /// Runs this scenario federated across `parts` OS processes, one node
+    /// partition per process, in the given role (see [`crate::federate`]).
+    ///
+    /// The scenario's `federation` field is replaced by `parts` (exactly as
+    /// [`Session::shards`] replaces the shard count) and the effective value
+    /// is recorded in the result document. A
+    /// [coordinator](crate::federate::FederationRole::coordinator) session
+    /// owns the scenario, drives the round barrier and returns the assembled
+    /// outcome — byte-identical to the sequential run of the same effective
+    /// scenario. A [worker](crate::federate::join) session runs one
+    /// partition; its outcome carries an **empty trajectory** (the assembled
+    /// document lives on the coordinator). Composes with [`Session::seed`],
+    /// [`Session::shards`] (per-process intra-partition shards) and — on the
+    /// coordinator — [`Session::checkpoint`]; every other feed or side
+    /// output is rejected by [`Session::run`].
+    pub fn federated(mut self, role: crate::federate::FederationRole, parts: usize) -> Self {
+        self.federation = Some((role, parts));
+        self
+    }
+
     /// Feeds the run from an externally built [`MergeSession`] whose
     /// producers live outside the driver — e.g. the socket connections of
     /// [`crate::serve`], registered on the fly through a
@@ -933,7 +1001,44 @@ impl Session {
             origin,
             feed,
             options,
+            federation,
         } = self;
+        if let Some((role, parts)) = federation {
+            let Origin::Scenario(scenario) = origin else {
+                return Err(BenchError::usage(
+                    "a federated session starts from a scenario; resume an assembled \
+                     checkpoint with a plain session instead",
+                ));
+            };
+            if !matches!(feed, Feed::Generate) {
+                return Err(BenchError::usage(
+                    "a federated session generates its own events; trace, stream and merge \
+                     feeds do not compose with federation",
+                ));
+            }
+            if !matches!(options.producer, Producer::Scenario) {
+                return Err(BenchError::usage(
+                    "a federated session uses the synchronous event path; producer modes do \
+                     not compose with federation",
+                ));
+            }
+            if options.record.is_some() {
+                return Err(BenchError::usage(
+                    "a federated session cannot record a trace; record the equivalent \
+                     sequential run instead",
+                ));
+            }
+            let mut scenario = *scenario;
+            if let Some(seed) = options.seed {
+                scenario.seed = seed;
+            }
+            if let Some(shards) = options.shards {
+                scenario.shards = shards;
+            }
+            scenario.federation = parts;
+            scenario.validate().map_err(BenchError::Usage)?;
+            return crate::federate::run_federated(scenario, role, &options, on_sample);
+        }
         let (scenario, resume) = match origin {
             Origin::Scenario(scenario) => {
                 let mut scenario = *scenario;
@@ -1075,7 +1180,7 @@ fn sample_record(sample: &RoundSample) -> Json {
 
 /// The snapshot's opaque driver payload: the engine identity and the
 /// trajectory accumulated up to the capture round.
-fn encode_driver(engine_name: &str, trajectory: &[RoundSample]) -> Json {
+pub(crate) fn encode_driver(engine_name: &str, trajectory: &[RoundSample]) -> Json {
     Json::obj([
         ("engine", Json::from(engine_name)),
         (
@@ -1259,6 +1364,74 @@ enum Feed {
     Merge(MergeSession),
 }
 
+/// Everything a driver deterministically derives from a scenario before the
+/// first round: the seeded topology, speeds, padded initial load and the
+/// first dynamic task id. Every process of a federated run rebuilds the
+/// identical `World` from the identical scenario document — this derivation
+/// is the only "configuration channel" the protocol needs.
+pub(crate) struct World {
+    pub(crate) class: GraphClass,
+    pub(crate) graph: Arc<Graph>,
+    pub(crate) speeds: Speeds,
+    pub(crate) initial: InitialLoad,
+    pub(crate) first_task_id: u64,
+}
+
+/// Derives the [`World`] of an effective (validated) scenario.
+pub(crate) fn build_world(scenario: &Scenario) -> Result<World, BenchError> {
+    let seed = scenario.seed;
+    let class = family_class(&scenario.topology.family).map_err(BenchError::Usage)?;
+    let graph: Arc<Graph> = class
+        .build(
+            scenario.topology.target_n,
+            seed.wrapping_add(GRAPH_SEED_OFFSET),
+        )
+        .map_err(|err| BenchError::run(format!("building {}: {err}", scenario.topology.family)))?
+        .into();
+    let n = graph.node_count();
+
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(SPEEDS_SEED_OFFSET));
+    let speeds = scenario.speeds.to_model().generate(n, &mut rng);
+
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(INITIAL_SEED_OFFSET));
+    let total_tokens = scenario.initial.tokens_per_node * n as u64;
+    let unpadded = scenario
+        .initial
+        .distribution
+        .generate(n, total_tokens, &mut rng);
+    let pad = match scenario.initial.pad {
+        PadSpec::Tokens(t) => t,
+        PadSpec::Degree => {
+            graph.max_degree() as u64 * unpadded.max_weight().max(scenario.arrivals.max_weight())
+        }
+    };
+    let initial = pad_for_min_load(&unpadded, &speeds, pad);
+    let first_task_id = initial.task_count() as u64;
+    Ok(World {
+        class,
+        graph,
+        speeds,
+        initial,
+        first_task_id,
+    })
+}
+
+/// One trajectory point, read off the engine after `round` completed rounds.
+pub(crate) fn sample_of(engine: &Engine, round: usize) -> RoundSample {
+    let loads = engine.loads();
+    let speeds = engine.speeds();
+    RoundSample {
+        round,
+        nodes: engine.node_count(),
+        max_min: metrics::max_min_discrepancy(&loads, speeds),
+        max_avg: metrics::max_avg_discrepancy(&loads, speeds),
+        real_weight: engine.real_loads().iter().sum(),
+        dummy_load: engine.dummy_load(),
+        arrived_weight: engine.arrived_weight(),
+        completed_weight: engine.completed_weight(),
+    }
+}
+
 /// The shared driver loop behind [`Session::run`]: `scenario` is already
 /// effective (overrides applied, validated); `feed` selects where the
 /// per-round batches come from.
@@ -1292,33 +1465,13 @@ fn execute(
         (None, None) => None,
     };
 
-    let class = family_class(&scenario.topology.family).map_err(BenchError::Usage)?;
-    let graph: Arc<Graph> = class
-        .build(
-            scenario.topology.target_n,
-            seed.wrapping_add(GRAPH_SEED_OFFSET),
-        )
-        .map_err(|err| BenchError::run(format!("building {}: {err}", scenario.topology.family)))?
-        .into();
-    let n = graph.node_count();
-
-    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(SPEEDS_SEED_OFFSET));
-    let speeds = scenario.speeds.to_model().generate(n, &mut rng);
-
-    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(INITIAL_SEED_OFFSET));
-    let total_tokens = scenario.initial.tokens_per_node * n as u64;
-    let unpadded = scenario
-        .initial
-        .distribution
-        .generate(n, total_tokens, &mut rng);
-    let pad = match scenario.initial.pad {
-        PadSpec::Tokens(t) => t,
-        PadSpec::Degree => {
-            graph.max_degree() as u64 * unpadded.max_weight().max(scenario.arrivals.max_weight())
-        }
-    };
-    let initial = pad_for_min_load(&unpadded, &speeds, pad);
-    let first_task_id = initial.task_count() as u64;
+    let World {
+        class,
+        graph,
+        speeds,
+        initial,
+        first_task_id,
+    } = build_world(&scenario)?;
 
     let mut engine = Engine::build(&scenario, Arc::clone(&graph), &speeds, &initial, seed)?;
     // One plan for every churn event, built up front: the driver swaps in
@@ -1399,21 +1552,6 @@ fn execute(
         .and_then(|point| point.shards)
         .unwrap_or(scenario.shards);
     let mut executor = (exec_shards > 1).then(|| ShardedExecutor::new(exec_shards));
-
-    let sample_of = |engine: &Engine, round: usize| -> RoundSample {
-        let loads = engine.loads();
-        let speeds = engine.speeds();
-        RoundSample {
-            round,
-            nodes: engine.node_count(),
-            max_min: metrics::max_min_discrepancy(&loads, speeds),
-            max_avg: metrics::max_avg_discrepancy(&loads, speeds),
-            real_weight: engine.real_loads().iter().sum(),
-            dummy_load: engine.dummy_load(),
-            arrived_weight: engine.arrived_weight(),
-            completed_weight: engine.completed_weight(),
-        }
-    };
 
     let mut trajectory = Vec::new();
     let mut record = |engine: &Engine, round: usize, trajectory: &mut Vec<RoundSample>| {
@@ -1564,6 +1702,7 @@ mod tests {
             },
             churn: Vec::new(),
             shards: 1,
+            federation: 1,
         }
     }
 

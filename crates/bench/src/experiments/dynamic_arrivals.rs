@@ -140,6 +140,7 @@ pub fn run(quick: bool) -> ExperimentReport {
                 completions: workload.completions,
                 churn: workload.churn.clone(),
                 shards: 1,
+                federation: 1,
             };
             let outcome = Session::from_scenario(&scenario)
                 .run(|_| {})

@@ -586,6 +586,91 @@ fn run_snapshot_bench(
     ])
 }
 
+/// Benchmarks the federated driver: the scenario below partitioned across
+/// two worker threads speaking the real TCP round protocol to a coordinator
+/// [`crate::dynamic::Session`] on localhost — the per-round cost of the
+/// three barrier relays plus partitioned stepping, expressed as rounds/sec.
+/// The federated result document is asserted byte-identical to the
+/// sequential run's before the numbers are reported. Gated by
+/// `lb bench-check` when the committed baseline carries a
+/// `federate.rounds_per_sec` floor.
+fn run_federate_bench(quick: bool) -> Json {
+    use lb_workloads::Scenario;
+    let parts = 2usize;
+    let rounds: usize = if quick { 100 } else { 400 };
+    let text = format!(
+        r#"{{
+  "name": "hotpath_federate",
+  "seed": 7,
+  "rounds": {rounds},
+  "sample_every": {rounds},
+  "federation": {parts},
+  "algorithm": "alg1",
+  "model": "fos",
+  "topology": {{"family": "hypercube", "target_n": 4096}},
+  "initial": {{
+    "distribution": {{"model": "single_source", "source": 0}},
+    "tokens_per_node": 4,
+    "pad": "degree"
+  }},
+  "arrivals": {{"model": "poisson", "rate_per_node": 0.25, "max_weight": 1}},
+  "completions": {{"model": "uniform", "weight_per_speed": 1}}
+}}"#
+    );
+    let scenario = Scenario::parse(&text).expect("federate bench scenario parses");
+
+    let sequential = crate::dynamic::Session::from_scenario(&scenario)
+        .run(|_| {})
+        .expect("federate bench sequential run");
+
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("federate bench bind");
+    let addr = listener
+        .local_addr()
+        .expect("federate bench bound address")
+        .to_string();
+    let workers: Vec<_> = (0..parts)
+        .map(|rank| {
+            let addr = addr.clone();
+            std::thread::spawn(move || crate::federate::worker_entry(&addr, rank, parts))
+        })
+        .collect();
+    // The timed window covers worker admission through the final round
+    // barrier — the full cost of standing up and driving the federation.
+    let start = Instant::now();
+    let role = crate::federate::FederationRole::coordinator(listener, Vec::new());
+    let federated = crate::dynamic::Session::from_scenario(&scenario)
+        .federated(role, parts)
+        .run(|_| {})
+        .expect("federate bench coordinator run");
+    let elapsed_secs = start.elapsed().as_secs_f64();
+    for worker in workers {
+        worker
+            .join()
+            .expect("federate bench worker thread")
+            .expect("federate bench worker run");
+    }
+    assert_eq!(
+        federated.to_json().render(),
+        sequential.to_json().render(),
+        "federated driver diverged from the sequential driver"
+    );
+
+    let rounds_per_sec = rounds as f64 / elapsed_secs;
+    eprintln!("federate ({parts} processes): {rounds_per_sec:.1} rounds/sec");
+    Json::obj([
+        (
+            "config",
+            Json::obj([
+                ("parts", Json::from(parts)),
+                ("nodes", Json::from(4096usize)),
+                ("rounds", Json::from(rounds)),
+            ]),
+        ),
+        ("elapsed_secs", Json::from(elapsed_secs)),
+        ("rounds_per_sec", Json::from(rounds_per_sec)),
+    ])
+}
+
 /// Peak resident set size of this process in kilobytes (Linux `VmHWM`),
 /// or 0 where unavailable.
 fn peak_rss_kb() -> u64 {
@@ -744,6 +829,10 @@ pub fn run(quick: bool, shards: Option<usize>) {
     // throughput on the large-instance engine state.
     let snapshot_entry = run_snapshot_bench(&large_graph, &large_speeds, &large_initial, quick);
 
+    // The federation entry: the two-process round protocol over localhost
+    // TCP, asserted byte-identical to the sequential driver first.
+    let federate_entry = run_federate_bench(quick);
+
     let report = Json::obj([
         ("benchmark", Json::from("hotpath_alg1_fifo")),
         (
@@ -784,6 +873,7 @@ pub fn run(quick: bool, shards: Option<usize>) {
         ),
         ("ingest", ingest),
         ("snapshot", snapshot_entry),
+        ("federate", federate_entry),
         ("peak_rss_kb", Json::from(peak_rss_kb())),
     ]);
     let path = "BENCH_hotpath.json";

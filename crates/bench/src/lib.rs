@@ -59,6 +59,7 @@ pub mod cli;
 pub mod dynamic;
 pub mod error;
 pub mod experiments;
+pub mod federate;
 pub mod harness;
 pub mod hotpath;
 pub mod parallel;

@@ -60,6 +60,7 @@ use lb_analysis::Json;
 use lb_core::discrete::RoundEvents;
 use lb_core::ingest::merge::{FeedRegistrar, MergeSession};
 use lb_core::ingest::{self, EventProducer};
+use lb_proto::{ProtoError, Record};
 use lb_workloads::{
     Checkpoint, ReadSource, RoundSource, Scenario, Trace, TraceWriter, TRACE_VERSION,
 };
@@ -74,8 +75,9 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// The handshake protocol version this module speaks and the only one it
-/// accepts.
-pub const SERVE_PROTOCOL_VERSION: u64 = 1;
+/// accepts. The record types themselves live in [`lb_proto`]; this is the
+/// ingest-handshake subset ([`lb_proto::PROTOCOL_V1`]).
+pub const SERVE_PROTOCOL_VERSION: u64 = lb_proto::PROTOCOL_V1;
 
 /// How often the accept loop polls for new connections, shutdown and
 /// expired parked feeds.
@@ -566,57 +568,54 @@ fn admit(ctx: &ServeCtx, feed: &str) -> Result<Admission, String> {
     }
 }
 
-/// Validates the hello line, returning the feed name.
+/// Validates the hello line, returning the feed name. Parsing goes through
+/// [`lb_proto::Record`]; the version policy (v1 only) is enforced here.
 fn check_hello(line: &str) -> Result<String, String> {
-    let hello = Json::parse(line).map_err(|e| format!("malformed hello: {e}"))?;
-    if hello.get("kind").and_then(Json::as_str) != Some("hello") {
+    let record = match Record::parse(line) {
+        Ok(record) => record,
+        Err(e @ ProtoError::Malformed { .. }) => return Err(format!("malformed hello: {e}")),
+        Err(e) => return Err(e.to_string()),
+    };
+    let Record::Hello { version, feed } = record else {
         return Err("expected a hello record".into());
+    };
+    if version != SERVE_PROTOCOL_VERSION {
+        return Err(format!(
+            "protocol version mismatch: server speaks {SERVE_PROTOCOL_VERSION}, client sent {version}"
+        ));
     }
-    match hello.get("version").and_then(Json::as_u64) {
-        Some(SERVE_PROTOCOL_VERSION) => {}
-        Some(found) => {
-            return Err(format!(
-                "protocol version mismatch: server speaks {SERVE_PROTOCOL_VERSION}, client sent {found}"
-            ))
-        }
-        None => return Err("hello has no version".into()),
-    }
-    match hello.get("feed").and_then(Json::as_str) {
-        Some(feed) if !feed.is_empty() => Ok(feed.to_string()),
-        _ => Err("hello has no feed name".into()),
-    }
+    Ok(feed)
 }
 
 /// Authenticates the trace header line against the running scenario,
 /// returning the client's embedded scenario on success.
 fn check_header(line: &str, ours: &Scenario) -> Result<Scenario, String> {
-    let header = Json::parse(line).map_err(|e| format!("malformed trace header: {e}"))?;
-    if header.get("kind").and_then(Json::as_str) != Some("header") {
-        return Err("expected the trace header record".into());
-    }
-    match header.get("version").and_then(Json::as_u64) {
-        Some(TRACE_VERSION) => {}
-        Some(found) => {
-            return Err(format!(
-                "trace version mismatch: server reads {TRACE_VERSION}, client sent {found}"
-            ))
+    let record = match Record::parse(line) {
+        Ok(record) => record,
+        Err(e @ ProtoError::Malformed { .. }) => {
+            return Err(format!("malformed trace header: {e}"))
         }
-        None => return Err("trace header has no version".into()),
+        Err(e) => return Err(e.to_string()),
+    };
+    let Record::Header { version, scenario } = record else {
+        return Err("expected the trace header record".into());
+    };
+    if version != TRACE_VERSION {
+        return Err(format!(
+            "trace version mismatch: server reads {TRACE_VERSION}, client sent {version}"
+        ));
     }
-    let scenario = header
-        .get("scenario")
-        .ok_or("trace header has no scenario")
-        .and_then(|json| {
-            Scenario::from_json(json).map_err(|_| "trace header scenario does not parse")
-        })
-        .map_err(str::to_string)?;
+    let scenario = Scenario::from_json(&scenario)
+        .map_err(|_| "trace header scenario does not parse".to_string())?;
     scenario
         .validate()
         .map_err(|e| format!("trace header scenario: {e}"))?;
-    // Shards never change the result, so a trace recorded at any shard
-    // count is accepted; everything else must match the effective scenario.
+    // Shards and federation never change the result, so a trace recorded at
+    // any intra-process or inter-process parallelism is accepted; everything
+    // else must match the effective scenario.
     let mut theirs = scenario.clone();
     theirs.shards = ours.shards;
+    theirs.federation = ours.federation;
     if &theirs != ours {
         return Err(format!(
             "scenario mismatch: this server runs {:?} (seed {}), the header embeds {:?} (seed {})",
@@ -646,26 +645,21 @@ fn handle_connection(conn: Conn, ctx: &ServeCtx) {
     let (feed, scenario, admission) = match admission {
         Ok(parts) => parts,
         Err(reason) => {
-            let reject = Json::obj([
-                ("kind", Json::from("reject")),
-                ("version", Json::from(SERVE_PROTOCOL_VERSION)),
-                ("error", Json::from(reason.as_str())),
-            ]);
+            let reject = Record::Reject {
+                version: SERVE_PROTOCOL_VERSION,
+                error: reason,
+            };
             let _ = writeln!(write_half, "{}", reject.render());
             let _ = write_half.flush();
             return;
         }
     };
 
-    let welcome = Json::obj([
-        ("kind", Json::from("welcome")),
-        ("version", Json::from(SERVE_PROTOCOL_VERSION)),
-        ("feed", Json::from(feed.as_str())),
-        (
-            "last_round",
-            admission.last_round.map_or(Json::Null, Json::from),
-        ),
-    ]);
+    let welcome = Record::Welcome {
+        version: SERVE_PROTOCOL_VERSION,
+        feed: feed.clone(),
+        last_round: admission.last_round,
+    };
     if writeln!(write_half, "{}", welcome.render())
         .and_then(|()| write_half.flush())
         .is_err()
@@ -804,28 +798,23 @@ pub fn push_trace(
     let mut write_half = conn
         .try_clone()
         .map_err(|e| BenchError::io(format!("splitting connection: {e}")))?;
-    let hello = Json::obj([
-        ("kind", Json::from("hello")),
-        ("version", Json::from(SERVE_PROTOCOL_VERSION)),
-        ("feed", Json::from(options.feed.as_str())),
-    ]);
+    let hello = Record::Hello {
+        version: SERVE_PROTOCOL_VERSION,
+        feed: options.feed.clone(),
+    };
     writeln!(write_half, "{}", hello.render())
         .and_then(|()| write_half.flush())
         .map_err(|e| BenchError::io(format!("sending hello: {e}")))?;
     let mut writer = TraceWriter::new(write_half, &trace.scenario).map_err(BenchError::Io)?;
 
     let mut scanner = LineScanner::new(conn);
-    let reply = Json::parse(&scanner.read_line().map_err(BenchError::Protocol)?)
+    let reply = Record::parse(&scanner.read_line().map_err(BenchError::Protocol)?)
         .map_err(|e| BenchError::protocol(format!("malformed server reply: {e}")))?;
-    let last_round = match reply.get("kind").and_then(Json::as_str) {
-        Some("welcome") => reply.get("last_round").and_then(Json::as_u64),
-        Some("reject") => {
-            let reason = reply
-                .get("error")
-                .and_then(Json::as_str)
-                .unwrap_or("no reason given");
+    let last_round = match reply {
+        Record::Welcome { last_round, .. } => last_round,
+        Record::Reject { error, .. } => {
             return Err(BenchError::protocol(format!(
-                "server rejected feed {:?}: {reason}",
+                "server rejected feed {:?}: {error}",
                 options.feed
             )));
         }
@@ -910,6 +899,7 @@ mod tests {
             },
             churn: Vec::new(),
             shards: 1,
+            federation: 1,
         }
     }
 
@@ -959,8 +949,10 @@ mod tests {
         assert!(check_header(&header(&reseeded), &ours)
             .unwrap_err()
             .contains("scenario mismatch"));
-        assert!(check_header(r#"{"kind":"header","version":9}"#, &ours)
-            .unwrap_err()
-            .contains("version"));
+        assert!(
+            check_header(r#"{"kind":"header","version":9,"scenario":null}"#, &ours)
+                .unwrap_err()
+                .contains("version")
+        );
     }
 }

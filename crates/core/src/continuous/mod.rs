@@ -383,6 +383,121 @@ impl<A: ContinuousProcess> ContinuousRunner<A> {
         &self.flow_buf
     }
 
+    /// Federated [`step`](ContinuousRunner::step): this runner advances one
+    /// **part** of the round and exchanges boundary state over `link` —
+    /// boundary loads before the kernel, crossing-edge flows after it. Owned
+    /// node loads, owned + incident edge ledgers and the owned-range minimum
+    /// watermark receive exactly the floating-point operations of the
+    /// sequential step, in the same order; foreign entries are stale and
+    /// never read.
+    ///
+    /// The kernel (Phase A) fans out over the executor's intra-part shards;
+    /// any chunking of the owned edge range is bit-identical because per-edge
+    /// flow computation is independent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] when the process does not
+    /// implement the sharded kernel protocol (federation needs
+    /// [`compute_flows_range`](ContinuousProcess::compute_flows_range) as its
+    /// isolation seam), and propagates link failures as
+    /// [`CoreError::Federation`](crate::CoreError).
+    pub fn step_federated(
+        &mut self,
+        fed: &mut crate::federate::FederatedExecutor,
+        link: &mut dyn crate::federate::FederateLink,
+    ) -> Result<(), crate::CoreError>
+    where
+        A: Sync,
+    {
+        use crate::CoreError;
+        if !self.process.supports_sharding() {
+            return Err(CoreError::invalid_parameter(format!(
+                "process {:?} does not support the range kernel federation relies on",
+                self.process.name()
+            )));
+        }
+        fed.ensure_plan(&self.process.shared_graph())?;
+        let t = self.round;
+
+        // Boundary-loads exchange: publish own boundary entries, refresh the
+        // remote ones the kernel will read on crossing edges.
+        fed.loads_out.clear();
+        for &node in fed.plan.boundary() {
+            fed.loads_out.push((node, self.loads[node].to_bits()));
+        }
+        let incoming = link.exchange_loads(&fed.loads_out)?;
+        crate::federate::apply_load_entries(&mut self.loads, &incoming)?;
+
+        // Phase A: kernel over the owned canonical edge range, chunked
+        // across the intra-part shards.
+        if fed.shard_count() == 1 {
+            let range = fed.plan.edge_range();
+            self.process.compute_flows_range(
+                t,
+                &self.loads,
+                range.clone(),
+                &mut self.flow_buf[range],
+            );
+        } else {
+            let process = &self.process;
+            let loads = &self.loads[..];
+            let flow = crate::shard::SharedSliceMut::new(&mut self.flow_buf);
+            let fed_ref = &*fed;
+            fed_ref.pool.run(|c| {
+                let range = fed_ref.kernel_chunk(c);
+                if range.is_empty() {
+                    return;
+                }
+                // SAFETY: kernel chunks are disjoint across shards.
+                let out = unsafe { flow.range_mut(range.clone()) };
+                process.compute_flows_range(t, loads, range, out);
+            });
+        }
+
+        // Crossing-flows exchange: publish own crossing edges, receive the
+        // flows remote owners computed for edges incident to this part.
+        fed.flows_out.clear();
+        for &e in fed.plan.crossing() {
+            let f = self.flow_buf[e];
+            fed.flows_out
+                .push((e, f.forward.to_bits(), f.backward.to_bits()));
+        }
+        let incoming = link.exchange_flows(&fed.flows_out)?;
+        for (e, forward, backward) in incoming {
+            let slot = self.flow_buf.get_mut(e).ok_or_else(|| {
+                CoreError::federation(format!("exchanged flow names unknown edge {e}"))
+            })?;
+            *slot = EdgeFlow::new(f64::from_bits(forward), f64::from_bits(backward));
+        }
+        self.process.commit_flows(t, &self.flow_buf);
+
+        // Phase B: apply flows to owned loads (CSR incident order == canonical
+        // edge order) and accumulate incident edge ledgers. Both endpoints of
+        // a crossing edge accumulate identical ledger bits.
+        let graph = self.process.graph();
+        for i in fed.plan.node_range() {
+            for (neighbor, e) in graph.neighbors_with_edges(i) {
+                let net = self.flow_buf[e].net();
+                if i < neighbor {
+                    self.loads[i] -= net;
+                } else {
+                    self.loads[i] += net;
+                }
+            }
+        }
+        for &e in fed.plan.incident() {
+            self.cumulative_flow[e] += self.flow_buf[e].net();
+        }
+        self.round += 1;
+        let mut round_min = f64::INFINITY;
+        for &x in &self.loads[fed.plan.node_range()] {
+            round_min = round_min.min(x);
+        }
+        self.min_load_seen = self.min_load_seen.min(round_min);
+        Ok(())
+    }
+
     /// Captures the runner's state for an engine snapshot: loads, cumulative
     /// flows, the round counter, the minimum-load watermark and the
     /// process's internal history. Snapshot-time only (allocates).

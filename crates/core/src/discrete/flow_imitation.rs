@@ -233,6 +233,13 @@ impl<A: ContinuousProcess> FlowImitation<A> {
         self.dummy_created
     }
 
+    /// Per-node dummy holdings. In a federated partition only the owned
+    /// entries are authoritative (foreign slots are stale); a sampler must
+    /// slice its own node range.
+    pub fn dummy_holdings(&self) -> &[u64] {
+        &self.dummy
+    }
+
     /// Total items (real tasks and dummy units) sent over edges so far.
     pub fn items_sent(&self) -> u64 {
         self.items_sent
@@ -478,6 +485,193 @@ impl<A: ContinuousProcess> FlowImitation<A> {
         self.items_sent += items_sent;
         self.dummy_created += dummy_created;
         self.round += 1;
+    }
+
+    /// Federated [`step`](DiscreteBalancer::step): this engine instance owns
+    /// one contiguous node range of a larger simulation and exchanges three
+    /// payloads per round over `link` (boundary twin loads, crossing-edge
+    /// flows, cross-partition deliveries). The twin advances through
+    /// [`ContinuousRunner::step_federated`](crate::continuous::ContinuousRunner::step_federated),
+    /// then this part forwards tasks over the edges whose **sender** it owns
+    /// — the same unique-sender rule as the sharded step — routing deliveries
+    /// either locally or into the outgoing [`SendBatch`](crate::SendBatch).
+    /// Incoming batches merge back into global edge order, so the owned slice
+    /// of every state vector stays **bit-identical** to the sequential
+    /// engine's at every round.
+    ///
+    /// Counters (`dummy_created`, `items_sent`, `arrived_weight`,
+    /// `completed_weight`) hold this part's disjoint partial sums; foreign
+    /// entries of per-node and per-edge vectors are stale and never read.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Federation`] if an exchange fails or a peer sends
+    /// a malformed payload, and [`CoreError::InvalidParameter`] if the
+    /// underlying process does not support range-split kernels.
+    pub fn step_federated(
+        &mut self,
+        fed: &mut crate::federate::FederatedExecutor,
+        link: &mut dyn crate::federate::FederateLink,
+    ) -> Result<(), CoreError>
+    where
+        A: Sync,
+    {
+        fed.ensure_plan(&self.graph)?;
+        self.twin.step_federated(fed, link)?;
+
+        debug_assert!(self.pending_tasks.is_empty());
+        self.pending_dummy.fill(0);
+        fed.batch.clear();
+        fed.local.clear();
+
+        let continuous_flow = self.twin.cumulative_flows();
+        let edges = self.graph.edges();
+        for &e in fed.plan.incident() {
+            let (u, v) = edges[e];
+            let deficit = continuous_flow[e] - self.discrete_flow[e] as f64;
+            let (sender, receiver, magnitude, sign) = if deficit >= 0.0 {
+                (u, v, deficit, 1i64)
+            } else {
+                (v, u, -deficit, -1i64)
+            };
+            // Exactly one part owns the sender and processes this edge; the
+            // receiving part learns the flow delta from the send exchange.
+            if !fed.plan.owns_node(sender) {
+                continue;
+            }
+            let receiver_owned = fed.plan.owns_node(receiver);
+            let mut moved: u64 = 0;
+            let mut dummy_moved: u64 = 0;
+            while magnitude - moved as f64 >= self.wmax as f64 {
+                if let Some(task) = self.queues[sender].pop() {
+                    moved += task.weight();
+                    if receiver_owned {
+                        fed.local.push((e, receiver, task));
+                    } else {
+                        fed.batch.tasks.push((e, receiver, task));
+                    }
+                } else {
+                    if self.dummy[sender] > 0 {
+                        self.dummy[sender] -= 1;
+                    } else {
+                        self.dummy_created += 1;
+                    }
+                    moved += 1;
+                    dummy_moved += 1;
+                }
+                self.items_sent += 1;
+            }
+            if dummy_moved > 0 {
+                if receiver_owned {
+                    self.pending_dummy[receiver] += dummy_moved;
+                } else {
+                    fed.batch.dummy.push((receiver, dummy_moved));
+                }
+            }
+            if moved > 0 {
+                let delta = sign * moved as i64;
+                self.discrete_flow[e] += delta;
+                if !receiver_owned {
+                    fed.batch.deltas.push((e, delta));
+                }
+            }
+        }
+
+        let batches = link.exchange_sends(&fed.batch)?;
+        // Task deliveries in global edge order: the k-way merge interleaves
+        // this part's local deliveries with every foreign batch exactly as
+        // the sequential engine filled `pending_tasks`.
+        fed.merge_deliveries(&batches, |receiver, task| self.queues[receiver].push(task));
+
+        // Additive effects, whose order cannot be observed.
+        for (node, amount) in self.pending_dummy.iter().enumerate() {
+            self.dummy[node] += amount;
+        }
+        for (rank, batch) in batches.iter().enumerate() {
+            if rank == fed.part() {
+                continue;
+            }
+            for &(receiver, amount) in &batch.dummy {
+                if fed.plan.owns_node(receiver) {
+                    self.dummy[receiver] += amount;
+                }
+            }
+            // Crossing-edge flow deltas keep the receiving side's ledger in
+            // sync; entries for edges this part is not incident to land in
+            // stale slots that are never read.
+            for &(e, delta) in &batch.deltas {
+                let slot = self.discrete_flow.get_mut(e).ok_or_else(|| {
+                    CoreError::federation(format!("flow delta for unknown edge {e}"))
+                })?;
+                *slot += delta;
+            }
+        }
+        self.round += 1;
+        Ok(())
+    }
+
+    /// Federated [`apply_events`](DynamicBalancer::apply_events): every part
+    /// sees the **full** event stream (scenario-derived, so no broadcast is
+    /// needed) but applies queue and twin effects only for the nodes it owns.
+    /// `w_max` tracks all arrivals — it is global state every part must agree
+    /// on. The returned report counts owned events only, so gathered partials
+    /// sum to the sequential report.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] if an event names a node
+    /// outside the graph (checked for all events, owned or not).
+    pub fn apply_events_federated(
+        &mut self,
+        events: &RoundEvents,
+        fed: &mut crate::federate::FederatedExecutor,
+    ) -> Result<EventReport, CoreError> {
+        fed.ensure_plan(&self.graph)?;
+        let n = self.graph.node_count();
+        let mut report = EventReport::default();
+        for &(node, budget) in &events.completions {
+            if node >= n {
+                return Err(CoreError::invalid_parameter(format!(
+                    "completion on node {node}, graph has {n} nodes"
+                )));
+            }
+            if !fed.plan.owns_node(node) {
+                continue;
+            }
+            let mut remaining = budget;
+            while let Some(task) = self.queues[node].peek() {
+                let w = task.weight();
+                if w > remaining {
+                    break;
+                }
+                self.queues[node].pop();
+                remaining -= w;
+                report.completed_tasks += 1;
+                report.completed_weight += w;
+                self.twin.adjust_load(node, -(w as f64));
+            }
+        }
+        for &(node, task) in &events.arrivals {
+            if node >= n {
+                return Err(CoreError::invalid_parameter(format!(
+                    "arrival on node {node}, graph has {n} nodes"
+                )));
+            }
+            let w = task.weight();
+            // Global: every part tracks the heaviest task ever seen, owned
+            // or not, so the imitation floor rule agrees across parts.
+            self.wmax = self.wmax.max(w);
+            if !fed.plan.owns_node(node) {
+                continue;
+            }
+            self.queues[node].push(task);
+            self.twin.adjust_load(node, w as f64);
+            report.arrived_tasks += 1;
+            report.arrived_weight += w;
+        }
+        self.arrived_weight += report.arrived_weight;
+        self.completed_weight += report.completed_weight;
+        Ok(report)
     }
 }
 

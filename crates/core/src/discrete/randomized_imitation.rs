@@ -213,6 +213,13 @@ impl<A: ContinuousProcess> RandomizedImitation<A> {
         self.dummy_created
     }
 
+    /// Per-node dummy holdings. In a federated partition only the owned
+    /// entries are authoritative (foreign slots are stale); a sampler must
+    /// slice its own node range.
+    pub fn dummy_holdings(&self) -> &[u64] {
+        &self.dummy
+    }
+
     /// Per-node loads excluding dummy tokens.
     pub fn real_loads(&self) -> Vec<f64> {
         self.tokens.iter().map(|&t| t as f64).collect()
@@ -406,6 +413,173 @@ impl<A: ContinuousProcess> RandomizedImitation<A> {
         }
         self.dummy_created += dummy_created;
         self.round += 1;
+    }
+
+    /// Federated [`step`](DiscreteBalancer::step): this engine instance owns
+    /// one contiguous node range of a larger simulation. The twin advances
+    /// through
+    /// [`ContinuousRunner::step_federated`](crate::continuous::ContinuousRunner::step_federated),
+    /// then this part rounds and sends over the edges whose **sender** it
+    /// owns, each decision drawn from its own `(seed, round, edge)` sub-RNG
+    /// ([`edge_rounding_rng`]) — so no RNG-stream coordination between
+    /// processes is needed and the owned slice of every state vector stays
+    /// **bit-identical** to the sequential engine's. Token deliveries and
+    /// ledger deltas for remote receivers travel in the outgoing
+    /// [`SendBatch`](crate::SendBatch); all effects are additive, so no merge
+    /// discipline is required.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Federation`] if an exchange fails or a peer sends
+    /// a malformed payload, and [`CoreError::InvalidParameter`] if the
+    /// underlying process does not support range-split kernels.
+    pub fn step_federated(
+        &mut self,
+        fed: &mut crate::federate::FederatedExecutor,
+        link: &mut dyn crate::federate::FederateLink,
+    ) -> Result<(), CoreError>
+    where
+        A: Sync,
+    {
+        fed.ensure_plan(&self.graph)?;
+        self.twin.step_federated(fed, link)?;
+
+        self.pending_real.fill(0);
+        self.pending_dummy.fill(0);
+        fed.batch.clear();
+
+        let seed = self.seed;
+        let round = self.round;
+        let edges = self.graph.edges();
+        for &e in fed.plan.incident() {
+            let (u, v) = edges[e];
+            let deficit = self.twin.cumulative_flows()[e] - self.discrete_flow[e] as f64;
+            if deficit == 0.0 {
+                continue;
+            }
+            let (sender, receiver, magnitude, sign) = if deficit > 0.0 {
+                (u, v, deficit, 1i64)
+            } else {
+                (v, u, -deficit, -1i64)
+            };
+            // Exactly one part owns the sender and processes this edge; the
+            // receiving part learns the flow delta from the send exchange.
+            if !fed.plan.owns_node(sender) {
+                continue;
+            }
+            let floor = magnitude.floor();
+            let fraction = magnitude - floor;
+            let round_up = fraction > 0.0 && {
+                use rand::Rng;
+                edge_rounding_rng(seed, round, e).gen_bool(fraction.min(1.0))
+            };
+            let send = floor as u64 + u64::from(round_up);
+            if send == 0 {
+                continue;
+            }
+            let real = send.min(self.tokens[sender]);
+            self.tokens[sender] -= real;
+            let dummy = send - real;
+            let from_held = dummy.min(self.dummy[sender]);
+            self.dummy[sender] -= from_held;
+            self.dummy_created += dummy - from_held;
+            let delta = sign * send as i64;
+            self.discrete_flow[e] += delta;
+            if fed.plan.owns_node(receiver) {
+                self.pending_real[receiver] += real;
+                self.pending_dummy[receiver] += dummy;
+            } else {
+                fed.batch.tokens.push((receiver, real, dummy));
+                fed.batch.deltas.push((e, delta));
+            }
+        }
+
+        let batches = link.exchange_sends(&fed.batch)?;
+        for i in 0..self.graph.node_count() {
+            self.tokens[i] += self.pending_real[i];
+            self.dummy[i] += self.pending_dummy[i];
+        }
+        for (rank, batch) in batches.iter().enumerate() {
+            if rank == fed.part() {
+                continue;
+            }
+            for &(receiver, real, dummy) in &batch.tokens {
+                if fed.plan.owns_node(receiver) {
+                    self.tokens[receiver] += real;
+                    self.dummy[receiver] += dummy;
+                }
+            }
+            // Crossing-edge flow deltas keep the receiving side's ledger in
+            // sync; entries for edges this part is not incident to land in
+            // stale slots that are never read.
+            for &(e, delta) in &batch.deltas {
+                let slot = self.discrete_flow.get_mut(e).ok_or_else(|| {
+                    CoreError::federation(format!("flow delta for unknown edge {e}"))
+                })?;
+                *slot += delta;
+            }
+        }
+        self.round += 1;
+        Ok(())
+    }
+
+    /// Federated [`apply_events`](DynamicBalancer::apply_events): every part
+    /// sees the **full** event stream (scenario-derived, so no broadcast is
+    /// needed) but applies token and twin effects only for the nodes it
+    /// owns. Validation (node bounds, unit arrival weights) covers all
+    /// events so every part rejects a bad stream identically. The returned
+    /// report counts owned events only, so gathered partials sum to the
+    /// sequential report.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] if an event names a node
+    /// outside the graph or an arrival is not unit-weight.
+    pub fn apply_events_federated(
+        &mut self,
+        events: &RoundEvents,
+        fed: &mut crate::federate::FederatedExecutor,
+    ) -> Result<EventReport, CoreError> {
+        fed.ensure_plan(&self.graph)?;
+        let n = self.graph.node_count();
+        let mut report = EventReport::default();
+        for &(node, budget) in &events.completions {
+            if node >= n {
+                return Err(CoreError::invalid_parameter(format!(
+                    "completion on node {node}, graph has {n} nodes"
+                )));
+            }
+            if !fed.plan.owns_node(node) {
+                continue;
+            }
+            let take = budget.min(self.tokens[node]);
+            self.tokens[node] -= take;
+            self.twin.adjust_load(node, -(take as f64));
+            report.completed_tasks += take;
+            report.completed_weight += take;
+        }
+        for &(node, task) in &events.arrivals {
+            if node >= n {
+                return Err(CoreError::invalid_parameter(format!(
+                    "arrival on node {node}, graph has {n} nodes"
+                )));
+            }
+            if task.weight() != 1 {
+                return Err(CoreError::invalid_parameter(
+                    "randomized flow imitation (Algorithm 2) accepts unit-weight arrivals only",
+                ));
+            }
+            if !fed.plan.owns_node(node) {
+                continue;
+            }
+            self.tokens[node] += 1;
+            self.twin.adjust_load(node, 1.0);
+            report.arrived_tasks += 1;
+            report.arrived_weight += 1;
+        }
+        self.arrived_weight += report.arrived_weight;
+        self.completed_weight += report.completed_weight;
+        Ok(report)
     }
 }
 

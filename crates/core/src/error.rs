@@ -15,12 +15,25 @@ pub enum CoreError {
         /// Human-readable description of the problem.
         reason: String,
     },
+    /// A federated exchange failed: a peer was lost mid-round, a payload was
+    /// malformed, or the transport broke the all-gather contract.
+    Federation {
+        /// Human-readable description of the failure.
+        reason: String,
+    },
 }
 
 impl CoreError {
     /// Convenience constructor for [`CoreError::InvalidParameter`].
     pub fn invalid_parameter(reason: impl Into<String>) -> Self {
         CoreError::InvalidParameter {
+            reason: reason.into(),
+        }
+    }
+
+    /// Convenience constructor for [`CoreError::Federation`].
+    pub fn federation(reason: impl Into<String>) -> Self {
+        CoreError::Federation {
             reason: reason.into(),
         }
     }
@@ -33,6 +46,9 @@ impl fmt::Display for CoreError {
             CoreError::InvalidParameter { reason } => {
                 write!(f, "invalid process parameter: {reason}")
             }
+            CoreError::Federation { reason } => {
+                write!(f, "federation failure: {reason}")
+            }
         }
     }
 }
@@ -41,7 +57,7 @@ impl Error for CoreError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             CoreError::Graph(e) => Some(e),
-            CoreError::InvalidParameter { .. } => None,
+            CoreError::InvalidParameter { .. } | CoreError::Federation { .. } => None,
         }
     }
 }

@@ -29,6 +29,11 @@
 //! * [`snapshot`] — versioned, crash-safe serialization of the full engine
 //!   state at a between-rounds boundary, for checkpointing and bit-identical
 //!   resume (including at a different shard count).
+//! * [`federate`] — federation: the same round partitioned across OS
+//!   processes. A [`FederatedExecutor`] owns one part's node range (the same
+//!   edge-balanced planner as the shard plan) and exchanges boundary loads,
+//!   crossing flows and cross-partition deliveries over a
+//!   [`federate::FederateLink`], bit-identically to the sequential engine.
 //!
 //! ## Quick example
 //!
@@ -64,6 +69,7 @@ pub mod continuous;
 pub mod convergence;
 pub mod discrete;
 mod error;
+pub mod federate;
 pub mod ingest;
 mod load;
 pub mod metrics;
@@ -72,6 +78,7 @@ pub mod snapshot;
 mod task;
 
 pub use error::CoreError;
+pub use federate::{FederatedExecutor, FederationPlan, SendBatch};
 pub use load::InitialLoad;
 pub use metrics::MetricsSnapshot;
 pub use shard::ShardedExecutor;

@@ -76,25 +76,10 @@ impl ShardPlan {
     /// Builds the plan for `graph` with exactly `shards` shards.
     fn build(shards: usize, graph: &Graph) -> Self {
         let n = graph.node_count();
-        let m = graph.edge_count();
         let edges = graph.edges();
         debug_assert!(edges.windows(2).all(|w| w[0] < w[1]), "canonical order");
 
-        let mut node_bounds = Vec::with_capacity(shards + 1);
-        node_bounds.push(0);
-        for s in 1..shards {
-            // Aim for m·s/S canonical edges per prefix, then snap the cut to
-            // a node boundary so each node's canonical edges stay together.
-            let target = m * s / shards;
-            let node = if target >= m { n } else { edges[target].0 };
-            node_bounds.push(node.max(node_bounds[s - 1]));
-        }
-        node_bounds.push(n);
-
-        let mut edge_bounds = Vec::with_capacity(shards + 1);
-        for &node in &node_bounds {
-            edge_bounds.push(edges.partition_point(|&(u, _)| u < node));
-        }
+        let (node_bounds, edge_bounds) = edge_balanced_bounds(shards, graph);
 
         let mut shard_of = vec![0u32; n];
         for s in 0..shards {
@@ -139,6 +124,33 @@ impl ShardPlan {
     pub(crate) fn incident(&self, s: usize) -> &[EdgeId] {
         &self.incident[s]
     }
+}
+
+/// The edge-balanced contiguous node partition shared by [`ShardPlan`] and
+/// the federation planner: node-range starts (length `parts + 1`) chosen so
+/// canonical edge counts balance across parts, plus the matching canonical
+/// edge-range starts (edges grouped by lower endpoint).
+pub(crate) fn edge_balanced_bounds(parts: usize, graph: &Graph) -> (Vec<usize>, Vec<usize>) {
+    let n = graph.node_count();
+    let m = graph.edge_count();
+    let edges = graph.edges();
+
+    let mut node_bounds = Vec::with_capacity(parts + 1);
+    node_bounds.push(0);
+    for s in 1..parts {
+        // Aim for m·s/P canonical edges per prefix, then snap the cut to
+        // a node boundary so each node's canonical edges stay together.
+        let target = m * s / parts;
+        let node = if target >= m { n } else { edges[target].0 };
+        node_bounds.push(node.max(node_bounds[s - 1]));
+    }
+    node_bounds.push(n);
+
+    let mut edge_bounds = Vec::with_capacity(parts + 1);
+    for &node in &node_bounds {
+        edge_bounds.push(edges.partition_point(|&(u, _)| u < node));
+    }
+    (node_bounds, edge_bounds)
 }
 
 /// A raw shared-mutable view of a slice, for handing **disjoint** ranges to
@@ -242,7 +254,7 @@ pub(crate) struct ShardPool {
 impl ShardPool {
     /// Spawns `workers` threads, serving shard indices `1..=workers` (the
     /// caller itself runs shard 0).
-    fn new(workers: usize) -> Self {
+    pub(crate) fn new(workers: usize) -> Self {
         let shared = Arc::new(PoolShared {
             state: Mutex::new(PoolState {
                 epoch: 0,

@@ -38,7 +38,7 @@ mod weights;
 pub use distributions::{corner_source, pad_for_min_load, TokenDistribution};
 pub use scenario::{
     AlgorithmSpec, ArrivalSpec, ChurnEvent, ChurnKind, InitialSpec, ModelSpec, PadSpec, Scenario,
-    ScenarioEvents, ServiceSpec, SpeedSpec, TopologySpec, MAX_SHARDS,
+    ScenarioEvents, ServiceSpec, SpeedSpec, TopologySpec, MAX_FEDERATION, MAX_SHARDS,
 };
 pub use source::{Checkpoint, ReadSource, RoundSource, TraceSource};
 pub use trace::{Trace, TraceRound, TraceWriter, TRACE_VERSION};

@@ -231,6 +231,10 @@ pub enum ChurnKind {
 /// a `thread::spawn` resource-exhaustion abort mid-run.
 pub const MAX_SHARDS: usize = 256;
 
+/// Upper bound on a scenario's `federation`: every partition is a full OS
+/// process, so an absurd count must be a validation error, not a fork bomb.
+pub const MAX_FEDERATION: usize = 64;
+
 /// A complete dynamic-workload scenario.
 ///
 /// See the module docs for the JSON schema; [`Scenario::parse`] /
@@ -266,6 +270,12 @@ pub struct Scenario {
     /// splits each round across (1 = sequential). Trajectories are
     /// bit-identical for every shard count; this only trades wall-clock time.
     pub shards: usize,
+    /// Inter-process parallelism: how many federated partitions (worker
+    /// processes) `lb federate` splits the simulation across (1 = a single
+    /// process). Like `shards`, this never changes the result — `lb run`
+    /// ignores it and a federated run is bit-identical to a sequential one —
+    /// so it is exempt from trace-header authentication.
+    pub federation: usize,
 }
 
 impl Scenario {
@@ -292,6 +302,16 @@ impl Scenario {
                 "shards is {}, above the maximum of {MAX_SHARDS} (each shard beyond the \
                  first is an OS thread)",
                 self.shards
+            ));
+        }
+        if self.federation == 0 {
+            return Err("federation must be at least 1".into());
+        }
+        if self.federation > MAX_FEDERATION {
+            return Err(format!(
+                "federation is {}, above the maximum of {MAX_FEDERATION} (each partition \
+                 is an OS process)",
+                self.federation
             ));
         }
         if self.topology.target_n < 2 {
@@ -451,6 +471,7 @@ impl Scenario {
             ("rounds", Json::from(self.rounds)),
             ("sample_every", Json::from(self.sample_every)),
             ("shards", Json::from(self.shards)),
+            ("federation", Json::from(self.federation)),
             ("algorithm", Json::from(self.algorithm.as_str())),
             ("model", Json::from(self.model.as_str())),
             (
@@ -476,8 +497,9 @@ impl Scenario {
     }
 
     /// Builds a scenario from its JSON representation. Optional sections
-    /// (`speeds`, `arrivals`, `completions`, `churn`, `shards`) default to
-    /// uniform speeds, no arrivals, no completions, no churn and one shard.
+    /// (`speeds`, `arrivals`, `completions`, `churn`, `shards`,
+    /// `federation`) default to uniform speeds, no arrivals, no completions,
+    /// no churn, one shard and one partition.
     ///
     /// # Errors
     ///
@@ -615,6 +637,10 @@ impl Scenario {
             shards: match json.get("shards") {
                 None => 1,
                 Some(_) => usize_field(json, "shards")?,
+            },
+            federation: match json.get("federation") {
+                None => 1,
+                Some(_) => usize_field(json, "federation")?,
             },
             algorithm: AlgorithmSpec::parse(&str_field(json, "algorithm")?)?,
             model: ModelSpec::parse(&str_field(json, "model")?)?,
@@ -806,6 +832,7 @@ mod tests {
                 },
             ],
             shards: 1,
+            federation: 1,
         }
     }
 
@@ -832,6 +859,24 @@ mod tests {
         assert!(scenario.churn.is_empty());
         assert_eq!(scenario.initial.pad, PadSpec::Tokens(0));
         assert_eq!(scenario.shards, 1, "shards defaults to sequential");
+        assert_eq!(scenario.federation, 1, "federation defaults to one process");
+    }
+
+    #[test]
+    fn out_of_range_federation_is_rejected() {
+        let mut s = sample_scenario();
+        s.federation = 0;
+        let err = s.validate().expect_err("zero federation rejected");
+        assert!(err.contains("federation"), "{err}");
+        let mut s = sample_scenario();
+        s.federation = MAX_FEDERATION + 1;
+        let err = s.validate().expect_err("oversized federation rejected");
+        assert!(err.contains("maximum"), "{err}");
+        let mut s = sample_scenario();
+        s.federation = 4;
+        s.validate().expect("a 4-partition scenario is valid");
+        let parsed = Scenario::parse(&s.render_pretty()).expect("federation round-trips");
+        assert_eq!(parsed.federation, 4);
     }
 
     #[test]

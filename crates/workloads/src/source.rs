@@ -894,6 +894,7 @@ mod tests {
             },
             churn: Vec::new(),
             shards: 1,
+            federation: 1,
         }
     }
 

@@ -448,6 +448,7 @@ mod tests {
             },
             churn: Vec::new(),
             shards: 1,
+            federation: 1,
         }
     }
 

@@ -48,6 +48,7 @@ fn main() -> Result<(), lb_bench::error::BenchError> {
             kind: ChurnKind::Rewire { seed: 7 },
         }],
         shards: 1,
+        federation: 1,
     };
 
     println!(

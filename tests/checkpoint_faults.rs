@@ -51,6 +51,7 @@ fn scenario(algorithm: AlgorithmSpec, model: ModelSpec) -> Scenario {
             kind: ChurnKind::Rewire { seed: 9 },
         }],
         shards: 1,
+        federation: 1,
     }
 }
 

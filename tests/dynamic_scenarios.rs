@@ -107,6 +107,7 @@ fn churny_scenario(algorithm: AlgorithmSpec) -> Scenario {
             },
         ],
         shards: 1,
+        federation: 1,
     }
 }
 

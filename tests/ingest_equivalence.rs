@@ -60,6 +60,7 @@ fn churny_scenario(algorithm: AlgorithmSpec, model: ModelSpec) -> Scenario {
             },
         ],
         shards: 1,
+        federation: 1,
     }
 }
 

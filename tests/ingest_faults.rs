@@ -55,6 +55,7 @@ fn small_scenario() -> Scenario {
         },
         churn: Vec::new(),
         shards: 1,
+        federation: 1,
     }
 }
 

@@ -307,6 +307,7 @@ proptest! {
             completions: ServiceSpec::Uniform { weight_per_speed: 1 },
             churn: vec![ChurnEvent { round: 5, kind: ChurnKind::Rewire { seed: 3 } }],
             shards: 1,
+            federation: 1,
         };
 
         let rotating = std::env::temp_dir().join(format!(

@@ -43,6 +43,7 @@ fn serve_scenario() -> Scenario {
         },
         churn: Vec::new(),
         shards: 1,
+        federation: 1,
     }
 }
 

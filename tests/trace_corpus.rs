@@ -40,6 +40,7 @@ fn scenario() -> Scenario {
         },
         churn: Vec::new(),
         shards: 1,
+        federation: 1,
     }
 }
 
