@@ -1126,66 +1126,79 @@ fn serve_trace_lines(path: &str, out: Option<&str>, delay: Duration) -> i32 {
     }
 }
 
-/// Reads `optimized.rounds_per_sec` from a `BENCH_hotpath.json`-shaped
-/// document, falling back to a top-level `rounds_per_sec` (the trimmed
-/// baseline format).
-fn rounds_per_sec(doc: &Json, path: &str) -> Result<f64, String> {
-    doc.get("optimized")
-        .and_then(|o| o.get("rounds_per_sec"))
-        .or_else(|| doc.get("rounds_per_sec"))
-        .and_then(Json::as_f64)
-        .ok_or_else(|| format!("{path}: no rounds_per_sec field"))
+/// Recursively collects every gated throughput leaf of a baseline document
+/// as `(dotted path, value)` pairs. A leaf is gated when its key ends in
+/// `_per_sec` — configuration numbers (`nodes`, `max_regression_percent`,
+/// …) never do — and `config` subtrees (benchmark parameters recorded next
+/// to a metric) are skipped wholesale.
+fn gated_metrics(doc: &Json, prefix: &str, out: &mut Vec<(String, f64)>) {
+    if let Json::Obj(pairs) = doc {
+        for (key, value) in pairs {
+            if key == "config" {
+                continue;
+            }
+            let path = if prefix.is_empty() {
+                key.clone()
+            } else {
+                format!("{prefix}.{key}")
+            };
+            match value {
+                Json::Obj(_) => gated_metrics(value, &path, out),
+                _ if key.ends_with("_per_sec") => {
+                    if let Some(v) = value.as_f64() {
+                        out.push((path, v));
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
 }
 
-/// Reads the sharded large-instance throughput (`large.sharded.rounds_per_sec`)
-/// from a hotpath/baseline document, if present.
-fn sharded_rounds_per_sec(doc: &Json) -> Option<f64> {
-    doc.get("large")?
-        .get("sharded")?
-        .get("rounds_per_sec")?
-        .as_f64()
+/// Looks up a dotted metric path in a measured document. The main-entry
+/// `rounds_per_sec` may live under `optimized` in `BENCH_hotpath.json` (the
+/// full report shape) or at the top level (the trimmed baseline shape);
+/// every other path matches literally.
+fn metric_at(doc: &Json, path: &str) -> Option<f64> {
+    if path == "rounds_per_sec" {
+        return doc
+            .get("optimized")
+            .and_then(|o| o.get("rounds_per_sec"))
+            .or_else(|| doc.get("rounds_per_sec"))
+            .and_then(Json::as_f64);
+    }
+    let mut node = doc;
+    for seg in path.split('.') {
+        node = node.get(seg)?;
+    }
+    node.as_f64()
 }
 
-/// Reads the channel-ingestion throughput (`ingest.channel.events_per_sec`)
-/// from a hotpath/baseline document, if present.
-fn ingest_events_per_sec(doc: &Json) -> Option<f64> {
-    doc.get("ingest")?
-        .get("channel")?
-        .get("events_per_sec")?
-        .as_f64()
+/// Short display label for a gated metric path (the historical entry names
+/// where one exists; the dotted path otherwise).
+fn gate_label(path: &str) -> &str {
+    match path {
+        "rounds_per_sec" => "hotpath",
+        "large.sharded.rounds_per_sec" => "sharded",
+        "ingest.channel.events_per_sec" => "ingest",
+        "ingest.merge.events_per_sec" => "merge",
+        "snapshot.capture_write.mb_per_sec" => "snapshot-write",
+        "snapshot.read_restore.mb_per_sec" => "snapshot-read",
+        "federate.rounds_per_sec" => "federate",
+        "churn.rounds_per_sec" => "churn",
+        other => other,
+    }
 }
 
-/// Reads the merge-stage throughput (`ingest.merge.events_per_sec`) from a
-/// hotpath/baseline document, if present.
-fn merge_events_per_sec(doc: &Json) -> Option<f64> {
-    doc.get("ingest")?
-        .get("merge")?
-        .get("events_per_sec")?
-        .as_f64()
-}
-
-/// Reads the checkpoint-write throughput (`snapshot.capture_write.mb_per_sec`)
-/// from a hotpath/baseline document, if present.
-fn snapshot_write_mb_per_sec(doc: &Json) -> Option<f64> {
-    doc.get("snapshot")?
-        .get("capture_write")?
-        .get("mb_per_sec")?
-        .as_f64()
-}
-
-/// Reads the resume-restore throughput (`snapshot.read_restore.mb_per_sec`)
-/// from a hotpath/baseline document, if present.
-fn snapshot_read_mb_per_sec(doc: &Json) -> Option<f64> {
-    doc.get("snapshot")?
-        .get("read_restore")?
-        .get("mb_per_sec")?
-        .as_f64()
-}
-
-/// Reads the two-process federated-driver throughput
-/// (`federate.rounds_per_sec`) from a hotpath/baseline document, if present.
-fn federate_rounds_per_sec(doc: &Json) -> Option<f64> {
-    doc.get("federate")?.get("rounds_per_sec")?.as_f64()
+/// Display unit for a gated metric path, from the leaf-name convention.
+fn gate_unit(path: &str) -> &'static str {
+    if path.ends_with("events_per_sec") {
+        "events/sec"
+    } else if path.ends_with("mb_per_sec") {
+        "MB/sec"
+    } else {
+        "rounds/sec"
+    }
 }
 
 /// The perf-regression gate: compares the current hot-path throughput
@@ -1224,10 +1237,10 @@ fn cmd_bench_check(args: &[String]) -> i32 {
         };
         let baseline_doc = read(baseline_path)?;
         let current_doc = read(current_path)?;
-        let baseline = rounds_per_sec(&baseline_doc, baseline_path)?;
-        let current = rounds_per_sec(&current_doc, current_path)?;
-        if baseline <= 0.0 {
-            return Err(format!("{baseline_path}: rounds_per_sec must be positive"));
+        let mut gated = Vec::new();
+        gated_metrics(&baseline_doc, "", &mut gated);
+        if !gated.iter().any(|(path, _)| path == "rounds_per_sec") {
+            return Err(format!("{baseline_path}: no rounds_per_sec field"));
         }
 
         let gate = |label: &str, unit: &str, baseline: f64, current: f64| -> bool {
@@ -1250,77 +1263,35 @@ fn cmd_bench_check(args: &[String]) -> i32 {
             }
         };
 
-        let mut ok = gate("hotpath", "rounds/sec", baseline, current);
-        // The sharded large-instance and channel-ingestion entries are gated
-        // whenever the committed baseline carries them (re-baseline
-        // deliberately to change them).
-        match sharded_rounds_per_sec(&baseline_doc) {
-            Some(sharded_baseline) if sharded_baseline > 0.0 => {
-                let sharded_current = sharded_rounds_per_sec(&current_doc).ok_or_else(|| {
-                    format!("{current_path}: no large.sharded.rounds_per_sec field")
-                })?;
-                ok &= gate("sharded", "rounds/sec", sharded_baseline, sharded_current);
+        // Every `_per_sec` leaf the committed baseline carries is gated
+        // (re-baseline deliberately to change the set). A gated key that the
+        // measured file no longer reports — a renamed or dropped entry — is a
+        // hard failure, not a silent pass: the gate would otherwise go dark
+        // exactly when the benchmark it guards disappears.
+        let mut ok = true;
+        for (path, baseline) in &gated {
+            let label = gate_label(path);
+            if *baseline <= 0.0 {
+                if path == "rounds_per_sec" {
+                    return Err(format!("{baseline_path}: rounds_per_sec must be positive"));
+                }
+                println!("bench-check [{label}]: non-positive baseline entry, skipped");
+                continue;
             }
-            _ => println!("bench-check [sharded]: no baseline entry, skipped"),
-        }
-        match ingest_events_per_sec(&baseline_doc) {
-            Some(ingest_baseline) if ingest_baseline > 0.0 => {
-                let ingest_current = ingest_events_per_sec(&current_doc).ok_or_else(|| {
-                    format!("{current_path}: no ingest.channel.events_per_sec field")
-                })?;
-                ok &= gate("ingest", "events/sec", ingest_baseline, ingest_current);
-            }
-            _ => println!("bench-check [ingest]: no baseline entry, skipped"),
-        }
-        match merge_events_per_sec(&baseline_doc) {
-            Some(merge_baseline) if merge_baseline > 0.0 => {
-                let merge_current = merge_events_per_sec(&current_doc).ok_or_else(|| {
-                    format!("{current_path}: no ingest.merge.events_per_sec field")
-                })?;
-                ok &= gate("merge", "events/sec", merge_baseline, merge_current);
-            }
-            _ => println!("bench-check [merge]: no baseline entry, skipped"),
-        }
-        match snapshot_write_mb_per_sec(&baseline_doc) {
-            Some(write_baseline) if write_baseline > 0.0 => {
-                let write_current = snapshot_write_mb_per_sec(&current_doc).ok_or_else(|| {
-                    format!("{current_path}: no snapshot.capture_write.mb_per_sec field")
-                })?;
-                ok &= gate("snapshot-write", "MB/sec", write_baseline, write_current);
-            }
-            _ => println!("bench-check [snapshot-write]: no baseline entry, skipped"),
-        }
-        match snapshot_read_mb_per_sec(&baseline_doc) {
-            Some(read_baseline) if read_baseline > 0.0 => {
-                let read_current = snapshot_read_mb_per_sec(&current_doc).ok_or_else(|| {
-                    format!("{current_path}: no snapshot.read_restore.mb_per_sec field")
-                })?;
-                ok &= gate("snapshot-read", "MB/sec", read_baseline, read_current);
-            }
-            _ => println!("bench-check [snapshot-read]: no baseline entry, skipped"),
-        }
-        match federate_rounds_per_sec(&baseline_doc) {
-            Some(federate_baseline) if federate_baseline > 0.0 => {
-                let federate_current = federate_rounds_per_sec(&current_doc)
-                    .ok_or_else(|| format!("{current_path}: no federate.rounds_per_sec field"))?;
-                ok &= gate(
-                    "federate",
-                    "rounds/sec",
-                    federate_baseline,
-                    federate_current,
-                );
-            }
-            _ => println!("bench-check [federate]: no baseline entry, skipped"),
+            let current = metric_at(&current_doc, path).ok_or_else(|| {
+                format!(
+                    "{current_path}: missing gated metric {path} (present in \
+                     {baseline_path}; re-baseline if the entry was renamed or retired)"
+                )
+            })?;
+            ok &= gate(label, gate_unit(path), *baseline, current);
         }
         Ok(ok)
     })();
     match verdict {
         Ok(true) => 0,
         Ok(false) => 1,
-        Err(err) => {
-            eprintln!("error: {err}");
-            1
-        }
+        Err(err) => fail(BenchError::run(err)),
     }
 }
 
@@ -1899,5 +1870,68 @@ mod tests {
         // No baseline entry: both snapshot gates are skipped.
         fs::write(&baseline, r#"{"rounds_per_sec": 100.0}"#).unwrap();
         assert_eq!(dispatch(&base_args()), 0, "no baseline entry, skipped");
+    }
+
+    #[test]
+    fn bench_check_fails_when_a_gated_key_is_missing() {
+        let dir = std::env::temp_dir().join("lb_bench_check_missing_key_test");
+        fs::create_dir_all(&dir).unwrap();
+        let baseline = dir.join("baseline.json");
+        let current = dir.join("current.json");
+        let base_args = || {
+            args(&[
+                "bench-check",
+                "--baseline",
+                baseline.to_str().unwrap(),
+                "--current",
+                current.to_str().unwrap(),
+            ])
+        };
+
+        // The baseline gates a churn entry the measured file does not carry —
+        // e.g. the benchmark was renamed. That must be a hard failure, not a
+        // silent pass of the remaining gates.
+        fs::write(
+            &baseline,
+            r#"{"rounds_per_sec": 100.0, "churn": {"rounds_per_sec": 100.0}}"#,
+        )
+        .unwrap();
+        fs::write(&current, r#"{"optimized": {"rounds_per_sec": 100.0}}"#).unwrap();
+        assert_eq!(dispatch(&base_args()), 1, "missing churn entry fails");
+
+        // With the entry present and healthy, the gate passes…
+        fs::write(
+            &current,
+            r#"{"optimized": {"rounds_per_sec": 100.0},
+               "churn": {"rounds_per_sec": 95.0}}"#,
+        )
+        .unwrap();
+        assert_eq!(dispatch(&base_args()), 0, "churn entry within allowance");
+
+        // …and still fails on an actual regression.
+        fs::write(
+            &current,
+            r#"{"optimized": {"rounds_per_sec": 100.0},
+               "churn": {"rounds_per_sec": 40.0}}"#,
+        )
+        .unwrap();
+        assert_eq!(dispatch(&base_args()), 1, "churn regression fails");
+
+        // Numeric benchmark parameters recorded under `config` subtrees are
+        // never gated, even with a `_per_sec`-shaped name.
+        fs::write(
+            &baseline,
+            r#"{"rounds_per_sec": 100.0,
+               "churn": {"rounds_per_sec": 100.0,
+                         "config": {"patch_edges_per_sec": 1.0}}}"#,
+        )
+        .unwrap();
+        fs::write(
+            &current,
+            r#"{"optimized": {"rounds_per_sec": 100.0},
+               "churn": {"rounds_per_sec": 100.0}}"#,
+        )
+        .unwrap();
+        assert_eq!(dispatch(&base_args()), 0, "config subtrees are not gated");
     }
 }

@@ -72,7 +72,7 @@ use lb_core::ingest::merge::MergeSession;
 use lb_core::ingest::{self, ChannelMetrics, IngestSession};
 use lb_core::snapshot::{self, Snapshot};
 use lb_core::{metrics, CoreError, FederatedExecutor, InitialLoad, ShardedExecutor, Speeds};
-use lb_graph::{AlphaScheme, Graph};
+use lb_graph::{AlphaScheme, Graph, GraphDelta};
 use lb_workloads::{
     pad_for_min_load, AlgorithmSpec, ChurnKind, ModelSpec, PadSpec, RoundSource, Scenario,
     ScenarioEvents, Trace, TraceWriter,
@@ -336,19 +336,49 @@ impl Engine {
     /// Rebuilds the continuous process on `graph` and swaps it in (topology
     /// churn). `speeds` must already follow the carry-over rule (truncate /
     /// pad with unit speeds), matching what `replace_topology` re-derives.
+    ///
+    /// With `delta: Some(_)` — a same-size rewire whose edge difference from
+    /// the engine's *current* graph is known — the continuous process is
+    /// patched incrementally (`O(Δ)` recompute instead of an `O(m)` matrix
+    /// re-derivation, and SOS skips the spectral re-estimate entirely when
+    /// the delta is empty). The patched process is bit-identical to the
+    /// full rebuild, so both paths yield the same trajectory; resume
+    /// fast-forward always takes the `None` path because its engine may be
+    /// several churn epochs behind the entry it applies.
     pub(crate) fn replace_topology(
         &mut self,
         graph: Arc<Graph>,
         speeds: &Speeds,
+        delta: Option<&GraphDelta>,
     ) -> Result<(), CoreError> {
         match self {
-            Engine::Alg1Fos(e) => e.replace_topology(Fos::new(graph, speeds, SCHEME)?),
-            Engine::Alg1Sos(e) => {
-                e.replace_topology(Sos::with_optimal_beta(graph, speeds, SCHEME)?)
+            Engine::Alg1Fos(e) => {
+                let process = match delta {
+                    Some(d) => e.continuous().process().patched(graph, d)?,
+                    None => Fos::new(graph, speeds, SCHEME)?,
+                };
+                e.replace_topology(process)
             }
-            Engine::Alg2Fos(e) => e.replace_topology(Fos::new(graph, speeds, SCHEME)?),
+            Engine::Alg1Sos(e) => {
+                let process = match delta {
+                    Some(d) => e.continuous().process().patched(graph, d)?,
+                    None => Sos::with_optimal_beta(graph, speeds, SCHEME)?,
+                };
+                e.replace_topology(process)
+            }
+            Engine::Alg2Fos(e) => {
+                let process = match delta {
+                    Some(d) => e.continuous().process().patched(graph, d)?,
+                    None => Fos::new(graph, speeds, SCHEME)?,
+                };
+                e.replace_topology(process)
+            }
             Engine::Alg2Sos(e) => {
-                e.replace_topology(Sos::with_optimal_beta(graph, speeds, SCHEME)?)
+                let process = match delta {
+                    Some(d) => e.continuous().process().patched(graph, d)?,
+                    None => Sos::with_optimal_beta(graph, speeds, SCHEME)?,
+                };
+                e.replace_topology(process)
             }
         }
     }
@@ -588,32 +618,86 @@ impl EventSource {
     }
 }
 
+/// One precomputed churn event: the materialised topology the engine lands
+/// on, the speeds it carries, and — for same-size edge churn — the edge
+/// delta from the *previous* step's graph (the initial world graph for the
+/// first step).
+#[derive(Debug, Clone)]
+pub(crate) struct ChurnStep {
+    /// The round before which the event fires.
+    pub(crate) round: usize,
+    /// The topology after this event (always materialised, so resume can
+    /// jump straight to any epoch without replaying deltas).
+    pub(crate) graph: Arc<Graph>,
+    /// Carried speeds on that topology.
+    pub(crate) speeds: Speeds,
+    /// Edge difference from the previous step's graph, when the event is a
+    /// same-size edge patch. Only valid when steps are applied in sequence:
+    /// resume fast-forward applies one arbitrary step onto the original
+    /// world graph and must take the full-rebuild path instead.
+    pub(crate) delta: Option<GraphDelta>,
+}
+
 /// The churn plan, precomputed once per run: for every churn event, the
 /// rebuilt topology and the speeds the engine will carry on it. The driver
 /// consumes the graphs — each churn graph is built exactly once, whichever
 /// producer mode runs — and a channel producer follows the speeds without
 /// hearing back from the engine thread. (Graph generators are seeded per
 /// event, so building up front is bit-identical to building lazily.)
+///
+/// `rewire` and explicit `delta` events carry the edge difference from the
+/// previous epoch's graph so the engine can patch its process in `O(Δ)`;
+/// `resize` events keep the full-rebuild path (`delta: None`).
 pub(crate) fn churn_schedule(
     class: GraphClass,
     scenario: &Scenario,
+    initial_graph: &Arc<Graph>,
     initial: &Speeds,
-) -> Result<Vec<(usize, Arc<Graph>, Speeds)>, String> {
+) -> Result<Vec<ChurnStep>, String> {
     let mut schedule = Vec::with_capacity(scenario.churn.len());
     let mut current = initial.clone();
+    let mut current_graph = Arc::clone(initial_graph);
     for event in &scenario.churn {
-        let (target_n, seed) = match event.kind {
+        let (graph, delta): (Arc<Graph>, Option<GraphDelta>) = match &event.kind {
             // Rewire keeps the current size; the speeds length tracks the
             // engine's node count exactly.
-            ChurnKind::Rewire { seed } => (current.len(), seed),
-            ChurnKind::Resize { target_n, seed } => (target_n, seed),
+            ChurnKind::Rewire { seed } => {
+                let graph: Arc<Graph> = class
+                    .build(current.len(), *seed)
+                    .map_err(|err| format!("churn at round {}: {err}", event.round))?
+                    .into();
+                let delta = current_graph
+                    .delta_to(&graph)
+                    .map_err(|err| format!("churn at round {}: {err}", event.round))?;
+                (graph, Some(delta))
+            }
+            ChurnKind::Resize { target_n, seed } => {
+                let graph: Arc<Graph> = class
+                    .build(*target_n, *seed)
+                    .map_err(|err| format!("churn at round {}: {err}", event.round))?
+                    .into();
+                (graph, None)
+            }
+            ChurnKind::Delta { add, remove } => {
+                let delta = GraphDelta::new(
+                    current_graph.node_count(),
+                    add.iter().copied(),
+                    remove.iter().copied(),
+                )
+                .and_then(|delta| Ok((current_graph.apply_delta(&delta)?, delta)))
+                .map_err(|err| format!("churn at round {}: {err}", event.round))?;
+                let (graph, delta) = delta;
+                (Arc::new(graph), Some(delta))
+            }
         };
-        let graph: Arc<Graph> = class
-            .build(target_n, seed)
-            .map_err(|err| format!("churn at round {}: {err}", event.round))?
-            .into();
         current = carried_speeds(&current, graph.node_count());
-        schedule.push((event.round, graph, current.clone()));
+        current_graph = Arc::clone(&graph);
+        schedule.push(ChurnStep {
+            round: event.round,
+            graph,
+            speeds: current.clone(),
+            delta,
+        });
     }
     Ok(schedule)
 }
@@ -1476,7 +1560,7 @@ fn execute(
     let mut engine = Engine::build(&scenario, Arc::clone(&graph), &speeds, &initial, seed)?;
     // One plan for every churn event, built up front: the driver swaps in
     // the prebuilt graphs, and a channel producer follows the speeds.
-    let schedule = churn_schedule(class, &scenario, &speeds).map_err(BenchError::Run)?;
+    let schedule = churn_schedule(class, &scenario, &graph, &speeds).map_err(BenchError::Run)?;
     let mut source = match feed {
         Feed::Trace(trace) => {
             let (session, handle) = spawn_trace_producer(trace.rounds, DEFAULT_CHANNEL_CAPACITY);
@@ -1501,7 +1585,7 @@ fn execute(
             let speeds_schedule = || {
                 schedule
                     .iter()
-                    .map(|(round, _, speeds)| (*round, speeds.clone()))
+                    .map(|step| (step.round, step.speeds.clone()))
                     .collect()
             };
             match options.producer {
@@ -1581,11 +1665,11 @@ fn execute(
             // restore overwrites everything else.
             let mut rebuilt: Option<(Arc<Graph>, Speeds)> = None;
             for round in 0..point.round {
-                while churn.peek().is_some_and(|(r, _, _)| *r == round) {
+                while churn.peek().is_some_and(|step| step.round == round) {
                     // lint: allow(R03, the peek in the loop condition proves Some)
-                    let (_, new_graph, new_speeds) = churn.next().expect("peeked entry");
-                    source.set_topology(&new_speeds);
-                    rebuilt = Some((new_graph, new_speeds));
+                    let step = churn.next().expect("peeked entry");
+                    source.set_topology(&step.speeds);
+                    rebuilt = Some((step.graph, step.speeds));
                 }
                 source.fill_round(round, &mut events)?;
                 if let Some(writer) = writer.as_mut() {
@@ -1595,8 +1679,11 @@ fn execute(
                 }
             }
             if let Some((new_graph, new_speeds)) = rebuilt {
+                // Full-rebuild path: the engine may be several churn epochs
+                // behind this entry, so its delta (relative to the previous
+                // epoch only) does not apply.
                 engine
-                    .replace_topology(new_graph, &new_speeds)
+                    .replace_topology(new_graph, &new_speeds, None)
                     .map_err(|err| {
                         BenchError::run(format!("rebuilding the churned topology to resume: {err}"))
                     })?;
@@ -1616,11 +1703,11 @@ fn execute(
     };
 
     for round in resume_round..scenario.rounds {
-        while churn.peek().is_some_and(|(r, _, _)| *r == round) {
+        while churn.peek().is_some_and(|step| step.round == round) {
             // lint: allow(R03, the peek in the loop condition proves Some)
-            let (_, new_graph, new_speeds) = churn.next().expect("peeked entry");
+            let step = churn.next().expect("peeked entry");
             engine
-                .replace_topology(new_graph, &new_speeds)
+                .replace_topology(step.graph, &step.speeds, step.delta.as_ref())
                 .map_err(|err| BenchError::run(format!("churn at round {round}: {err}")))?;
             source.set_topology(engine.speeds());
         }
@@ -2071,6 +2158,214 @@ mod tests {
                 for shards in [None, Some(3)] {
                     // Round-trip through the wire format: resume exercises
                     // render + parse on a real captured state every time.
+                    let snap = snapshot::parse(&snapshot::render(&snap)).unwrap();
+                    let resumed = Session::from_snapshot(snap)
+                        .shards(shards)
+                        .run(|_| {})
+                        .unwrap();
+                    assert_eq!(
+                        resumed.to_json().render_pretty(),
+                        reference,
+                        "{tag}: resume at {label}, shards {shards:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// `poisson_scenario` with a rewire immediately followed by a resize at
+    /// the next round — the back-to-back churn schedule.
+    fn back_to_back_churn_scenario(algorithm: AlgorithmSpec, model: ModelSpec) -> Scenario {
+        let mut scenario = poisson_scenario();
+        scenario.algorithm = algorithm;
+        scenario.model = model;
+        scenario.churn = vec![
+            ChurnEvent {
+                round: 30,
+                kind: ChurnKind::Rewire { seed: 9 },
+            },
+            ChurnEvent {
+                round: 31,
+                kind: ChurnKind::Resize {
+                    target_n: 16,
+                    seed: 3,
+                },
+            },
+        ];
+        scenario
+    }
+
+    #[test]
+    fn back_to_back_churn_is_byte_identical_for_all_engines() {
+        // A rewire at round 30 immediately followed by a resize at round 31:
+        // the delta-patched epoch lives for exactly one round before the
+        // full-rebuild path replaces it. The round-25 snapshot crosses both
+        // entries live; the round-50 snapshot crosses both during the
+        // fast-forward, exercising the only-the-last-step rebuild rule with
+        // adjacent steps. Shard overrides must never change the trajectory.
+        for (algorithm, model, tag) in [
+            (AlgorithmSpec::Alg1, ModelSpec::Fos, "btb_a1fos"),
+            (AlgorithmSpec::Alg1, ModelSpec::Sos, "btb_a1sos"),
+            (AlgorithmSpec::Alg2, ModelSpec::Fos, "btb_a2fos"),
+            (AlgorithmSpec::Alg2, ModelSpec::Sos, "btb_a2sos"),
+        ] {
+            let scenario = back_to_back_churn_scenario(algorithm, model);
+            let (outcome, snap25, snap50) = run_with_checkpoints(&scenario, tag);
+            let reference = outcome.to_json().render_pretty();
+            assert_eq!(outcome.last().nodes, 16, "{tag}: the resize landed");
+
+            for shards in [2, 5] {
+                let sharded = Session::from_scenario(&scenario)
+                    .shards(shards)
+                    .run(|_| {})
+                    .unwrap();
+                assert_eq!(
+                    outcome.trajectory, sharded.trajectory,
+                    "{tag}: shards={shards}"
+                );
+            }
+
+            for (snap, label) in [(snap25, "round 25"), (snap50, "round 50")] {
+                for shards in [None, Some(3)] {
+                    let snap = snapshot::parse(&snapshot::render(&snap)).unwrap();
+                    let resumed = Session::from_snapshot(snap)
+                        .shards(shards)
+                        .run(|_| {})
+                        .unwrap();
+                    assert_eq!(
+                        resumed.to_json().render_pretty(),
+                        reference,
+                        "{tag}: resume at {label}, shards {shards:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn resume_from_a_checkpoint_between_back_to_back_churns() {
+        // Checkpoints are written at the between-rounds boundary, so a
+        // cadence of 31 captures the state after the round-30 rewire but
+        // before the round-31 resize: the fast-forward must re-apply the
+        // rewire epoch (full-rebuild path) and then take the resize live.
+        for (algorithm, model, tag) in [
+            (AlgorithmSpec::Alg1, ModelSpec::Fos, "mid_a1fos"),
+            (AlgorithmSpec::Alg1, ModelSpec::Sos, "mid_a1sos"),
+            (AlgorithmSpec::Alg2, ModelSpec::Fos, "mid_a2fos"),
+            (AlgorithmSpec::Alg2, ModelSpec::Sos, "mid_a2sos"),
+        ] {
+            let scenario = back_to_back_churn_scenario(algorithm, model);
+            let rotating = std::env::temp_dir().join(format!("lb_resume_{tag}.ckpt.jsonl"));
+            let outcome = Session::from_scenario(&scenario)
+                .checkpoint(rotating.clone(), 31)
+                .run(|_| {})
+                .unwrap();
+            let snap = snapshot::load(&rotating).unwrap();
+            std::fs::remove_file(&rotating).ok();
+            assert_eq!(snap.round, 31, "{tag}: captured between the churns");
+            let reference = outcome.to_json().render_pretty();
+            for shards in [None, Some(3)] {
+                let snap = snapshot::parse(&snapshot::render(&snap)).unwrap();
+                let resumed = Session::from_snapshot(snap)
+                    .shards(shards)
+                    .run(|_| {})
+                    .unwrap();
+                assert_eq!(
+                    resumed.to_json().render_pretty(),
+                    reference,
+                    "{tag}: resume between churns, shards {shards:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn delta_churn_is_byte_identical_across_shard_counts() {
+        // The explicit delta form of churn, across all four engine combos:
+        // shard overrides must never change the trajectory, and (torus
+        // rebuilds being deterministic) a rewire is exactly an empty delta.
+        for (algorithm, model) in [
+            (AlgorithmSpec::Alg1, ModelSpec::Fos),
+            (AlgorithmSpec::Alg1, ModelSpec::Sos),
+            (AlgorithmSpec::Alg2, ModelSpec::Fos),
+            (AlgorithmSpec::Alg2, ModelSpec::Sos),
+        ] {
+            let mut scenario = poisson_scenario();
+            scenario.algorithm = algorithm;
+            scenario.model = model;
+            scenario.churn = vec![ChurnEvent {
+                round: 30,
+                kind: ChurnKind::Delta {
+                    add: vec![(0, 14), (7, 29)],
+                    remove: vec![(0, 1)],
+                },
+            }];
+            let sequential = Session::from_scenario(&scenario).run(|_| {}).unwrap();
+            for shards in [2, 5] {
+                let sharded = Session::from_scenario(&scenario)
+                    .shards(shards)
+                    .run(|_| {})
+                    .unwrap();
+                assert_eq!(
+                    sequential.trajectory, sharded.trajectory,
+                    "{algorithm:?}/{model:?} delta churn shards={shards}"
+                );
+            }
+
+            // Rewire ≡ empty delta: the torus family rebuild reproduces the
+            // same edges, so both paths patch with an empty delta and must
+            // land on the same trajectory (the scenario specs differ, so
+            // compare trajectories rather than rendered documents).
+            let mut rewire = poisson_scenario();
+            rewire.algorithm = algorithm;
+            rewire.model = model;
+            rewire.churn = vec![ChurnEvent {
+                round: 30,
+                kind: ChurnKind::Rewire { seed: 9 },
+            }];
+            let mut empty_delta = poisson_scenario();
+            empty_delta.algorithm = algorithm;
+            empty_delta.model = model;
+            empty_delta.churn = vec![ChurnEvent {
+                round: 30,
+                kind: ChurnKind::Delta {
+                    add: Vec::new(),
+                    remove: Vec::new(),
+                },
+            }];
+            let a = Session::from_scenario(&rewire).run(|_| {}).unwrap();
+            let b = Session::from_scenario(&empty_delta).run(|_| {}).unwrap();
+            assert_eq!(
+                a.trajectory, b.trajectory,
+                "{algorithm:?}/{model:?}: rewire vs empty delta"
+            );
+            assert_eq!(a.dummy_created, b.dummy_created);
+        }
+    }
+
+    #[test]
+    fn delta_churn_survives_checkpoint_resume() {
+        // Resume across a delta-churn entry: the fast-forward takes the
+        // full-rebuild path (its ChurnStep carries the materialised graph),
+        // and must land on the same bytes as the uninterrupted run.
+        for (algorithm, model, tag) in [
+            (AlgorithmSpec::Alg1, ModelSpec::Fos, "delta_a1fos"),
+            (AlgorithmSpec::Alg2, ModelSpec::Sos, "delta_a2sos"),
+        ] {
+            let mut scenario = poisson_scenario();
+            scenario.algorithm = algorithm;
+            scenario.model = model;
+            scenario.churn = vec![ChurnEvent {
+                round: 30,
+                kind: ChurnKind::Delta {
+                    add: vec![(0, 14), (7, 29)],
+                    remove: vec![(0, 1)],
+                },
+            }];
+            let (outcome, snap25, snap50) = run_with_checkpoints(&scenario, tag);
+            let reference = outcome.to_json().render_pretty();
+            for (snap, label) in [(snap25, "round 25"), (snap50, "round 50")] {
+                for shards in [None, Some(3)] {
                     let snap = snapshot::parse(&snapshot::render(&snap)).unwrap();
                     let resumed = Session::from_snapshot(snap)
                         .shards(shards)

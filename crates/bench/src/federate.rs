@@ -390,8 +390,8 @@ fn run_coordinator(
     };
 
     let world = build_world(&scenario)?;
-    let schedule =
-        churn_schedule(world.class, &scenario, &world.speeds).map_err(BenchError::Run)?;
+    let schedule = churn_schedule(world.class, &scenario, &world.graph, &world.speeds)
+        .map_err(BenchError::Run)?;
     // A never-stepped local engine supplies the round-0 sample and the
     // engine identity — the same construction path every worker runs.
     let mut engine = Engine::build(
@@ -426,7 +426,7 @@ fn run_coordinator(
             },
         )?;
         let mut reassembled = false;
-        while churn.peek().is_some_and(|(r, _, _)| *r == round) {
+        while churn.peek().is_some_and(|step| step.round == round) {
             if !reassembled {
                 // Workers splice-restore the assembled pre-churn state, so
                 // every rank re-partitions from identical global state.
@@ -447,16 +447,17 @@ fn run_coordinator(
                 reassembled = true;
             }
             // lint: allow(R03, the peek in the loop condition proves Some)
-            let (_, new_graph, new_speeds) = churn.next().expect("peeked entry");
+            let step = churn.next().expect("peeked entry");
             // The never-stepped local engine follows the churn too: its
             // identity (e.g. the SOS optimal beta) depends on the live
             // topology, and the checkpoint driver + final document must
-            // carry the same name the sequential run would record.
+            // carry the same name the sequential run would record. Steps
+            // apply in sequence here, so the delta path is valid.
             engine
-                .replace_topology(Arc::clone(&new_graph), &new_speeds)
+                .replace_topology(Arc::clone(&step.graph), &step.speeds, step.delta.as_ref())
                 .map_err(|err| BenchError::run(format!("churn at round {round}: {err}")))?;
-            graph = new_graph;
-            speeds = new_speeds;
+            graph = step.graph;
+            speeds = step.speeds;
         }
         relay_loads(&mut wires)?;
         relay_flows(&mut wires)?;
@@ -1060,7 +1061,8 @@ fn worker_loop(
 ) -> Result<ScenarioOutcome, BenchError> {
     let rank = link.rank;
     let world = build_world(scenario)?;
-    let schedule = churn_schedule(world.class, scenario, &world.speeds).map_err(BenchError::Run)?;
+    let schedule = churn_schedule(world.class, scenario, &world.graph, &world.speeds)
+        .map_err(BenchError::Run)?;
     let mut engine = Engine::build(
         scenario,
         Arc::clone(&world.graph),
@@ -1079,15 +1081,15 @@ fn worker_loop(
             other => return Err(link.wire.unexpected(&format!("round {round}"), &other)),
         }
         let mut reassembled = false;
-        while churn.peek().is_some_and(|(r, _, _)| *r == round) {
+        while churn.peek().is_some_and(|step| step.round == round) {
             if !reassembled {
                 sync_state(scenario, link, &mut engine, round)?;
                 reassembled = true;
             }
             // lint: allow(R03, the peek in the loop condition proves Some)
-            let (_, new_graph, new_speeds) = churn.next().expect("peeked entry");
+            let step = churn.next().expect("peeked entry");
             engine
-                .replace_topology(new_graph, &new_speeds)
+                .replace_topology(step.graph, &step.speeds, step.delta.as_ref())
                 .map_err(|err| BenchError::run(format!("churn at round {round}: {err}")))?;
             stream.set_topology(engine.speeds());
         }

@@ -671,6 +671,175 @@ fn run_federate_bench(quick: bool) -> Json {
     ])
 }
 
+/// Edges added (and, separately, removed) per churn round in the churn
+/// benchmark — the fixed `Δ` of the delta-rewire path.
+const CHURN_DELTA_EDGES: usize = 16;
+
+/// A deterministic `Δ`-edge rewire of the `dim`-dimensional hypercube:
+/// removes the dimension-0 edge at every 8th node and adds the (two-bit,
+/// hence non-hypercube) `i ↔ i^3` chord there instead. Every endpoint is
+/// distinct, so the delta touches exactly `4·Δ` node slots.
+fn churn_delta(n: usize) -> lb_graph::GraphDelta {
+    assert!(8 * CHURN_DELTA_EDGES <= n, "graph too small for churn delta");
+    let removed = (0..CHURN_DELTA_EDGES).map(|j| (8 * j, 8 * j ^ 1));
+    let added = (0..CHURN_DELTA_EDGES).map(|j| (8 * j, 8 * j ^ 3));
+    lb_graph::GraphDelta::new(n, added, removed).expect("churn delta is canonical")
+}
+
+/// Inverts a delta: applying `invert(d)` after `d` restores the graph.
+fn invert_delta(delta: &lb_graph::GraphDelta) -> lb_graph::GraphDelta {
+    lb_graph::GraphDelta {
+        removed: delta.added.clone(),
+        added: delta.removed.clone(),
+    }
+}
+
+/// Benchmarks the delta-churn path: a rewire-heavy loop on the n = 8192
+/// hypercube where **every** round patches the topology through
+/// [`Fos::patched`] + `replace_topology` (a fixed Δ = [`CHURN_DELTA_EDGES`]
+/// alternating with its inverse) and then steps the engine once. The
+/// patched trajectory is asserted bit-identical to the same loop run
+/// through full `Fos::new` rebuilds before the numbers are reported.
+/// `churn.rounds_per_sec` is gated by `lb bench-check` when the committed
+/// baseline carries a floor; the `delta_scaling` block reports the patch
+/// cost at fixed Δ on two graph sizes next to the full-rebuild cost — the
+/// evidence that rewire cost tracks Δ, not m.
+fn run_churn_bench(quick: bool) -> Json {
+    let dim = 13u32; // 8192 nodes
+    let (load_per_node, rounds, trials) = if quick { (2, 30, 2) } else { (2, 120, 3) };
+
+    let run_loop = |patch: bool, rounds: usize| -> EngineResult {
+        let graph: Arc<Graph> = lb_graph::generators::hypercube(dim).expect("hypercube builds").into();
+        let n = graph.node_count();
+        let d = graph.max_degree() as u64;
+        let speeds = Speeds::uniform(n);
+        let initial = standard_initial_load(n, load_per_node, d);
+        let fos = Fos::new(Arc::clone(&graph), &speeds, AlphaScheme::MaxDegreePlusOne)
+            .expect("FOS constructs");
+        let mut alg1 = FlowImitation::new(fos, &initial, speeds.clone(), TaskPicker::Fifo)
+            .expect("dimensions agree");
+        let forward = churn_delta(n);
+        let backward = invert_delta(&forward);
+        let mut current = graph;
+        let start = Instant::now();
+        for round in 0..rounds {
+            let delta = if round % 2 == 0 { &forward } else { &backward };
+            let next: Arc<Graph> = current.apply_delta(delta).expect("delta applies").into();
+            let process = if patch {
+                alg1.continuous()
+                    .process()
+                    .patched(Arc::clone(&next), delta)
+                    .expect("FOS patches")
+            } else {
+                Fos::new(Arc::clone(&next), &speeds, AlphaScheme::MaxDegreePlusOne)
+                    .expect("FOS constructs")
+            };
+            alg1.replace_topology(process).expect("topology replaces");
+            current = next;
+            alg1.step();
+        }
+        EngineResult {
+            rounds,
+            elapsed_secs: start.elapsed().as_secs_f64(),
+            items_sent: alg1.items_sent(),
+            final_loads: alg1.loads(),
+        }
+    };
+
+    // Trials interleave the patched and rebuild loops so machine-load drift
+    // biases neither; the fastest trial of each is kept.
+    let mut patched_trials = Vec::new();
+    let mut rebuild_trials = Vec::new();
+    for _ in 0..trials {
+        patched_trials.push(run_loop(true, rounds));
+        rebuild_trials.push(run_loop(false, rounds));
+    }
+    let patched = patched_trials
+        .into_iter()
+        .min_by(|a, b| a.elapsed_secs.total_cmp(&b.elapsed_secs))
+        .expect("at least one trial");
+    let rebuild = rebuild_trials
+        .into_iter()
+        .min_by(|a, b| a.elapsed_secs.total_cmp(&b.elapsed_secs))
+        .expect("at least one trial");
+    // The delta path must be a pure optimisation: same trajectory, bit for
+    // bit, as rebuilding the process from scratch every churn.
+    assert_eq!(
+        patched.final_loads, rebuild.final_loads,
+        "delta-patched churn diverged from the full-rebuild path"
+    );
+    eprintln!(
+        "churn (Δ = {CHURN_DELTA_EDGES} edges/round): patched {:.1} rounds/sec, \
+         full-rebuild {:.1} rounds/sec",
+        patched.rounds_per_sec(),
+        rebuild.rounds_per_sec(),
+    );
+
+    // Δ-vs-m evidence: the same fixed-Δ patch timed on two graph sizes,
+    // next to the full rebuild it replaces. Patch cost is a copy walk plus
+    // O(Δ·d) recompute; rebuild cost is the full O(m) alpha derivation.
+    let scale = |dim: u32| -> Json {
+        let graph: Arc<Graph> = lb_graph::generators::hypercube(dim).expect("hypercube builds").into();
+        let n = graph.node_count();
+        let speeds = Speeds::uniform(n);
+        let fos = Fos::new(Arc::clone(&graph), &speeds, AlphaScheme::MaxDegreePlusOne)
+            .expect("FOS constructs");
+        let delta = churn_delta(n);
+        let next: Arc<Graph> = graph.apply_delta(&delta).expect("delta applies").into();
+        let reps = if quick { 10 } else { 40 };
+        let mut patch_secs = f64::INFINITY;
+        let mut rebuild_secs = f64::INFINITY;
+        for _ in 0..reps {
+            let start = Instant::now();
+            let patched = fos
+                .patched(Arc::clone(&next), &delta)
+                .expect("FOS patches");
+            patch_secs = patch_secs.min(start.elapsed().as_secs_f64());
+            drop(patched);
+            let start = Instant::now();
+            let fresh = Fos::new(Arc::clone(&next), &speeds, AlphaScheme::MaxDegreePlusOne)
+                .expect("FOS constructs");
+            rebuild_secs = rebuild_secs.min(start.elapsed().as_secs_f64());
+            drop(fresh);
+        }
+        eprintln!(
+            "churn scaling: n = {n}, m = {}: patch {:.1} µs, rebuild {:.1} µs",
+            graph.edge_count(),
+            patch_secs * 1e6,
+            rebuild_secs * 1e6,
+        );
+        Json::obj([
+            ("nodes", Json::from(n)),
+            ("edges", Json::from(graph.edge_count())),
+            ("patch_secs", Json::from(patch_secs)),
+            ("rebuild_secs", Json::from(rebuild_secs)),
+        ])
+    };
+    let small = scale(dim);
+    let large = scale(dim + 2);
+
+    Json::obj([
+        (
+            "config",
+            Json::obj([
+                ("nodes", Json::from(1usize << dim)),
+                ("delta_edges", Json::from(CHURN_DELTA_EDGES)),
+                ("rounds", Json::from(rounds)),
+            ]),
+        ),
+        ("rounds_per_sec", Json::from(patched.rounds_per_sec())),
+        ("elapsed_secs", Json::from(patched.elapsed_secs)),
+        (
+            "full_rebuild",
+            Json::obj([("rounds_per_sec", Json::from(rebuild.rounds_per_sec()))]),
+        ),
+        (
+            "delta_scaling",
+            Json::obj([("small", small), ("large", large)]),
+        ),
+    ])
+}
+
 /// Peak resident set size of this process in kilobytes (Linux `VmHWM`),
 /// or 0 where unavailable.
 fn peak_rss_kb() -> u64 {
@@ -833,6 +1002,10 @@ pub fn run(quick: bool, shards: Option<usize>) {
     // TCP, asserted byte-identical to the sequential driver first.
     let federate_entry = run_federate_bench(quick);
 
+    // The churn entry: per-round topology rewires through the delta-patch
+    // path, asserted bit-identical to full rebuilds first.
+    let churn_entry = run_churn_bench(quick);
+
     let report = Json::obj([
         ("benchmark", Json::from("hotpath_alg1_fifo")),
         (
@@ -874,6 +1047,7 @@ pub fn run(quick: bool, shards: Option<usize>) {
         ("ingest", ingest),
         ("snapshot", snapshot_entry),
         ("federate", federate_entry),
+        ("churn", churn_entry),
         ("peak_rss_kb", Json::from(peak_rss_kb())),
     ]);
     let path = "BENCH_hotpath.json";

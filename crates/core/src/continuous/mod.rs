@@ -232,6 +232,34 @@ impl<A: ContinuousProcess> ContinuousRunner<A> {
         }
     }
 
+    /// Rebinds the runner to a new process and initial load vector, reusing
+    /// the runner's existing buffers. Semantically identical to replacing the
+    /// runner with `ContinuousRunner::new(process, initial)`, but the
+    /// load/flow vectors keep their allocations, so a same-size topology
+    /// patch allocates nothing here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the iterator yields a different number of loads than the
+    /// process's node count.
+    pub fn rebind(&mut self, process: A, initial: impl IntoIterator<Item = f64>) {
+        self.loads.clear();
+        self.loads.extend(initial);
+        assert_eq!(
+            self.loads.len(),
+            process.graph().node_count(),
+            "initial load vector length must equal node count"
+        );
+        let m = process.graph().edge_count();
+        self.process = process;
+        self.cumulative_flow.clear();
+        self.cumulative_flow.resize(m, 0.0);
+        self.flow_buf.clear();
+        self.flow_buf.resize(m, EdgeFlow::default());
+        self.round = 0;
+        self.min_load_seen = self.loads.iter().copied().fold(f64::INFINITY, f64::min);
+    }
+
     /// The underlying process.
     pub fn process(&self) -> &A {
         &self.process

@@ -1,10 +1,11 @@
 //! Second-order diffusion (SOS), Muthukrishnan–Ghosh–Schultz style, with
 //! speeds.
 
+use super::fos::KERNEL_LANES;
 use super::{ContinuousProcess, EdgeFlow};
 use crate::error::CoreError;
 use crate::task::Speeds;
-use lb_graph::{AlphaScheme, DiffusionMatrix, Graph, PowerIterationOptions};
+use lb_graph::{AlphaScheme, DiffusionMatrix, Graph, GraphDelta, PowerIterationOptions};
 use std::sync::Arc;
 
 /// The second-order diffusion process:
@@ -106,6 +107,46 @@ impl Sos {
     pub fn beta(&self) -> f64 {
         self.beta
     }
+
+    /// Rebuilds the process for a patched topology: `new_graph` must be this
+    /// process's graph with `delta` applied. The diffusion matrix is patched
+    /// incrementally (bit-identical to a fresh build); for a **non-empty**
+    /// delta the spectrum may change, so `β` is re-estimated exactly as
+    /// [`Sos::with_optimal_beta`] would (power iteration is seed-free and
+    /// deterministic, so the result bit-matches a full rebuild). For an
+    /// empty delta the matrix is unchanged and the spectral re-estimate is
+    /// skipped entirely — the dominant cost of a same-family rewire.
+    ///
+    /// The relaxation history resets, mirroring the full-rebuild churn path:
+    /// a topology epoch boundary invalidates `y(t−1)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Graph`] if the delta does not describe the
+    /// old-to-new edge difference.
+    pub fn patched(&self, new_graph: Arc<Graph>, delta: &GraphDelta) -> Result<Self, CoreError> {
+        let matrix = self.matrix.patched(&self.graph, &new_graph, delta)?;
+        let beta = if delta.is_empty() {
+            self.beta
+        } else {
+            let lambda = lb_graph::spectral::second_eigenvalue(
+                &new_graph,
+                &matrix,
+                PowerIterationOptions::default(),
+            );
+            2.0 / (1.0 + (1.0 - lambda * lambda).max(0.0).sqrt())
+        };
+        let m = new_graph.edge_count();
+        Ok(Sos {
+            graph: new_graph,
+            matrix,
+            speeds: self.speeds.clone(),
+            beta,
+            previous: vec![EdgeFlow::default(); m],
+            has_previous: false,
+            name: format!("sos(beta={beta:.3})"),
+        })
+    }
 }
 
 impl ContinuousProcess for Sos {
@@ -135,6 +176,13 @@ impl ContinuousProcess for Sos {
         true
     }
 
+    /// Stride-friendly kernel, same struct-of-arrays shape as the FOS one.
+    /// The `has_previous` branch is hoisted out of the per-edge loop: the
+    /// first round runs the FOS-shaped variant, every later round runs the
+    /// relaxation variant with the history gathered alongside the loads.
+    /// Per-edge float-op order matches the scalar loop
+    /// (`(β−1)·y_prev + β·(α·x_u/s_u)`), so flows are bit-identical.
+    // lint: zero-alloc
     fn compute_flows_range(
         &self,
         _t: usize,
@@ -142,20 +190,76 @@ impl ContinuousProcess for Sos {
         edges: std::ops::Range<usize>,
         out: &mut [EdgeFlow],
     ) {
-        let start = edges.start;
-        for (k, &(u, v)) in self.graph.edges()[edges].iter().enumerate() {
-            let e = start + k;
-            let alpha = self.matrix.alpha(e);
-            let fos_forward = alpha * x[u] / self.speeds[u];
-            let fos_backward = alpha * x[v] / self.speeds[v];
-            out[k] = if self.has_previous {
-                EdgeFlow::new(
-                    (self.beta - 1.0) * self.previous[e].forward + self.beta * fos_forward,
-                    (self.beta - 1.0) * self.previous[e].backward + self.beta * fos_backward,
-                )
-            } else {
-                EdgeFlow::new(fos_forward, fos_backward)
-            };
+        const LANES: usize = KERNEL_LANES;
+        let pairs = &self.graph.edges()[edges.clone()];
+        let alphas = &self.matrix.alphas()[edges.clone()];
+        let beta = self.beta;
+        let carry = self.beta - 1.0;
+        let mut xu = [0.0f64; LANES];
+        let mut su = [0.0f64; LANES];
+        let mut xv = [0.0f64; LANES];
+        let mut sv = [0.0f64; LANES];
+        let mut fu = [0.0f64; LANES];
+        let mut fv = [0.0f64; LANES];
+        let mut k = 0usize;
+        if self.has_previous {
+            let prev = &self.previous[edges];
+            let mut pf = [0.0f64; LANES];
+            let mut pb = [0.0f64; LANES];
+            for (pair_chunk, (alpha_chunk, prev_chunk)) in pairs
+                .chunks_exact(LANES)
+                .zip(alphas.chunks_exact(LANES).zip(prev.chunks_exact(LANES)))
+            {
+                for (i, &(u, v)) in pair_chunk.iter().enumerate() {
+                    xu[i] = x[u];
+                    su[i] = self.speeds[u];
+                    xv[i] = x[v];
+                    sv[i] = self.speeds[v];
+                    pf[i] = prev_chunk[i].forward;
+                    pb[i] = prev_chunk[i].backward;
+                }
+                for i in 0..LANES {
+                    fu[i] = carry * pf[i] + beta * (alpha_chunk[i] * xu[i] / su[i]);
+                    fv[i] = carry * pb[i] + beta * (alpha_chunk[i] * xv[i] / sv[i]);
+                }
+                for (slot, i) in out[k..k + LANES].iter_mut().zip(0..LANES) {
+                    *slot = EdgeFlow::new(fu[i], fv[i]);
+                }
+                k += LANES;
+            }
+            for (i, &(u, v)) in pairs[k..].iter().enumerate() {
+                let alpha = alphas[k + i];
+                let fos_forward = alpha * x[u] / self.speeds[u];
+                let fos_backward = alpha * x[v] / self.speeds[v];
+                out[k + i] = EdgeFlow::new(
+                    carry * prev[k + i].forward + beta * fos_forward,
+                    carry * prev[k + i].backward + beta * fos_backward,
+                );
+            }
+        } else {
+            for (pair_chunk, alpha_chunk) in
+                pairs.chunks_exact(LANES).zip(alphas.chunks_exact(LANES))
+            {
+                for (i, &(u, v)) in pair_chunk.iter().enumerate() {
+                    xu[i] = x[u];
+                    su[i] = self.speeds[u];
+                    xv[i] = x[v];
+                    sv[i] = self.speeds[v];
+                }
+                for i in 0..LANES {
+                    fu[i] = alpha_chunk[i] * xu[i] / su[i];
+                    fv[i] = alpha_chunk[i] * xv[i] / sv[i];
+                }
+                for (slot, i) in out[k..k + LANES].iter_mut().zip(0..LANES) {
+                    *slot = EdgeFlow::new(fu[i], fv[i]);
+                }
+                k += LANES;
+            }
+            for (i, &(u, v)) in pairs[k..].iter().enumerate() {
+                let alpha = alphas[k + i];
+                out[k + i] =
+                    EdgeFlow::new(alpha * x[u] / self.speeds[u], alpha * x[v] / self.speeds[v]);
+            }
         }
     }
 

@@ -159,8 +159,9 @@ impl<A: ContinuousProcess> FlowImitation<A> {
     /// epoch on the new topology, so the Observation 4 deviation bound holds
     /// per epoch.
     ///
-    /// This allocates freely; it is an event-time operation, not part of the
-    /// steady-state hot loop.
+    /// For a same-size rewire this reuses every engine buffer (queues, twin
+    /// load/flow vectors, ledgers are cleared in place, not reallocated);
+    /// only a node-count change reallocates the carried containers.
     ///
     /// # Errors
     ///
@@ -189,21 +190,23 @@ impl<A: ContinuousProcess> FlowImitation<A> {
             self.dummy.push(0);
         }
         // Speeds follow the same carry-over rule: truncate or pad with the
-        // unit speed.
-        let mut speed_values = self.speeds.as_slice().to_vec();
-        speed_values.resize(n, 1);
-        // lint: allow(R03, carried values validated positive at admission)
-        self.speeds = Speeds::new(speed_values).expect("carried speeds stay positive");
+        // unit speed. A same-size rewire carries speeds through untouched.
+        if self.speeds.len() != n {
+            let mut speed_values = self.speeds.as_slice().to_vec();
+            speed_values.resize(n, 1);
+            // lint: allow(R03, carried values validated positive at admission)
+            self.speeds = Speeds::new(speed_values).expect("carried speeds stay positive");
+        }
         // The twin restarts from the current discrete loads (real + dummy),
         // and both cumulative-flow ledgers reset together.
-        let x0: Vec<f64> = self
-            .queues
-            .iter()
-            .zip(&self.dummy)
-            .map(|(queue, &d)| (queue.total_weight() + d) as f64)
-            .collect();
         self.name = format!("alg1({})", process.name());
-        self.twin = ContinuousRunner::new(process, x0);
+        self.twin.rebind(
+            process,
+            self.queues
+                .iter()
+                .zip(&self.dummy)
+                .map(|(queue, &d)| (queue.total_weight() + d) as f64),
+        );
         self.graph = graph;
         self.discrete_flow.clear();
         self.discrete_flow.resize(self.graph.edge_count(), 0);

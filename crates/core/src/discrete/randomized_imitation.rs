@@ -181,18 +181,21 @@ impl<A: ContinuousProcess> RandomizedImitation<A> {
         }
         self.tokens.resize(n, 0);
         self.dummy.resize(n, 0);
-        let mut speed_values = self.speeds.as_slice().to_vec();
-        speed_values.resize(n, 1);
-        // lint: allow(R03, carried values validated positive at admission)
-        self.speeds = Speeds::new(speed_values).expect("carried speeds stay positive");
-        let x0: Vec<f64> = self
-            .tokens
-            .iter()
-            .zip(&self.dummy)
-            .map(|(&t, &d)| (t + d) as f64)
-            .collect();
+        // A same-size rewire carries speeds through untouched.
+        if self.speeds.len() != n {
+            let mut speed_values = self.speeds.as_slice().to_vec();
+            speed_values.resize(n, 1);
+            // lint: allow(R03, carried values validated positive at admission)
+            self.speeds = Speeds::new(speed_values).expect("carried speeds stay positive");
+        }
         self.name = format!("alg2({})", process.name());
-        self.twin = ContinuousRunner::new(process, x0);
+        self.twin.rebind(
+            process,
+            self.tokens
+                .iter()
+                .zip(&self.dummy)
+                .map(|(&t, &d)| (t + d) as f64),
+        );
         self.graph = graph;
         self.discrete_flow.clear();
         self.discrete_flow.resize(self.graph.edge_count(), 0);

@@ -151,6 +151,115 @@ impl Graph {
         self
     }
 
+    /// Computes the edge-set difference from `self` to `target`: the delta
+    /// `d` with `self.apply_delta(&d) == target` (up to the name). Both
+    /// graphs must have the same node count — deltas describe edge churn
+    /// (rewiring), not node churn.
+    ///
+    /// Runs in `O(m + m')` (one merge walk over the two sorted canonical
+    /// edge lists); the delta itself has `O(Δ)` entries.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InvalidParameter`] if the node counts differ.
+    pub fn delta_to(&self, target: &Graph) -> Result<GraphDelta, GraphError> {
+        if self.n != target.n {
+            return Err(GraphError::invalid_parameter(format!(
+                "delta requires equal node counts, got {} and {}",
+                self.n, target.n
+            )));
+        }
+        let mut removed = Vec::new();
+        let mut added = Vec::new();
+        let (old, new) = (&self.edges, &target.edges);
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < old.len() || j < new.len() {
+            match (old.get(i), new.get(j)) {
+                (Some(&a), Some(&b)) if a == b => {
+                    i += 1;
+                    j += 1;
+                }
+                (Some(&a), Some(&b)) if a < b => {
+                    removed.push(a);
+                    i += 1;
+                }
+                (Some(_), Some(&b)) => {
+                    added.push(b);
+                    j += 1;
+                }
+                (Some(&a), None) => {
+                    removed.push(a);
+                    i += 1;
+                }
+                (None, Some(&b)) => {
+                    added.push(b);
+                    j += 1;
+                }
+                (None, None) => unreachable!("loop condition"),
+            }
+        }
+        Ok(GraphDelta { removed, added })
+    }
+
+    /// Applies an edge delta, producing the patched graph: `delta.removed`
+    /// edges are dropped, `delta.added` edges inserted, and the CSR structure
+    /// is rebuilt from the spliced canonical list. The node count and the
+    /// graph name carry over unchanged.
+    ///
+    /// The splice is a single merge walk (`O(m + Δ)` index work, no
+    /// per-edge validation re-sort), so patching is dominated by the CSR
+    /// fill — linear in the *surviving* edges with small constants, with no
+    /// family generator or RNG in the loop.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfRange`] / [`GraphError::SelfLoop`] for
+    /// malformed added edges, [`GraphError::DuplicateEdge`] if an added edge
+    /// already exists (or appears twice), and
+    /// [`GraphError::InvalidParameter`] if a removed edge is absent or the
+    /// delta lists are not canonically sorted.
+    pub fn apply_delta(&self, delta: &GraphDelta) -> Result<Self, GraphError> {
+        delta.check_canonical(self.n)?;
+        // Every removed edge must exist in the base graph.
+        for &(u, v) in &delta.removed {
+            if self.edges.binary_search(&(u, v)).is_err() {
+                return Err(GraphError::invalid_parameter(format!(
+                    "delta removes edge ({u}, {v}), which is not in the graph"
+                )));
+            }
+        }
+        let target_m = (self.edges.len() + delta.added.len())
+            .checked_sub(delta.removed.len())
+            .ok_or_else(|| {
+                GraphError::invalid_parameter("delta removes more edges than the graph has")
+            })?;
+        let mut spliced = Vec::with_capacity(target_m);
+        let mut removed = delta.removed.iter().copied().peekable();
+        let mut added = delta.added.iter().copied().peekable();
+        for &edge in &self.edges {
+            // Insert pending additions that sort before this edge.
+            while added.peek().is_some_and(|&a| a < edge) {
+                // lint: allow(R03, the peek in the loop condition proves Some)
+                spliced.push(added.next().expect("peeked entry"));
+            }
+            if added.peek() == Some(&edge) {
+                return Err(GraphError::DuplicateEdge {
+                    u: edge.0,
+                    v: edge.1,
+                });
+            }
+            if removed.peek() == Some(&edge) {
+                removed.next();
+            } else {
+                spliced.push(edge);
+            }
+        }
+        spliced.extend(added);
+        debug_assert_eq!(spliced.len(), target_m);
+        debug_assert!(spliced.windows(2).all(|w| w[0] < w[1]));
+        Ok(Self::from_canonical_edges(self.n, spliced).with_name(self.name.clone()))
+    }
+
     /// Returns the graph's human-readable name, or `""` if none was set.
     pub fn name(&self) -> &str {
         &self.name
@@ -356,6 +465,118 @@ impl Graph {
     }
 }
 
+/// An edge-set difference between two graphs on the same node set.
+///
+/// Both lists hold canonical `(u, v)` pairs with `u < v`, sorted ascending
+/// and duplicate-free, and the two lists are disjoint. Produced by
+/// [`Graph::delta_to`] or built directly via [`GraphDelta::new`]; consumed by
+/// [`Graph::apply_delta`]. A delta is only meaningful relative to the graph
+/// it was computed against — applying it elsewhere fails validation.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GraphDelta {
+    /// Edges present in the base graph and absent from the target.
+    pub removed: Vec<(NodeId, NodeId)>,
+    /// Edges absent from the base graph and present in the target.
+    pub added: Vec<(NodeId, NodeId)>,
+}
+
+impl GraphDelta {
+    /// Builds a delta from raw add/remove lists, canonicalising each pair to
+    /// `u < v` and sorting. Endpoints are validated against `n` nodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfRange`] or [`GraphError::SelfLoop`] for
+    /// malformed pairs, [`GraphError::DuplicateEdge`] for a repeated pair
+    /// within a list, and [`GraphError::InvalidParameter`] if an edge appears
+    /// in both lists (a contradictory delta).
+    pub fn new(
+        n: usize,
+        added: impl IntoIterator<Item = (NodeId, NodeId)>,
+        removed: impl IntoIterator<Item = (NodeId, NodeId)>,
+    ) -> Result<Self, GraphError> {
+        let canonicalise = |pairs: Vec<(NodeId, NodeId)>| -> Result<Vec<_>, GraphError> {
+            let mut out = Vec::with_capacity(pairs.len());
+            for (a, b) in pairs {
+                if a >= n {
+                    return Err(GraphError::NodeOutOfRange { node: a, n });
+                }
+                if b >= n {
+                    return Err(GraphError::NodeOutOfRange { node: b, n });
+                }
+                if a == b {
+                    return Err(GraphError::SelfLoop { node: a });
+                }
+                out.push((a.min(b), a.max(b)));
+            }
+            out.sort_unstable();
+            if let Some(w) = out.windows(2).find(|w| w[0] == w[1]) {
+                return Err(GraphError::DuplicateEdge {
+                    u: w[0].0,
+                    v: w[0].1,
+                });
+            }
+            Ok(out)
+        };
+        let added = canonicalise(added.into_iter().collect())?;
+        let removed = canonicalise(removed.into_iter().collect())?;
+        if let Some(&(u, v)) = added.iter().find(|e| removed.binary_search(e).is_ok()) {
+            return Err(GraphError::invalid_parameter(format!(
+                "edge ({u}, {v}) appears in both the add and remove lists"
+            )));
+        }
+        Ok(Self { removed, added })
+    }
+
+    /// True when the delta changes nothing — the patched graph equals the
+    /// base graph. Callers use this to skip re-derivation work entirely
+    /// (e.g. spectral re-estimation for SOS momentum).
+    pub fn is_empty(&self) -> bool {
+        self.removed.is_empty() && self.added.is_empty()
+    }
+
+    /// Total number of edge insertions plus removals (`Δ`).
+    pub fn len(&self) -> usize {
+        self.removed.len() + self.added.len()
+    }
+
+    /// Nodes whose degree changes under this delta, deduplicated and sorted.
+    pub fn touched_nodes(&self) -> Vec<NodeId> {
+        let mut nodes: Vec<NodeId> = self
+            .removed
+            .iter()
+            .chain(self.added.iter())
+            .flat_map(|&(u, v)| [u, v])
+            .collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        nodes
+    }
+
+    /// Validates the canonical-form invariants against an `n`-node base
+    /// graph: every pair `u < v < n`, each list strictly sorted.
+    fn check_canonical(&self, n: usize) -> Result<(), GraphError> {
+        for list in [&self.removed, &self.added] {
+            for &(u, v) in list {
+                if u >= v {
+                    return Err(GraphError::invalid_parameter(format!(
+                        "delta edge ({u}, {v}) is not in canonical u < v form"
+                    )));
+                }
+                if v >= n {
+                    return Err(GraphError::NodeOutOfRange { node: v, n });
+                }
+            }
+            if !list.windows(2).all(|w| w[0] < w[1]) {
+                return Err(GraphError::invalid_parameter(
+                    "delta edge list is not sorted and duplicate-free",
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
 impl fmt::Debug for Graph {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Graph")
@@ -502,5 +723,85 @@ mod tests {
     fn graph_is_send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<Graph>();
+    }
+
+    #[test]
+    fn delta_to_and_apply_round_trip() {
+        let old = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)])
+            .expect("valid cycle")
+            .with_name("c5");
+        let new = Graph::from_edges(5, [(0, 1), (0, 2), (2, 3), (3, 4), (0, 4), (1, 4)])
+            .expect("valid rewire");
+        let delta = old.delta_to(&new).expect("same node count");
+        assert_eq!(delta.removed, vec![(1, 2)]);
+        assert_eq!(delta.added, vec![(0, 2), (1, 4)]);
+        assert_eq!(delta.len(), 3);
+        assert_eq!(delta.touched_nodes(), vec![0, 1, 2, 4]);
+
+        let patched = old.apply_delta(&delta).expect("delta applies");
+        assert_eq!(patched.name(), "c5");
+        assert_eq!(patched.edges(), new.edges());
+        assert_eq!(patched.node_count(), new.node_count());
+        for u in patched.nodes() {
+            assert_eq!(patched.neighbors(u), new.neighbors(u));
+        }
+    }
+
+    #[test]
+    fn empty_delta_is_identity() {
+        let g = cycle4();
+        let delta = g.delta_to(&g).expect("same graph");
+        assert!(delta.is_empty());
+        assert_eq!(delta.len(), 0);
+        let patched = g.apply_delta(&delta).expect("no-op");
+        assert_eq!(patched.edges(), g.edges());
+    }
+
+    #[test]
+    fn delta_to_rejects_node_count_mismatch() {
+        let a = cycle4();
+        let b = Graph::from_edges(5, [(0, 1)]).expect("valid");
+        assert!(matches!(
+            a.delta_to(&b),
+            Err(GraphError::InvalidParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn apply_delta_validates_edges() {
+        let g = cycle4();
+        // Removing an absent edge is rejected.
+        let bad_remove = GraphDelta::new(4, [], [(0, 2)]).expect("well-formed");
+        assert!(matches!(
+            g.apply_delta(&bad_remove),
+            Err(GraphError::InvalidParameter { .. })
+        ));
+        // Adding an existing edge is rejected as a duplicate.
+        let bad_add = GraphDelta::new(4, [(1, 0)], []).expect("well-formed");
+        assert!(matches!(
+            g.apply_delta(&bad_add),
+            Err(GraphError::DuplicateEdge { u: 0, v: 1 })
+        ));
+        // Out-of-range endpoints are caught at delta construction.
+        assert!(matches!(
+            GraphDelta::new(4, [(0, 9)], []),
+            Err(GraphError::NodeOutOfRange { node: 9, n: 4 })
+        ));
+        assert!(matches!(
+            GraphDelta::new(4, [(2, 2)], []),
+            Err(GraphError::SelfLoop { node: 2 })
+        ));
+        // Contradictory add+remove of the same edge is rejected.
+        assert!(matches!(
+            GraphDelta::new(4, [(0, 2)], [(2, 0)]),
+            Err(GraphError::InvalidParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn delta_new_canonicalises_pairs() {
+        let delta = GraphDelta::new(6, [(5, 0), (3, 1)], [(4, 2)]).expect("valid");
+        assert_eq!(delta.added, vec![(0, 5), (1, 3)]);
+        assert_eq!(delta.removed, vec![(2, 4)]);
     }
 }

@@ -37,7 +37,7 @@ pub mod spectral;
 
 pub use builder::GraphBuilder;
 pub use error::GraphError;
-pub use graph::{EdgeId, Graph, NodeId};
+pub use graph::{EdgeId, Graph, GraphDelta, NodeId};
 pub use matching::{random_maximal_matching, Matching, PeriodicMatchings};
 pub use matrix::{AlphaScheme, DiffusionMatrix};
 pub use spectral::PowerIterationOptions;

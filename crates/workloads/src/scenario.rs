@@ -199,7 +199,7 @@ pub enum ServiceSpec {
 }
 
 /// A topology-churn event, applied before the round it names.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ChurnEvent {
     /// The round before which the event fires.
     pub round: usize,
@@ -208,21 +208,32 @@ pub struct ChurnEvent {
 }
 
 /// The kinds of topology churn a scenario can schedule.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ChurnKind {
     /// Rebuild the same family and size with a new generator seed (edge
-    /// churn; deterministic families rebuild identically).
+    /// churn; deterministic families rebuild identically). The driver
+    /// computes the old-to-new edge delta and patches the topology in place.
     Rewire {
         /// Generator seed for the rebuilt graph.
         seed: u64,
     },
     /// Rebuild the family at a new size (node churn: nodes join or leave;
-    /// orphaned tasks are re-queued on node 0).
+    /// orphaned tasks are re-queued on node 0). Always a full rebuild.
     Resize {
         /// New target node count.
         target_n: usize,
         /// Generator seed for the rebuilt graph.
         seed: u64,
+    },
+    /// Explicit edge churn: patch the current topology by removing and
+    /// adding the listed `(u, v)` pairs (`O(Δ)` work, no family rebuild).
+    /// Pairs are canonicalised to `u < v`; endpoints are validated against
+    /// the current node count when the event is applied.
+    Delta {
+        /// Edges to insert.
+        add: Vec<(usize, usize)>,
+        /// Edges to remove.
+        remove: Vec<(usize, usize)>,
     },
 }
 
@@ -351,10 +362,24 @@ impl Scenario {
                     event.round, self.rounds
                 ));
             }
-            if let ChurnKind::Resize { target_n, .. } = event.kind {
-                if target_n < 2 {
-                    return Err("churn resize target_n must be at least 2".into());
+            match &event.kind {
+                ChurnKind::Resize { target_n, .. } => {
+                    if *target_n < 2 {
+                        return Err("churn resize target_n must be at least 2".into());
+                    }
                 }
+                ChurnKind::Delta { add, remove } => {
+                    // Endpoint range depends on the node count at apply time
+                    // (earlier resizes may change it), so only shape errors
+                    // are catchable here; range errors surface when the
+                    // delta is applied.
+                    for &(u, v) in add.iter().chain(remove) {
+                        if u == v {
+                            return Err(format!("churn delta edge ({u}, {v}) is a self-loop"));
+                        }
+                    }
+                }
+                ChurnKind::Rewire { .. } => {}
             }
             last = event.round;
         }
@@ -448,20 +473,34 @@ impl Scenario {
             PadSpec::Tokens(t) => Json::from(t),
             PadSpec::Degree => Json::from("degree"),
         };
+        let edge_list = |pairs: &[(usize, usize)]| {
+            Json::Arr(
+                pairs
+                    .iter()
+                    .map(|&(u, v)| Json::Arr(vec![Json::from(u), Json::from(v)]))
+                    .collect(),
+            )
+        };
         let churn = self
             .churn
             .iter()
-            .map(|event| match event.kind {
+            .map(|event| match &event.kind {
                 ChurnKind::Rewire { seed } => Json::obj([
                     ("round", Json::from(event.round)),
                     ("kind", Json::from("rewire")),
-                    ("seed", Json::from(seed)),
+                    ("seed", Json::from(*seed)),
                 ]),
                 ChurnKind::Resize { target_n, seed } => Json::obj([
                     ("round", Json::from(event.round)),
                     ("kind", Json::from("resize")),
-                    ("target_n", Json::from(target_n)),
-                    ("seed", Json::from(seed)),
+                    ("target_n", Json::from(*target_n)),
+                    ("seed", Json::from(*seed)),
+                ]),
+                ChurnKind::Delta { add, remove } => Json::obj([
+                    ("round", Json::from(event.round)),
+                    ("kind", Json::from("delta")),
+                    ("add", edge_list(add)),
+                    ("remove", edge_list(remove)),
                 ]),
             })
             .collect();
@@ -622,6 +661,44 @@ impl Scenario {
                             target_n: usize_field(event, "target_n")?,
                             seed: u64_field(event, "seed")?,
                         },
+                        "delta" => {
+                            let edge_list = |key: &str| -> Result<Vec<(usize, usize)>, String> {
+                                match event.get(key) {
+                                    None => Ok(Vec::new()),
+                                    Some(list) => list
+                                        .as_array()
+                                        .ok_or_else(|| {
+                                            format!("churn delta {key:?} must be an array")
+                                        })?
+                                        .iter()
+                                        .map(|pair| {
+                                            let pair = pair.as_array().filter(|p| p.len() == 2);
+                                            match pair {
+                                                Some(p) => {
+                                                    let u = p[0].as_usize();
+                                                    let v = p[1].as_usize();
+                                                    match (u, v) {
+                                                        (Some(u), Some(v)) => Ok((u, v)),
+                                                        _ => Err(format!(
+                                                            "churn delta {key:?} entries must \
+                                                             hold two non-negative integers"
+                                                        )),
+                                                    }
+                                                }
+                                                None => Err(format!(
+                                                    "churn delta {key:?} entries must be \
+                                                     [u, v] pairs"
+                                                )),
+                                            }
+                                        })
+                                        .collect(),
+                                }
+                            };
+                            ChurnKind::Delta {
+                                add: edge_list("add")?,
+                                remove: edge_list("remove")?,
+                            }
+                        }
                         other => return Err(format!("unknown churn kind {other:?}")),
                     };
                     Ok(ChurnEvent { round, kind })
@@ -824,6 +901,13 @@ mod tests {
                     kind: ChurnKind::Rewire { seed: 11 },
                 },
                 ChurnEvent {
+                    round: 55,
+                    kind: ChurnKind::Delta {
+                        add: vec![(0, 9), (3, 17)],
+                        remove: vec![(1, 2)],
+                    },
+                },
+                ChurnEvent {
                     round: 70,
                     kind: ChurnKind::Resize {
                         target_n: 32,
@@ -842,6 +926,36 @@ mod tests {
         let text = scenario.render_pretty();
         let parsed = Scenario::parse(&text).expect("round-trips");
         assert_eq!(parsed, scenario);
+    }
+
+    #[test]
+    fn churn_delta_lists_default_to_empty_and_self_loops_are_rejected() {
+        let text = r#"{
+            "name": "d", "seed": 1, "rounds": 10, "sample_every": 2,
+            "algorithm": "alg1", "model": "fos",
+            "topology": {"family": "torus", "target_n": 16},
+            "initial": {"distribution": {"model": "uniform_random"}, "tokens_per_node": 4},
+            "churn": [{"round": 4, "kind": "delta"}]
+        }"#;
+        let scenario = Scenario::parse(text).expect("delta without lists parses");
+        assert_eq!(
+            scenario.churn[0].kind,
+            ChurnKind::Delta {
+                add: vec![],
+                remove: vec![]
+            }
+        );
+
+        let mut bad = sample_scenario();
+        bad.churn = vec![ChurnEvent {
+            round: 4,
+            kind: ChurnKind::Delta {
+                add: vec![(3, 3)],
+                remove: vec![],
+            },
+        }];
+        let err = bad.validate().expect_err("self-loop rejected");
+        assert!(err.contains("self-loop"), "{err}");
     }
 
     #[test]

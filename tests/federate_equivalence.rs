@@ -52,6 +52,13 @@ fn scenario(algorithm: AlgorithmSpec, model: ModelSpec, federation: usize) -> Sc
                 kind: ChurnKind::Rewire { seed: 9 },
             },
             ChurnEvent {
+                round: 40,
+                kind: ChurnKind::Delta {
+                    add: vec![(0, 18), (5, 27)],
+                    remove: vec![(0, 1)],
+                },
+            },
+            ChurnEvent {
                 round: 55,
                 kind: ChurnKind::Resize {
                     target_n: 36,
